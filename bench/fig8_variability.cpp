@@ -1,0 +1,113 @@
+// E8 (§5.1): "future CCAs should ... focus on coping with bandwidth
+// variability while navigating the trade-off between self-inflicted delay
+// and link underutilization."
+//
+// Setup: each CCA runs SOLO (no contention — the paper's post-contention
+// world) on links whose capacity varies like a cellular channel: a square
+// wave (12<->48 Mbit/s, 2 s half-period) and a bounded multiplicative random
+// walk. We report utilization and self-inflicted queueing delay — exactly
+// the §5.1 trade-off — plus loss, for each CCA.
+#include <iostream>
+#include <memory>
+
+#include "app/bulk.hpp"
+#include "core/cca_registry.hpp"
+#include "core/dumbbell.hpp"
+#include "nimbus/nimbus.hpp"
+#include "sim/rate_trace.hpp"
+#include "telemetry/sampler.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ccc;
+
+struct Outcome {
+  double utilization{0.0};
+  double mean_queue_ms{0.0};
+  double p95_queue_ms{0.0};
+  double loss_per_sec{0.0};
+};
+
+Outcome run_cca(const std::string& name, bool random_walk) {
+  core::DumbbellConfig cfg;
+  cfg.bottleneck_rate = Rate::mbps(48);
+  cfg.one_way_delay = Time::ms(30);
+  cfg.reverse_delay = Time::ms(30);
+  cfg.buffer_bdp_multiple = 2.0;
+  core::DumbbellScenario net{cfg};
+
+  const Time end = Time::sec(60.0);
+  std::vector<sim::RatePoint> trace;
+  if (random_walk) {
+    Rng rng{77};
+    trace = sim::random_walk_trace(rng, Rate::mbps(30), Rate::mbps(8), Rate::mbps(48), 0.25,
+                                   Time::ms(500), end);
+  } else {
+    trace = sim::square_wave_trace(Rate::mbps(12), Rate::mbps(48), Time::sec(2.0), end);
+  }
+  apply_rate_trace(net.scheduler(), net.bottleneck(), trace);
+
+  std::unique_ptr<cca::CongestionControl> cc;
+  if (name == "nimbus") {
+    cc = std::make_unique<nimbus::NimbusCca>(net.scheduler());
+  } else {
+    cc = core::make_cca_factory(name)();
+  }
+  net.add_flow(std::move(cc), std::make_unique<app::BulkApp>());
+
+  // Track queueing delay via the flow's RTT inflation and capacity actually
+  // offered via the trace.
+  std::vector<double> queue_ms;
+  double offered_bits = 0.0;
+  Time last = Time::sec(5.0);
+  telemetry::PeriodicSampler sampler{
+      net.scheduler(), Time::ms(100), Time::sec(5.0), end, [&](Time now) {
+        const auto& s = net.flow(0).sender();
+        if (s.min_rtt() != Time::never() && s.srtt() > Time::zero()) {
+          queue_ms.push_back((s.srtt() - s.min_rtt()).to_ms());
+        }
+        offered_bits += net.bottleneck().rate().to_bps() * (now - last).to_sec();
+        last = now;
+      }};
+
+  net.run_until(Time::sec(5.0));
+  const auto snap = net.snapshot_delivered();
+  net.run_until(end);
+
+  Outcome out;
+  const double delivered_bits =
+      static_cast<double>(net.flow(0).delivered_bytes() - snap[0]) * 8.0;
+  out.utilization = offered_bits > 0 ? delivered_bits / offered_bits : 0.0;
+  if (!queue_ms.empty()) {
+    RunningStats st;
+    for (double q : queue_ms) st.add(q);
+    out.mean_queue_ms = st.mean();
+    out.p95_queue_ms = quantile(queue_ms, 0.95);
+  }
+  out.loss_per_sec =
+      static_cast<double>(net.bottleneck().qdisc().stats().dropped_packets) / 55.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ccc;
+  for (const bool walk : {false, true}) {
+    print_banner(std::cout, std::string{"E8 (§5.1): solo CCAs on a variable-capacity link — "} +
+                                (walk ? "random-walk trace" : "square wave 12<->48 Mbit/s"));
+    TextTable t{{"cca", "utilization", "mean queue (ms)", "p95 queue (ms)", "drops/s"}};
+    for (const char* name : {"reno", "cubic", "bbr", "vegas", "copa", "nimbus"}) {
+      const auto o = run_cca(name, walk);
+      t.add_row({name, TextTable::num(o.utilization, 3), TextTable::num(o.mean_queue_ms, 1),
+                 TextTable::num(o.p95_queue_ms, 1), TextTable::num(o.loss_per_sec, 1)});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "\nshape check: loss-based CCAs buy utilization with standing queues; "
+               "delay-based ones (vegas/copa/nimbus) hold queues low and give up some "
+               "utilization at capacity drops — the §5.1 trade-off.\n";
+  return 0;
+}

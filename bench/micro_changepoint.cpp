@@ -1,0 +1,86 @@
+// Micro-benchmarks: change-point detection throughput (M1). These bound the
+// cost of running the §3.1 pipeline over M-Lab-scale datasets.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "changepoint/cost.hpp"
+#include "changepoint/detectors.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ccc;
+
+std::vector<double> make_signal(std::size_t n, int n_steps, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<double> x;
+  x.reserve(n);
+  double level = 10.0;
+  const std::size_t seg = n / static_cast<std::size_t>(n_steps + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && i % seg == 0) level += rng.uniform(-5.0, 5.0);
+    x.push_back(level + rng.normal(0.0, 0.5));
+  }
+  return x;
+}
+
+void BM_PeltL2(benchmark::State& state) {
+  const auto x = make_signal(static_cast<std::size_t>(state.range(0)), 4, 42);
+  for (auto _ : state) {
+    changepoint::CostL2 cost;
+    cost.fit(x);
+    auto cps = changepoint::pelt(cost, changepoint::bic_penalty(x.size(), 0.5));
+    benchmark::DoNotOptimize(cps);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PeltL2)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_BinSeg(benchmark::State& state) {
+  const auto x = make_signal(static_cast<std::size_t>(state.range(0)), 4, 42);
+  for (auto _ : state) {
+    changepoint::CostL2 cost;
+    cost.fit(x);
+    auto cps =
+        changepoint::binary_segmentation(cost, changepoint::bic_penalty(x.size(), 0.5));
+    benchmark::DoNotOptimize(cps);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BinSeg)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SlidingWindow(benchmark::State& state) {
+  const auto x = make_signal(static_cast<std::size_t>(state.range(0)), 4, 42);
+  for (auto _ : state) {
+    changepoint::CostL2 cost;
+    cost.fit(x);
+    auto cps = changepoint::sliding_window(cost, 20, changepoint::bic_penalty(x.size(), 0.5));
+    benchmark::DoNotOptimize(cps);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SlidingWindow)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Cusum(benchmark::State& state) {
+  const auto x = make_signal(static_cast<std::size_t>(state.range(0)), 4, 42);
+  for (auto _ : state) {
+    changepoint::Cusum det{10.0, 0.5, 5.0};
+    for (double v : x) benchmark::DoNotOptimize(det.add(v));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Cusum)->Arg(1000)->Arg(100000);
+
+void BM_DetectMeanShiftsPipelineRecord(benchmark::State& state) {
+  // The per-record cost inside the §3.1 pipeline: 100 samples (10 s of
+  // 100 ms snapshots).
+  const auto x = make_signal(100, 2, 7);
+  for (auto _ : state) {
+    auto cps = changepoint::detect_mean_shifts(x);
+    benchmark::DoNotOptimize(cps);
+  }
+}
+BENCHMARK(BM_DetectMeanShiftsPipelineRecord);
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Micro-benchmarks: simulator event throughput and qdisc operations (M2).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "app/bulk.hpp"
+#include "cca/new_reno.hpp"
+#include "core/dumbbell.hpp"
+#include "queue/drop_tail.hpp"
+#include "queue/drr_fair_queue.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace ccc;
+
+void BM_SchedulerChain(benchmark::State& state) {
+  // Measures raw event dispatch: a single self-rescheduling event.
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) sched.schedule_after(Time::us(1), tick);
+    };
+    sched.schedule_at(Time::zero(), tick);
+    sched.run_until(Time::sec(1.0));
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerChain);
+
+void BM_QdiscEnqueueDequeue_DropTail(benchmark::State& state) {
+  queue::DropTailQueue q{1 << 30};
+  sim::Packet p;
+  p.flow = 1;
+  p.size_bytes = 1500;
+  for (auto _ : state) {
+    q.enqueue(p, Time::zero());
+    benchmark::DoNotOptimize(q.dequeue(Time::zero()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QdiscEnqueueDequeue_DropTail);
+
+void BM_QdiscEnqueueDequeue_Drr(benchmark::State& state) {
+  queue::DrrFairQueue q{1 << 30, queue::FairnessKey::kPerFlow};
+  sim::Packet p;
+  p.size_bytes = 1500;
+  sim::FlowId f = 0;
+  for (auto _ : state) {
+    p.flow = (f++ % 64) + 1;  // 64 concurrent flows
+    q.enqueue(p, Time::zero());
+    benchmark::DoNotOptimize(q.dequeue(Time::zero()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QdiscEnqueueDequeue_Drr);
+
+void BM_EndToEndFlowSecond(benchmark::State& state) {
+  // Cost of simulating one second of a saturated 10 Mbit/s TCP flow —
+  // calibrates how long the figure benches take.
+  for (auto _ : state) {
+    core::DumbbellConfig cfg;
+    cfg.bottleneck_rate = Rate::mbps(10);
+    cfg.one_way_delay = Time::ms(10);
+    cfg.reverse_delay = Time::ms(10);
+    core::DumbbellScenario net{cfg};
+    net.add_flow(std::make_unique<cca::NewReno>(), std::make_unique<app::BulkApp>());
+    net.run_until(Time::sec(1.0));
+    benchmark::DoNotOptimize(net.flow(0).delivered_bytes());
+  }
+}
+BENCHMARK(BM_EndToEndFlowSecond);
+
+}  // namespace

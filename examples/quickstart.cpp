@@ -1,0 +1,54 @@
+// Quickstart: simulate two TCP flows sharing a bottleneck and print their
+// bandwidth shares. Five minutes with the public API:
+//
+//   1. describe the dumbbell (rate, delay, qdisc),
+//   2. add flows (CCA + application model),
+//   3. run, 4. measure.
+//
+// Try changing the CCA names or swapping in a fair queue (see
+// isolation_study.cpp) and watch the allocation change — or stop changing.
+#include <iostream>
+#include <memory>
+
+#include "app/bulk.hpp"
+#include "core/cca_registry.hpp"
+#include "core/dumbbell.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccc;
+
+  // CCAs can be picked from the command line: quickstart [ccaA] [ccaB]
+  const std::string cca_a = argc > 1 ? argv[1] : "cubic";
+  const std::string cca_b = argc > 2 ? argv[2] : "bbr";
+
+  // 1. A 20 Mbit/s, 40 ms-RTT access link with a DropTail buffer of 1 BDP.
+  core::DumbbellConfig cfg;
+  cfg.bottleneck_rate = Rate::mbps(20);
+  cfg.one_way_delay = Time::ms(10);
+  cfg.reverse_delay = Time::ms(10);
+  core::DumbbellScenario net{cfg};
+
+  // 2. Two persistently backlogged flows with the chosen CCAs.
+  net.add_flow(core::make_cca_factory(cca_a)(), std::make_unique<app::BulkApp>());
+  net.add_flow(core::make_cca_factory(cca_b)(), std::make_unique<app::BulkApp>());
+
+  // 3. Warm up 5 s, then measure 25 s.
+  net.run_until(Time::sec(5.0));
+  const auto snap = net.snapshot_delivered();
+  net.run_until(Time::sec(30.0));
+  const auto goodputs = net.goodputs_mbps_since(snap, Time::sec(25.0));
+
+  // 4. Report.
+  std::cout << "Two flows on a " << cfg.bottleneck_rate.to_mbps() << " Mbit/s bottleneck:\n\n";
+  TextTable t{{"flow", "cca", "goodput (Mbit/s)", "share"}};
+  const double total = goodputs[0] + goodputs[1];
+  t.add_row({"1", cca_a, TextTable::num(goodputs[0], 2),
+             TextTable::num(goodputs[0] / total, 2)});
+  t.add_row({"2", cca_b, TextTable::num(goodputs[1], 2),
+             TextTable::num(goodputs[1] / total, 2)});
+  t.print(std::cout);
+  std::cout << "\n(Contention under DropTail lets the CCA pairing decide this split —\n"
+               "the very dynamic the paper argues rarely matters on today's Internet.)\n";
+  return 0;
+}

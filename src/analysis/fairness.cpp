@@ -1,0 +1,43 @@
+#include "analysis/fairness.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ccc::analysis {
+
+AllocationSummary summarize_allocation(std::span<const double> goodputs_mbps) {
+  assert(!goodputs_mbps.empty());
+  AllocationSummary s;
+  s.shares_mbps.assign(goodputs_mbps.begin(), goodputs_mbps.end());
+  s.jain = jain_fairness_index(goodputs_mbps);
+  s.min_share = *std::min_element(goodputs_mbps.begin(), goodputs_mbps.end());
+  s.max_share = *std::max_element(goodputs_mbps.begin(), goodputs_mbps.end());
+  s.spread_ratio = s.min_share > 0.0 ? s.max_share / s.min_share
+                                     : std::numeric_limits<double>::infinity();
+  for (double g : goodputs_mbps) s.total_mbps += g;
+  return s;
+}
+
+std::vector<double> harm_vector(std::span<const double> solo,
+                                std::span<const double> contended) {
+  assert(solo.size() == contended.size());
+  std::vector<double> out;
+  out.reserve(solo.size());
+  for (std::size_t i = 0; i < solo.size(); ++i) out.push_back(harm(solo[i], contended[i]));
+  return out;
+}
+
+std::size_t count_starved(std::span<const double> shares, double fraction) {
+  if (shares.empty()) return 0;
+  double total = 0.0;
+  for (double s : shares) total += s;
+  const double fair = total / static_cast<double>(shares.size());
+  std::size_t starved = 0;
+  for (double s : shares) {
+    if (s < fraction * fair) ++starved;
+  }
+  return starved;
+}
+
+}  // namespace ccc::analysis

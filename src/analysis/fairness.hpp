@@ -1,0 +1,35 @@
+// Allocation fairness summaries for contention experiments (E1, E4, E6).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace ccc::analysis {
+
+/// Summary of one bandwidth-allocation outcome across flows.
+struct AllocationSummary {
+  std::vector<double> shares_mbps;
+  double jain{0.0};
+  double min_share{0.0};
+  double max_share{0.0};
+  /// max/min ratio; 1.0 = perfectly even, large = skewed/starved.
+  double spread_ratio{0.0};
+  double total_mbps{0.0};
+};
+
+/// Builds the summary from per-flow goodputs (Mbps). Precondition: at least
+/// one positive share.
+[[nodiscard]] AllocationSummary summarize_allocation(std::span<const double> goodputs_mbps);
+
+/// Ware-style harm of each flow vs its solo baseline: harm[i] =
+/// max(0, (solo[i] - contended[i]) / solo[i]). Sizes must match.
+[[nodiscard]] std::vector<double> harm_vector(std::span<const double> solo,
+                                              std::span<const double> contended);
+
+/// Starvation check used by the sub-packet-BDP experiment (E6): a flow is
+/// starved in a window if its share is below `fraction` of the fair share.
+[[nodiscard]] std::size_t count_starved(std::span<const double> shares, double fraction = 0.1);
+
+}  // namespace ccc::analysis

@@ -1,0 +1,31 @@
+#include "analysis/ndt_bridge.hpp"
+
+namespace ccc::analysis {
+
+mlab::NdtRecord make_ndt_record(const telemetry::FlowMonitor& monitor, std::uint64_t id,
+                                mlab::FlowArchetype truth, mlab::AccessType access) {
+  mlab::NdtRecord rec;
+  rec.id = id;
+  rec.truth = truth;
+  rec.access = access;
+  rec.app_limited_sec = monitor.app_limited_sec();
+  rec.rwnd_limited_sec = monitor.rwnd_limited_sec();
+  rec.throughput_mbps = monitor.throughput_series_mbps();
+
+  const auto& snaps = monitor.snapshots();
+  if (!snaps.empty()) {
+    rec.duration_sec = snaps.back().t_sec - snaps.front().t_sec + 0.1;
+    rec.min_rtt_ms = snaps.back().min_rtt_ms;
+    if (snaps.size() >= 2) {
+      rec.snapshot_interval_sec = snaps[1].t_sec - snaps[0].t_sec;
+    }
+    double sum = 0.0;
+    for (double x : rec.throughput_mbps) sum += x;
+    rec.mean_throughput_mbps =
+        rec.throughput_mbps.empty() ? 0.0
+                                    : sum / static_cast<double>(rec.throughput_mbps.size());
+  }
+  return rec;
+}
+
+}  // namespace ccc::analysis

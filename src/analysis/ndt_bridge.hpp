@@ -1,0 +1,22 @@
+// Bridge from live simulated flows to NDT records.
+//
+// The synthetic dataset generator (src/mlab) fabricates records
+// statistically; this bridge instead builds a record from an actual
+// simulated flow's TCPInfo telemetry — the validation path that closes the
+// loop: simulate a known condition (contention, policing, app limits), emit
+// the record M-Lab would have stored, and check what the passive pipeline
+// concludes about it.
+#pragma once
+
+#include "mlab/ndt_record.hpp"
+#include "telemetry/tcp_info.hpp"
+
+namespace ccc::analysis {
+
+/// Builds an NDT record from a monitored flow. `truth` is attached for
+/// scoring; `access` defaults to a wired client.
+[[nodiscard]] mlab::NdtRecord make_ndt_record(const telemetry::FlowMonitor& monitor,
+                                              std::uint64_t id, mlab::FlowArchetype truth,
+                                              mlab::AccessType access = mlab::AccessType::kCable);
+
+}  // namespace ccc::analysis

@@ -1,0 +1,87 @@
+// The paper's §3.1 passive-measurement pipeline, as an executable artifact.
+//
+// Input: NDT flow records. Steps (exactly the paper's):
+//   1. drop flows with AppLimited  > threshold  (cannot contend),
+//   2. drop flows with RWndLimited > threshold  (cannot contend),
+//   3. drop flows from cellular clients         (isolated by the RAN),
+//   4. drop flows too short to exhibit dynamics,
+//   5. run offline change-point detection on each survivor's throughput
+//      series; a large, persistent level shift marks the flow
+//      "contention-suspect".
+//
+// Because our synthetic dataset carries ground truth, the report also scores
+// the pipeline — quantifying the paper's own caveat that passive analysis
+// "cannot conclusively determine the presence (or absence) of CCA
+// contention" (policing and ABR rate steps alias as contention).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "mlab/ndt_record.hpp"
+
+namespace ccc::analysis {
+
+enum class Verdict : std::uint8_t {
+  kFilteredAppLimited,
+  kFilteredRwndLimited,
+  kFilteredCellular,
+  kFilteredShort,
+  kNoLevelShift,        ///< survived filters; throughput stable
+  kContentionSuspect,   ///< survived filters; persistent level shift found
+};
+
+[[nodiscard]] std::string_view to_string(Verdict v);
+
+struct PassiveConfig {
+  /// A flow counts as app-/rwnd-limited when the cumulative limited time
+  /// exceeds this many seconds (the paper used "field > 0").
+  double app_limited_threshold_sec{0.0};
+  double rwnd_limited_threshold_sec{0.0};
+  bool exclude_cellular{true};
+  /// Flows shorter than this can't show multi-second dynamics.
+  double min_duration_sec{2.0};
+  /// A level shift counts if adjacent segment means differ by at least this
+  /// fraction of the larger mean...
+  double min_shift_fraction{0.25};
+  /// ...and both segments persist at least this long.
+  double min_segment_sec{1.0};
+  /// PELT penalty scale (see detect_mean_shifts()).
+  double sensitivity{1.0};
+};
+
+struct FlowFinding {
+  std::uint64_t id{0};
+  Verdict verdict{Verdict::kNoLevelShift};
+  std::vector<double> shift_times_sec;       ///< accepted change points
+  std::vector<double> shift_magnitudes;      ///< |mean_after/mean_before - 1|
+  mlab::FlowArchetype truth{};               ///< copied from the record
+};
+
+struct StudyReport {
+  std::vector<FlowFinding> findings;
+  std::map<Verdict, std::size_t> verdict_counts;
+
+  // Scoring of the final "contention-suspect" verdict against ground truth.
+  std::size_t true_positives{0};   ///< suspect & truly contended
+  std::size_t false_positives{0};  ///< suspect & not contended
+  std::size_t false_negatives{0};  ///< truly contended but not flagged
+  std::size_t true_negatives{0};
+
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double recall() const;
+  /// Fraction of all flows the filters removed before change-point search.
+  [[nodiscard]] double filtered_fraction() const;
+  [[nodiscard]] std::size_t total() const { return findings.size(); }
+};
+
+/// Classifies a single record (the per-flow unit of the pipeline).
+[[nodiscard]] FlowFinding classify_flow(const mlab::NdtRecord& rec, const PassiveConfig& cfg);
+
+/// Runs the full study over a dataset.
+[[nodiscard]] StudyReport run_passive_study(std::span<const mlab::NdtRecord> dataset,
+                                            const PassiveConfig& cfg = {});
+
+}  // namespace ccc::analysis

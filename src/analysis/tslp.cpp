@@ -1,0 +1,52 @@
+#include "analysis/tslp.hpp"
+
+#include <algorithm>
+
+namespace ccc::analysis {
+
+TslpProber::TslpProber(sim::Scheduler& sched, TslpConfig cfg, sim::PacketSink& out,
+                       sim::FlowDemux& demux)
+    : sched_{sched}, cfg_{cfg}, out_{out} {
+  demux.register_flow(cfg_.flow_id, *this);
+  sched_.schedule_at(cfg_.start, [this] { emit(); });
+}
+
+void TslpProber::emit() {
+  const Time now = sched_.now();
+  if (now >= cfg_.stop) return;
+  sim::Packet probe;
+  probe.flow = cfg_.flow_id;
+  probe.size_bytes = cfg_.probe_bytes;
+  probe.payload_bytes = cfg_.probe_bytes - sim::kHeaderBytes;
+  probe.sent_at = now;
+  ++sent_;
+  out_.deliver(probe);
+  sched_.schedule_after(cfg_.interval, [this] { emit(); });
+}
+
+void TslpProber::deliver(const sim::Packet& pkt) {
+  samples_.emplace_back(sched_.now(), sched_.now() - pkt.sent_at);
+}
+
+telemetry::TimeSeries TslpProber::queueing_delay_ms() const {
+  telemetry::TimeSeries ts;
+  ts.name = "tslp_queueing_delay_ms";
+  if (samples_.empty()) return ts;
+  Time base = Time::never();
+  for (const auto& [when, owd] : samples_) base = std::min(base, owd);
+  for (const auto& [when, owd] : samples_) ts.add(when, (owd - base).to_ms());
+  return ts;
+}
+
+double TslpProber::congested_fraction(Time threshold) const {
+  if (samples_.empty()) return 0.0;
+  Time base = Time::never();
+  for (const auto& [when, owd] : samples_) base = std::min(base, owd);
+  std::size_t over = 0;
+  for (const auto& [when, owd] : samples_) {
+    if (owd - base > threshold) ++over;
+  }
+  return static_cast<double>(over) / static_cast<double>(samples_.size());
+}
+
+}  // namespace ccc::analysis

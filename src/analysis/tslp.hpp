@@ -1,0 +1,67 @@
+// Time-Series Latency Probes (TSLP), after Dhamdhere et al. (paper §4).
+//
+// TSLP sends tiny TTL-limited probes at a fixed cadence and watches the
+// queueing-delay differential across a link; sustained elevated delay marks
+// the link "congested". The paper's §4 point — which bench/fig10 reproduces —
+// is that TSLP detects *queueing* but cannot discriminate between two
+// long-running flows contending (CCA dynamics at work) and an aggregate of
+// short/app-limited flows overwhelming the link (no CCA interaction at all).
+// Only the active elasticity probe (§3.2) separates those cases.
+#pragma once
+
+#include <vector>
+
+#include "sim/demux.hpp"
+#include "sim/packet.hpp"
+#include "sim/scheduler.hpp"
+#include "telemetry/sampler.hpp"
+#include "util/units.hpp"
+
+namespace ccc::analysis {
+
+struct TslpConfig {
+  sim::FlowId flow_id{990000};
+  Time interval{Time::ms(100)};  ///< probe cadence (TSLP uses sparse probes)
+  Time start{Time::zero()};
+  Time stop{Time::sec(60.0)};
+  ByteCount probe_bytes{64};
+};
+
+/// One-way delay prober: emits probes into the data path and receives them
+/// back via the scenario's demux (register handled internally).
+class TslpProber : public sim::PacketSink {
+ public:
+  /// `out` is the head of the data path; `demux` the far-end router.
+  TslpProber(sim::Scheduler& sched, TslpConfig cfg, sim::PacketSink& out,
+             sim::FlowDemux& demux);
+
+  TslpProber(const TslpProber&) = delete;
+  TslpProber& operator=(const TslpProber&) = delete;
+
+  void deliver(const sim::Packet& pkt) override;
+
+  /// (time, queueing delay ms) samples: one-way delay minus the minimum
+  /// observed (the TSLP baseline-subtraction step).
+  [[nodiscard]] telemetry::TimeSeries queueing_delay_ms() const;
+
+  /// Dhamdhere-style congestion inference: fraction of samples whose
+  /// queueing delay exceeds `threshold` — the link is called congested when
+  /// this fraction is large.
+  [[nodiscard]] double congested_fraction(Time threshold = Time::ms(5)) const;
+
+  [[nodiscard]] std::size_t probes_sent() const { return sent_; }
+  [[nodiscard]] std::size_t probes_received() const { return samples_.size(); }
+  /// Probes dropped in-network (themselves a congestion signal).
+  [[nodiscard]] std::size_t probes_lost() const { return sent_ - samples_.size(); }
+
+ private:
+  void emit();
+
+  sim::Scheduler& sched_;
+  TslpConfig cfg_;
+  sim::PacketSink& out_;
+  std::size_t sent_{0};
+  std::vector<std::pair<Time, Time>> samples_;  // (arrival, one-way delay)
+};
+
+}  // namespace ccc::analysis

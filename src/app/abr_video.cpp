@@ -1,0 +1,124 @@
+#include "app/abr_video.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccc::app {
+
+AbrVideoApp::AbrVideoApp(sim::Scheduler& sched, AbrConfig cfg)
+    : sched_{sched}, cfg_{std::move(cfg)} {
+  assert(!cfg_.ladder.empty());
+  assert(std::is_sorted(cfg_.ladder.begin(), cfg_.ladder.end()));
+  assert(cfg_.safety_factor > 0.0 && cfg_.safety_factor <= 1.0);
+}
+
+void AbrVideoApp::on_start(Time now) {
+  started_ = true;
+  last_drain_ = now;
+  maybe_request_chunk(now);
+}
+
+void AbrVideoApp::drain_playback(Time now) const {
+  if (now <= last_drain_) return;
+  const double elapsed = (now - last_drain_).to_sec();
+  if (buffer_sec_ >= elapsed) {
+    buffer_sec_ -= elapsed;
+  } else {
+    rebuffer_seconds_ += elapsed - buffer_sec_;  // stalled for the remainder
+    buffer_sec_ = 0.0;
+  }
+  last_drain_ = now;
+}
+
+double AbrVideoApp::buffer_seconds(Time now) const {
+  drain_playback(now);
+  return buffer_sec_;
+}
+
+void AbrVideoApp::pick_bitrate() {
+  if (recent_tput_bps_.empty()) {
+    ladder_idx_ = 0;  // conservative start
+    return;
+  }
+  // Harmonic mean of recent chunk throughputs — robust to one fast chunk.
+  double inv_sum = 0.0;
+  for (double t : recent_tput_bps_) inv_sum += 1.0 / std::max(t, 1.0);
+  const double est = static_cast<double>(recent_tput_bps_.size()) / inv_sum;
+  const double budget = est * cfg_.safety_factor;
+
+  std::size_t pick = 0;
+  for (std::size_t i = 0; i < cfg_.ladder.size(); ++i) {
+    if (cfg_.ladder[i].to_bps() <= budget) pick = i;
+  }
+  if (pick > ladder_idx_) ++upswitches_;
+  if (pick < ladder_idx_) ++downswitches_;
+  ladder_idx_ = pick;
+}
+
+void AbrVideoApp::maybe_request_chunk(Time now) {
+  drain_playback(now);
+  if (chunk_in_flight_) return;
+  if (buffer_sec_ + cfg_.chunk_duration.to_sec() > cfg_.max_buffer.to_sec()) {
+    // Buffer full: idle (this is precisely the app-limited "off" period),
+    // retry when one chunk's worth of playback has drained.
+    sched_.schedule_after(cfg_.chunk_duration, [this] { maybe_request_chunk(sched_.now()); });
+    return;
+  }
+  pick_bitrate();
+  chunk_bytes_ = std::max<ByteCount>(cfg_.ladder[ladder_idx_].bytes_in(cfg_.chunk_duration), 1);
+  pending_ = chunk_bytes_;
+  total_requested_ += chunk_bytes_;
+  chunk_in_flight_ = true;
+  chunk_request_time_ = now;
+  supply_accrued_ = 0.0;
+  last_supply_accrual_ = now;
+  if (cfg_.supply_rate_multiple > 0.0 && !supply_notifier_armed_) arm_supply_notifier();
+  notify_data_ready();
+}
+
+ByteCount AbrVideoApp::bytes_available(Time now) {
+  if (cfg_.supply_rate_multiple <= 0.0) return pending_;
+  // Server-paced supply: release chunk bytes at bitrate x multiple.
+  if (now > last_supply_accrual_) {
+    supply_accrued_ += cfg_.ladder[ladder_idx_].bytes_per_sec() * cfg_.supply_rate_multiple *
+                       (now - last_supply_accrual_).to_sec();
+    last_supply_accrual_ = now;
+  }
+  return std::min<ByteCount>(pending_, static_cast<ByteCount>(supply_accrued_));
+}
+
+void AbrVideoApp::arm_supply_notifier() {
+  supply_notifier_armed_ = true;
+  sched_.schedule_after(Time::ms(10), [this] {
+    supply_notifier_armed_ = false;
+    if (!chunk_in_flight_) return;
+    notify_data_ready();
+    arm_supply_notifier();
+  });
+}
+
+void AbrVideoApp::consume(ByteCount n, Time /*now*/) {
+  assert(n <= pending_);
+  pending_ -= n;
+  supply_accrued_ -= static_cast<double>(n);
+}
+
+void AbrVideoApp::on_delivered(ByteCount total_bytes, Time now) {
+  // The connection carries only chunk bytes, so the current chunk completes
+  // exactly when the receiver's cumulative total reaches total_requested_.
+  if (!chunk_in_flight_ || total_bytes < total_requested_) return;
+
+  drain_playback(now);
+  buffer_sec_ += cfg_.chunk_duration.to_sec();
+  ++chunks_done_;
+  const double fetch_sec = std::max((now - chunk_request_time_).to_sec(), 1e-6);
+  recent_tput_bps_.push_back(static_cast<double>(chunk_bytes_) * 8.0 / fetch_sec);
+  if (recent_tput_bps_.size() > static_cast<std::size_t>(cfg_.estimate_window)) {
+    recent_tput_bps_.erase(recent_tput_bps_.begin());
+  }
+  chunk_in_flight_ = false;
+  pending_ = 0;
+  maybe_request_chunk(now);
+}
+
+}  // namespace ccc::app

@@ -1,0 +1,92 @@
+// Adaptive-bitrate (ABR) video: the traffic class the paper says carries
+// most Internet bytes yet cannot contend (§2.2) — its demand is bounded by
+// the bitrate ladder, and when the path tightens, the ABR controller lowers
+// the bitrate *before* CCA dynamics matter. One of Figure 3's inelastic
+// cross-traffic types.
+//
+// Model: a chunked HTTP-style stream. The client keeps a playback buffer of
+// up to `max_buffer` seconds; whenever the buffer has room it requests the
+// next `chunk_duration` seconds of video at a ladder bitrate chosen from the
+// throughput of recent chunks (harmonic mean, with a safety factor) — the
+// classic throughput-based ABR rule.
+#pragma once
+
+#include <vector>
+
+#include "app/app.hpp"
+#include "sim/scheduler.hpp"
+#include "util/units.hpp"
+
+namespace ccc::app {
+
+struct AbrConfig {
+  /// Bitrate ladder, ascending (default: a 240p..4K-ish ladder).
+  std::vector<Rate> ladder{Rate::mbps(0.35), Rate::mbps(0.75), Rate::mbps(1.75),
+                           Rate::mbps(3.0),  Rate::mbps(5.8),  Rate::mbps(12.0),
+                           Rate::mbps(24.0)};
+  Time chunk_duration{Time::sec(2.0)};
+  Time max_buffer{Time::sec(30.0)};
+  /// Fraction of estimated throughput the picker is allowed to use.
+  double safety_factor{0.8};
+  /// Chunks in the harmonic-mean throughput estimate.
+  int estimate_window{3};
+  /// If > 0, the server paces each chunk's bytes into the transport at
+  /// (chunk bitrate x this multiple) instead of dumping the whole chunk at
+  /// once — the common streaming-server behaviour (e.g. ~2x playback rate).
+  /// 0 = unpaced (whole chunk offered immediately).
+  double supply_rate_multiple{0.0};
+};
+
+class AbrVideoApp : public App {
+ public:
+  AbrVideoApp(sim::Scheduler& sched, AbrConfig cfg = {});
+
+  void on_start(Time now) override;
+  [[nodiscard]] ByteCount bytes_available(Time now) override;
+  void consume(ByteCount n, Time now) override;
+  void on_delivered(ByteCount total_bytes, Time now) override;
+  [[nodiscard]] bool finished(Time now) const override {
+    (void)now;
+    return false;  // live/endless stream
+  }
+
+  // --- QoE/telemetry accessors (read by benches and tests) ---
+  [[nodiscard]] Rate current_bitrate() const { return cfg_.ladder[ladder_idx_]; }
+  [[nodiscard]] double buffer_seconds(Time now) const;
+  [[nodiscard]] int downswitches() const { return downswitches_; }
+  [[nodiscard]] int upswitches() const { return upswitches_; }
+  [[nodiscard]] double rebuffer_seconds() const { return rebuffer_seconds_; }
+  [[nodiscard]] std::int64_t chunks_fetched() const { return chunks_done_; }
+
+ private:
+  void maybe_request_chunk(Time now);
+  void pick_bitrate();
+  void drain_playback(Time now) const;
+  void arm_supply_notifier();
+
+  sim::Scheduler& sched_;
+  AbrConfig cfg_;
+  std::size_t ladder_idx_{0};
+
+  ByteCount pending_{0};            ///< bytes of the current chunk not yet sent
+  ByteCount chunk_bytes_{0};        ///< size of the in-flight chunk
+  ByteCount total_requested_{0};    ///< cumulative bytes of all requested chunks
+  Time chunk_request_time_{Time::zero()};
+  double supply_accrued_{0.0};      ///< paced-supply bytes released so far
+  Time last_supply_accrual_{Time::zero()};
+  bool supply_notifier_armed_{false};
+  bool chunk_in_flight_{false};
+  std::int64_t chunks_done_{0};
+
+  std::vector<double> recent_tput_bps_;
+  int upswitches_{0};
+  int downswitches_{0};
+
+  // Playback model (mutable: draining is a function of observation time).
+  mutable double buffer_sec_{0.0};
+  mutable Time last_drain_{Time::zero()};
+  mutable double rebuffer_seconds_{0.0};
+  bool started_{false};
+};
+
+}  // namespace ccc::app

@@ -1,0 +1,61 @@
+// Application traffic models.
+//
+// The paper's argument (§2.2) hinges on *applications*, not CCAs, limiting
+// most flows: video is chunked and bounded, most flows are short, and only
+// persistently backlogged sources can contend. These models supply bytes to
+// a transport sender; whether a flow is "app-limited" is an emergent
+// property of the model's supply vs. the path's capacity.
+#pragma once
+
+#include <functional>
+
+#include "util/units.hpp"
+
+namespace ccc::app {
+
+/// A source of bytes for one transport connection.
+///
+/// The sender pulls: it asks bytes_available() and consumes what it sends.
+/// Models that produce data over time (video chunks, CBR) call the notify
+/// hook so a blocked sender re-polls immediately.
+class App {
+ public:
+  virtual ~App() = default;
+
+  /// Called once when the owning flow starts transmitting.
+  virtual void on_start(Time now) { (void)now; }
+
+  /// Bytes currently queued and ready to send.
+  [[nodiscard]] virtual ByteCount bytes_available(Time now) = 0;
+
+  /// The sender transmitted `n` fresh bytes (retransmissions don't consume).
+  /// Precondition: n <= bytes_available(now).
+  virtual void consume(ByteCount n, Time now) = 0;
+
+  /// Cumulative in-order bytes the *receiver* has gotten (ABR models use
+  /// this to time chunk completion and fill the playback buffer).
+  virtual void on_delivered(ByteCount total_bytes, Time now) {
+    (void)total_bytes;
+    (void)now;
+  }
+
+  /// True once the app will never produce more data (lets short flows end).
+  [[nodiscard]] virtual bool finished(Time now) const {
+    (void)now;
+    return false;
+  }
+
+  /// Hook the transport installs; implementations call it whenever
+  /// bytes_available() may have become positive.
+  void set_data_ready_hook(std::function<void()> hook) { data_ready_ = std::move(hook); }
+
+ protected:
+  void notify_data_ready() {
+    if (data_ready_) data_ready_();
+  }
+
+ private:
+  std::function<void()> data_ready_;
+};
+
+}  // namespace ccc::app

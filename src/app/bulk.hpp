@@ -1,0 +1,31 @@
+// Persistently-backlogged and fixed-size sources.
+#pragma once
+
+#include <limits>
+
+#include "app/app.hpp"
+
+namespace ccc::app {
+
+/// A source with `total_bytes` to send (use kUnbounded for an infinite
+/// backlog — the "persistently backlogged connection" of §2.3 and the two
+/// contending flows of Figure 3). Never app-limited until it completes.
+class BulkApp : public App {
+ public:
+  static constexpr ByteCount kUnbounded = std::numeric_limits<ByteCount>::max() / 2;
+
+  explicit BulkApp(ByteCount total_bytes = kUnbounded) : remaining_{total_bytes} {}
+
+  [[nodiscard]] ByteCount bytes_available(Time /*now*/) override { return remaining_; }
+
+  void consume(ByteCount n, Time /*now*/) override { remaining_ -= n; }
+
+  [[nodiscard]] bool finished(Time /*now*/) const override { return remaining_ <= 0; }
+
+  [[nodiscard]] ByteCount remaining() const { return remaining_; }
+
+ private:
+  ByteCount remaining_;
+};
+
+}  // namespace ccc::app

@@ -1,0 +1,50 @@
+#include "app/rate_limited.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccc::app {
+
+RateLimitedApp::RateLimitedApp(sim::Scheduler& sched, Rate rate, ByteCount total_bytes,
+                               Time notify_period)
+    : sched_{sched}, rate_{rate}, budget_remaining_{total_bytes}, notify_period_{notify_period} {
+  assert(rate_.to_bps() > 0.0);
+}
+
+void RateLimitedApp::on_start(Time now) {
+  started_ = now;
+  last_accrual_ = now;
+  arm_notify();
+}
+
+void RateLimitedApp::arm_notify() {
+  // Periodically poke the sender: data accrues continuously but the sender
+  // only polls on events.
+  sched_.schedule_after(notify_period_, [this] {
+    if (finished(sched_.now())) return;
+    notify_data_ready();
+    arm_notify();
+  });
+}
+
+void RateLimitedApp::accrue(Time now) {
+  if (started_ == Time::never() || now <= last_accrual_) return;
+  accrued_ += rate_.bytes_per_sec() * (now - last_accrual_).to_sec();
+  last_accrual_ = now;
+}
+
+ByteCount RateLimitedApp::bytes_available(Time now) {
+  accrue(now);
+  return std::min(static_cast<ByteCount>(accrued_), budget_remaining_);
+}
+
+void RateLimitedApp::consume(ByteCount n, Time now) {
+  accrue(now);
+  assert(static_cast<double>(n) <= accrued_ + 1.0);
+  accrued_ -= static_cast<double>(n);
+  budget_remaining_ -= n;
+}
+
+bool RateLimitedApp::finished(Time /*now*/) const { return budget_remaining_ <= 0; }
+
+}  // namespace ccc::app

@@ -1,0 +1,44 @@
+// A source that produces data at a bounded rate — the generic
+// "application-limited flow" of §2.2 (e.g. a 25 Mbit/s game stream on a
+// 100 Mbit/s link can never contend). Bytes accrue continuously; the sender
+// drains whatever has accrued.
+#pragma once
+
+#include <limits>
+
+#include "app/app.hpp"
+#include "sim/scheduler.hpp"
+#include "util/units.hpp"
+
+namespace ccc::app {
+
+class RateLimitedApp : public App {
+ public:
+  /// Produces at `rate` forever (or until `total_bytes` if bounded).
+  /// `notify_period` controls how often a blocked sender is poked; the
+  /// accrual itself is continuous and exact.
+  RateLimitedApp(sim::Scheduler& sched, Rate rate,
+                 ByteCount total_bytes = std::numeric_limits<ByteCount>::max() / 2,
+                 Time notify_period = Time::ms(5));
+
+  void on_start(Time now) override;
+  [[nodiscard]] ByteCount bytes_available(Time now) override;
+  void consume(ByteCount n, Time now) override;
+  [[nodiscard]] bool finished(Time now) const override;
+
+  [[nodiscard]] Rate rate() const { return rate_; }
+
+ private:
+  void accrue(Time now);
+  void arm_notify();
+
+  sim::Scheduler& sched_;
+  Rate rate_;
+  ByteCount budget_remaining_;
+  Time notify_period_;
+  Time started_{Time::never()};
+  Time last_accrual_{Time::zero()};
+  double accrued_{0.0};  ///< fractional bytes produced but not yet consumed
+};
+
+}  // namespace ccc::app

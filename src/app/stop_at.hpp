@@ -1,0 +1,44 @@
+// StopAtApp: bounds any traffic model to a time window.
+//
+// Figure 3 runs each cross-traffic type "for 45 seconds"; this wrapper makes
+// an otherwise endless source (bulk backlog, live video) go quiet — and its
+// flow complete — at the phase boundary.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "app/app.hpp"
+
+namespace ccc::app {
+
+class StopAtApp : public App {
+ public:
+  /// Wraps `inner`; after `stop_at` the app reports no data and finished.
+  StopAtApp(std::unique_ptr<App> inner, Time stop_at)
+      : inner_{std::move(inner)}, stop_at_{stop_at} {
+    inner_->set_data_ready_hook([this] { notify_data_ready(); });
+  }
+
+  void on_start(Time now) override { inner_->on_start(now); }
+
+  [[nodiscard]] ByteCount bytes_available(Time now) override {
+    return now >= stop_at_ ? 0 : inner_->bytes_available(now);
+  }
+
+  void consume(ByteCount n, Time now) override { inner_->consume(n, now); }
+
+  void on_delivered(ByteCount total_bytes, Time now) override {
+    inner_->on_delivered(total_bytes, now);
+  }
+
+  [[nodiscard]] bool finished(Time now) const override {
+    return now >= stop_at_ || inner_->finished(now);
+  }
+
+ private:
+  std::unique_ptr<App> inner_;
+  Time stop_at_;
+};
+
+}  // namespace ccc::app

@@ -1,0 +1,112 @@
+#include "bwe/allocator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ccc::bwe {
+
+Allocator::Allocator() {
+  entities_.push_back(Entity{});
+  entities_[kRootEntity].name = "root";
+}
+
+EntityId Allocator::add_entity(EntityId parent, double weight, std::string name) {
+  if (parent >= entities_.size()) throw std::invalid_argument{"bwe: unknown parent"};
+  if (weight <= 0.0) throw std::invalid_argument{"bwe: weight must be positive"};
+  if (!entities_[parent].demand.is_zero()) {
+    throw std::invalid_argument{"bwe: parent already reports leaf demand"};
+  }
+  const auto id = static_cast<EntityId>(entities_.size());
+  Entity e;
+  e.parent = parent;
+  e.weight = weight;
+  e.name = name.empty() ? "entity-" + std::to_string(id) : std::move(name);
+  entities_.push_back(std::move(e));
+  entities_[parent].children.push_back(id);
+  return id;
+}
+
+bool Allocator::is_leaf(EntityId entity) const {
+  return entity < entities_.size() && entities_[entity].children.empty();
+}
+
+void Allocator::set_demand(EntityId leaf, Rate demand) {
+  if (leaf >= entities_.size()) throw std::invalid_argument{"bwe: unknown entity"};
+  if (!entities_[leaf].children.empty()) {
+    throw std::invalid_argument{"bwe: demand belongs on leaves"};
+  }
+  entities_[leaf].demand = demand;
+}
+
+Rate Allocator::subtree_demand(EntityId node) const {
+  const Entity& e = entities_[node];
+  if (e.children.empty()) return e.demand;
+  Rate total = Rate::zero();
+  for (EntityId c : e.children) total = total + subtree_demand(c);
+  return total;
+}
+
+Rate Allocator::demand_of(EntityId entity) const {
+  if (entity >= entities_.size()) return Rate::zero();
+  return subtree_demand(entity);
+}
+
+void Allocator::fill(EntityId node, Rate capacity) {
+  Entity& e = entities_[node];
+  e.allocation = std::min(capacity, subtree_demand(node));
+  if (e.children.empty()) return;
+
+  // Weighted progressive filling: grant each unsatisfied child its weighted
+  // share of the remaining capacity; children whose demand is met drop out
+  // and their spare share re-divides among the rest. Terminates in at most
+  // |children| rounds (each round satisfies at least one child or ends).
+  Rate remaining = e.allocation;
+  std::vector<EntityId> hungry = e.children;
+  std::vector<Rate> granted(entities_.size(), Rate::zero());
+  for (EntityId c : e.children) granted[c] = Rate::zero();
+
+  while (!hungry.empty() && remaining.to_bps() > 1.0) {
+    double weight_sum = 0.0;
+    for (EntityId c : hungry) weight_sum += entities_[c].weight;
+    std::vector<EntityId> still_hungry;
+    Rate next_remaining = remaining;
+    for (EntityId c : hungry) {
+      const Rate fair = remaining * (entities_[c].weight / weight_sum);
+      const Rate want = subtree_demand(c) - granted[c];
+      if (want <= fair) {
+        granted[c] = granted[c] + want;
+        next_remaining = next_remaining - want;
+      } else {
+        granted[c] = granted[c] + fair;
+        next_remaining = next_remaining - fair;
+        still_hungry.push_back(c);
+      }
+    }
+    if (still_hungry.size() == hungry.size()) {
+      // Nobody was satisfied this round: the weighted shares are final.
+      remaining = Rate::zero();
+    } else {
+      remaining = next_remaining;
+    }
+    hungry = std::move(still_hungry);
+  }
+
+  for (EntityId c : e.children) fill(c, granted[c]);
+}
+
+void Allocator::solve(Rate capacity) {
+  if (capacity.to_bps() < 0.0) throw std::invalid_argument{"bwe: negative capacity"};
+  fill(kRootEntity, capacity);
+}
+
+Rate Allocator::allocation_of(EntityId entity) const {
+  if (entity >= entities_.size()) return Rate::zero();
+  return entities_[entity].allocation;
+}
+
+const std::string& Allocator::name_of(EntityId entity) const {
+  static const std::string kUnknown = "?";
+  return entity < entities_.size() ? entities_[entity].name : kUnknown;
+}
+
+}  // namespace ccc::bwe

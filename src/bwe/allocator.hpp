@@ -1,0 +1,74 @@
+// BwE-style hierarchical, demand-aware bandwidth allocation (paper §2.1).
+//
+// "At the largest scale, hyperscalers deploy private WANs ... Google uses
+// BwE to allocate bandwidth in its private WAN. BwE integrates with
+// applications that report their bandwidth demand to centrally determine
+// bandwidth allocations across the entire network. This isolates
+// applications from each other and eliminates inter-flow contention."
+//
+// This module implements the allocation core: entities form a weighted tree
+// (org -> service -> task), each leaf reports a demand, and capacity is
+// divided by *weighted progressive filling* (weighted max-min fairness with
+// demand caps): a leaf never receives more than it asked for, and spare
+// capacity recursively falls to still-hungry siblings in weight proportion.
+// A companion Enforcer (enforcer.hpp) applies the result to simulated flows
+// as pacing caps — the "host-based bandwidth allocation" of ref [20].
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ccc::bwe {
+
+using EntityId = std::uint32_t;
+inline constexpr EntityId kRootEntity = 0;
+
+/// The weighted demand tree and its water-filling solver.
+class Allocator {
+ public:
+  Allocator();
+
+  /// Adds an entity under `parent` with proportional `weight` (> 0).
+  /// Throws std::invalid_argument on unknown parent or bad weight.
+  EntityId add_entity(EntityId parent, double weight, std::string name = {});
+
+  /// Reports a leaf's current demand (Rate::zero() = nothing to send).
+  /// Interior entities aggregate their children; setting a demand on an
+  /// interior entity throws.
+  void set_demand(EntityId leaf, Rate demand);
+
+  /// Solves the allocation for `capacity` and stores the result; retrieve
+  /// per-entity grants with allocation_of(). Work-conserving up to the
+  /// total demand: sum(grants) == min(capacity, sum(demands)).
+  void solve(Rate capacity);
+
+  /// The granted rate from the most recent solve() (zero before any solve).
+  [[nodiscard]] Rate allocation_of(EntityId entity) const;
+  /// Aggregate demand under an entity.
+  [[nodiscard]] Rate demand_of(EntityId entity) const;
+  [[nodiscard]] const std::string& name_of(EntityId entity) const;
+  [[nodiscard]] std::size_t entity_count() const { return entities_.size(); }
+  [[nodiscard]] bool is_leaf(EntityId entity) const;
+
+ private:
+  struct Entity {
+    EntityId parent{kRootEntity};
+    double weight{1.0};
+    std::string name;
+    std::vector<EntityId> children;
+    Rate demand{Rate::zero()};      // leaves: reported; interior: unused
+    Rate allocation{Rate::zero()};  // last solve() result
+  };
+
+  /// Weighted progressive filling of `capacity` among `node`'s children,
+  /// recursing to the leaves.
+  void fill(EntityId node, Rate capacity);
+  [[nodiscard]] Rate subtree_demand(EntityId node) const;
+
+  std::vector<Entity> entities_;
+};
+
+}  // namespace ccc::bwe

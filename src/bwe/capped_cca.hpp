@@ -1,0 +1,61 @@
+// A rate-cap decorator around any CCA: the enforcement half of BwE.
+//
+// BwE's grants are enforced at the hosts (ref [20], EyeQ-style): each task's
+// transport may use its own CCA for loss recovery and burst control, but its
+// sending rate is clamped to the centrally granted allocation. The decorator
+// forwards every event to the wrapped CCA and clamps its outputs.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+
+#include "cca/cca.hpp"
+
+namespace ccc::bwe {
+
+class CappedCca : public cca::CongestionControl {
+ public:
+  /// Takes ownership of `inner`. The cap starts unlimited.
+  explicit CappedCca(std::unique_ptr<cca::CongestionControl> inner)
+      : inner_{std::move(inner)} {}
+
+  /// Applies a new grant. Rate::zero() means "no cap".
+  void set_cap(Rate cap) { cap_ = cap; }
+  [[nodiscard]] Rate cap() const { return cap_; }
+
+  void on_ack(const cca::AckEvent& ev) override {
+    if (ev.rtt_sample > Time::zero()) srtt_hint_ = ev.rtt_sample;
+    inner_->on_ack(ev);
+  }
+  void on_loss(const cca::LossEvent& ev) override { inner_->on_loss(ev); }
+  void on_rto(Time now) override { inner_->on_rto(now); }
+  void on_idle_restart(Time now) override { inner_->on_idle_restart(now); }
+
+  [[nodiscard]] ByteCount cwnd_bytes() const override {
+    const ByteCount inner_cwnd = inner_->cwnd_bytes();
+    if (cap_.is_zero()) return inner_cwnd;
+    // Window equivalent of the cap: 1.5x BDP at the capped rate keeps the
+    // pipe full without letting a burst defeat the pacing clamp.
+    const auto cap_wnd = static_cast<ByteCount>(cap_.bytes_per_sec() *
+                                                srtt_hint_.to_sec() * 1.5);
+    return std::clamp<ByteCount>(cap_wnd, sim::kMss, inner_cwnd);
+  }
+
+  [[nodiscard]] Rate pacing_rate() const override {
+    const Rate inner_rate = inner_->pacing_rate();
+    if (cap_.is_zero()) return inner_rate;
+    if (inner_rate.is_zero()) return cap_;  // unpaced CCA: the cap paces it
+    return std::min(inner_rate, cap_);
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "bwe-capped"; }
+  [[nodiscard]] bool wants_ecn() const override { return inner_->wants_ecn(); }
+  [[nodiscard]] const cca::CongestionControl& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<cca::CongestionControl> inner_;
+  Rate cap_{Rate::zero()};
+  Time srtt_hint_{Time::ms(100)};
+};
+
+}  // namespace ccc::bwe

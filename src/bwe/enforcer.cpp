@@ -1,0 +1,34 @@
+#include "bwe/enforcer.hpp"
+
+#include <cassert>
+
+namespace ccc::bwe {
+
+Enforcer::Enforcer(sim::Scheduler& sched, Allocator& alloc, Rate capacity, Time period,
+                   double headroom)
+    : sched_{sched}, alloc_{alloc}, capacity_{capacity}, period_{period}, headroom_{headroom} {
+  assert(capacity_.to_bps() > 0.0);
+  assert(period_ > Time::zero());
+  assert(headroom_ > 0.0 && headroom_ <= 1.0);
+}
+
+void Enforcer::bind(EntityId leaf, CappedCca& cca, DemandFn demand) {
+  assert(alloc_.is_leaf(leaf));
+  bindings_.push_back({leaf, &cca, std::move(demand)});
+}
+
+void Enforcer::run_round() {
+  ++rounds_;
+  for (const auto& b : bindings_) alloc_.set_demand(b.leaf, b.demand());
+  alloc_.solve(capacity_ * headroom_);
+  for (const auto& b : bindings_) b.cca->set_cap(alloc_.allocation_of(b.leaf));
+}
+
+void Enforcer::start(Time at) {
+  sched_.schedule_at(at, [this] {
+    run_round();
+    start(sched_.now() + period_);
+  });
+}
+
+}  // namespace ccc::bwe

@@ -1,0 +1,61 @@
+// The BwE control loop: periodically collect demands, solve, push grants.
+//
+// BwE runs as a hierarchy of brokers on a multi-second cadence; this
+// in-simulation enforcer condenses that loop: every `period` it reads each
+// leaf's demand estimator, solves the weighted water-filling allocation for
+// the managed capacity, and installs the grants as pacing caps on the
+// registered flows.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "bwe/allocator.hpp"
+#include "bwe/capped_cca.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ccc::bwe {
+
+class Enforcer {
+ public:
+  /// Estimates a leaf's current demand (e.g. from app backlog or a recent
+  /// send-rate measurement).
+  using DemandFn = std::function<Rate()>;
+
+  /// `headroom` scales the managed capacity (BwE deliberately allocates
+  /// slightly under the physical rate so queues stay short).
+  Enforcer(sim::Scheduler& sched, Allocator& alloc, Rate capacity,
+           Time period = Time::ms(500), double headroom = 0.95);
+
+  Enforcer(const Enforcer&) = delete;
+  Enforcer& operator=(const Enforcer&) = delete;
+
+  /// Binds a leaf entity to a flow's cap and its demand estimator.
+  /// `cca` must outlive the enforcer.
+  void bind(EntityId leaf, CappedCca& cca, DemandFn demand);
+
+  /// Starts the periodic control loop at absolute time `at`.
+  void start(Time at);
+
+  /// Runs one collect-solve-install round immediately.
+  void run_round();
+
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+
+ private:
+  struct Binding {
+    EntityId leaf;
+    CappedCca* cca;
+    DemandFn demand;
+  };
+
+  sim::Scheduler& sched_;
+  Allocator& alloc_;
+  Rate capacity_;
+  Time period_;
+  double headroom_;
+  std::vector<Binding> bindings_;
+  std::uint64_t rounds_{0};
+};
+
+}  // namespace ccc::bwe

@@ -1,0 +1,47 @@
+#include "cca/aimd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ccc::cca {
+
+Aimd::Aimd(double increase_pkts, double decrease_factor, ByteCount initial_cwnd, ByteCount mss,
+           bool slow_start)
+    : a_{increase_pkts},
+      b_{decrease_factor},
+      mss_{mss},
+      cwnd_{initial_cwnd},
+      ssthresh_{slow_start ? std::numeric_limits<ByteCount>::max() : initial_cwnd} {
+  assert(a_ > 0.0);
+  assert(b_ > 0.0 && b_ < 1.0);
+}
+
+void Aimd::on_ack(const AckEvent& ev) {
+  if (ev.in_recovery) return;
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += ev.newly_acked_bytes;
+    return;
+  }
+  // a packets of growth per cwnd bytes ACKed == a packets per RTT.
+  acc_pkts_ += a_ * static_cast<double>(ev.newly_acked_bytes) / static_cast<double>(cwnd_);
+  if (acc_pkts_ >= 1.0) {
+    acc_pkts_ -= 1.0;
+    cwnd_ += mss_;
+  }
+}
+
+void Aimd::on_loss(const LossEvent& /*ev*/) {
+  cwnd_ = std::max<ByteCount>(static_cast<ByteCount>(static_cast<double>(cwnd_) * (1.0 - b_)),
+                              2 * mss_);
+  ssthresh_ = cwnd_;
+  acc_pkts_ = 0.0;
+}
+
+void Aimd::on_rto(Time /*now*/) {
+  ssthresh_ = std::max<ByteCount>(cwnd_ / 2, 2 * mss_);
+  cwnd_ = mss_;
+  acc_pkts_ = 0.0;
+}
+
+}  // namespace ccc::cca

@@ -1,0 +1,36 @@
+// Generic AIMD(a, b): the Chiu-Jain increase/decrease family (paper §2.1's
+// historical starting point). Parameterizable so property tests can sweep
+// the (a, b) space and verify Chiu-Jain convergence-to-fairness on a shared
+// DropTail bottleneck — and its absence for non-AIMD settings.
+#pragma once
+
+#include "cca/cca.hpp"
+
+namespace ccc::cca {
+
+class Aimd : public CongestionControl {
+ public:
+  /// `increase_pkts`: additive increase per RTT, in packets (Reno: 1).
+  /// `decrease_factor`: multiplicative decrease on loss (Reno: 0.5), in
+  /// (0, 1); the window is multiplied by (1 - decrease_factor).
+  /// `slow_start`: whether to begin with exponential growth.
+  Aimd(double increase_pkts, double decrease_factor,
+       ByteCount initial_cwnd = kInitialWindowBytes, ByteCount mss = sim::kMss,
+       bool slow_start = true);
+
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(const LossEvent& ev) override;
+  void on_rto(Time now) override;
+  [[nodiscard]] ByteCount cwnd_bytes() const override { return cwnd_; }
+  [[nodiscard]] std::string_view name() const override { return "aimd"; }
+
+ private:
+  double a_;
+  double b_;
+  ByteCount mss_;
+  ByteCount cwnd_;
+  ByteCount ssthresh_;
+  double acc_pkts_{0.0};
+};
+
+}  // namespace ccc::cca

@@ -1,0 +1,94 @@
+// The congestion-control algorithm (CCA) interface.
+//
+// The paper's hypothesis is about what CCA dynamics do (or don't) determine;
+// reproducing it requires faithful implementations of the CCAs its
+// experiments use (§3.2 runs Reno and BBR cross traffic; §1 discusses Cubic,
+// TFRC-era AIMD, and BBR's aggression; §3.2's tool builds on Nimbus, which
+// lives in src/nimbus on top of this interface).
+//
+// Division of labor: the TcpSender (src/flow) handles sequencing, loss
+// *detection* (dupacks, RTO), retransmission, and pacing enforcement. CCAs
+// see only semantic events — ACKed bytes with RTT/delivery-rate samples,
+// entry into loss recovery, RTO — and expose a congestion window and an
+// optional pacing rate.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "sim/packet.hpp"
+#include "util/units.hpp"
+
+namespace ccc::cca {
+
+/// Delivered-data event, reported once per cumulative ACK advance.
+struct AckEvent {
+  Time now{Time::zero()};
+  ByteCount newly_acked_bytes{0};
+  /// RTT sample from the ACKed packet's echoed timestamp; zero() if none.
+  Time rtt_sample{Time::zero()};
+  /// Transmit timestamp of the (first) segment this ACK newly covered;
+  /// zero() if unknown. Lets rate-based CCAs bin deliveries by *send* time
+  /// (Nimbus's cross-traffic estimator needs send/receive dilation over the
+  /// same packets).
+  Time acked_sent_at{Time::zero()};
+  /// Smoothed delivery-rate sample (receiver-counter based); zero() if none.
+  Rate delivery_rate{Rate::zero()};
+  /// Bytes still in flight after this ACK was processed.
+  ByteCount inflight_bytes{0};
+  /// True while the sender is in fast recovery (window growth should pause).
+  bool in_recovery{false};
+  /// True if the ACKed data was sent while the application had no more data
+  /// queued (sample is not evidence of path capacity — BBR discards these).
+  bool app_limited{false};
+  /// ECN congestion-experienced echo.
+  bool ecn_echo{false};
+};
+
+/// Loss event, reported once per recovery episode (not once per lost packet)
+/// — mirrors TCP's one-multiplicative-decrease-per-window rule.
+struct LossEvent {
+  Time now{Time::zero()};
+  ByteCount lost_bytes{0};
+  ByteCount inflight_bytes{0};
+};
+
+/// Abstract CCA. Implementations are single-flow state machines; the sender
+/// owns exactly one and drives it from its ACK-processing path.
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  virtual void on_ack(const AckEvent& ev) = 0;
+  virtual void on_loss(const LossEvent& ev) = 0;
+  /// Retransmission timeout: the strongest congestion signal.
+  virtual void on_rto(Time now) = 0;
+  /// The connection idled for at least one RTO with nothing in flight; the
+  /// window no longer reflects current path state (RFC 2861 cwnd
+  /// validation). Window-based CCAs should restart near the initial window.
+  virtual void on_idle_restart(Time now) { (void)now; }
+
+  /// Current congestion window. The sender enforces
+  /// inflight <= min(cwnd_bytes(), receiver_window).
+  [[nodiscard]] virtual ByteCount cwnd_bytes() const = 0;
+
+  /// Pacing rate, or Rate::zero() for pure window/ACK-clocked operation.
+  [[nodiscard]] virtual Rate pacing_rate() const { return Rate::zero(); }
+
+  /// Human-readable algorithm name (appears in telemetry and benches).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// True if this CCA negotiates ECN (the sender then marks its packets
+  /// ECN-capable and AQMs may CE-mark instead of dropping them).
+  [[nodiscard]] virtual bool wants_ecn() const { return false; }
+};
+
+/// Factory signature used by scenario builders to stamp out per-flow CCAs.
+using CcaFactory = std::function<std::unique_ptr<CongestionControl>()>;
+
+/// Initial window: RFC 6928's 10 segments, which the paper leans on when it
+/// notes most short flows "fit within the initial congestion window" (§2.2).
+inline constexpr ByteCount kInitialWindowBytes = 10 * sim::kMss;
+
+}  // namespace ccc::cca

@@ -1,0 +1,93 @@
+#include "cca/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ccc::cca {
+
+Cubic::Cubic(ByteCount initial_cwnd, ByteCount mss, double c, double beta)
+    : mss_{mss},
+      c_{c},
+      beta_{beta},
+      cwnd_{initial_cwnd},
+      ssthresh_{std::numeric_limits<ByteCount>::max()} {}
+
+double Cubic::cubic_window_pkts(double t_sec) const {
+  const double d = t_sec - k_sec_;
+  return c_ * d * d * d + w_max_pkts_;
+}
+
+void Cubic::on_ack(const AckEvent& ev) {
+  if (ev.rtt_sample > Time::zero()) last_rtt_ = ev.rtt_sample;
+  if (ev.in_recovery) return;
+
+  if (in_slow_start()) {
+    cwnd_ += ev.newly_acked_bytes;
+    return;
+  }
+
+  if (!epoch_valid_) {
+    // First CA ack after a congestion event (or after leaving slow start
+    // without one): start a cubic epoch from the current window.
+    epoch_valid_ = true;
+    epoch_start_ = ev.now;
+    const double w_pkts = static_cast<double>(cwnd_) / static_cast<double>(mss_);
+    if (w_max_pkts_ < w_pkts) w_max_pkts_ = w_pkts;
+    k_sec_ = std::cbrt(w_max_pkts_ * (1.0 - beta_) / c_);
+    w_est_pkts_ = w_pkts;
+  }
+
+  const double t = (ev.now - epoch_start_).to_sec();
+  const double rtt = std::max(last_rtt_.to_sec(), 1e-6);
+
+  // TCP-friendly region (RFC 9438 §4.3): emulate Reno's growth so CUBIC is
+  // never less aggressive than Reno on short-RTT paths.
+  const double alpha = 3.0 * (1.0 - beta_) / (1.0 + beta_);
+  w_est_pkts_ += alpha * static_cast<double>(ev.newly_acked_bytes) /
+                 (static_cast<double>(cwnd_) / static_cast<double>(mss_)) /
+                 static_cast<double>(mss_);
+
+  // Concave/convex region: aim the window at the cubic curve one RTT ahead.
+  const double w_cubic_next = cubic_window_pkts(t + rtt);
+  const double w_pkts = static_cast<double>(cwnd_) / static_cast<double>(mss_);
+  double target = w_pkts;
+  if (w_cubic_next > w_pkts) {
+    // Spread the remaining distance across the ACKs of one window.
+    target = w_pkts + (w_cubic_next - w_pkts) *
+                          (static_cast<double>(ev.newly_acked_bytes) /
+                           static_cast<double>(std::max<ByteCount>(cwnd_, mss_)));
+  }
+  target = std::max(target, w_est_pkts_);
+  cwnd_ = std::max<ByteCount>(static_cast<ByteCount>(target * static_cast<double>(mss_)),
+                              2 * mss_);
+}
+
+void Cubic::on_loss(const LossEvent& /*ev*/) {
+  const double w_pkts = static_cast<double>(cwnd_) / static_cast<double>(mss_);
+  // Fast convergence (RFC 9438 §4.6): if this loss came before regaining the
+  // previous w_max, release bandwidth by remembering a lower peak.
+  w_max_pkts_ = w_pkts < w_max_pkts_ ? w_pkts * (2.0 - beta_) / 2.0 : w_pkts;
+  cwnd_ = std::max<ByteCount>(static_cast<ByteCount>(w_pkts * beta_ * static_cast<double>(mss_)),
+                              2 * mss_);
+  ssthresh_ = cwnd_;
+  epoch_valid_ = false;
+}
+
+void Cubic::on_idle_restart(Time /*now*/) {
+  // RFC 2861 cwnd validation; also reset the cubic epoch so growth restarts
+  // from the (smaller) current window rather than an ancient curve.
+  cwnd_ = std::min(cwnd_, kInitialWindowBytes);
+  epoch_valid_ = false;
+}
+
+void Cubic::on_rto(Time /*now*/) {
+  const double w_pkts = static_cast<double>(cwnd_) / static_cast<double>(mss_);
+  w_max_pkts_ = w_pkts < w_max_pkts_ ? w_pkts * (2.0 - beta_) / 2.0 : w_pkts;
+  ssthresh_ = std::max<ByteCount>(static_cast<ByteCount>(static_cast<double>(cwnd_) * beta_),
+                                  2 * mss_);
+  cwnd_ = mss_;
+  epoch_valid_ = false;
+}
+
+}  // namespace ccc::cca

@@ -1,0 +1,45 @@
+// TCP CUBIC (RFC 9438): the Linux default since 2.6.19 and therefore the
+// CCA most real "contending" flows run. Used as the loss-based baseline in
+// the BBR-vs-loss-based experiment (E4, reproducing Ware et al.'s finding
+// that the paper cites in §1).
+#pragma once
+
+#include "cca/cca.hpp"
+
+namespace ccc::cca {
+
+class Cubic : public CongestionControl {
+ public:
+  /// Standard constants: C = 0.4, beta = 0.7 (RFC 9438 §4).
+  explicit Cubic(ByteCount initial_cwnd = kInitialWindowBytes, ByteCount mss = sim::kMss,
+                 double c = 0.4, double beta = 0.7);
+
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(const LossEvent& ev) override;
+  void on_rto(Time now) override;
+  void on_idle_restart(Time now) override;
+  [[nodiscard]] ByteCount cwnd_bytes() const override { return cwnd_; }
+  [[nodiscard]] std::string_view name() const override { return "cubic"; }
+
+  [[nodiscard]] bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ private:
+  /// Recomputes the cubic window target at elapsed time t since the epoch.
+  [[nodiscard]] double cubic_window_pkts(double t_sec) const;
+
+  ByteCount mss_;
+  double c_;
+  double beta_;
+  ByteCount cwnd_;
+  ByteCount ssthresh_;
+
+  // Epoch state (reset on each congestion event).
+  bool epoch_valid_{false};
+  Time epoch_start_{Time::zero()};
+  double w_max_pkts_{0.0};   ///< window (packets) just before the last reduction
+  double k_sec_{0.0};        ///< time at which the cubic curve regains w_max
+  double w_est_pkts_{0.0};   ///< TCP-friendly (Reno-tracking) estimate
+  Time last_rtt_{Time::ms(100)};  ///< latest RTT sample, for the friendly region
+};
+
+}  // namespace ccc::cca

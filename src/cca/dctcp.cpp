@@ -1,0 +1,71 @@
+#include "cca/dctcp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ccc::cca {
+
+Dctcp::Dctcp(ByteCount initial_cwnd, ByteCount mss, double g)
+    : mss_{mss},
+      g_{g},
+      cwnd_{initial_cwnd},
+      ssthresh_{std::numeric_limits<ByteCount>::max()},
+      window_target_{initial_cwnd} {}
+
+void Dctcp::end_observation_window(Time /*now*/) {
+  if (window_acked_ <= 0) return;
+  const double frac =
+      static_cast<double>(window_marked_) / static_cast<double>(window_acked_);
+  alpha_ = (1.0 - g_) * alpha_ + g_ * frac;
+
+  if (window_marked_ > 0 && !cut_this_window_) {
+    // DCTCP's proportional decrease: cwnd *= (1 - alpha/2), once per window.
+    cwnd_ = std::max<ByteCount>(
+        static_cast<ByteCount>(static_cast<double>(cwnd_) * (1.0 - alpha_ / 2.0)), 2 * mss_);
+    ssthresh_ = cwnd_;
+  }
+  window_acked_ = 0;
+  window_marked_ = 0;
+  window_target_ = cwnd_;
+  cut_this_window_ = false;
+}
+
+void Dctcp::on_ack(const AckEvent& ev) {
+  window_acked_ += ev.newly_acked_bytes;
+  if (ev.ecn_echo) window_marked_ += ev.newly_acked_bytes;
+  if (window_acked_ >= window_target_) end_observation_window(ev.now);
+
+  if (ev.in_recovery) return;
+  if (cwnd_ < ssthresh_ && !ev.ecn_echo) {
+    cwnd_ += ev.newly_acked_bytes;  // slow start until the first mark
+    return;
+  }
+  if (ev.ecn_echo) ssthresh_ = std::min(ssthresh_, cwnd_);
+  // Congestion avoidance: one MSS per window of ACKed bytes.
+  ca_acc_ += ev.newly_acked_bytes;
+  if (ca_acc_ >= cwnd_) {
+    ca_acc_ -= cwnd_;
+    cwnd_ += mss_;
+  }
+}
+
+void Dctcp::on_loss(const LossEvent& ev) {
+  // Loss still halves, as in standard TCP (RFC 8257 §3.4).
+  cwnd_ = std::max<ByteCount>(ev.inflight_bytes / 2, 2 * mss_);
+  ssthresh_ = cwnd_;
+  cut_this_window_ = true;
+  ca_acc_ = 0;
+}
+
+void Dctcp::on_idle_restart(Time /*now*/) {
+  cwnd_ = std::min(cwnd_, kInitialWindowBytes);
+  ca_acc_ = 0;
+}
+
+void Dctcp::on_rto(Time /*now*/) {
+  ssthresh_ = std::max<ByteCount>(cwnd_ / 2, 2 * mss_);
+  cwnd_ = mss_;
+  ca_acc_ = 0;
+}
+
+}  // namespace ccc::cca

@@ -1,0 +1,49 @@
+// DCTCP (Alizadeh et al., SIGCOMM '10): ECN-proportional congestion control.
+//
+// The paper's §2.3 datacenter discussion cites DCTCP as the classic example
+// of a cloud provider choosing its own bandwidth-allocation mechanism inside
+// a single administrative domain. DCTCP reduces the window in proportion to
+// the *fraction* of ECN-marked bytes (alpha), keeping queues a few packets
+// deep — contention resolved by an in-network signal, not loss.
+#pragma once
+
+#include "cca/cca.hpp"
+
+namespace ccc::cca {
+
+class Dctcp : public CongestionControl {
+ public:
+  /// `g`: EWMA gain for the marked-fraction estimate (RFC 8257 suggests
+  /// 1/16).
+  explicit Dctcp(ByteCount initial_cwnd = kInitialWindowBytes, ByteCount mss = sim::kMss,
+                 double g = 1.0 / 16.0);
+
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(const LossEvent& ev) override;
+  void on_rto(Time now) override;
+  void on_idle_restart(Time now) override;
+  [[nodiscard]] ByteCount cwnd_bytes() const override { return cwnd_; }
+  [[nodiscard]] std::string_view name() const override { return "dctcp"; }
+  [[nodiscard]] bool wants_ecn() const override { return true; }
+
+  /// Current marked-fraction estimate alpha in [0, 1].
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  void end_observation_window(Time now);
+
+  ByteCount mss_;
+  double g_;
+  ByteCount cwnd_;
+  ByteCount ssthresh_;
+  double alpha_{0.0};
+
+  // Per-window (one RTT of ACKed bytes) mark accounting.
+  ByteCount window_acked_{0};
+  ByteCount window_marked_{0};
+  ByteCount window_target_{0};  ///< bytes to observe before updating alpha
+  bool cut_this_window_{false};
+  ByteCount ca_acc_{0};
+};
+
+}  // namespace ccc::cca

@@ -1,0 +1,48 @@
+#include "cca/new_reno.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ccc::cca {
+
+NewReno::NewReno(ByteCount initial_cwnd, ByteCount mss)
+    : mss_{mss}, cwnd_{initial_cwnd}, ssthresh_{std::numeric_limits<ByteCount>::max()} {}
+
+void NewReno::on_ack(const AckEvent& ev) {
+  if (ev.in_recovery) return;  // window frozen until recovery completes
+  if (in_slow_start()) {
+    // Slow start: cwnd grows by the bytes ACKed (doubling per RTT).
+    cwnd_ += ev.newly_acked_bytes;
+    cwnd_ = std::min(cwnd_, std::max(ssthresh_, cwnd_));  // growth may overshoot into CA
+  } else {
+    // Congestion avoidance via appropriate byte counting (RFC 3465):
+    // one MSS of growth per cwnd bytes ACKed.
+    ca_acc_ += ev.newly_acked_bytes;
+    if (ca_acc_ >= cwnd_) {
+      ca_acc_ -= cwnd_;
+      cwnd_ += mss_;
+    }
+  }
+}
+
+void NewReno::on_loss(const LossEvent& ev) {
+  // Multiplicative decrease: halve, floor at 2 MSS (RFC 5681).
+  ssthresh_ = std::max<ByteCount>(ev.inflight_bytes / 2, 2 * mss_);
+  cwnd_ = ssthresh_;
+  ca_acc_ = 0;
+}
+
+void NewReno::on_idle_restart(Time /*now*/) {
+  // RFC 2861: after an idle period the old window is stale; restart from the
+  // initial window (ssthresh retained, so growth resumes via slow start).
+  cwnd_ = std::min(cwnd_, kInitialWindowBytes);
+  ca_acc_ = 0;
+}
+
+void NewReno::on_rto(Time /*now*/) {
+  ssthresh_ = std::max<ByteCount>(cwnd_ / 2, 2 * mss_);
+  cwnd_ = mss_;  // restart from one segment, in slow start
+  ca_acc_ = 0;
+}
+
+}  // namespace ccc::cca

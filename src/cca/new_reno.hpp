@@ -1,0 +1,32 @@
+// TCP NewReno (RFC 5681/6582): slow start, congestion avoidance, one
+// multiplicative decrease per recovery episode. The canonical loss-based CCA
+// the paper's fairness discussion (TFRC, Floyd & Fall) is anchored on, and
+// one of the two contending cross-traffic types in Figure 3.
+#pragma once
+
+#include "cca/cca.hpp"
+
+namespace ccc::cca {
+
+class NewReno : public CongestionControl {
+ public:
+  explicit NewReno(ByteCount initial_cwnd = kInitialWindowBytes, ByteCount mss = sim::kMss);
+
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(const LossEvent& ev) override;
+  void on_rto(Time now) override;
+  void on_idle_restart(Time now) override;
+  [[nodiscard]] ByteCount cwnd_bytes() const override { return cwnd_; }
+  [[nodiscard]] std::string_view name() const override { return "newreno"; }
+
+  [[nodiscard]] ByteCount ssthresh_bytes() const { return ssthresh_; }
+  [[nodiscard]] bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ private:
+  ByteCount mss_;
+  ByteCount cwnd_;
+  ByteCount ssthresh_;
+  ByteCount ca_acc_{0};  ///< byte-counting accumulator for CA growth
+};
+
+}  // namespace ccc::cca

@@ -1,0 +1,66 @@
+#include "cca/vegas.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ccc::cca {
+
+Vegas::Vegas(ByteCount initial_cwnd, ByteCount mss, double alpha_pkts, double beta_pkts)
+    : mss_{mss},
+      alpha_{alpha_pkts},
+      beta_{beta_pkts},
+      cwnd_{initial_cwnd},
+      ssthresh_{std::numeric_limits<ByteCount>::max()} {}
+
+void Vegas::on_ack(const AckEvent& ev) {
+  if (ev.rtt_sample > Time::zero()) {
+    base_rtt_ = std::min(base_rtt_, ev.rtt_sample);
+    srtt_ = srtt_ == Time::zero() ? ev.rtt_sample
+                                  : Time::ns(static_cast<std::int64_t>(
+                                        0.875 * static_cast<double>(srtt_.count_ns()) +
+                                        0.125 * static_cast<double>(ev.rtt_sample.count_ns())));
+  }
+  if (ev.in_recovery || base_rtt_ == Time::never() || srtt_ == Time::zero()) return;
+
+  // Adjust once per RTT, as Vegas specifies.
+  if (ev.now - last_adjust_ < srtt_) return;
+  last_adjust_ = ev.now;
+
+  // diff = (expected - actual) * BaseRTT, in packets: how many of our
+  // packets are sitting in queues.
+  const double cwnd_pkts = static_cast<double>(cwnd_) / static_cast<double>(mss_);
+  const double expected = cwnd_pkts / base_rtt_.to_sec();
+  const double actual = cwnd_pkts / srtt_.to_sec();
+  const double diff_pkts = (expected - actual) * base_rtt_.to_sec();
+
+  if (cwnd_ < ssthresh_) {
+    // Vegas slow start: double only every other RTT, and exit when diff
+    // exceeds one packet (we're starting to queue).
+    if (diff_pkts > 1.0) {
+      ssthresh_ = cwnd_;
+    } else {
+      cwnd_ += cwnd_;
+      return;
+    }
+  }
+
+  if (diff_pkts < alpha_) {
+    cwnd_ += mss_;  // too little presence in the queue: speed up
+  } else if (diff_pkts > beta_) {
+    cwnd_ = std::max<ByteCount>(cwnd_ - mss_, 2 * mss_);  // backing off
+  }
+  // else: in the [alpha, beta] band — hold.
+}
+
+void Vegas::on_loss(const LossEvent& /*ev*/) {
+  // Vegas halves like Reno on loss (it predates ECN; loss is still binding).
+  cwnd_ = std::max<ByteCount>(cwnd_ / 2, 2 * mss_);
+  ssthresh_ = cwnd_;
+}
+
+void Vegas::on_rto(Time /*now*/) {
+  ssthresh_ = std::max<ByteCount>(cwnd_ / 2, 2 * mss_);
+  cwnd_ = mss_;
+}
+
+}  // namespace ccc::cca

@@ -1,0 +1,40 @@
+// TCP Vegas (Brakmo & Peterson 1994): the original delay-based CCA.
+//
+// Included as the classic example of the delay-based family the paper's §5.1
+// says future CCAs should resemble once fairness pressure is gone — and as
+// the textbook victim of loss-based contention, which the E1/E4 ablations
+// quantify (Vegas starves under DropTail vs Reno, thrives under FQ).
+#pragma once
+
+#include "cca/cca.hpp"
+
+namespace ccc::cca {
+
+class Vegas : public CongestionControl {
+ public:
+  /// alpha/beta: target band for "extra packets in the network"
+  /// (classic values 2 and 4 segments).
+  explicit Vegas(ByteCount initial_cwnd = kInitialWindowBytes, ByteCount mss = sim::kMss,
+                 double alpha_pkts = 2.0, double beta_pkts = 4.0);
+
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(const LossEvent& ev) override;
+  void on_rto(Time now) override;
+  [[nodiscard]] ByteCount cwnd_bytes() const override { return cwnd_; }
+  [[nodiscard]] std::string_view name() const override { return "vegas"; }
+
+  /// The current BaseRTT estimate (min RTT seen).
+  [[nodiscard]] Time base_rtt() const { return base_rtt_; }
+
+ private:
+  ByteCount mss_;
+  double alpha_;
+  double beta_;
+  ByteCount cwnd_;
+  ByteCount ssthresh_;
+  Time base_rtt_{Time::never()};
+  Time srtt_{Time::zero()};
+  Time last_adjust_{Time::zero()};
+};
+
+}  // namespace ccc::cca

@@ -1,0 +1,71 @@
+// Segment cost functions for offline change-point detection.
+//
+// Following Truong, Oudre & Vayatis's taxonomy (the paper's ref [60]), a
+// change-point method = cost function + search method + penalty. These costs
+// precompute prefix sums so any segment's cost is O(1), which the search
+// methods (PELT, binary segmentation, sliding window) rely on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ccc::changepoint {
+
+/// Cost of fitting one segment [i, j) with a constant model; lower = better.
+class SegmentCost {
+ public:
+  virtual ~SegmentCost() = default;
+
+  /// Binds the signal; must be called before cost(). O(n).
+  virtual void fit(std::span<const double> signal) = 0;
+
+  /// Cost of segment [i, j). Preconditions: i < j <= n, j - i >= min_size().
+  [[nodiscard]] virtual double cost(std::size_t i, std::size_t j) const = 0;
+
+  /// Smallest segment the model can score.
+  [[nodiscard]] virtual std::size_t min_size() const { return 2; }
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+
+ protected:
+  std::size_t n_{0};
+};
+
+/// L2 cost: sum of squared deviations from the segment mean. Detects mean
+/// shifts — the "throughput level changed" signal of §3.1.
+class CostL2 final : public SegmentCost {
+ public:
+  void fit(std::span<const double> signal) override;
+  [[nodiscard]] double cost(std::size_t i, std::size_t j) const override;
+  [[nodiscard]] std::size_t min_size() const override { return 1; }
+
+ private:
+  std::vector<double> prefix_;     // prefix sums of x
+  std::vector<double> prefix_sq_;  // prefix sums of x^2
+};
+
+/// Gaussian likelihood cost with per-segment mean AND variance:
+/// (j-i) * log(var_hat). Detects variance changes too (e.g. a flow moving
+/// from a contended sawtooth to a smooth shaped region).
+class CostNormal final : public SegmentCost {
+ public:
+  void fit(std::span<const double> signal) override;
+  [[nodiscard]] double cost(std::size_t i, std::size_t j) const override;
+  [[nodiscard]] std::size_t min_size() const override { return 3; }
+
+ private:
+  std::vector<double> prefix_;
+  std::vector<double> prefix_sq_;
+};
+
+/// BIC-style penalty for a signal of length n with noise scale sigma:
+/// the conventional default when the number of changes is unknown.
+[[nodiscard]] double bic_penalty(std::size_t n, double sigma);
+
+/// Robust noise-scale estimate from first differences (median absolute
+/// deviation of diff / (sqrt(2) * 0.6745)); insensitive to the level shifts
+/// we are trying to find. Returns 0 for signals shorter than 3.
+[[nodiscard]] double estimate_noise_sigma(std::span<const double> signal);
+
+}  // namespace ccc::changepoint

@@ -1,0 +1,74 @@
+// Offline and online change-point search methods (Truong et al., ref [60]).
+//
+// All offline methods return the sorted interior change points: indices k
+// such that segments split as [0,k1), [k1,k2), ..., [km, n). An empty result
+// means "no level change" — which, in the paper's §3.1 analysis, is evidence
+// a flow did NOT experience contention during its lifetime.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "changepoint/cost.hpp"
+
+namespace ccc::changepoint {
+
+/// PELT (Pruned Exact Linear Time): exact minimizer of
+///   sum(segment costs) + penalty * (#segments)
+/// with pruning that keeps the expected runtime linear.
+/// `min_segment` (if > cost.min_size()) forbids shorter segments.
+[[nodiscard]] std::vector<std::size_t> pelt(const SegmentCost& cost, double penalty,
+                                            std::size_t min_segment = 0);
+
+/// Greedy binary segmentation: recursively split at the best point while the
+/// cost reduction exceeds `penalty`. Approximate but simple; the classic
+/// baseline search method.
+[[nodiscard]] std::vector<std::size_t> binary_segmentation(const SegmentCost& cost,
+                                                           double penalty,
+                                                           std::size_t max_changes = 32);
+
+/// Sliding-window discrepancy: score each index by
+///   cost(i-w, i+w) - cost(i-w, i) - cost(i, i+w)
+/// and report local maxima above `penalty`. Cheap, online-friendly, less
+/// precise near segment edges.
+[[nodiscard]] std::vector<std::size_t> sliding_window(const SegmentCost& cost,
+                                                      std::size_t half_width, double penalty);
+
+/// Convenience: fit CostL2 on `signal`, pick a BIC penalty from the robust
+/// noise estimate scaled by `sensitivity` (1.0 = default; smaller = more
+/// change points), and run PELT with a minimum segment of `min_segment`
+/// samples. This is the configuration the passive pipeline (§3.1) uses.
+[[nodiscard]] std::vector<std::size_t> detect_mean_shifts(std::span<const double> signal,
+                                                          double sensitivity = 1.0,
+                                                          std::size_t min_segment = 3);
+
+/// Online CUSUM detector for upward/downward mean shifts. Feed samples one
+/// at a time; alarms report the sample index at which the cumulative drift
+/// exceeded the threshold.
+class Cusum {
+ public:
+  /// `reference_mean`: the in-control mean. `slack`: allowance k (per-sample
+  /// drift ignored). `threshold`: alarm level h. Typical: k = 0.5 sigma,
+  /// h = 5 sigma.
+  Cusum(double reference_mean, double slack, double threshold);
+
+  /// Processes one sample; returns true if this sample raised an alarm
+  /// (the statistic resets afterwards).
+  bool add(double x);
+
+  [[nodiscard]] const std::vector<std::size_t>& alarms() const { return alarms_; }
+  [[nodiscard]] double positive_stat() const { return s_pos_; }
+  [[nodiscard]] double negative_stat() const { return s_neg_; }
+
+ private:
+  double mean_;
+  double k_;
+  double h_;
+  double s_pos_{0.0};
+  double s_neg_{0.0};
+  std::size_t i_{0};
+  std::vector<std::size_t> alarms_;
+};
+
+}  // namespace ccc::changepoint

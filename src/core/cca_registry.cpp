@@ -1,0 +1,45 @@
+#include "core/cca_registry.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "cca/aimd.hpp"
+#include "cca/bbr.hpp"
+#include "cca/copa.hpp"
+#include "cca/cubic.hpp"
+#include "cca/dctcp.hpp"
+#include "cca/new_reno.hpp"
+#include "cca/vegas.hpp"
+
+namespace ccc::core {
+
+cca::CcaFactory make_cca_factory(std::string_view name) {
+  if (name == "reno" || name == "newreno") {
+    return [] { return std::make_unique<cca::NewReno>(); };
+  }
+  if (name == "cubic") {
+    return [] { return std::make_unique<cca::Cubic>(); };
+  }
+  if (name == "bbr") {
+    return [] { return std::make_unique<cca::Bbr>(); };
+  }
+  if (name == "vegas") {
+    return [] { return std::make_unique<cca::Vegas>(); };
+  }
+  if (name == "copa") {
+    return [] { return std::make_unique<cca::Copa>(); };
+  }
+  if (name == "aimd") {
+    return [] { return std::make_unique<cca::Aimd>(1.0, 0.5); };
+  }
+  if (name == "dctcp") {
+    return [] { return std::make_unique<cca::Dctcp>(); };
+  }
+  throw std::invalid_argument{"unknown CCA: " + std::string{name}};
+}
+
+std::vector<std::string_view> known_ccas() {
+  return {"reno", "cubic", "bbr", "vegas", "copa", "aimd", "dctcp"};
+}
+
+}  // namespace ccc::core

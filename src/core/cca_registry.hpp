@@ -1,0 +1,20 @@
+// Name-based CCA construction, so benches and examples can select
+// algorithms from strings ("reno", "cubic", "bbr", ...).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "cca/cca.hpp"
+
+namespace ccc::core {
+
+/// Returns a factory for the named CCA. Known names: "reno" (NewReno),
+/// "cubic", "bbr", "vegas", "copa", "aimd" (Reno-parameter AIMD).
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] cca::CcaFactory make_cca_factory(std::string_view name);
+
+/// All names make_cca_factory accepts.
+[[nodiscard]] std::vector<std::string_view> known_ccas();
+
+}  // namespace ccc::core

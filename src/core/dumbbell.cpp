@@ -1,0 +1,90 @@
+#include "core/dumbbell.hpp"
+
+#include <cassert>
+
+#include "queue/drop_tail.hpp"
+
+namespace ccc::core {
+
+ByteCount dumbbell_buffer_bytes(const DumbbellConfig& cfg) {
+  const Time rtt = cfg.one_way_delay + cfg.reverse_delay;
+  const auto bdp = bdp_bytes(cfg.bottleneck_rate, rtt);
+  const auto bytes = static_cast<ByteCount>(static_cast<double>(bdp) * cfg.buffer_bdp_multiple);
+  return std::max<ByteCount>(bytes, 4 * sim::kFullPacket);
+}
+
+DumbbellScenario::DumbbellScenario(DumbbellConfig cfg, std::unique_ptr<sim::Qdisc> qdisc)
+    : cfg_{cfg}, rng_{cfg.seed} {
+  if (!qdisc) {
+    qdisc = std::make_unique<queue::DropTailQueue>(dumbbell_buffer_bytes(cfg_));
+  }
+  link_ = std::make_unique<sim::Link>(sched_, cfg_.bottleneck_rate, cfg_.one_way_delay,
+                                      std::move(qdisc), demux_);
+  link_sink_ = std::make_unique<sim::LinkSink>(*link_);
+}
+
+Time DumbbellScenario::base_rtt() const {
+  // Forward propagation + reverse propagation (data + ACK), excluding
+  // serialization and queueing.
+  return cfg_.one_way_delay + cfg_.reverse_delay;
+}
+
+std::size_t DumbbellScenario::add_flow(std::unique_ptr<cca::CongestionControl> cc,
+                                       std::unique_ptr<app::App> a, sim::UserId user, Time start,
+                                       ByteCount receiver_window) {
+  flow::TcpFlowConfig fc;
+  fc.flow_id = next_flow_id_++;
+  fc.user = user;
+  fc.start_at = start;
+  fc.reverse_delay = cfg_.reverse_delay;
+  fc.receiver_window = receiver_window;
+  flows_.push_back(std::make_unique<flow::TcpFlow>(sched_, fc, std::move(cc), std::move(a),
+                                                   *link_sink_, demux_));
+  return flows_.size() - 1;
+}
+
+flow::ShortFlowWorkload& DumbbellScenario::add_short_flows(flow::ShortFlowConfig cfg,
+                                                           cca::CcaFactory factory) {
+  cfg.first_flow_id = next_short_base_;
+  next_short_base_ += 1'000'000;  // room for a million arrivals per workload
+  cfg.reverse_delay = cfg_.reverse_delay;
+  short_workloads_.push_back(std::make_unique<flow::ShortFlowWorkload>(
+      sched_, rng_, cfg, std::move(factory), *link_sink_, demux_));
+  return *short_workloads_.back();
+}
+
+flow::UdpCbrSource& DumbbellScenario::add_cbr(Rate rate, Time start, Time stop,
+                                              sim::UserId user) {
+  const sim::FlowId id = next_cbr_id_++;
+  demux_.register_flow(id, cbr_sink_);
+  cbr_sources_.push_back(
+      std::make_unique<flow::UdpCbrSource>(sched_, id, user, rate, start, stop, *link_sink_));
+  return *cbr_sources_.back();
+}
+
+std::vector<ByteCount> DumbbellScenario::snapshot_delivered() const {
+  std::vector<ByteCount> snap;
+  snap.reserve(flows_.size());
+  for (const auto& f : flows_) snap.push_back(f->delivered_bytes());
+  return snap;
+}
+
+double DumbbellScenario::goodput_mbps_since(std::size_t idx, const std::vector<ByteCount>& snap,
+                                            Time elapsed) const {
+  assert(idx < flows_.size() && idx < snap.size());
+  assert(elapsed > Time::zero());
+  const ByteCount delta = flows_[idx]->delivered_bytes() - snap[idx];
+  return static_cast<double>(delta) * 8.0 / elapsed.to_sec() / 1e6;
+}
+
+std::vector<double> DumbbellScenario::goodputs_mbps_since(const std::vector<ByteCount>& snap,
+                                                          Time elapsed) const {
+  std::vector<double> out;
+  out.reserve(flows_.size());
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    out.push_back(goodput_mbps_since(i, snap, elapsed));
+  }
+  return out;
+}
+
+}  // namespace ccc::core

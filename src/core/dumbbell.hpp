@@ -1,0 +1,106 @@
+// DumbbellScenario: the canonical single-bottleneck topology every
+// experiment in the paper uses, packaged as the library's main entry point.
+//
+//   flows' senders ──> [ qdisc | bottleneck link ] ──> demux ──> receivers
+//         ^                                                         │
+//         └──────────────── per-flow reverse delay ─────────────────┘
+//
+// The scenario owns the scheduler, bottleneck, and all traffic sources, and
+// provides goodput measurement over arbitrary windows.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/app.hpp"
+#include "cca/cca.hpp"
+#include "flow/short_flow_workload.hpp"
+#include "flow/tcp_flow.hpp"
+#include "flow/udp_source.hpp"
+#include "sim/demux.hpp"
+#include "sim/link.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ccc::core {
+
+struct DumbbellConfig {
+  Rate bottleneck_rate{Rate::mbps(48)};      // Figure 3's Mahimahi link
+  Time one_way_delay{Time::ms(25)};          // forward propagation
+  Time reverse_delay{Time::ms(25)};          // ACK-path propagation
+  /// Bottleneck buffer, as a multiple of the BDP at (rate, 2*one_way+2*rev).
+  double buffer_bdp_multiple{1.0};
+  /// Seed for the scenario's RNG (short-flow arrivals and sizes).
+  std::uint64_t seed{0x5eed'cafe};
+};
+
+class DumbbellScenario {
+ public:
+  /// Builds the bottleneck with the given qdisc (pass nullptr for a
+  /// DropTail queue sized per the config).
+  explicit DumbbellScenario(DumbbellConfig cfg, std::unique_ptr<sim::Qdisc> qdisc = nullptr);
+
+  DumbbellScenario(const DumbbellScenario&) = delete;
+  DumbbellScenario& operator=(const DumbbellScenario&) = delete;
+
+  /// Adds a long-lived TCP flow. Returns its index for later lookup.
+  std::size_t add_flow(std::unique_ptr<cca::CongestionControl> cc, std::unique_ptr<app::App> a,
+                       sim::UserId user = 1, Time start = Time::zero(),
+                       ByteCount receiver_window = 1 << 30);
+
+  /// Adds a Poisson short-flow workload (owns it for the scenario lifetime).
+  flow::ShortFlowWorkload& add_short_flows(flow::ShortFlowConfig cfg,
+                                           cca::CcaFactory factory);
+
+  /// Adds a CBR UDP source whose packets cross the bottleneck and are
+  /// discarded at the far side.
+  flow::UdpCbrSource& add_cbr(Rate rate, Time start, Time stop, sim::UserId user = 1);
+
+  /// Runs the simulation to absolute time `t`.
+  void run_until(Time t) { sched_.run_until(t); }
+
+  /// Mean goodput of flow `idx` between two *calls*: snapshot() then
+  /// goodput_since(idx, snapshot) after more run_until().
+  [[nodiscard]] std::vector<ByteCount> snapshot_delivered() const;
+  [[nodiscard]] double goodput_mbps_since(std::size_t idx,
+                                          const std::vector<ByteCount>& snap,
+                                          Time elapsed) const;
+  /// Goodputs of all long-lived flows over the window.
+  [[nodiscard]] std::vector<double> goodputs_mbps_since(const std::vector<ByteCount>& snap,
+                                                        Time elapsed) const;
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] sim::Link& bottleneck() { return *link_; }
+  [[nodiscard]] sim::FlowDemux& demux() { return demux_; }
+  [[nodiscard]] flow::TcpFlow& flow(std::size_t idx) { return *flows_.at(idx); }
+  [[nodiscard]] const flow::TcpFlow& flow(std::size_t idx) const { return *flows_.at(idx); }
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  [[nodiscard]] Time base_rtt() const;
+  [[nodiscard]] const DumbbellConfig& config() const { return cfg_; }
+
+  /// Flow ids are allocated sequentially starting here; CBR sources count up
+  /// from 900000 to stay clear of TCP flows and short-flow workloads.
+  static constexpr sim::FlowId kFirstFlowId = 1;
+
+ private:
+  DumbbellConfig cfg_;
+  sim::Scheduler sched_;
+  Rng rng_{0x5eed'cafe};
+  sim::FlowDemux demux_;
+  sim::NullSink cbr_sink_;
+  std::unique_ptr<sim::Link> link_;
+  std::unique_ptr<sim::LinkSink> link_sink_;
+  std::vector<std::unique_ptr<flow::TcpFlow>> flows_;
+  std::vector<std::unique_ptr<flow::ShortFlowWorkload>> short_workloads_;
+  std::vector<std::unique_ptr<flow::UdpCbrSource>> cbr_sources_;
+  sim::FlowId next_flow_id_{kFirstFlowId};
+  sim::FlowId next_cbr_id_{900000};
+  sim::FlowId next_short_base_{100000};
+};
+
+/// Buffer size in bytes for a dumbbell config (exposed for tests).
+[[nodiscard]] ByteCount dumbbell_buffer_bytes(const DumbbellConfig& cfg);
+
+}  // namespace ccc::core

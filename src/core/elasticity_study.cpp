@@ -1,0 +1,132 @@
+#include "core/elasticity_study.hpp"
+
+#include <memory>
+
+#include "app/abr_video.hpp"
+#include "app/bulk.hpp"
+#include "app/stop_at.hpp"
+#include "cca/bbr.hpp"
+#include "cca/cubic.hpp"
+#include "cca/new_reno.hpp"
+#include "core/cca_registry.hpp"
+#include "core/dumbbell.hpp"
+#include "util/stats.hpp"
+
+namespace ccc::core {
+
+ElasticityPocResult run_elasticity_poc(const ElasticityPocConfig& cfg) {
+  DumbbellConfig dc;
+  dc.bottleneck_rate = cfg.link_rate;
+  dc.one_way_delay = cfg.one_way_delay;
+  dc.reverse_delay = cfg.one_way_delay;
+  // 1.5x BDP of DropTail buffer: deep enough for BBR to become
+  // window-limited when competing (its elastic regime) while keeping the
+  // queue shallow enough that loss-based responses still reach the probe at
+  // the pulse frequency (see EXPERIMENTS.md for this sensitivity).
+  dc.buffer_bdp_multiple = 1.5;
+  dc.seed = cfg.seed;
+  DumbbellScenario net{dc};
+
+  // --- the probe ---
+  // The paper's testbed emulates a known 48 Mbit/s link, so the probe gets
+  // the capacity as a hint (the deployed measurement study would obtain it
+  // from a prior speedtest-style estimate). The windowed-max estimator
+  // remains available and is ablated in bench/fig7.
+  nimbus::NimbusConfig ncfg = cfg.nimbus;
+  if (ncfg.capacity_hint.is_zero()) ncfg.capacity_hint = cfg.link_rate;
+  auto nimbus_cc = std::make_unique<nimbus::NimbusCca>(net.scheduler(), ncfg);
+  nimbus::NimbusCca* probe = nimbus_cc.get();
+  const std::size_t probe_idx =
+      net.add_flow(std::move(nimbus_cc), std::make_unique<app::BulkApp>(), /*user=*/1);
+
+  // --- the five phases ---
+  const Time p = cfg.phase_duration;
+  const Time t0 = cfg.warmup;
+  struct Phase {
+    std::string name;
+    Time begin;
+    Time end;
+  };
+  std::vector<Phase> phases;
+  for (int i = 0; i < 5; ++i) {
+    static const char* names[] = {"reno-bulk", "bbr-bulk", "abr-video", "poisson-short",
+                                  "cbr-udp"};
+    phases.push_back({names[i], t0 + p * i, t0 + p * (i + 1)});
+  }
+
+  // Phase 1: backlogged NewReno.
+  net.add_flow(std::make_unique<cca::NewReno>(),
+               std::make_unique<app::StopAtApp>(std::make_unique<app::BulkApp>(), phases[0].end),
+               /*user=*/2, phases[0].begin);
+  // Phase 2: backlogged BBR.
+  net.add_flow(std::make_unique<cca::Bbr>(),
+               std::make_unique<app::StopAtApp>(std::make_unique<app::BulkApp>(), phases[1].end),
+               /*user=*/2, phases[1].begin);
+  // Phase 3: ABR video over Cubic (a realistic streaming stack). The ladder
+  // tops out at HD rates (~5.8 Mbit/s), as for the single stream the paper
+  // ran: demand bounded far below the 48 Mbit/s link.
+  app::AbrConfig video_cfg;
+  video_cfg.ladder = {Rate::mbps(0.35), Rate::mbps(0.75), Rate::mbps(1.75), Rate::mbps(3.0),
+                      Rate::mbps(5.8)};
+  // Server-paced chunk delivery at 2x playback, as streaming CDNs do — the
+  // transport never gets a full chunk to blast at line rate.
+  video_cfg.supply_rate_multiple = 2.0;
+  net.add_flow(
+      std::make_unique<cca::Cubic>(),
+      std::make_unique<app::StopAtApp>(
+          std::make_unique<app::AbrVideoApp>(net.scheduler(), video_cfg), phases[2].end),
+      /*user=*/2, phases[2].begin);
+  // Phase 4: Poisson short flows (Cubic, like ordinary web traffic).
+  {
+    flow::ShortFlowConfig sf;
+    sf.user = 2;
+    sf.start_at = phases[3].begin;
+    sf.stop_at = phases[3].end;
+    sf.mean_interarrival = cfg.short_flow_interarrival;
+    net.add_short_flows(sf, make_cca_factory("cubic"));
+  }
+  // Phase 5: constant-bitrate UDP.
+  net.add_cbr(cfg.cbr_rate, phases[4].begin, phases[4].end, /*user=*/2);
+
+  // --- sampling ---
+  ElasticityPocResult result;
+  result.elasticity.name = "elasticity";
+  result.probe_rate_mbps.name = "probe_base_rate_mbps";
+  const Time run_end = phases.back().end + Time::sec(1.0);
+  telemetry::PeriodicSampler sampler{
+      net.scheduler(), cfg.sample_interval, Time::sec(1.0), run_end, [&](Time now) {
+        result.elasticity.add(now, probe->elasticity());
+        result.probe_rate_mbps.add(now, probe->base_rate().to_mbps());
+      }};
+
+  // --- run phase by phase, measuring probe goodput per phase ---
+  net.run_until(t0);
+  for (const auto& ph : phases) {
+    const auto snap = net.snapshot_delivered();
+    net.run_until(ph.end);
+    PhaseSummary s;
+    s.name = ph.name;
+    s.t_begin_sec = ph.begin.to_sec();
+    s.t_end_sec = ph.end.to_sec();
+    s.probe_goodput_mbps = net.goodput_mbps_since(probe_idx, snap, ph.end - ph.begin);
+
+    // Skip the first 20% of each phase when summarizing elasticity: the FFT
+    // window still spans the previous phase there.
+    const double skip = ph.begin.to_sec() + 0.2 * (ph.end - ph.begin).to_sec();
+    const auto etas = result.elasticity.slice(skip, ph.end.to_sec());
+    if (!etas.empty()) {
+      s.median_elasticity = median(etas);
+      s.p90_elasticity = quantile(etas, 0.9);
+      std::size_t above = 0;
+      for (double e : etas) {
+        if (e >= nimbus::kElasticThreshold) ++above;
+      }
+      s.frac_elastic = static_cast<double>(above) / static_cast<double>(etas.size());
+    }
+    result.phases.push_back(std::move(s));
+  }
+  net.run_until(run_end);
+  return result;
+}
+
+}  // namespace ccc::core

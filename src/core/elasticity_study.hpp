@@ -1,0 +1,57 @@
+// The Figure 3 proof-of-concept (§3.2), end to end.
+//
+// A Nimbus probe flow (mode switching disabled, pulses maintained) runs
+// continuously on an emulated 48 Mbit/s, 100 ms-RTT DropTail link while five
+// cross-traffic types take 45-second turns:
+//   1. persistently backlogged NewReno     (contends  -> elastic)
+//   2. persistently backlogged BBR         (contends  -> elastic)
+//   3. ABR video stream                    (app-limited -> inelastic)
+//   4. short flows with Poisson arrivals   (too short  -> inelastic)
+//   5. constant-bitrate UDP                (clockwork  -> inelastic)
+// The study reports the probe's elasticity time series and per-phase
+// summaries; reproduction succeeds if phases 1-2 sit clearly above the
+// elastic threshold and phases 3-5 below it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nimbus/nimbus.hpp"
+#include "telemetry/sampler.hpp"
+#include "util/units.hpp"
+
+namespace ccc::core {
+
+struct ElasticityPocConfig {
+  Rate link_rate{Rate::mbps(48)};
+  Time one_way_delay{Time::ms(50)};   ///< forward; reverse equal -> 100 ms RTT
+  Time phase_duration{Time::sec(45.0)};
+  Time warmup{Time::sec(5.0)};        ///< probe alone before phase 1
+  Rate cbr_rate{Rate::mbps(12)};
+  Time short_flow_interarrival{Time::ms(300)};
+  Time sample_interval{Time::ms(250)};
+  nimbus::NimbusConfig nimbus{};      ///< mode switching off by default
+  std::uint64_t seed{0x600dcafe};
+};
+
+struct PhaseSummary {
+  std::string name;
+  double t_begin_sec{0.0};
+  double t_end_sec{0.0};
+  double median_elasticity{0.0};
+  double p90_elasticity{0.0};
+  /// Fraction of samples above the Nimbus elastic threshold.
+  double frac_elastic{0.0};
+  double probe_goodput_mbps{0.0};
+};
+
+struct ElasticityPocResult {
+  telemetry::TimeSeries elasticity;       ///< (t, eta) over the whole run
+  telemetry::TimeSeries probe_rate_mbps;  ///< probe base rate (diagnostics)
+  std::vector<PhaseSummary> phases;
+};
+
+/// Runs the full five-phase experiment. Deterministic for a given config.
+[[nodiscard]] ElasticityPocResult run_elasticity_poc(const ElasticityPocConfig& cfg = {});
+
+}  // namespace ccc::core

@@ -1,0 +1,61 @@
+#include "flow/short_flow_workload.hpp"
+
+#include <algorithm>
+
+#include "app/bulk.hpp"
+
+namespace ccc::flow {
+
+ShortFlowWorkload::ShortFlowWorkload(sim::Scheduler& sched, Rng& rng, ShortFlowConfig cfg,
+                                     cca::CcaFactory cca_factory, sim::PacketSink& forward,
+                                     sim::FlowDemux& demux)
+    : sched_{sched},
+      rng_{rng},
+      cfg_{cfg},
+      cca_factory_{std::move(cca_factory)},
+      forward_{forward},
+      demux_{demux},
+      next_id_{cfg.first_flow_id} {
+  sched_.schedule_at(cfg_.start_at, [this] { schedule_next_arrival(); });
+}
+
+void ShortFlowWorkload::schedule_next_arrival() {
+  if (sched_.now() >= cfg_.stop_at) return;
+  const Time gap = Time::sec(rng_.exponential(cfg_.mean_interarrival.to_sec()));
+  sched_.schedule_after(gap, [this] {
+    if (sched_.now() >= cfg_.stop_at) return;
+    spawn_flow();
+    schedule_next_arrival();
+  });
+}
+
+ByteCount ShortFlowWorkload::bytes_delivered() const {
+  ByteCount total = 0;
+  for (const auto& f : flows_) total += f->delivered_bytes();
+  return total;
+}
+
+void ShortFlowWorkload::spawn_flow() {
+  const auto size = static_cast<ByteCount>(rng_.bounded_pareto(
+      cfg_.size_shape, static_cast<double>(cfg_.size_min), static_cast<double>(cfg_.size_max)));
+
+  TcpFlowConfig fc;
+  fc.flow_id = next_id_++;
+  fc.user = cfg_.user;
+  fc.start_at = sched_.now();
+  fc.reverse_delay = cfg_.reverse_delay;
+  fc.receiver_window = cfg_.receiver_window;
+
+  auto flow = std::make_unique<TcpFlow>(sched_, fc, cca_factory_(),
+                                        std::make_unique<app::BulkApp>(size), forward_, demux_);
+  const std::size_t idx = flows_.size();
+  flow_started_at_.push_back(sched_.now());
+  flow->sender().set_on_complete([this, idx, id = fc.flow_id](Time done) {
+    ++completed_;
+    fct_sec_.push_back((done - flow_started_at_[idx]).to_sec());
+    demux_.deregister_flow(id);
+  });
+  flows_.push_back(std::move(flow));
+}
+
+}  // namespace ccc::flow

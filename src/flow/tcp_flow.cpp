@@ -1,0 +1,34 @@
+#include "flow/tcp_flow.hpp"
+
+#include <cassert>
+
+namespace ccc::flow {
+
+namespace {
+SenderConfig stamp_ids(SenderConfig cfg, sim::FlowId flow, sim::UserId user) {
+  cfg.flow_id = flow;
+  cfg.user = user;
+  return cfg;
+}
+}  // namespace
+
+TcpFlow::TcpFlow(sim::Scheduler& sched, TcpFlowConfig cfg,
+                 std::unique_ptr<cca::CongestionControl> cc, std::unique_ptr<app::App> source,
+                 sim::PacketSink& forward, sim::FlowDemux& demux)
+    : cfg_{cfg},
+      app_{std::move(source)},
+      // The reverse line's destination is patched to the sender right below;
+      // it needs *a* sink at construction, so point it at the demux
+      // temporarily (never used before set_dst).
+      reverse_{sched, cfg.reverse_delay, demux},
+      sender_{sched, stamp_ids(cfg.sender, cfg.flow_id, cfg.user), std::move(cc), *app_, forward},
+      receiver_{sched,
+                ReceiverConfig{cfg.flow_id, cfg.user, cfg.receiver_window, cfg.delayed_ack},
+                reverse_} {
+  assert(app_ != nullptr);
+  reverse_.set_dst(sender_);
+  demux.register_flow(cfg_.flow_id, receiver_);
+  sender_.start(cfg_.start_at);
+}
+
+}  // namespace ccc::flow

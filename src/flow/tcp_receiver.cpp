@@ -1,0 +1,104 @@
+#include "flow/tcp_receiver.hpp"
+
+#include <algorithm>
+
+namespace ccc::flow {
+
+TcpReceiver::TcpReceiver(sim::Scheduler& sched, ReceiverConfig cfg, sim::PacketSink& ack_out)
+    : sched_{sched}, cfg_{cfg}, ack_out_{ack_out} {}
+
+TcpReceiver::TcpReceiver(sim::Scheduler& sched, sim::FlowId flow, sim::UserId user,
+                         sim::PacketSink& ack_out, ByteCount advertised_window)
+    : TcpReceiver{sched,
+                  ReceiverConfig{flow, user, advertised_window, Time::zero()},
+                  ack_out} {}
+
+void TcpReceiver::deliver(const sim::Packet& pkt) {
+  if (pkt.is_ack) return;  // not our direction
+  ++packets_received_;
+
+  const std::int64_t start = pkt.seq;
+  const std::int64_t end = pkt.seq + pkt.payload_bytes;
+  const bool in_order = start <= rcv_nxt_ && end > rcv_nxt_;
+
+  if (end <= rcv_nxt_) {
+    ++duplicate_packets_;  // spurious retransmission
+  } else if (in_order) {
+    rcv_nxt_ = end;
+    // Pull any buffered ranges that are now contiguous.
+    for (auto it = ooo_.begin(); it != ooo_.end() && it->first <= rcv_nxt_;) {
+      rcv_nxt_ = std::max(rcv_nxt_, it->second);
+      it = ooo_.erase(it);
+    }
+  } else {
+    // Out of order: buffer [start, end), merging overlaps.
+    auto [it, inserted] = ooo_.try_emplace(start, end);
+    if (!inserted) it->second = std::max(it->second, end);
+    auto next = std::next(it);
+    while (next != ooo_.end() && next->first <= it->second) {
+      it->second = std::max(it->second, next->second);
+      next = ooo_.erase(next);
+    }
+  }
+
+  // Delayed-ACK policy applies only to clean in-order arrivals; anything
+  // out of order, duplicate, or ECN-marked is ACKed immediately so loss
+  // recovery and ECN feedback stay prompt (RFC 5681 §4.2).
+  if (cfg_.delayed_ack > Time::zero() && in_order && ooo_.empty() && !pkt.ecn_marked) {
+    arm_delayed_ack(pkt);
+  } else {
+    emit_ack(pkt);
+  }
+}
+
+void TcpReceiver::arm_delayed_ack(const sim::Packet& data) {
+  pending_echo_ = data;
+  if (++unacked_data_packets_ >= 2) {
+    emit_ack(data);
+    return;
+  }
+  if (!delayed_armed_) {
+    delayed_armed_ = true;
+    delayed_event_ = sched_.schedule_after(cfg_.delayed_ack, [this] {
+      delayed_armed_ = false;
+      if (unacked_data_packets_ > 0) emit_ack(pending_echo_);
+    });
+  }
+}
+
+void TcpReceiver::emit_ack(const sim::Packet& data) {
+  unacked_data_packets_ = 0;
+  if (delayed_armed_) {
+    sched_.cancel(delayed_event_);
+    delayed_armed_ = false;
+  }
+
+  // Coverage: every distinct byte that has arrived so far.
+  std::int64_t coverage = rcv_nxt_;
+  for (const auto& [start, end] : ooo_) coverage += end - start;
+
+  sim::Packet ack;
+  ack.flow = cfg_.flow_id;
+  ack.user = cfg_.user;
+  ack.is_ack = true;
+  ack.size_bytes = sim::kAckBytes;
+  ack.ack_seq = rcv_nxt_;
+  ack.echo_sent_at = data.sent_at;
+  ack.delivered_bytes = rcv_nxt_;
+  ack.received_total = coverage;
+  ack.receiver_window = cfg_.advertised_window;
+  ack.ece = data.ecn_marked;
+  ack.sent_at = sched_.now();
+  // SACK blocks: advertise up to kMaxSack out-of-order ranges (RFC 2018).
+  // Report the *highest* ranges: they pin down high_sacked at the sender,
+  // which then infers every unsacked segment below it as lost — the
+  // information that makes one-RTT burst-loss repair possible.
+  for (auto it = ooo_.rbegin(); it != ooo_.rend(); ++it) {
+    if (ack.n_sack >= sim::Packet::kMaxSack) break;
+    ack.sack[ack.n_sack++] = {it->first, it->second};
+  }
+  ++acks_sent_;
+  ack_out_.deliver(ack);
+}
+
+}  // namespace ccc::flow

@@ -1,0 +1,65 @@
+// TCP-like receiver: cumulative ACKs with out-of-order reassembly, SACK
+// generation, optional delayed ACKs, and a configurable advertised window
+// (the RWndLimited lever of §3.1's analysis).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "sim/packet.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ccc::flow {
+
+struct ReceiverConfig {
+  sim::FlowId flow_id{1};
+  sim::UserId user{1};
+  /// Advertised flow-control window. Small values make the flow
+  /// receiver-limited, reproducing the RWndLimited population of M-Lab data.
+  ByteCount advertised_window{1 << 30};
+  /// If > zero, in-order data packets are ACKed lazily: every second packet
+  /// immediately (RFC 5681's 1-per-2), otherwise after this delay. Zero =
+  /// quickack (every packet), the default for crisp rate estimation.
+  Time delayed_ack{Time::zero()};
+};
+
+class TcpReceiver : public sim::PacketSink {
+ public:
+  /// ACKs are emitted into `ack_out` (the reverse path).
+  TcpReceiver(sim::Scheduler& sched, ReceiverConfig cfg, sim::PacketSink& ack_out);
+
+  /// Back-compat convenience constructor.
+  TcpReceiver(sim::Scheduler& sched, sim::FlowId flow, sim::UserId user,
+              sim::PacketSink& ack_out, ByteCount advertised_window = 1 << 30);
+
+  /// Data ingress.
+  void deliver(const sim::Packet& pkt) override;
+
+  /// Cumulative in-order bytes received.
+  [[nodiscard]] ByteCount delivered_bytes() const { return rcv_nxt_; }
+  [[nodiscard]] std::uint64_t packets_received() const { return packets_received_; }
+  [[nodiscard]] std::uint64_t duplicate_packets() const { return duplicate_packets_; }
+  [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
+
+ private:
+  void emit_ack(const sim::Packet& data);
+  void arm_delayed_ack(const sim::Packet& data);
+
+  sim::Scheduler& sched_;
+  ReceiverConfig cfg_;
+  sim::PacketSink& ack_out_;
+
+  std::int64_t rcv_nxt_{0};
+  std::map<std::int64_t, std::int64_t> ooo_;  ///< out-of-order ranges: start -> end
+  std::uint64_t packets_received_{0};
+  std::uint64_t duplicate_packets_{0};
+  std::uint64_t acks_sent_{0};
+
+  // Delayed-ACK state.
+  int unacked_data_packets_{0};
+  bool delayed_armed_{false};
+  sim::EventId delayed_event_{0};
+  sim::Packet pending_echo_{};  ///< the packet whose timestamp we will echo
+};
+
+}  // namespace ccc::flow

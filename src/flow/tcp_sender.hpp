@@ -1,0 +1,179 @@
+// TCP-like sender: sequencing, loss detection, retransmission, pacing.
+//
+// This is the transport half that turns a CCA's window/rate into packets.
+// It implements the mechanisms every experiment relies on:
+//   - cumulative ACKs with dupack-based fast retransmit (NewReno-style
+//     recovery including partial-ACK retransmission),
+//   - RFC 6298 RTO estimation with exponential backoff (the timeout
+//     mechanism whose starvation effects E6 reproduces),
+//   - optional pacing when the CCA supplies a rate (BBR, Copa, Nimbus),
+//   - app-limited tracking (the sender knows *why* it is not sending, which
+//     is exactly the TCPInfo signal the paper's §3.1 M-Lab analysis keys on).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "app/app.hpp"
+#include "cca/cca.hpp"
+#include "sim/packet.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ccc::flow {
+
+/// Why the sender was not transmitting at a given instant.
+enum class SendLimit {
+  kNone,  ///< actively sending / window not yet filled
+  kCca,   ///< congestion window full
+  kRwnd,  ///< receiver window full
+  kApp,   ///< application had no data (AppLimited in TCPInfo terms)
+  kDone,  ///< flow finished
+};
+
+struct SenderConfig {
+  sim::FlowId flow_id{1};
+  sim::UserId user{1};
+  ByteCount mss{sim::kMss};
+  Time min_rto{Time::ms(200)};
+  Time max_rto{Time::sec(60.0)};
+  Time initial_rto{Time::sec(1.0)};
+  int dupack_threshold{3};
+};
+
+/// Counters exposed for telemetry (TCPInfo-style) and test assertions.
+struct SenderStats {
+  ByteCount bytes_sent{0};          ///< first transmissions only
+  ByteCount bytes_retransmitted{0};
+  ByteCount bytes_acked{0};
+  std::uint64_t packets_sent{0};
+  std::uint64_t retransmissions{0};
+  std::uint64_t rto_events{0};
+  std::uint64_t tail_probes{0};  ///< TLP-style probes sent instead of a full RTO
+  std::uint64_t recovery_episodes{0};
+  std::uint64_t rtt_samples{0};
+};
+
+class TcpSender : public sim::PacketSink {
+ public:
+  /// `out` is the first hop of the data path; `source` supplies bytes; the
+  /// sender takes ownership of `cc`. All references must outlive the sender.
+  TcpSender(sim::Scheduler& sched, SenderConfig cfg, std::unique_ptr<cca::CongestionControl> cc,
+            app::App& source, sim::PacketSink& out);
+
+  TcpSender(const TcpSender&) = delete;
+  TcpSender& operator=(const TcpSender&) = delete;
+
+  /// Begins transmitting at absolute time `at`.
+  void start(Time at);
+
+  /// ACK ingress (the reverse path delivers here).
+  void deliver(const sim::Packet& pkt) override;
+
+  // --- observability ---
+  [[nodiscard]] const SenderStats& stats() const { return stats_; }
+  [[nodiscard]] ByteCount delivered_bytes() const { return snd_una_; }
+  /// Unacknowledged sequence range (includes SACKed bytes).
+  [[nodiscard]] ByteCount inflight_bytes() const { return snd_nxt_ - snd_una_; }
+  /// Bytes believed to actually be in the network (excludes SACKed bytes and
+  /// inferred-lost, not-yet-repaired bytes); the quantity the congestion
+  /// window gates (RFC 6675's "pipe").
+  [[nodiscard]] ByteCount pipe_bytes() const {
+    return snd_nxt_ - snd_una_ - sacked_bytes_ - lost_bytes_;
+  }
+  [[nodiscard]] Time srtt() const { return srtt_; }
+  [[nodiscard]] Time min_rtt() const { return min_rtt_; }
+  [[nodiscard]] const cca::CongestionControl& cc() const { return *cc_; }
+  [[nodiscard]] cca::CongestionControl& cc() { return *cc_; }
+  [[nodiscard]] SendLimit current_limit() const { return limit_; }
+  [[nodiscard]] bool completed() const { return completed_; }
+  [[nodiscard]] sim::FlowId flow_id() const { return cfg_.flow_id; }
+
+  /// Invoked once, when the app finishes and all its bytes are ACKed.
+  void set_on_complete(std::function<void(Time)> fn) { on_complete_ = std::move(fn); }
+
+ private:
+  struct Segment {
+    std::int64_t seq{0};
+    ByteCount len{0};
+    Time sent_at{Time::zero()};
+    ByteCount delivered_at_send{0};
+    bool app_limited{false};
+    bool sacked{false};       ///< covered by a received SACK block
+    bool lost{false};         ///< inferred lost (unsacked well below high_sacked)
+    bool retx_queued{false};  ///< already retransmitted in this recovery
+    int transmissions{1};
+  };
+
+  void try_send();
+  void transmit(Segment& seg, bool is_retx);
+  void retransmit_head();
+  /// Marks segments covered by the ACK's SACK blocks. Returns bytes newly
+  /// SACKed (0 if none).
+  ByteCount apply_sack(const sim::Packet& ack);
+  /// SACK-based recovery: retransmits unsacked holes below the highest
+  /// SACKed byte, gated by the congestion window.
+  void maybe_retransmit_holes();
+  void process_new_ack(const sim::Packet& ack);
+  void process_dupack(const sim::Packet& ack);
+  void enter_recovery(Time now);
+  void update_rtt(Time sample);
+  void arm_rto();
+  void on_rto_fire();
+  void maybe_complete();
+  [[nodiscard]] ByteCount send_window() const;
+
+  sim::Scheduler& sched_;
+  SenderConfig cfg_;
+  std::unique_ptr<cca::CongestionControl> cc_;
+  app::App& app_;
+  sim::PacketSink& out_;
+
+  std::int64_t snd_una_{0};
+  std::int64_t snd_nxt_{0};
+  std::deque<Segment> segments_;  ///< unacked segments, ascending seq
+  ByteCount rwnd_{1 << 30};       ///< peer-advertised window (updated by ACKs)
+
+  int dupacks_{0};
+  bool in_recovery_{false};
+  /// True when the current recovery began with a timeout: the CCA is in
+  /// slow start and must keep growing (only dupack-triggered fast recovery
+  /// freezes the window until it completes).
+  bool rto_epoch_{false};
+  std::int64_t recovery_point_{0};
+  /// snd_nxt when the latest congestion response was applied; losses at or
+  /// beyond it are fresh congestion events deserving their own decrease.
+  std::int64_t recovery_start_nxt_{0};
+  bool fresh_loss_pending_{false};
+  ByteCount sacked_bytes_{0};
+  ByteCount lost_bytes_{0};  ///< lost and not yet retransmitted
+  std::int64_t high_sacked_{0};
+
+  /// (ack arrival, receiver bytes-arrived counter) samples for delivery-rate
+  /// estimation. The counter is arrival-paced at the receiver, so rate
+  /// samples stay truthful through loss recovery instead of spiking when a
+  /// repaired hole releases a cumulative-ACK jump.
+  std::deque<std::pair<Time, ByteCount>> delivery_hist_;
+  void record_delivery_point(Time now, ByteCount received_total);
+  [[nodiscard]] Rate sample_delivery_rate() const;
+
+  Time srtt_{Time::zero()};
+  Time rttvar_{Time::zero()};
+  Time rto_;
+  Time min_rtt_{Time::never()};
+  int rto_backoff_{0};
+  sim::EventId rto_event_{0};
+
+  Time next_send_time_{Time::zero()};  // pacing release time
+  Time last_transmit_{Time::never()};  // for idle-restart detection
+  sim::EventId pacing_event_{0};
+  bool pacing_wake_armed_{false};
+
+  SendLimit limit_{SendLimit::kNone};
+  bool started_{false};
+  bool completed_{false};
+  SenderStats stats_;
+  std::function<void(Time)> on_complete_;
+};
+
+}  // namespace ccc::flow

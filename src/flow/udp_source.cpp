@@ -1,0 +1,38 @@
+#include "flow/udp_source.hpp"
+
+#include <cassert>
+
+namespace ccc::flow {
+
+UdpCbrSource::UdpCbrSource(sim::Scheduler& sched, sim::FlowId flow, sim::UserId user, Rate rate,
+                           Time start_at, Time stop_at, sim::PacketSink& out,
+                           ByteCount packet_bytes)
+    : sched_{sched},
+      flow_{flow},
+      user_{user},
+      stop_at_{stop_at},
+      out_{out},
+      packet_bytes_{packet_bytes},
+      interval_{rate.transmit_time(packet_bytes)} {
+  assert(rate.to_bps() > 0.0);
+  assert(start_at < stop_at);
+  sched_.schedule_at(start_at, [this] { emit(); });
+}
+
+void UdpCbrSource::emit() {
+  const Time now = sched_.now();
+  if (now >= stop_at_) return;
+  sim::Packet pkt;
+  pkt.flow = flow_;
+  pkt.user = user_;
+  pkt.size_bytes = packet_bytes_;
+  pkt.seq = next_seq_;
+  pkt.payload_bytes = packet_bytes_ - sim::kHeaderBytes;
+  pkt.sent_at = now;
+  next_seq_ += pkt.payload_bytes;
+  ++packets_;
+  out_.deliver(pkt);
+  sched_.schedule_after(interval_, [this] { emit(); });
+}
+
+}  // namespace ccc::flow

@@ -1,0 +1,43 @@
+// Constant-bitrate UDP source: Figure 3's fifth cross-traffic type.
+//
+// No congestion control, no ACKs: packets are emitted on a fixed cadence
+// regardless of network state — the archetypal *inelastic* traffic that a
+// contention probe must classify as non-contending even though it occupies
+// bandwidth.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/packet.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ccc::flow {
+
+class UdpCbrSource {
+ public:
+  /// Emits `packet_bytes`-sized packets into `out` at `rate` between
+  /// `start_at` and `stop_at`. Preconditions: rate > 0, start < stop.
+  UdpCbrSource(sim::Scheduler& sched, sim::FlowId flow, sim::UserId user, Rate rate,
+               Time start_at, Time stop_at, sim::PacketSink& out,
+               ByteCount packet_bytes = sim::kFullPacket);
+
+  UdpCbrSource(const UdpCbrSource&) = delete;
+  UdpCbrSource& operator=(const UdpCbrSource&) = delete;
+
+  [[nodiscard]] std::uint64_t packets_emitted() const { return packets_; }
+
+ private:
+  void emit();
+
+  sim::Scheduler& sched_;
+  sim::FlowId flow_;
+  sim::UserId user_;
+  Time stop_at_;
+  sim::PacketSink& out_;
+  ByteCount packet_bytes_;
+  Time interval_;
+  std::int64_t next_seq_{0};
+  std::uint64_t packets_{0};
+};
+
+}  // namespace ccc::flow

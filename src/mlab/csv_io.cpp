@@ -1,0 +1,94 @@
+#include "mlab/csv_io.hpp"
+
+#include <array>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ccc::mlab {
+
+namespace {
+constexpr std::string_view kHeader =
+    "id,access,truth,duration_sec,app_limited_sec,rwnd_limited_sec,mean_throughput_mbps,"
+    "min_rtt_ms,snapshot_interval_sec,throughput_mbps";
+}  // namespace
+
+FlowArchetype archetype_from_string(std::string_view s) {
+  static constexpr std::array all = {
+      FlowArchetype::kAppLimitedStreaming, FlowArchetype::kAppLimitedConstant,
+      FlowArchetype::kShortFlow,           FlowArchetype::kRwndLimited,
+      FlowArchetype::kBulkClean,           FlowArchetype::kBulkContended,
+      FlowArchetype::kPoliced};
+  for (auto a : all) {
+    if (to_string(a) == s) return a;
+  }
+  throw std::runtime_error{"unknown archetype: " + std::string{s}};
+}
+
+AccessType access_from_string(std::string_view s) {
+  static constexpr std::array all = {AccessType::kFiber, AccessType::kCable, AccessType::kDsl,
+                                     AccessType::kCellular, AccessType::kSatellite};
+  for (auto a : all) {
+    if (to_string(a) == s) return a;
+  }
+  throw std::runtime_error{"unknown access type: " + std::string{s}};
+}
+
+void write_csv(std::ostream& os, std::span<const NdtRecord> dataset) {
+  os << kHeader << '\n';
+  for (const auto& r : dataset) {
+    os << r.id << ',' << to_string(r.access) << ',' << to_string(r.truth) << ','
+       << r.duration_sec << ',' << r.app_limited_sec << ',' << r.rwnd_limited_sec << ','
+       << r.mean_throughput_mbps << ',' << r.min_rtt_ms << ',' << r.snapshot_interval_sec
+       << ',';
+    for (std::size_t i = 0; i < r.throughput_mbps.size(); ++i) {
+      if (i > 0) os << ';';
+      os << r.throughput_mbps[i];
+    }
+    os << '\n';
+  }
+}
+
+std::vector<NdtRecord> read_csv(std::istream& is) {
+  std::vector<NdtRecord> out;
+  std::string line;
+  if (!std::getline(is, line)) return out;
+  if (line != kHeader) throw std::runtime_error{"csv: unexpected header"};
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells;
+    std::stringstream ss{line};
+    std::string cell;
+    while (std::getline(ss, cell, ',')) cells.push_back(cell);
+    if (cells.size() == 9) cells.emplace_back();  // empty throughput series
+    if (cells.size() != 10) {
+      throw std::runtime_error{"csv: expected 10 columns, got " +
+                               std::to_string(cells.size())};
+    }
+    NdtRecord r;
+    try {
+      r.id = std::stoull(cells[0]);
+      r.access = access_from_string(cells[1]);
+      r.truth = archetype_from_string(cells[2]);
+      r.duration_sec = std::stod(cells[3]);
+      r.app_limited_sec = std::stod(cells[4]);
+      r.rwnd_limited_sec = std::stod(cells[5]);
+      r.mean_throughput_mbps = std::stod(cells[6]);
+      r.min_rtt_ms = std::stod(cells[7]);
+      r.snapshot_interval_sec = std::stod(cells[8]);
+      std::stringstream ts{cells[9]};
+      std::string v;
+      while (std::getline(ts, v, ';')) {
+        if (!v.empty()) r.throughput_mbps.push_back(std::stod(v));
+      }
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error{"csv: unparsable number in: " + line};
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace ccc::mlab

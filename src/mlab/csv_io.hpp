@@ -1,0 +1,28 @@
+// CSV serialization for NDT datasets.
+//
+// Lets the synthetic corpus (or records bridged from simulations) be
+// exported for external analysis and re-imported — the workflow a user of a
+// real M-Lab dump would follow with this toolkit.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "mlab/ndt_record.hpp"
+
+namespace ccc::mlab {
+
+/// Writes a dataset as CSV with a header row. The throughput series is
+/// serialized as a ';'-separated list inside one field.
+void write_csv(std::ostream& os, std::span<const NdtRecord> dataset);
+
+/// Reads a dataset written by write_csv. Throws std::runtime_error on
+/// malformed input (wrong column count, unparsable numbers, unknown enums).
+[[nodiscard]] std::vector<NdtRecord> read_csv(std::istream& is);
+
+/// Enum parsing helpers (exposed for tests).
+[[nodiscard]] FlowArchetype archetype_from_string(std::string_view s);
+[[nodiscard]] AccessType access_from_string(std::string_view s);
+
+}  // namespace ccc::mlab

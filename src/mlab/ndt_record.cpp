@@ -1,0 +1,29 @@
+#include "mlab/ndt_record.hpp"
+
+namespace ccc::mlab {
+
+std::string_view to_string(FlowArchetype a) {
+  switch (a) {
+    case FlowArchetype::kAppLimitedStreaming: return "app-limited-streaming";
+    case FlowArchetype::kAppLimitedConstant: return "app-limited-constant";
+    case FlowArchetype::kShortFlow: return "short-flow";
+    case FlowArchetype::kRwndLimited: return "rwnd-limited";
+    case FlowArchetype::kBulkClean: return "bulk-clean";
+    case FlowArchetype::kBulkContended: return "bulk-contended";
+    case FlowArchetype::kPoliced: return "policed";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(AccessType a) {
+  switch (a) {
+    case AccessType::kFiber: return "fiber";
+    case AccessType::kCable: return "cable";
+    case AccessType::kDsl: return "dsl";
+    case AccessType::kCellular: return "cellular";
+    case AccessType::kSatellite: return "satellite";
+  }
+  return "unknown";
+}
+
+}  // namespace ccc::mlab

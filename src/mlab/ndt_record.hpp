@@ -1,0 +1,64 @@
+// NDT (Network Diagnostic Test) flow records, modeled on the M-Lab schema
+// the paper queried (§3.1): per-flow TCPInfo aggregates plus periodic
+// throughput snapshots over the flow's lifetime.
+//
+// The real dataset is a BigQuery archive we cannot reach from this repo;
+// src/mlab/synthetic.hpp generates statistically comparable records WITH
+// ground-truth labels, which lets the analysis pipeline report
+// precision/recall — something the paper itself could not do.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccc::mlab {
+
+/// Client access-network type, inferred by M-Lab from client metadata; the
+/// paper's analysis excludes cellular clients (isolation is built in there).
+enum class AccessType : std::uint8_t {
+  kFiber,
+  kCable,
+  kDsl,
+  kCellular,
+  kSatellite,
+};
+
+/// Ground-truth archetype of a synthetic flow (absent from real M-Lab data).
+enum class FlowArchetype : std::uint8_t {
+  kAppLimitedStreaming,  ///< chunked ABR video: bounded demand, on/off
+  kAppLimitedConstant,   ///< constant app rate below capacity (game stream)
+  kShortFlow,            ///< fits in (or near) the initial window
+  kRwndLimited,          ///< receiver window pins throughput
+  kBulkClean,            ///< backlogged, sole occupant of its bottleneck
+  kBulkContended,        ///< backlogged, genuinely contends with cross flows
+  kPoliced,              ///< token-bucket policed mid-flow (aliases contention!)
+};
+
+[[nodiscard]] std::string_view to_string(FlowArchetype a);
+[[nodiscard]] std::string_view to_string(AccessType a);
+
+/// One NDT measurement row.
+struct NdtRecord {
+  std::uint64_t id{0};
+  AccessType access{AccessType::kCable};
+  double duration_sec{10.0};
+
+  // TCPInfo aggregates (the fields §3.1 filters on).
+  double app_limited_sec{0.0};   ///< time spent application-limited
+  double rwnd_limited_sec{0.0};  ///< time spent receiver-window-limited
+  double mean_throughput_mbps{0.0};
+  double min_rtt_ms{0.0};
+
+  /// Throughput snapshots at a fixed cadence (default 100 ms), Mbps.
+  std::vector<double> throughput_mbps;
+  double snapshot_interval_sec{0.1};
+
+  /// Ground truth (synthetic datasets only; never read by the pipeline).
+  FlowArchetype truth{FlowArchetype::kBulkClean};
+
+  /// Whether the archetype truly involves inter-flow CCA contention.
+  [[nodiscard]] bool truth_contended() const { return truth == FlowArchetype::kBulkContended; }
+};
+
+}  // namespace ccc::mlab

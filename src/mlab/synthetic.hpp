@@ -1,0 +1,50 @@
+// Synthetic NDT dataset generator.
+//
+// Substitution for the M-Lab BigQuery archive (see DESIGN.md): we generate
+// the same record shape with archetype fractions set from the measurement
+// literature the paper cites — most flows short [26], most traffic
+// app-limited [33: <40% of traffic neither app- nor host- nor
+// receiver-limited], cellular a large minority [32]. Each record carries its
+// ground-truth archetype so the passive pipeline's verdicts can be scored.
+#pragma once
+
+#include <vector>
+
+#include "mlab/ndt_record.hpp"
+#include "util/rng.hpp"
+
+namespace ccc::mlab {
+
+/// Mix and shape parameters for the synthetic population.
+struct SyntheticConfig {
+  std::size_t n_flows{9984};  ///< the paper's June-2023 query size
+
+  // Archetype mix (normalized internally). Defaults follow Araújo et al.'s
+  // finding that >60% of traffic is app/host/receiver-limited, plus typical
+  // NDT short-flow and cellular populations.
+  double frac_app_limited_streaming{0.30};
+  double frac_app_limited_constant{0.12};
+  double frac_short{0.22};
+  double frac_rwnd_limited{0.14};
+  double frac_bulk_clean{0.12};
+  double frac_bulk_contended{0.06};
+  double frac_policed{0.04};
+
+  double frac_cellular{0.25};   ///< of all flows, tagged cellular access
+  double frac_satellite{0.02};
+
+  double test_duration_sec{10.0};     ///< NDT7 runs ~10 s
+  double snapshot_interval_sec{0.1};
+  /// Relative throughput noise (std/mean) for stable regions.
+  double noise_cv{0.06};
+};
+
+/// Generates a labeled dataset. Deterministic for a given (config, seed).
+[[nodiscard]] std::vector<NdtRecord> generate_dataset(const SyntheticConfig& cfg, Rng& rng);
+
+/// Generates a single record of the given archetype (exposed for unit tests
+/// of the pipeline's per-archetype behaviour).
+[[nodiscard]] NdtRecord generate_record(FlowArchetype archetype, const SyntheticConfig& cfg,
+                                        Rng& rng, std::uint64_t id = 0);
+
+}  // namespace ccc::mlab

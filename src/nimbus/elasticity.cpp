@@ -1,0 +1,66 @@
+#include "nimbus/elasticity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+namespace ccc::nimbus {
+
+double elasticity_metric(std::span<const double> z, double sample_hz,
+                         const ElasticityConfig& cfg) {
+  if (z.size() < 16 || sample_hz <= 0.0) return 0.0;
+
+  const Spectrum spec = magnitude_spectrum(z, sample_hz);
+  if (spec.magnitude.size() < 8) return 0.0;
+
+  const std::size_t fp_bin = spec.bin_for(cfg.pulse_hz);
+  const std::size_t h2_bin = spec.bin_for(2.0 * cfg.pulse_hz);
+  const std::size_t floor_bin = std::max<std::size_t>(spec.bin_for(cfg.noise_floor_hz), 1);
+  const auto hw = static_cast<std::size_t>(cfg.signal_halfwidth_bins);
+
+  auto near = [&](std::size_t i, std::size_t center) {
+    return i + hw >= center && i <= center + hw;
+  };
+
+  // Signal: peak magnitude in the leakage window around fp.
+  double signal = 0.0;
+  for (std::size_t i = fp_bin > hw ? fp_bin - hw : 0;
+       i <= fp_bin + hw && i < spec.magnitude.size(); ++i) {
+    signal = std::max(signal, spec.magnitude[i]);
+  }
+
+  // Noise: RMS of all bins above the drift floor, excluding the fp and 2*fp
+  // leakage windows.
+  double sum_sq = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = floor_bin; i < spec.magnitude.size(); ++i) {
+    if (near(i, fp_bin) || near(i, h2_bin)) continue;
+    sum_sq += spec.magnitude[i] * spec.magnitude[i];
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  const double noise_rms = std::sqrt(sum_sq / static_cast<double>(n));
+  double eta;
+  if (noise_rms <= 1e-12) {
+    // A perfectly flat z (e.g. pure CBR cross traffic with an exact capacity
+    // estimate) has no noise and no signal: report inelastic.
+    eta = signal <= 1e-12 ? 0.0 : kElasticThreshold * 10.0;
+  } else {
+    eta = signal / noise_rms;
+  }
+
+  if (cfg.reference_amplitude > 0.0) {
+    // Hann-windowed pure tone of amplitude a over n samples peaks at ~a*n/4;
+    // scale eta down when the measured peak is a small fraction of the
+    // reference response.
+    const double full_response =
+        cfg.reference_amplitude * static_cast<double>(z.size()) / 4.0;
+    const double significance =
+        std::min(1.0, signal / (cfg.min_signal_fraction * full_response));
+    eta *= significance;
+  }
+  return eta;
+}
+
+}  // namespace ccc::nimbus

@@ -1,0 +1,52 @@
+// CoDel (Controlled Delay) AQM, per Nichols & Jacobson / RFC 8289.
+//
+// AQM keeps standing queues short without per-flow state. In the isolation
+// ablation (E1) CoDel represents "modern default home-router queueing":
+// it controls delay but, unlike FQ, does not by itself isolate flows, so
+// CCA contention still determines shares under CoDel.
+#pragma once
+
+#include <deque>
+
+#include "sim/qdisc.hpp"
+
+namespace ccc::queue {
+
+class CoDelQueue : public sim::Qdisc {
+ public:
+  /// `target`: acceptable standing sojourn time (RFC default 5 ms).
+  /// `interval`: sliding window in which target must be met (default 100 ms).
+  CoDelQueue(ByteCount capacity_bytes, Time target = Time::ms(5), Time interval = Time::ms(100));
+
+  bool enqueue(const sim::Packet& pkt, Time now) override;
+  std::optional<sim::Packet> dequeue(Time now) override;
+  [[nodiscard]] Time next_ready(Time now) const override;
+  [[nodiscard]] ByteCount backlog_bytes() const override { return backlog_bytes_; }
+  [[nodiscard]] std::size_t backlog_packets() const override { return fifo_.size(); }
+
+ private:
+  struct Timestamped {
+    sim::Packet pkt;
+    Time enqueued_at;
+  };
+
+  /// Pops the head; returns nullopt if empty. Updates backlog accounting.
+  std::optional<Timestamped> pop_head();
+  /// CoDel control law: next drop time after `count` consecutive drops.
+  [[nodiscard]] Time control_law(Time t) const;
+
+  ByteCount capacity_bytes_;
+  Time target_;
+  Time interval_;
+  ByteCount backlog_bytes_{0};
+  std::deque<Timestamped> fifo_;
+
+  // Dropping-state machine (RFC 8289 pseudocode variables).
+  bool dropping_{false};
+  std::uint32_t count_{0};
+  std::uint32_t last_count_{0};
+  Time first_above_time_{Time::zero()};
+  Time drop_next_{Time::zero()};
+};
+
+}  // namespace ccc::queue

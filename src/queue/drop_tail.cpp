@@ -1,0 +1,41 @@
+#include "queue/drop_tail.hpp"
+
+#include <cassert>
+
+namespace ccc::queue {
+
+DropTailQueue::DropTailQueue(ByteCount capacity_bytes, ByteCount ecn_threshold_bytes)
+    : capacity_bytes_{capacity_bytes}, ecn_threshold_{ecn_threshold_bytes} {
+  assert(capacity_bytes_ > 0);
+}
+
+bool DropTailQueue::enqueue(const sim::Packet& pkt, Time /*now*/) {
+  if (backlog_bytes_ + pkt.size_bytes > capacity_bytes_) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += pkt.size_bytes;
+    return false;
+  }
+  fifo_.push_back(pkt);
+  if (ecn_threshold_ > 0 && pkt.ecn_capable && backlog_bytes_ >= ecn_threshold_) {
+    fifo_.back().ecn_marked = true;
+    ++stats_.ecn_marked_packets;
+  }
+  backlog_bytes_ += pkt.size_bytes;
+  ++stats_.enqueued_packets;
+  return true;
+}
+
+std::optional<sim::Packet> DropTailQueue::dequeue(Time /*now*/) {
+  if (fifo_.empty()) return std::nullopt;
+  sim::Packet pkt = fifo_.front();
+  fifo_.pop_front();
+  backlog_bytes_ -= pkt.size_bytes;
+  ++stats_.dequeued_packets;
+  return pkt;
+}
+
+Time DropTailQueue::next_ready(Time now) const {
+  return fifo_.empty() ? Time::never() : now;
+}
+
+}  // namespace ccc::queue

@@ -1,0 +1,39 @@
+// Stochastic fair queueing: DRR over a fixed number of hash buckets.
+//
+// Real home routers and OS qdiscs rarely keep exact per-flow state; SFQ
+// hashes flows into a bounded set of buckets and fair-queues the buckets.
+// Colliding flows share a bucket (and thus still contend) — this lets the
+// isolation ablation (E1) show the gap between ideal FQ and deployable FQ.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "queue/drr_fair_queue.hpp"
+#include "sim/qdisc.hpp"
+
+namespace ccc::queue {
+
+class SfqQueue : public sim::Qdisc {
+ public:
+  /// `buckets`: number of hash buckets (e.g. 1024 in Linux sfq; small values
+  /// provoke collisions on purpose in tests). `perturb_seed` salts the hash.
+  SfqQueue(ByteCount capacity_bytes, std::uint32_t buckets, std::uint64_t perturb_seed = 0,
+           ByteCount quantum_bytes = 1514);
+
+  bool enqueue(const sim::Packet& pkt, Time now) override;
+  std::optional<sim::Packet> dequeue(Time now) override;
+  [[nodiscard]] Time next_ready(Time now) const override;
+  [[nodiscard]] ByteCount backlog_bytes() const override;
+  [[nodiscard]] std::size_t backlog_packets() const override;
+
+  /// The bucket a flow id maps to (exposed for collision tests).
+  [[nodiscard]] std::uint32_t bucket_of(sim::FlowId flow) const;
+
+ private:
+  std::uint32_t buckets_;
+  std::uint64_t seed_;
+  DrrFairQueue inner_;  // keyed per-flow; we rewrite flow -> bucket before insert
+};
+
+}  // namespace ccc::queue

@@ -1,0 +1,53 @@
+// Flow demultiplexer: routes packets arriving off a shared link to the
+// per-flow endpoint that owns them (the "home router / host" of a scenario).
+#pragma once
+
+#include <unordered_map>
+
+#include "sim/packet.hpp"
+
+namespace ccc::sim {
+
+/// Routes by FlowId. Packets for unregistered flows are counted and dropped
+/// (e.g. a short flow whose endpoint already finished and deregistered).
+class FlowDemux : public PacketSink {
+ public:
+  /// Registers `sink` as the destination for `flow`. Overwrites any previous
+  /// registration. `sink` must outlive its registration.
+  void register_flow(FlowId flow, PacketSink& sink) { routes_[flow] = &sink; }
+
+  /// Removes a flow's route; subsequent packets for it are dropped.
+  void deregister_flow(FlowId flow) { routes_.erase(flow); }
+
+  void deliver(const Packet& pkt) override {
+    if (auto it = routes_.find(pkt.flow); it != routes_.end()) {
+      it->second->deliver(pkt);
+    } else {
+      ++unroutable_;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t unroutable_packets() const { return unroutable_; }
+
+ private:
+  std::unordered_map<FlowId, PacketSink*> routes_;
+  std::uint64_t unroutable_{0};
+};
+
+/// A sink that discards everything (a traffic blackhole; useful for CBR
+/// background traffic whose receiver does not respond).
+class NullSink : public PacketSink {
+ public:
+  void deliver(const Packet& pkt) override {
+    ++packets_;
+    bytes_ += pkt.size_bytes;
+  }
+  [[nodiscard]] std::uint64_t packets() const { return packets_; }
+  [[nodiscard]] ByteCount bytes() const { return bytes_; }
+
+ private:
+  std::uint64_t packets_{0};
+  ByteCount bytes_{0};
+};
+
+}  // namespace ccc::sim

@@ -1,0 +1,64 @@
+#include "sim/link.hpp"
+
+#include <cassert>
+
+namespace ccc::sim {
+
+Link::Link(Scheduler& sched, Rate rate, Time prop_delay, std::unique_ptr<Qdisc> qdisc,
+           PacketSink& dst)
+    : sched_{sched}, rate_{rate}, prop_delay_{prop_delay}, qdisc_{std::move(qdisc)}, dst_{dst} {
+  assert(rate_.to_bps() > 0.0);
+  assert(qdisc_ != nullptr);
+}
+
+void Link::send(const Packet& pkt) {
+  qdisc_->enqueue(pkt, sched_.now());
+  maybe_start_tx();
+}
+
+void Link::set_rate(Rate rate) {
+  assert(rate.to_bps() > 0.0);
+  rate_ = rate;
+}
+
+double Link::utilization(Time now) const {
+  if (now <= Time::zero()) return 0.0;
+  return stats_.busy_time / now;
+}
+
+void Link::maybe_start_tx() {
+  if (busy_) return;
+  const Time now = sched_.now();
+  const Time ready = qdisc_->next_ready(now);
+  if (ready == Time::never()) return;  // nothing queued
+
+  if (ready > now) {
+    // Shaper holding bytes: wake up when the head packet becomes eligible.
+    // Re-arm only if the new wake time is sooner than a pending one.
+    sched_.cancel(wake_event_);
+    wake_event_ = sched_.schedule_at(ready, [this] { maybe_start_tx(); });
+    return;
+  }
+
+  auto pkt = qdisc_->dequeue(now);
+  if (!pkt) return;  // qdisc changed its mind (e.g. CoDel dropped the head)
+
+  busy_ = true;
+  const Time tx_time = rate_.transmit_time(pkt->size_bytes);
+  stats_.busy_time += tx_time;
+  sched_.schedule_after(tx_time, [this, p = *pkt] { on_tx_complete(p); });
+}
+
+void Link::on_tx_complete(Packet pkt) {
+  busy_ = false;
+  ++stats_.packets_sent;
+  stats_.bytes_sent += pkt.size_bytes;
+  if (tx_tap_) tx_tap_(pkt, sched_.now());
+
+  // Propagation: the packet arrives at the destination prop_delay later.
+  sched_.schedule_after(prop_delay_, [this, pkt] { dst_.deliver(pkt); });
+
+  maybe_start_tx();
+}
+
+}  // namespace ccc::sim

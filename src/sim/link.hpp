@@ -1,0 +1,110 @@
+// Point-to-point link: rate serialization + propagation delay + a qdisc.
+//
+// This is the simulator's stand-in for the paper's Mahimahi-emulated link
+// (§3.2: 48 Mbit/s, 100 ms). Packets offered to send() pass through the
+// link's qdisc, are serialized at the link rate, then arrive at the
+// destination sink one propagation delay later.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "sim/packet.hpp"
+#include "sim/qdisc.hpp"
+#include "sim/scheduler.hpp"
+#include "util/units.hpp"
+
+namespace ccc::sim {
+
+/// Link-level counters for utilization accounting in the benches.
+struct LinkStats {
+  std::uint64_t packets_sent{0};
+  ByteCount bytes_sent{0};
+  Time busy_time{Time::zero()};  ///< total time spent serializing
+};
+
+/// A unidirectional link. Not copyable/movable: endpoints hold pointers to it
+/// and it schedules callbacks capturing `this`.
+class Link {
+ public:
+  /// Constructs a link transmitting at `rate` with one-way propagation delay
+  /// `prop_delay`, queueing through `qdisc`, delivering into `dst`.
+  /// `dst` must outlive the link. Preconditions: rate > 0, qdisc non-null.
+  Link(Scheduler& sched, Rate rate, Time prop_delay, std::unique_ptr<Qdisc> qdisc,
+       PacketSink& dst);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Offers a packet to the link (enters the qdisc; may be dropped there).
+  void send(const Packet& pkt);
+
+  /// Changes the transmission rate. Takes effect for the next serialization;
+  /// the packet currently on the wire finishes at the old rate. Models
+  /// variable-capacity links (cellular/satellite, paper §2.3/§5.1).
+  void set_rate(Rate rate);
+  [[nodiscard]] Rate rate() const { return rate_; }
+  [[nodiscard]] Time prop_delay() const { return prop_delay_; }
+
+  [[nodiscard]] const Qdisc& qdisc() const { return *qdisc_; }
+  [[nodiscard]] Qdisc& qdisc() { return *qdisc_; }
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+
+  /// Average utilization over the interval [Time::zero(), now].
+  [[nodiscard]] double utilization(Time now) const;
+
+  /// Optional tap invoked for every packet the moment it finishes
+  /// serializing (i.e. the instant it occupies the bottleneck). Used by
+  /// telemetry to sample per-flow link shares.
+  void set_tx_tap(std::function<void(const Packet&, Time)> tap) { tx_tap_ = std::move(tap); }
+
+ private:
+  void maybe_start_tx();
+  void on_tx_complete(Packet pkt);
+
+  Scheduler& sched_;
+  Rate rate_;
+  Time prop_delay_;
+  std::unique_ptr<Qdisc> qdisc_;
+  PacketSink& dst_;
+  bool busy_{false};
+  EventId wake_event_{0};
+  LinkStats stats_;
+  std::function<void(const Packet&, Time)> tx_tap_;
+};
+
+/// A fixed-delay, infinite-capacity pipe. Used for uncongested segments,
+/// most commonly the ACK return path (reverse-path congestion is out of
+/// scope for every experiment in the paper).
+class DelayLine : public PacketSink {
+ public:
+  DelayLine(Scheduler& sched, Time delay, PacketSink& dst)
+      : sched_{sched}, delay_{delay}, dst_{&dst} {}
+
+  void deliver(const Packet& pkt) override {
+    sched_.schedule_after(delay_, [this, pkt] { dst_->deliver(pkt); });
+  }
+
+  /// Re-points the downstream sink (used when wiring scenarios).
+  void set_dst(PacketSink& dst) { dst_ = &dst; }
+
+ private:
+  Scheduler& sched_;
+  Time delay_;
+  PacketSink* dst_;
+};
+
+/// Adapts a Link into a PacketSink so links can be chained behind
+/// demultiplexers or delay lines.
+class LinkSink : public PacketSink {
+ public:
+  explicit LinkSink(Link& link) : link_{link} {}
+  void deliver(const Packet& pkt) override { link_.send(pkt); }
+
+ private:
+  Link& link_;
+};
+
+}  // namespace ccc::sim

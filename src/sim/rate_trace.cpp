@@ -1,0 +1,37 @@
+#include "sim/rate_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccc::sim {
+
+void apply_rate_trace(Scheduler& sched, Link& link, const std::vector<RatePoint>& trace) {
+  for (const auto& pt : trace) {
+    if (pt.at < sched.now()) continue;
+    sched.schedule_at(pt.at, [&link, r = pt.rate] { link.set_rate(r); });
+  }
+}
+
+std::vector<RatePoint> square_wave_trace(Rate lo, Rate hi, Time half_period, Time end) {
+  std::vector<RatePoint> trace;
+  bool high = true;
+  for (Time t = Time::zero(); t <= end; t += half_period) {
+    trace.push_back({t, high ? hi : lo});
+    high = !high;
+  }
+  return trace;
+}
+
+std::vector<RatePoint> random_walk_trace(Rng& rng, Rate start, Rate lo, Rate hi, double sigma,
+                                         Time step, Time end) {
+  std::vector<RatePoint> trace;
+  double bps = start.to_bps();
+  for (Time t = Time::zero(); t <= end; t += step) {
+    trace.push_back({t, Rate::bps(bps)});
+    bps *= std::exp(rng.normal(0.0, sigma));
+    bps = std::clamp(bps, lo.to_bps(), hi.to_bps());
+  }
+  return trace;
+}
+
+}  // namespace ccc::sim

@@ -1,0 +1,39 @@
+// Trace-driven variable link capacity.
+//
+// The paper (§2.3, §5.1) argues future CCAs should target bandwidth
+// *variability* (cellular/satellite links) rather than contention. This
+// driver replays a piecewise-constant rate schedule onto a Link, in the
+// spirit of Mahimahi's packet-delivery traces, and supports simple synthetic
+// patterns (square wave, random walk) for the variability benches.
+#pragma once
+
+#include <vector>
+
+#include "sim/link.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace ccc::sim {
+
+/// One step of a rate schedule: hold `rate` starting at absolute time `at`.
+struct RatePoint {
+  Time at{Time::zero()};
+  Rate rate{Rate::zero()};
+};
+
+/// Applies a rate schedule to a link by scheduling set_rate() calls.
+/// The schedule must be sorted by time; points in the past are ignored.
+void apply_rate_trace(Scheduler& sched, Link& link, const std::vector<RatePoint>& trace);
+
+/// Builds a square-wave schedule oscillating between lo and hi every
+/// `half_period`, from t=0 to `end`. Models coarse cellular capacity swings.
+[[nodiscard]] std::vector<RatePoint> square_wave_trace(Rate lo, Rate hi, Time half_period,
+                                                       Time end);
+
+/// Builds a bounded multiplicative random-walk schedule: every `step` the
+/// rate is multiplied by exp(N(0, sigma)), clamped to [lo, hi].
+[[nodiscard]] std::vector<RatePoint> random_walk_trace(Rng& rng, Rate start, Rate lo, Rate hi,
+                                                       double sigma, Time step, Time end);
+
+}  // namespace ccc::sim

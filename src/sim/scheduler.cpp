@@ -1,0 +1,49 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+
+namespace ccc::sim {
+
+EventId Scheduler::schedule_at(Time at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id});
+  pending_callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Scheduler::cancel(EventId id) { pending_callbacks_.erase(id); }
+
+bool Scheduler::run_one() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = pending_callbacks_.find(top.id);
+    if (it == pending_callbacks_.end()) continue;  // cancelled: skip
+    // Move the callback out before erasing so it may reschedule itself.
+    auto fn = std::move(it->second);
+    pending_callbacks_.erase(it);
+    now_ = top.at;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(Time end) {
+  assert(end >= now_);
+  while (!heap_.empty()) {
+    // Peek past cancelled entries without executing.
+    const Entry top = heap_.top();
+    if (!pending_callbacks_.contains(top.id)) {
+      heap_.pop();
+      continue;
+    }
+    if (top.at > end) break;
+    run_one();
+  }
+  now_ = end;
+}
+
+}  // namespace ccc::sim

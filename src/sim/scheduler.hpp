@@ -1,0 +1,75 @@
+// Discrete-event scheduler: the heart of the ccascope network simulator.
+//
+// The simulator is single threaded and driven entirely by this event queue.
+// Components schedule callbacks at absolute times; ties are broken by
+// insertion order so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ccc::sim {
+
+/// Identifies a scheduled event so it can be cancelled (e.g. a retransmission
+/// timer disarmed by an ACK).
+using EventId = std::uint64_t;
+
+/// A time-ordered event queue with cancellation.
+///
+/// Events at equal times fire in the order they were scheduled (FIFO), which
+/// makes packet orderings — and therefore whole experiments — reproducible.
+class Scheduler {
+ public:
+  /// Current simulated time. Starts at zero.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at`.
+  /// Precondition: at >= now() (the past cannot be scheduled).
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` after now.
+  EventId schedule_after(Time delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op (timers race with the events that disarm them).
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty or simulated time would exceed
+  /// `end`; leaves now() == end (events exactly at `end` do fire).
+  void run_until(Time end);
+
+  /// Runs a single event if one is pending. Returns false if queue empty.
+  bool run_one();
+
+  /// Number of events executed since construction (for perf benches).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  /// Number of live (non-cancelled) pending events.
+  [[nodiscard]] std::size_t pending() const { return pending_callbacks_.size(); }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    // Min-heap by (time, id): id grows monotonically, giving FIFO tie-break.
+    [[nodiscard]] bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;
+    }
+  };
+
+  Time now_{Time::zero()};
+  EventId next_id_{1};
+  std::uint64_t executed_{0};
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> pending_callbacks_;
+};
+
+}  // namespace ccc::sim

@@ -1,0 +1,42 @@
+#include "telemetry/sampler.hpp"
+
+#include <cassert>
+
+namespace ccc::telemetry {
+
+PeriodicSampler::PeriodicSampler(sim::Scheduler& sched, Time interval, Time start, Time stop,
+                                 std::function<void(Time)> fn)
+    : sched_{sched}, interval_{interval}, stop_{stop}, fn_{std::move(fn)} {
+  assert(interval_ > Time::zero());
+  assert(fn_ != nullptr);
+  sched_.schedule_at(start, [this] { tick(); });
+}
+
+void PeriodicSampler::tick() {
+  const Time now = sched_.now();
+  if (now >= stop_) return;
+  fn_(now);
+  sched_.schedule_after(interval_, [this] { tick(); });
+}
+
+double TimeSeries::mean_in(double from_sec, double to_sec) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < t_sec.size(); ++i) {
+    if (t_sec[i] >= from_sec && t_sec[i] < to_sec) {
+      sum += value[i];
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::vector<double> TimeSeries::slice(double from_sec, double to_sec) const {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < t_sec.size(); ++i) {
+    if (t_sec[i] >= from_sec && t_sec[i] < to_sec) out.push_back(value[i]);
+  }
+  return out;
+}
+
+}  // namespace ccc::telemetry

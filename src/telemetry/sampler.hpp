@@ -1,0 +1,53 @@
+// Periodic sampling utilities: the simulator-side analogue of reading
+// TCP_INFO / tracing a qdisc at fixed intervals.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/units.hpp"
+
+namespace ccc::telemetry {
+
+/// Invokes a callback every `interval` from `start` until `stop` (inclusive
+/// of start, exclusive of stop). Keep it alive for as long as sampling
+/// should continue; it owns no other resources.
+class PeriodicSampler {
+ public:
+  PeriodicSampler(sim::Scheduler& sched, Time interval, Time start, Time stop,
+                  std::function<void(Time)> fn);
+
+  PeriodicSampler(const PeriodicSampler&) = delete;
+  PeriodicSampler& operator=(const PeriodicSampler&) = delete;
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  Time interval_;
+  Time stop_;
+  std::function<void(Time)> fn_;
+};
+
+/// A named (time, value) series accumulated during a run; the unit of data
+/// the benches print and the change-point detectors consume.
+struct TimeSeries {
+  std::string name;
+  std::vector<double> t_sec;
+  std::vector<double> value;
+
+  void add(Time t, double v) {
+    t_sec.push_back(t.to_sec());
+    value.push_back(v);
+  }
+  [[nodiscard]] std::size_t size() const { return value.size(); }
+
+  /// Mean of values with t in [from, to).
+  [[nodiscard]] double mean_in(double from_sec, double to_sec) const;
+  /// Values with t in [from, to).
+  [[nodiscard]] std::vector<double> slice(double from_sec, double to_sec) const;
+};
+
+}  // namespace ccc::telemetry

@@ -1,0 +1,88 @@
+#include "util/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace ccc {
+
+std::size_t next_pow2(std::size_t n) {
+  assert(n >= 1);
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  assert(is_pow2(n));
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> signal) {
+  const std::size_t n = signal.empty() ? 1 : next_pow2(signal.size());
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < signal.size(); ++i) data[i] = {signal[i], 0.0};
+  fft_inplace(data);
+  return data;
+}
+
+std::size_t Spectrum::bin_for(double hz) const {
+  assert(!magnitude.empty() && bin_hz > 0.0);
+  const auto idx = static_cast<std::size_t>(std::llround(hz / bin_hz));
+  return std::min(idx, magnitude.size() - 1);
+}
+
+double Spectrum::magnitude_at(double hz) const { return magnitude[bin_for(hz)]; }
+
+Spectrum magnitude_spectrum(std::span<const double> signal, double sample_rate_hz) {
+  assert(sample_rate_hz > 0.0);
+  Spectrum out;
+  if (signal.empty()) return out;
+
+  // Remove DC so the (always large) mean does not leak into low bins.
+  double mean = 0.0;
+  for (double x : signal) mean += x;
+  mean /= static_cast<double>(signal.size());
+
+  std::vector<double> windowed(signal.size());
+  const auto n_real = static_cast<double>(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    const double hann =
+        0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * static_cast<double>(i) / (n_real - 1.0)));
+    windowed[i] = (signal[i] - mean) * (signal.size() > 1 ? hann : 1.0);
+  }
+
+  const auto spec = fft_real(windowed);
+  const std::size_t n = spec.size();
+  out.bin_hz = sample_rate_hz / static_cast<double>(n);
+  out.magnitude.resize(n / 2 + 1);
+  for (std::size_t i = 0; i < out.magnitude.size(); ++i) out.magnitude[i] = std::abs(spec[i]);
+  return out;
+}
+
+}  // namespace ccc

@@ -1,0 +1,46 @@
+// A small self-contained FFT, sufficient for Nimbus elasticity detection.
+//
+// Nimbus (paper §3.2, ref [54]) classifies cross traffic by looking at the
+// frequency content of the estimated cross-traffic rate: elastic (contending)
+// traffic responds to the probe's sinusoidal pulses, concentrating energy at
+// the pulse frequency. The windows involved are short (a few thousand
+// samples), so an in-place iterative radix-2 Cooley-Tukey transform is ample.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ccc {
+
+/// True iff n is a power of two (and > 0).
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n. Precondition: n >= 1.
+[[nodiscard]] std::size_t next_pow2(std::size_t n);
+
+/// In-place iterative radix-2 FFT. Precondition: data.size() is a power of 2.
+/// `inverse` computes the unscaled inverse transform (caller divides by N).
+void fft_inplace(std::span<std::complex<double>> data, bool inverse = false);
+
+/// Forward FFT of a real signal. Zero-pads to the next power of two.
+/// Returns the full complex spectrum (size = padded length).
+[[nodiscard]] std::vector<std::complex<double>> fft_real(std::span<const double> signal);
+
+/// One-sided magnitude spectrum of a real signal sampled at `sample_rate_hz`,
+/// after removing the mean (DC) and applying a Hann window to limit leakage.
+/// Result[i] is the magnitude at frequency i * sample_rate_hz / N_padded for
+/// i in [0, N_padded/2].
+struct Spectrum {
+  std::vector<double> magnitude;  ///< one-sided magnitudes, index 0 = DC
+  double bin_hz{0.0};             ///< frequency spacing between bins
+
+  /// Index of the bin closest to `hz`. Precondition: spectrum non-empty.
+  [[nodiscard]] std::size_t bin_for(double hz) const;
+  /// Magnitude at the bin closest to `hz`.
+  [[nodiscard]] double magnitude_at(double hz) const;
+};
+[[nodiscard]] Spectrum magnitude_spectrum(std::span<const double> signal, double sample_rate_hz);
+
+}  // namespace ccc

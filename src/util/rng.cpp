@@ -1,0 +1,31 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ccc {
+
+double Rng::bounded_pareto(double alpha, double lo, double hi) {
+  assert(alpha > 0.0 && lo > 0.0 && hi > lo);
+  // Inverse-CDF sampling of the bounded Pareto distribution.
+  const double u = uniform();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  const double x = -(u * ha - u * la - ha) / (ha * la);
+  return std::pow(x, -1.0 / alpha);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) throw std::invalid_argument{"weighted_index: no positive weight"};
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: target landed exactly on total
+}
+
+}  // namespace ccc

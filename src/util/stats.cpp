@@ -1,0 +1,109 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ccc {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  assert(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  assert(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  assert(n_ > 0);
+  return max_;
+}
+
+namespace {
+
+// Type-7 quantile on an already-sorted vector.
+double sorted_quantile(const std::vector<double>& s, double q) {
+  assert(!s.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] + (s[hi] - s[lo]) * frac;
+}
+
+}  // namespace
+
+double quantile(std::span<const double> xs, double q) {
+  std::vector<double> s{xs.begin(), xs.end()};
+  std::sort(s.begin(), s.end());
+  return sorted_quantile(s, q);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+Cdf::Cdf(std::span<const double> xs) : sorted_{xs.begin(), xs.end()} {
+  assert(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::fraction_at_or_below(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Cdf::value_at_quantile(double q) const { return sorted_quantile(sorted_, q); }
+
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  if (points == 0) return out;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = points == 1 ? 1.0 : static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(value_at_quantile(q), q);
+  }
+  return out;
+}
+
+double jain_fairness_index(std::span<const double> allocations) {
+  assert(!allocations.empty());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : allocations) {
+    assert(x >= 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  assert(sum > 0.0);
+  return (sum * sum) / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+double harm(double solo, double contended) {
+  assert(solo > 0.0);
+  return std::max(0.0, (solo - contended) / solo);
+}
+
+}  // namespace ccc

@@ -1,0 +1,75 @@
+// Descriptive statistics used by the analysis pipeline and the benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ccc {
+
+/// Streaming mean/variance/min/max over doubles (Welford's algorithm).
+/// O(1) memory; suitable for per-packet accumulation inside the simulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  /// Mean of the samples. Precondition: !empty().
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance; 0 if fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+/// Quantile of a sample set using linear interpolation between order
+/// statistics (type-7, the numpy/R default). q in [0, 1]. Copies and sorts;
+/// use Cdf for repeated queries. Precondition: non-empty input.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Convenience: the median.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// An empirical CDF built once from a sample set and queried repeatedly.
+/// Also enumerates (value, cumulative-fraction) points for figure output.
+class Cdf {
+ public:
+  /// Builds from any sample set. Precondition: non-empty.
+  explicit Cdf(std::span<const double> xs);
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double fraction_at_or_below(double x) const;
+  /// Inverse CDF (same interpolation as quantile()).
+  [[nodiscard]] double value_at_quantile(double q) const;
+  [[nodiscard]] std::size_t count() const { return sorted_.size(); }
+
+  /// `points` evenly spaced (value, fraction) pairs suitable for plotting.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Jain's fairness index over a set of allocations (paper §1, ref [4]).
+/// Returns 1.0 for perfectly equal shares, 1/n for a single-flow monopoly.
+/// Precondition: non-empty, all values >= 0, at least one > 0.
+[[nodiscard]] double jain_fairness_index(std::span<const double> allocations);
+
+/// Ware et al.'s "harm" metric (paper §1/§4, ref [68]): the fractional
+/// degradation a flow suffers relative to its solo performance on a
+/// more-is-better metric such as throughput.
+/// harm = max(0, (solo - contended) / solo). Precondition: solo > 0.
+[[nodiscard]] double harm(double solo, double contended);
+
+}  // namespace ccc

@@ -1,0 +1,40 @@
+// Plain-text table / CSV emission for bench output.
+//
+// Every bench binary regenerates one of the paper's figures or tables by
+// printing rows; TextTable keeps that output aligned and consistent so the
+// numbers are easy to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ccc {
+
+/// An in-memory table with a header row, printable as aligned text or CSV.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with `precision` significant decimal places.
+  [[nodiscard]] static std::string num(double v, int precision = 3);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Writes the table with space-padded columns and a rule under the header.
+  void print(std::ostream& os) const;
+  /// Writes RFC-4180-ish CSV (cells containing commas/quotes get quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner used by bench binaries to delimit figures.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace ccc

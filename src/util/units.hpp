@@ -1,0 +1,122 @@
+// Strong unit types used throughout ccascope.
+//
+// Congestion-control code is notorious for unit bugs (bits vs bytes,
+// milliseconds vs microseconds, rates vs windows). We therefore wrap time and
+// rate in small value types with explicit named constructors and accessors.
+// Byte counts stay as a plain signed 64-bit alias (they appear in nearly
+// every expression, and bytes are the single unit we use for data volume).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace ccc {
+
+/// Count of bytes (payload or wire bytes depending on context). Signed so
+/// that differences are safe to compute.
+using ByteCount = std::int64_t;
+
+/// A point in simulated time or a duration, in integer nanoseconds.
+///
+/// The simulator clock is integer-nanosecond and single threaded, so Time is
+/// exact and totally ordered; there is no floating-point drift in event
+/// ordering. Durations and instants share this type (like std::chrono's
+/// representation), with arithmetic defined for both uses.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  /// Named constructors. Prefer these over the raw-ns constructor.
+  [[nodiscard]] static constexpr Time ns(std::int64_t v) { return Time{v}; }
+  [[nodiscard]] static constexpr Time us(std::int64_t v) { return Time{v * 1'000}; }
+  [[nodiscard]] static constexpr Time ms(std::int64_t v) { return Time{v * 1'000'000}; }
+  [[nodiscard]] static constexpr Time sec(double v) {
+    return Time{static_cast<std::int64_t>(v * 1e9)};
+  }
+  /// The maximum representable time; used as "never" for timers.
+  [[nodiscard]] static constexpr Time never() { return Time{INT64_MAX}; }
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+
+  [[nodiscard]] constexpr std::int64_t count_ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_sec() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_ms() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time d) { ns_ += d.ns_; return *this; }
+  constexpr Time& operator-=(Time d) { ns_ -= d.ns_; return *this; }
+  [[nodiscard]] friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  [[nodiscard]] friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  [[nodiscard]] friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ns_ * k}; }
+  [[nodiscard]] friend constexpr Time operator*(std::int64_t k, Time a) { return a * k; }
+  // int overloads resolve the int -> {int64, double} conversion ambiguity.
+  [[nodiscard]] friend constexpr Time operator*(Time a, int k) { return Time{a.ns_ * k}; }
+  [[nodiscard]] friend constexpr Time operator*(int k, Time a) { return Time{a.ns_ * k}; }
+  [[nodiscard]] friend constexpr Time operator*(Time a, double k) {
+    return Time{static_cast<std::int64_t>(static_cast<double>(a.ns_) * k)};
+  }
+  [[nodiscard]] friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  [[nodiscard]] friend constexpr Time operator/(Time a, std::int64_t k) { return Time{a.ns_ / k}; }
+
+ private:
+  explicit constexpr Time(std::int64_t v) : ns_{v} {}
+  std::int64_t ns_{0};
+};
+
+/// A data rate. Stored as double bits-per-second: pacing and elasticity math
+/// is continuous, and doubles hold exact integers up to 2^53 bps (8 Pbit/s),
+/// far beyond anything we simulate.
+class Rate {
+ public:
+  constexpr Rate() = default;
+
+  [[nodiscard]] static constexpr Rate bps(double v) { return Rate{v}; }
+  [[nodiscard]] static constexpr Rate kbps(double v) { return Rate{v * 1e3}; }
+  [[nodiscard]] static constexpr Rate mbps(double v) { return Rate{v * 1e6}; }
+  [[nodiscard]] static constexpr Rate gbps(double v) { return Rate{v * 1e9}; }
+  /// Rate that transfers `bytes` in duration `t`.
+  [[nodiscard]] static constexpr Rate bytes_per(ByteCount bytes, Time t) {
+    return Rate{static_cast<double>(bytes) * 8.0 / t.to_sec()};
+  }
+  [[nodiscard]] static constexpr Rate zero() { return Rate{0.0}; }
+
+  [[nodiscard]] constexpr double to_bps() const { return bps_; }
+  [[nodiscard]] constexpr double to_mbps() const { return bps_ * 1e-6; }
+  [[nodiscard]] constexpr double bytes_per_sec() const { return bps_ / 8.0; }
+  [[nodiscard]] constexpr bool is_zero() const { return bps_ <= 0.0; }
+
+  /// Time to serialize `bytes` at this rate. Precondition: rate > 0.
+  [[nodiscard]] Time transmit_time(ByteCount bytes) const {
+    assert(bps_ > 0.0);
+    return Time::ns(static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(bytes) * 8.0 / bps_ * 1e9)));
+  }
+  /// Bytes delivered in duration `t` at this rate (rounded down).
+  [[nodiscard]] constexpr ByteCount bytes_in(Time t) const {
+    return static_cast<ByteCount>(bps_ / 8.0 * t.to_sec());
+  }
+
+  constexpr auto operator<=>(const Rate&) const = default;
+
+  [[nodiscard]] friend constexpr Rate operator+(Rate a, Rate b) { return Rate{a.bps_ + b.bps_}; }
+  [[nodiscard]] friend constexpr Rate operator-(Rate a, Rate b) { return Rate{a.bps_ - b.bps_}; }
+  [[nodiscard]] friend constexpr Rate operator*(Rate a, double k) { return Rate{a.bps_ * k}; }
+  [[nodiscard]] friend constexpr Rate operator*(double k, Rate a) { return a * k; }
+  [[nodiscard]] friend constexpr Rate operator/(Rate a, double k) { return Rate{a.bps_ / k}; }
+  [[nodiscard]] friend constexpr double operator/(Rate a, Rate b) { return a.bps_ / b.bps_; }
+
+ private:
+  explicit constexpr Rate(double v) : bps_{v} {}
+  double bps_{0.0};
+};
+
+/// Bandwidth-delay product in bytes for a path of rate `r` and RTT `rtt`.
+[[nodiscard]] constexpr ByteCount bdp_bytes(Rate r, Time rtt) {
+  return static_cast<ByteCount>(r.bytes_per_sec() * rtt.to_sec());
+}
+
+}  // namespace ccc

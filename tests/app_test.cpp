@@ -1,0 +1,177 @@
+// Unit tests for application traffic models.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/abr_video.hpp"
+#include "app/bulk.hpp"
+#include "app/rate_limited.hpp"
+#include "app/stop_at.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ccc::app {
+namespace {
+
+TEST(BulkApp, UnboundedNeverFinishes) {
+  BulkApp a;
+  EXPECT_GT(a.bytes_available(Time::zero()), 1'000'000'000);
+  a.consume(1'000'000, Time::zero());
+  EXPECT_FALSE(a.finished(Time::zero()));
+}
+
+TEST(BulkApp, BoundedFinishesExactly) {
+  BulkApp a{1000};
+  EXPECT_EQ(a.bytes_available(Time::zero()), 1000);
+  a.consume(600, Time::zero());
+  EXPECT_EQ(a.bytes_available(Time::zero()), 400);
+  EXPECT_FALSE(a.finished(Time::zero()));
+  a.consume(400, Time::zero());
+  EXPECT_TRUE(a.finished(Time::zero()));
+}
+
+TEST(RateLimitedApp, AccruesAtConfiguredRate) {
+  sim::Scheduler sched;
+  RateLimitedApp a{sched, Rate::mbps(8)};  // 1 MB/s
+  a.on_start(Time::zero());
+  sched.run_until(Time::ms(100));
+  const ByteCount avail = a.bytes_available(sched.now());
+  EXPECT_NEAR(static_cast<double>(avail), 100'000.0, 1'500.0);
+}
+
+TEST(RateLimitedApp, ConsumeReducesBudget) {
+  sim::Scheduler sched;
+  RateLimitedApp a{sched, Rate::mbps(8), 50'000};
+  a.on_start(Time::zero());
+  sched.run_until(Time::ms(100));  // accrued 100 KB but budget is 50 KB
+  EXPECT_EQ(a.bytes_available(sched.now()), 50'000);
+  a.consume(50'000, sched.now());
+  EXPECT_TRUE(a.finished(sched.now()));
+}
+
+TEST(RateLimitedApp, NotifiesBlockedSender) {
+  sim::Scheduler sched;
+  RateLimitedApp a{sched, Rate::mbps(8)};
+  int notifications = 0;
+  a.set_data_ready_hook([&] { ++notifications; });
+  a.on_start(Time::zero());
+  sched.run_until(Time::ms(100));
+  EXPECT_GT(notifications, 5);
+}
+
+TEST(AbrVideoApp, StartsAtLowestRungAndRequestsChunk) {
+  sim::Scheduler sched;
+  AbrConfig cfg;
+  AbrVideoApp a{sched, cfg};
+  a.on_start(Time::zero());
+  EXPECT_DOUBLE_EQ(a.current_bitrate().to_mbps(), cfg.ladder.front().to_mbps());
+  // One chunk at the lowest rung: 0.35 Mbit/s * 2 s = 87,500 bytes.
+  EXPECT_EQ(a.bytes_available(Time::zero()), cfg.ladder.front().bytes_in(cfg.chunk_duration));
+}
+
+TEST(AbrVideoApp, UpswitchesWhenThroughputIsHigh) {
+  sim::Scheduler sched;
+  AbrVideoApp a{sched};
+  a.on_start(Time::zero());
+  // Simulate fast delivery: each chunk completes in 100 ms.
+  ByteCount delivered = 0;
+  Time t = Time::zero();
+  for (int chunk = 0; chunk < 8; ++chunk) {
+    const ByteCount sz = a.bytes_available(t);
+    ASSERT_GT(sz, 0);
+    a.consume(sz, t);
+    delivered += sz;
+    t += Time::ms(100);
+    sched.run_until(t);
+    a.on_delivered(delivered, t);
+  }
+  EXPECT_GT(a.current_bitrate().to_mbps(), 1.0);
+  EXPECT_GT(a.upswitches(), 0);
+}
+
+TEST(AbrVideoApp, DownswitchesWhenThroughputCollapses) {
+  sim::Scheduler sched;
+  AbrVideoApp a{sched};
+  a.on_start(Time::zero());
+  ByteCount delivered = 0;
+  Time t = Time::zero();
+  // First: fast chunks to climb the ladder.
+  for (int chunk = 0; chunk < 6; ++chunk) {
+    const ByteCount sz = a.bytes_available(t);
+    a.consume(sz, t);
+    delivered += sz;
+    t += Time::ms(100);
+    sched.run_until(t);
+    a.on_delivered(delivered, t);
+  }
+  const double high = a.current_bitrate().to_mbps();
+  // Then: chunks crawl (4 s each, slower than the 2 s playback drain).
+  for (int chunk = 0; chunk < 6; ++chunk) {
+    const ByteCount sz = a.bytes_available(t);
+    if (sz > 0) {
+      a.consume(sz, t);
+      delivered += sz;
+    }
+    t += Time::sec(4.0);
+    sched.run_until(t);
+    a.on_delivered(delivered, t);
+  }
+  EXPECT_LT(a.current_bitrate().to_mbps(), high);
+  EXPECT_GT(a.downswitches(), 0);
+}
+
+TEST(AbrVideoApp, BufferFillsAndCapsRequests) {
+  sim::Scheduler sched;
+  AbrConfig cfg;
+  cfg.max_buffer = Time::sec(10.0);
+  AbrVideoApp a{sched, cfg};
+  a.on_start(Time::zero());
+  ByteCount delivered = 0;
+  Time t = Time::zero();
+  // Deliver chunks instantly: buffer should grow to max then pause requests.
+  for (int chunk = 0; chunk < 12; ++chunk) {
+    const ByteCount sz = a.bytes_available(t);
+    if (sz == 0) break;  // buffer full, app idle: the app-limited "off" state
+    a.consume(sz, t);
+    delivered += sz;
+    t += Time::ms(50);
+    sched.run_until(t);
+    a.on_delivered(delivered, t);
+  }
+  EXPECT_LE(a.buffer_seconds(t), cfg.max_buffer.to_sec() + 2.0);
+  EXPECT_EQ(a.bytes_available(t), 0);  // idle despite being "live"
+}
+
+TEST(AbrVideoApp, RebufferAccountedWhenStarved) {
+  sim::Scheduler sched;
+  AbrVideoApp a{sched};
+  a.on_start(Time::zero());
+  // Never deliver anything; play out 10 s. (buffer_seconds() settles the
+  // playback clock; read it first, then the accumulated stall time.)
+  sched.run_until(Time::sec(10.0));
+  const double buffered = a.buffer_seconds(Time::sec(10.0));
+  EXPECT_NEAR(a.rebuffer_seconds() + buffered, 10.0, 0.5);
+  EXPECT_NEAR(buffered, 0.0, 0.01);
+}
+
+TEST(StopAtApp, CutsOffInnerAtDeadline) {
+  auto a = StopAtApp{std::make_unique<BulkApp>(), Time::sec(5.0)};
+  EXPECT_GT(a.bytes_available(Time::sec(4.9)), 0);
+  EXPECT_FALSE(a.finished(Time::sec(4.9)));
+  EXPECT_EQ(a.bytes_available(Time::sec(5.0)), 0);
+  EXPECT_TRUE(a.finished(Time::sec(5.0)));
+}
+
+TEST(StopAtApp, ForwardsNotifications) {
+  sim::Scheduler sched;
+  auto inner = std::make_unique<RateLimitedApp>(sched, Rate::mbps(8));
+  auto* inner_raw = inner.get();
+  StopAtApp outer{std::move(inner), Time::sec(60.0)};
+  int notified = 0;
+  outer.set_data_ready_hook([&] { ++notified; });
+  inner_raw->on_start(Time::zero());
+  sched.run_until(Time::ms(50));
+  EXPECT_GT(notified, 0);
+}
+
+}  // namespace
+}  // namespace ccc::app

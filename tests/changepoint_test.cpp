@@ -1,0 +1,237 @@
+// Unit + property tests for change-point detection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "changepoint/cost.hpp"
+#include "changepoint/detectors.hpp"
+#include "util/rng.hpp"
+
+namespace ccc::changepoint {
+namespace {
+
+std::vector<double> steps(const std::vector<std::pair<std::size_t, double>>& segments,
+                          double noise, Rng& rng) {
+  std::vector<double> x;
+  for (const auto& [len, level] : segments) {
+    for (std::size_t i = 0; i < len; ++i) x.push_back(level + rng.normal(0.0, noise));
+  }
+  return x;
+}
+
+bool has_cp_near(const std::vector<std::size_t>& cps, std::size_t where, std::size_t tol) {
+  for (auto c : cps) {
+    if (c + tol >= where && c <= where + tol) return true;
+  }
+  return false;
+}
+
+// ---------- costs ----------
+
+TEST(CostL2, ZeroForConstantSegment) {
+  CostL2 cost;
+  const std::vector<double> x(50, 3.0);
+  cost.fit(x);
+  EXPECT_NEAR(cost.cost(0, 50), 0.0, 1e-9);
+  EXPECT_NEAR(cost.cost(10, 30), 0.0, 1e-9);
+}
+
+TEST(CostL2, SplitsReduceCostAcrossAStep) {
+  CostL2 cost;
+  std::vector<double> x(40, 1.0);
+  for (std::size_t i = 20; i < 40; ++i) x[i] = 5.0;
+  cost.fit(x);
+  EXPECT_GT(cost.cost(0, 40), cost.cost(0, 20) + cost.cost(20, 40) + 1.0);
+}
+
+TEST(CostL2, MatchesDirectComputation) {
+  Rng rng{1};
+  std::vector<double> x;
+  for (int i = 0; i < 30; ++i) x.push_back(rng.uniform(0, 10));
+  CostL2 cost;
+  cost.fit(x);
+  // Direct SSE on [5, 25).
+  double mean = 0.0;
+  for (int i = 5; i < 25; ++i) mean += x[i];
+  mean /= 20.0;
+  double sse = 0.0;
+  for (int i = 5; i < 25; ++i) sse += (x[i] - mean) * (x[i] - mean);
+  EXPECT_NEAR(cost.cost(5, 25), sse, 1e-9);
+}
+
+TEST(CostNormal, PrefersSplittingVarianceChange) {
+  Rng rng{2};
+  std::vector<double> x;
+  for (int i = 0; i < 100; ++i) x.push_back(rng.normal(5.0, 0.1));
+  for (int i = 0; i < 100; ++i) x.push_back(rng.normal(5.0, 3.0));  // same mean!
+  CostNormal cost;
+  cost.fit(x);
+  EXPECT_GT(cost.cost(0, 200), cost.cost(0, 100) + cost.cost(100, 200) + 10.0);
+}
+
+TEST(NoiseSigma, EstimatesNoiseNotSteps) {
+  Rng rng{3};
+  // Big step, small noise: sigma estimate must reflect the noise.
+  const auto x = steps({{100, 10.0}, {100, 50.0}}, 0.5, rng);
+  EXPECT_NEAR(estimate_noise_sigma(x), 0.5, 0.2);
+}
+
+// ---------- PELT ----------
+
+TEST(Pelt, FindsSingleStep) {
+  Rng rng{4};
+  const auto x = steps({{60, 10.0}, {60, 20.0}}, 0.5, rng);
+  CostL2 cost;
+  cost.fit(x);
+  const auto cps = pelt(cost, bic_penalty(x.size(), 0.5));
+  ASSERT_FALSE(cps.empty());
+  EXPECT_TRUE(has_cp_near(cps, 60, 3)) << "got " << cps[0];
+}
+
+TEST(Pelt, FindsMultipleSteps) {
+  Rng rng{5};
+  const auto x = steps({{50, 5.0}, {50, 15.0}, {50, 8.0}}, 0.4, rng);
+  CostL2 cost;
+  cost.fit(x);
+  const auto cps = pelt(cost, bic_penalty(x.size(), 0.4));
+  EXPECT_TRUE(has_cp_near(cps, 50, 3));
+  EXPECT_TRUE(has_cp_near(cps, 100, 3));
+}
+
+TEST(Pelt, NoFalsePositivesOnStationaryNoise) {
+  Rng rng{6};
+  const auto x = steps({{300, 10.0}}, 1.0, rng);
+  CostL2 cost;
+  cost.fit(x);
+  const auto cps = pelt(cost, bic_penalty(x.size(), estimate_noise_sigma(x)));
+  EXPECT_TRUE(cps.empty());
+}
+
+TEST(Pelt, EmptyOnTinySignal) {
+  CostL2 cost;
+  cost.fit(std::vector<double>{1.0, 2.0});
+  EXPECT_TRUE(pelt(cost, 1.0).empty());
+}
+
+TEST(DetectMeanShifts, EndToEndHelper) {
+  Rng rng{7};
+  const auto x = steps({{80, 40.0}, {80, 18.0}}, 1.0, rng);
+  const auto cps = detect_mean_shifts(x);
+  ASSERT_FALSE(cps.empty());
+  EXPECT_TRUE(has_cp_near(cps, 80, 4));
+}
+
+TEST(DetectMeanShifts, SensitivityControlsDetections) {
+  Rng rng{8};
+  // Modest step at index 100.
+  const auto x = steps({{100, 10.0}, {100, 12.0}}, 1.0, rng);
+  const auto strict = detect_mean_shifts(x, 8.0);
+  const auto loose = detect_mean_shifts(x, 0.3);
+  EXPECT_LE(strict.size(), loose.size());
+}
+
+// Property sweep: PELT localizes a single step across magnitudes and
+// positions.
+struct StepCase {
+  std::size_t before;
+  std::size_t after;
+  double delta;
+};
+
+class PeltLocalization : public ::testing::TestWithParam<StepCase> {};
+
+TEST_P(PeltLocalization, LocalizesWithinTolerance) {
+  const auto& p = GetParam();
+  Rng rng{42};
+  const auto x = steps({{p.before, 10.0}, {p.after, 10.0 + p.delta}}, 0.5, rng);
+  const auto cps = detect_mean_shifts(x);
+  ASSERT_FALSE(cps.empty()) << "missed step of " << p.delta;
+  EXPECT_TRUE(has_cp_near(cps, p.before, 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PeltLocalization,
+                         ::testing::Values(StepCase{40, 40, 5.0}, StepCase{40, 40, -5.0},
+                                           StepCase{30, 90, 3.0}, StepCase{90, 30, 3.0},
+                                           StepCase{60, 60, 10.0}, StepCase{25, 25, 4.0}));
+
+// ---------- binary segmentation ----------
+
+TEST(BinSeg, AgreesWithPeltOnCleanSteps) {
+  Rng rng{9};
+  const auto x = steps({{50, 5.0}, {50, 25.0}}, 0.3, rng);
+  CostL2 cost;
+  cost.fit(x);
+  const double pen = bic_penalty(x.size(), 0.3);
+  const auto a = pelt(cost, pen);
+  const auto b = binary_segmentation(cost, pen);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_NEAR(static_cast<double>(a[0]), static_cast<double>(b[0]), 3.0);
+}
+
+TEST(BinSeg, RespectsMaxChanges) {
+  Rng rng{10};
+  const auto x = steps({{30, 1.0}, {30, 9.0}, {30, 1.0}, {30, 9.0}, {30, 1.0}}, 0.2, rng);
+  CostL2 cost;
+  cost.fit(x);
+  const auto cps = binary_segmentation(cost, 1.0, /*max_changes=*/1);
+  EXPECT_LE(cps.size(), 1u);
+}
+
+// ---------- sliding window ----------
+
+TEST(SlidingWindow, FindsStepWithCoarseLocalization) {
+  Rng rng{11};
+  const auto x = steps({{80, 10.0}, {80, 25.0}}, 0.5, rng);
+  CostL2 cost;
+  cost.fit(x);
+  const auto cps = sliding_window(cost, 20, bic_penalty(x.size(), 0.5));
+  ASSERT_FALSE(cps.empty());
+  EXPECT_TRUE(has_cp_near(cps, 80, 10));
+}
+
+TEST(SlidingWindow, QuietOnStationarySignal) {
+  Rng rng{12};
+  const auto x = steps({{200, 10.0}}, 0.5, rng);
+  CostL2 cost;
+  cost.fit(x);
+  EXPECT_TRUE(sliding_window(cost, 20, bic_penalty(x.size(), 0.5)).empty());
+}
+
+// ---------- CUSUM ----------
+
+TEST(Cusum, AlarmsAfterMeanShift) {
+  Rng rng{13};
+  // k = 0.5 sigma, h = 10 sigma: long in-control ARL, detection delay
+  // ~ h/(shift - k) = 4 samples for a 3-sigma shift.
+  Cusum det{10.0, 0.5, 10.0};
+  bool alarmed = false;
+  std::size_t alarm_at = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const double x = (i < 100 ? 10.0 : 13.0) + rng.normal(0.0, 1.0);
+    if (det.add(x) && !alarmed) {
+      alarmed = true;
+      alarm_at = i;
+    }
+  }
+  ASSERT_TRUE(alarmed);
+  EXPECT_GE(alarm_at, 100u);
+  EXPECT_LE(alarm_at, 120u);  // quick detection
+}
+
+TEST(Cusum, QuietInControl) {
+  Rng rng{14};
+  Cusum det{10.0, 1.0, 8.0};
+  for (std::size_t i = 0; i < 500; ++i) det.add(10.0 + rng.normal(0.0, 1.0));
+  EXPECT_TRUE(det.alarms().empty());
+}
+
+TEST(Cusum, DetectsDownwardShiftToo) {
+  Cusum det{10.0, 0.5, 4.0};
+  bool alarmed = false;
+  for (std::size_t i = 0; i < 50; ++i) alarmed |= det.add(6.0);
+  EXPECT_TRUE(alarmed);
+}
+
+}  // namespace
+}  // namespace ccc::changepoint

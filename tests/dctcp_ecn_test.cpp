@@ -1,0 +1,192 @@
+// Tests for ECN marking in qdiscs and the DCTCP CCA (§2.3's datacenter
+// mechanism).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/bulk.hpp"
+#include "cca/dctcp.hpp"
+#include "cca/new_reno.hpp"
+#include "core/dumbbell.hpp"
+#include "queue/codel.hpp"
+#include "queue/drop_tail.hpp"
+#include "util/stats.hpp"
+
+namespace ccc {
+namespace {
+
+sim::Packet ect_pkt(ByteCount size) {
+  sim::Packet p;
+  p.flow = 1;
+  p.size_bytes = size;
+  p.ecn_capable = true;
+  return p;
+}
+
+// ---------- qdisc ECN marking ----------
+
+TEST(EcnMarking, DropTailMarksAboveThreshold) {
+  queue::DropTailQueue q{100'000, /*ecn_threshold=*/5'000};
+  // Below threshold: no marks.
+  q.enqueue(ect_pkt(1500), Time::zero());
+  EXPECT_EQ(q.stats().ecn_marked_packets, 0u);
+  // Fill past the threshold: subsequent ECT packets are CE-marked.
+  for (int i = 0; i < 4; ++i) q.enqueue(ect_pkt(1500), Time::zero());
+  EXPECT_GT(q.stats().ecn_marked_packets, 0u);
+  // Marked packets are still delivered, not dropped.
+  EXPECT_EQ(q.stats().dropped_packets, 0u);
+  int marked = 0;
+  while (auto p = q.dequeue(Time::zero())) marked += p->ecn_marked;
+  EXPECT_GT(marked, 0);
+}
+
+TEST(EcnMarking, DropTailIgnoresNonEctPackets) {
+  queue::DropTailQueue q{100'000, 2'000};
+  sim::Packet p;
+  p.flow = 1;
+  p.size_bytes = 1500;
+  p.ecn_capable = false;
+  for (int i = 0; i < 10; ++i) q.enqueue(p, Time::zero());
+  EXPECT_EQ(q.stats().ecn_marked_packets, 0u);
+}
+
+TEST(EcnMarking, CoDelMarksInsteadOfDropping) {
+  queue::CoDelQueue q{1 << 22};
+  // Build a persistent standing queue of ECT packets.
+  Time now = Time::zero();
+  std::uint64_t delivered = 0;
+  std::uint64_t marked = 0;
+  for (int step = 0; step < 4000; ++step) {
+    now = Time::ms(step);
+    q.enqueue(ect_pkt(1000), now);
+    if (step % 2 == 0) {
+      if (auto p = q.dequeue(now)) {
+        ++delivered;
+        marked += p->ecn_marked;
+      }
+    }
+  }
+  EXPECT_GT(q.stats().ecn_marked_packets, 0u);
+  EXPECT_EQ(q.stats().dropped_packets, 0u);  // all pain delivered as marks
+  EXPECT_GT(marked, 0u);
+}
+
+// ---------- DCTCP unit behaviour ----------
+
+cca::AckEvent mk_ack(Time now, ByteCount bytes, bool ece) {
+  cca::AckEvent ev;
+  ev.now = now;
+  ev.newly_acked_bytes = bytes;
+  ev.rtt_sample = Time::ms(1);
+  ev.ecn_echo = ece;
+  return ev;
+}
+
+TEST(Dctcp, SlowStartsUntilFirstMark) {
+  cca::Dctcp cc;
+  const ByteCount start = cc.cwnd_bytes();
+  cc.on_ack(mk_ack(Time::ms(1), start, false));
+  EXPECT_EQ(cc.cwnd_bytes(), 2 * start);
+}
+
+TEST(Dctcp, AlphaTracksMarkedFraction) {
+  cca::Dctcp cc{10 * sim::kMss, sim::kMss, /*g=*/0.5};
+  // Several windows with ~50% of bytes marked: alpha approaches 0.5.
+  Time t = Time::zero();
+  for (int w = 0; w < 12; ++w) {
+    for (int i = 0; i < 20; ++i) {
+      t += Time::us(100);
+      cc.on_ack(mk_ack(t, sim::kMss, i % 2 == 0));
+    }
+  }
+  EXPECT_NEAR(cc.alpha(), 0.5, 0.15);
+}
+
+TEST(Dctcp, FullMarkingHalvesLikeReno) {
+  cca::Dctcp cc{40 * sim::kMss, sim::kMss, /*g=*/1.0};
+  // One full window of 100%-marked ACKs: alpha -> 1, cwnd *= 1/2.
+  Time t = Time::zero();
+  const ByteCount before = cc.cwnd_bytes();
+  ByteCount acked = 0;
+  while (acked < before + sim::kMss) {
+    t += Time::us(50);
+    cc.on_ack(mk_ack(t, sim::kMss, true));
+    acked += sim::kMss;
+  }
+  EXPECT_NEAR(static_cast<double>(cc.cwnd_bytes()), static_cast<double>(before) / 2.0,
+              2.0 * sim::kMss);
+}
+
+TEST(Dctcp, SparseMarkingCutsGently) {
+  cca::Dctcp cc{40 * sim::kMss, sim::kMss, /*g=*/1.0};
+  Time t = Time::zero();
+  const ByteCount before = cc.cwnd_bytes();
+  // 10% of bytes marked over one window: cut ~= alpha/2 = 5%.
+  ByteCount acked = 0;
+  int i = 0;
+  while (acked < before + sim::kMss) {
+    t += Time::us(50);
+    cc.on_ack(mk_ack(t, sim::kMss, (i++ % 10) == 0));
+    acked += sim::kMss;
+  }
+  EXPECT_GT(cc.cwnd_bytes(), static_cast<ByteCount>(0.85 * before));
+  EXPECT_LT(cc.cwnd_bytes(), before + sim::kMss);
+}
+
+TEST(Dctcp, WantsEcn) {
+  cca::Dctcp cc;
+  EXPECT_TRUE(cc.wants_ecn());
+  cca::NewReno reno;
+  EXPECT_FALSE(reno.wants_ecn());
+}
+
+// ---------- end to end ----------
+
+TEST(Dctcp, KeepsQueueNearMarkingThreshold) {
+  core::DumbbellConfig cfg;
+  cfg.bottleneck_rate = Rate::mbps(400);
+  cfg.one_way_delay = Time::us(50);
+  cfg.reverse_delay = Time::us(50);
+  const ByteCount kThreshold = 20 * sim::kFullPacket;
+  auto q = std::make_unique<queue::DropTailQueue>(200 * sim::kFullPacket, kThreshold);
+  core::DumbbellScenario net{cfg, std::move(q)};
+  for (int i = 0; i < 4; ++i) {
+    net.add_flow(std::make_unique<cca::Dctcp>(), std::make_unique<app::BulkApp>());
+  }
+  net.run_until(Time::ms(500));
+  const auto snap = net.snapshot_delivered();
+  // Sample queue depth over the steady state.
+  std::vector<double> depth;
+  for (int i = 0; i < 200; ++i) {
+    net.run_until(Time::ms(500 + 5 * (i + 1)));
+    depth.push_back(static_cast<double>(net.bottleneck().qdisc().backlog_packets()));
+  }
+  const auto g = net.goodputs_mbps_since(snap, Time::ms(1000));
+  double total = 0.0;
+  for (double x : g) total += x;
+  EXPECT_GT(total, 350.0);  // high utilization
+  EXPECT_LT(median(depth), 40.0);  // queue pinned near K, far below the buffer
+  EXPECT_EQ(net.bottleneck().qdisc().stats().dropped_packets, 0u);
+  EXPECT_GT(net.bottleneck().qdisc().stats().ecn_marked_packets, 0u);
+}
+
+TEST(Dctcp, EndToEndEcnEchoPath) {
+  // The full loop: sender marks ECT, queue CE-marks, receiver echoes ECE,
+  // DCTCP's alpha rises above zero.
+  core::DumbbellConfig cfg;
+  cfg.bottleneck_rate = Rate::mbps(100);
+  cfg.one_way_delay = Time::us(100);
+  cfg.reverse_delay = Time::us(100);
+  auto q = std::make_unique<queue::DropTailQueue>(200 * sim::kFullPacket,
+                                                  10 * sim::kFullPacket);
+  core::DumbbellScenario net{cfg, std::move(q)};
+  net.add_flow(std::make_unique<cca::Dctcp>(), std::make_unique<app::BulkApp>());
+  net.run_until(Time::ms(400));
+  const auto* cc = dynamic_cast<const cca::Dctcp*>(&net.flow(0).sender().cc());
+  ASSERT_NE(cc, nullptr);
+  EXPECT_GT(cc->alpha(), 0.0);
+  EXPECT_GT(net.bottleneck().qdisc().stats().ecn_marked_packets, 0u);
+}
+
+}  // namespace
+}  // namespace ccc

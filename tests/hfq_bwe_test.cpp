@@ -1,0 +1,305 @@
+// Tests for the Recursive-Congestion-Shares qdisc (hierarchical weighted FQ,
+// §5.3) and the BwE-style allocator/enforcer (§2.1).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "app/bulk.hpp"
+#include "bwe/allocator.hpp"
+#include "bwe/capped_cca.hpp"
+#include "bwe/enforcer.hpp"
+#include "cca/cubic.hpp"
+#include "core/cca_registry.hpp"
+#include "core/dumbbell.hpp"
+#include "queue/hierarchical_fq.hpp"
+
+namespace ccc {
+namespace {
+
+sim::Packet pkt(sim::FlowId flow, ByteCount size = 1000) {
+  sim::Packet p;
+  p.flow = flow;
+  p.size_bytes = size;
+  return p;
+}
+
+// ---------- HierarchicalFairQueue ----------
+
+TEST(Hfq, WeightedSplitBetweenTwoLeaves) {
+  // root -> {a: weight 3, b: weight 1}: service splits 3:1 by bytes.
+  queue::HierarchicalFairQueue q{1 << 22, [](const sim::Packet& p) {
+                                   return static_cast<queue::ClassId>(p.flow);
+                                 }};
+  const auto a = q.add_class(queue::kRootClass, 3.0, "a");
+  const auto b = q.add_class(queue::kRootClass, 1.0, "b");
+  ASSERT_EQ(a, 1u);
+  ASSERT_EQ(b, 2u);
+  for (int i = 0; i < 400; ++i) {
+    q.enqueue(pkt(a), Time::zero());
+    q.enqueue(pkt(b), Time::zero());
+  }
+  // Serve 200 packets' worth.
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(q.dequeue(Time::zero()).has_value());
+  const double ratio = static_cast<double>(q.bytes_served(a)) /
+                       static_cast<double>(q.bytes_served(b));
+  EXPECT_NEAR(ratio, 3.0, 0.4);
+}
+
+TEST(Hfq, RecursiveSharesFollowTheTree) {
+  // ISP link: customer X pays 2x customer Y. X runs two services (3:1),
+  // Y runs one. All backlogged: X gets 2/3 (split 3:1 inside), Y gets 1/3.
+  queue::HierarchicalFairQueue q{1 << 22, [](const sim::Packet& p) {
+                                   return static_cast<queue::ClassId>(p.flow);
+                                 }};
+  const auto x = q.add_class(queue::kRootClass, 2.0, "X");
+  const auto y = q.add_class(queue::kRootClass, 1.0, "Y");
+  const auto x1 = q.add_class(x, 3.0, "X.video");
+  const auto x2 = q.add_class(x, 1.0, "X.backup");
+  const auto y1 = q.add_class(y, 1.0, "Y.web");
+  for (int i = 0; i < 600; ++i) {
+    q.enqueue(pkt(x1), Time::zero());
+    q.enqueue(pkt(x2), Time::zero());
+    q.enqueue(pkt(y1), Time::zero());
+  }
+  for (int i = 0; i < 600; ++i) ASSERT_TRUE(q.dequeue(Time::zero()).has_value());
+  const double total = static_cast<double>(q.bytes_served(queue::kRootClass));
+  EXPECT_NEAR(q.bytes_served(x) / total, 2.0 / 3.0, 0.05);
+  EXPECT_NEAR(q.bytes_served(y) / total, 1.0 / 3.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(q.bytes_served(x1)) / q.bytes_served(x2), 3.0, 0.5);
+}
+
+TEST(Hfq, UnusedShareFallsThrough) {
+  // Y idle: X gets the full link rate (work conservation). X's *buffer*
+  // budget is still its weight share (1/4 here), so stay within it.
+  queue::HierarchicalFairQueue q{1 << 20, [](const sim::Packet& p) {
+                                   return static_cast<queue::ClassId>(p.flow);
+                                 }};
+  const auto x = q.add_class(queue::kRootClass, 1.0, "X");
+  q.add_class(queue::kRootClass, 3.0, "Y");  // bigger weight but no traffic
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(q.enqueue(pkt(x), Time::zero()));
+  }
+  int served = 0;
+  while (q.dequeue(Time::zero()).has_value()) ++served;
+  EXPECT_EQ(served, 50);
+}
+
+TEST(Hfq, LeafBudgetTracksWeightShare) {
+  queue::HierarchicalFairQueue q{100'000, [](const sim::Packet& p) {
+                                   return static_cast<queue::ClassId>(p.flow);
+                                 }};
+  const auto big = q.add_class(queue::kRootClass, 4.0, "big");
+  const auto small = q.add_class(queue::kRootClass, 1.0, "small");
+  EXPECT_NEAR(q.leaf_share(big), 0.8, 1e-9);
+  EXPECT_NEAR(q.leaf_share(small), 0.2, 1e-9);
+  // big can buffer ~80 KB; small only ~20 KB.
+  int big_admitted = 0;
+  int small_admitted = 0;
+  for (int i = 0; i < 100; ++i) {
+    big_admitted += q.enqueue(pkt(big), Time::zero());
+    small_admitted += q.enqueue(pkt(small), Time::zero());
+  }
+  EXPECT_NEAR(big_admitted, 80, 2);
+  EXPECT_NEAR(small_admitted, 20, 2);
+}
+
+TEST(Hfq, UnknownClassIsDropped) {
+  queue::HierarchicalFairQueue q{1 << 22, [](const sim::Packet&) {
+                                   return static_cast<queue::ClassId>(42);
+                                 }};
+  EXPECT_FALSE(q.enqueue(pkt(1), Time::zero()));
+  EXPECT_EQ(q.unclassified_drops(), 1u);
+}
+
+TEST(Hfq, InteriorClassRejectsTraffic) {
+  queue::HierarchicalFairQueue q{1 << 22, [](const sim::Packet& p) {
+                                   return static_cast<queue::ClassId>(p.flow);
+                                 }};
+  const auto x = q.add_class(queue::kRootClass, 1.0);
+  q.add_class(x, 1.0);  // x becomes interior
+  EXPECT_FALSE(q.enqueue(pkt(x), Time::zero()));
+  EXPECT_EQ(q.unclassified_drops(), 1u);
+}
+
+TEST(Hfq, BufferStealingProtectsLightLeaves) {
+  queue::HierarchicalFairQueue q{10'000, [](const sim::Packet& p) {
+                                   return static_cast<queue::ClassId>(p.flow);
+                                 }};
+  const auto a = q.add_class(queue::kRootClass, 1.0);
+  const auto b = q.add_class(queue::kRootClass, 1.0);
+  for (int i = 0; i < 50; ++i) q.enqueue(pkt(a), Time::zero());  // flood
+  q.enqueue(pkt(b), Time::zero());
+  int b_survived = 0;
+  while (auto p = q.dequeue(Time::zero())) b_survived += p->flow == b;
+  EXPECT_EQ(b_survived, 1);
+}
+
+TEST(Hfq, ConservesPacketsUnderChurn) {
+  queue::HierarchicalFairQueue q{40'000, [](const sim::Packet& p) {
+                                   return static_cast<queue::ClassId>(p.flow);
+                                 }};
+  const auto x = q.add_class(queue::kRootClass, 2.0);
+  std::vector<queue::ClassId> leaves{q.add_class(x, 1.0), q.add_class(x, 2.0),
+                                     q.add_class(queue::kRootClass, 1.0)};
+  Rng rng{5};
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.chance(0.6)) {
+      const auto leaf = leaves[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+      q.enqueue(pkt(leaf, rng.uniform_int(100, 1500)), Time::zero());
+      ++offered;
+    }
+    if (rng.chance(0.5) && q.dequeue(Time::zero()).has_value()) ++delivered;
+  }
+  while (q.dequeue(Time::zero()).has_value()) ++delivered;
+  EXPECT_EQ(offered, delivered + q.stats().dropped_packets);
+  EXPECT_EQ(q.backlog_packets(), 0u);
+  EXPECT_EQ(q.backlog_bytes(), 0);
+}
+
+TEST(Hfq, RejectsBadConfiguration) {
+  queue::HierarchicalFairQueue q{1 << 20, [](const sim::Packet& p) {
+                                   return static_cast<queue::ClassId>(p.flow);
+                                 }};
+  EXPECT_THROW((void)q.add_class(99, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)q.add_class(queue::kRootClass, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)q.add_class(queue::kRootClass, -1.0), std::invalid_argument);
+}
+
+// ---------- BwE allocator ----------
+
+TEST(BweAllocator, SplitsByWeightWhenAllHungry) {
+  bwe::Allocator a;
+  const auto s1 = a.add_entity(bwe::kRootEntity, 3.0, "prod");
+  const auto s2 = a.add_entity(bwe::kRootEntity, 1.0, "batch");
+  a.set_demand(s1, Rate::mbps(1000));
+  a.set_demand(s2, Rate::mbps(1000));
+  a.solve(Rate::mbps(100));
+  EXPECT_NEAR(a.allocation_of(s1).to_mbps(), 75.0, 0.5);
+  EXPECT_NEAR(a.allocation_of(s2).to_mbps(), 25.0, 0.5);
+}
+
+TEST(BweAllocator, DemandCapsAndSpareRedistribution) {
+  bwe::Allocator a;
+  const auto s1 = a.add_entity(bwe::kRootEntity, 1.0);
+  const auto s2 = a.add_entity(bwe::kRootEntity, 1.0);
+  const auto s3 = a.add_entity(bwe::kRootEntity, 1.0);
+  a.set_demand(s1, Rate::mbps(10));   // asks far below its fair share
+  a.set_demand(s2, Rate::mbps(500));
+  a.set_demand(s3, Rate::mbps(500));
+  a.solve(Rate::mbps(100));
+  EXPECT_NEAR(a.allocation_of(s1).to_mbps(), 10.0, 0.1);  // never above demand
+  EXPECT_NEAR(a.allocation_of(s2).to_mbps(), 45.0, 0.5);  // spare re-divides
+  EXPECT_NEAR(a.allocation_of(s3).to_mbps(), 45.0, 0.5);
+}
+
+TEST(BweAllocator, HierarchyAllocatesRecursively) {
+  bwe::Allocator a;
+  const auto org1 = a.add_entity(bwe::kRootEntity, 2.0, "org1");
+  const auto org2 = a.add_entity(bwe::kRootEntity, 1.0, "org2");
+  const auto t11 = a.add_entity(org1, 1.0);
+  const auto t12 = a.add_entity(org1, 1.0);
+  const auto t21 = a.add_entity(org2, 1.0);
+  for (auto t : {t11, t12, t21}) a.set_demand(t, Rate::mbps(1000));
+  a.solve(Rate::mbps(90));
+  EXPECT_NEAR(a.allocation_of(org1).to_mbps(), 60.0, 0.5);
+  EXPECT_NEAR(a.allocation_of(t11).to_mbps(), 30.0, 0.5);
+  EXPECT_NEAR(a.allocation_of(t12).to_mbps(), 30.0, 0.5);
+  EXPECT_NEAR(a.allocation_of(t21).to_mbps(), 30.0, 0.5);
+}
+
+TEST(BweAllocator, WorkConservingUpToDemand) {
+  bwe::Allocator a;
+  const auto s1 = a.add_entity(bwe::kRootEntity, 1.0);
+  const auto s2 = a.add_entity(bwe::kRootEntity, 1.0);
+  a.set_demand(s1, Rate::mbps(20));
+  a.set_demand(s2, Rate::mbps(30));
+  a.solve(Rate::mbps(100));
+  // Total demand below capacity: everyone gets exactly their demand.
+  EXPECT_NEAR(a.allocation_of(s1).to_mbps(), 20.0, 0.1);
+  EXPECT_NEAR(a.allocation_of(s2).to_mbps(), 30.0, 0.1);
+  EXPECT_NEAR(a.allocation_of(bwe::kRootEntity).to_mbps(), 50.0, 0.2);
+}
+
+TEST(BweAllocator, RejectsBadUsage) {
+  bwe::Allocator a;
+  const auto s1 = a.add_entity(bwe::kRootEntity, 1.0);
+  const auto child = a.add_entity(s1, 1.0);
+  (void)child;
+  EXPECT_THROW(a.set_demand(s1, Rate::mbps(1)), std::invalid_argument);  // interior
+  EXPECT_THROW((void)a.add_entity(999, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)a.add_entity(bwe::kRootEntity, -2.0), std::invalid_argument);
+}
+
+// ---------- CappedCca + Enforcer end to end ----------
+
+TEST(BweEnforcer, CapsPinFlowThroughput) {
+  core::DumbbellConfig cfg;
+  cfg.bottleneck_rate = Rate::mbps(50);
+  cfg.one_way_delay = Time::ms(10);
+  cfg.reverse_delay = Time::ms(10);
+  core::DumbbellScenario net{cfg};
+
+  bwe::Allocator alloc;
+  const auto prod = alloc.add_entity(bwe::kRootEntity, 3.0, "prod");
+  const auto batch = alloc.add_entity(bwe::kRootEntity, 1.0, "batch");
+
+  auto cc1 = std::make_unique<bwe::CappedCca>(core::make_cca_factory("cubic")());
+  auto cc2 = std::make_unique<bwe::CappedCca>(core::make_cca_factory("cubic")());
+  auto* cap1 = cc1.get();
+  auto* cap2 = cc2.get();
+  net.add_flow(std::move(cc1), std::make_unique<app::BulkApp>(), 1);
+  net.add_flow(std::move(cc2), std::make_unique<app::BulkApp>(), 2);
+
+  bwe::Enforcer enforcer{net.scheduler(), alloc, cfg.bottleneck_rate};
+  // Both report saturated demand.
+  enforcer.bind(prod, *cap1, [] { return Rate::mbps(1000); });
+  enforcer.bind(batch, *cap2, [] { return Rate::mbps(1000); });
+  enforcer.start(Time::zero());
+
+  net.run_until(Time::sec(5.0));
+  const auto snap = net.snapshot_delivered();
+  net.run_until(Time::sec(25.0));
+  const auto g = net.goodputs_mbps_since(snap, Time::sec(20.0));
+  // Weighted 3:1 split of the 95%-headroom capacity, with identical CCAs —
+  // the allocation is the *policy's*, not the contention outcome (which
+  // would be 1:1).
+  EXPECT_NEAR(g[0] / (g[0] + g[1]), 0.75, 0.05) << g[0] << "/" << g[1];
+  EXPECT_GT(enforcer.rounds(), 40u);
+}
+
+TEST(BweEnforcer, IdleDemandFreesCapacityForSiblings) {
+  core::DumbbellConfig cfg;
+  cfg.bottleneck_rate = Rate::mbps(50);
+  cfg.one_way_delay = Time::ms(10);
+  cfg.reverse_delay = Time::ms(10);
+  core::DumbbellScenario net{cfg};
+
+  bwe::Allocator alloc;
+  const auto a = alloc.add_entity(bwe::kRootEntity, 1.0);
+  const auto b = alloc.add_entity(bwe::kRootEntity, 1.0);
+
+  auto cc1 = std::make_unique<bwe::CappedCca>(core::make_cca_factory("cubic")());
+  auto cc2 = std::make_unique<bwe::CappedCca>(core::make_cca_factory("cubic")());
+  auto* cap1 = cc1.get();
+  auto* cap2 = cc2.get();
+  net.add_flow(std::move(cc1), std::make_unique<app::BulkApp>(), 1);
+  net.add_flow(std::move(cc2), std::make_unique<app::BulkApp>(), 2);
+
+  bwe::Enforcer enforcer{net.scheduler(), alloc, cfg.bottleneck_rate};
+  enforcer.bind(a, *cap1, [] { return Rate::mbps(1000); });
+  enforcer.bind(b, *cap2, [] { return Rate::mbps(5); });  // mostly idle
+  enforcer.start(Time::zero());
+
+  net.run_until(Time::sec(5.0));
+  const auto snap = net.snapshot_delivered();
+  net.run_until(Time::sec(20.0));
+  const auto g = net.goodputs_mbps_since(snap, Time::sec(15.0));
+  EXPECT_GT(g[0], 38.0);          // hungry flow gets nearly everything
+  EXPECT_NEAR(g[1], 5.0, 1.0);    // idle one pinned at its demand
+}
+
+}  // namespace
+}  // namespace ccc

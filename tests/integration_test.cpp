@@ -1,0 +1,185 @@
+// Integration tests: whole-system behaviours that the paper's argument
+// rests on, each run as a miniature version of a bench experiment.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/fairness.hpp"
+#include "app/bulk.hpp"
+#include "app/stop_at.hpp"
+#include "cca/bbr.hpp"
+#include "cca/cubic.hpp"
+#include "cca/new_reno.hpp"
+#include "cca/vegas.hpp"
+#include "core/cca_registry.hpp"
+#include "core/dumbbell.hpp"
+#include "core/elasticity_study.hpp"
+#include "nimbus/nimbus.hpp"
+#include "queue/drr_fair_queue.hpp"
+#include "queue/per_user_isolation.hpp"
+#include "queue/token_bucket.hpp"
+
+namespace ccc {
+namespace {
+
+core::DumbbellConfig net40() {
+  core::DumbbellConfig cfg;
+  cfg.bottleneck_rate = Rate::mbps(40);
+  cfg.one_way_delay = Time::ms(20);
+  cfg.reverse_delay = Time::ms(20);
+  cfg.buffer_bdp_multiple = 2.0;
+  return cfg;
+}
+
+ByteCount buf40() { return core::dumbbell_buffer_bytes(net40()); }
+
+// --- §2.1: fair queueing removes CCA identity from the outcome ---
+
+TEST(Integration, FqEqualizesMismatchedCcas) {
+  core::DumbbellScenario net{net40(), std::make_unique<queue::DrrFairQueue>(
+                                          buf40(), queue::FairnessKey::kPerFlow)};
+  net.add_flow(std::make_unique<cca::Bbr>(), std::make_unique<app::BulkApp>());
+  net.add_flow(std::make_unique<cca::NewReno>(), std::make_unique<app::BulkApp>());
+  net.add_flow(std::make_unique<cca::Vegas>(), std::make_unique<app::BulkApp>());
+  net.run_until(Time::sec(10.0));
+  const auto snap = net.snapshot_delivered();
+  net.run_until(Time::sec(40.0));
+  const auto g = net.goodputs_mbps_since(snap, Time::sec(30.0));
+  const auto s = analysis::summarize_allocation(g);
+  EXPECT_GT(s.jain, 0.95) << g[0] << " " << g[1] << " " << g[2];
+}
+
+TEST(Integration, DropTailLetsBbrDominateReno) {
+  // The §1 / ref [2] behaviour: BBR takes far more than its fair share from
+  // loss-based flows in a FIFO queue — most pronounced at shallow buffers,
+  // where loss-based flows keep cutting while BBR ignores the drops.
+  auto cfg = net40();
+  cfg.buffer_bdp_multiple = 1.0;
+  core::DumbbellScenario net{cfg};
+  net.add_flow(std::make_unique<cca::Bbr>(), std::make_unique<app::BulkApp>());
+  net.add_flow(std::make_unique<cca::NewReno>(), std::make_unique<app::BulkApp>());
+  net.run_until(Time::sec(10.0));
+  const auto snap = net.snapshot_delivered();
+  net.run_until(Time::sec(40.0));
+  const auto g = net.goodputs_mbps_since(snap, Time::sec(30.0));
+  EXPECT_GT(g[0], g[1] * 1.5) << "bbr=" << g[0] << " reno=" << g[1];
+}
+
+TEST(Integration, VegasStarvesUnderDropTailButNotFq) {
+  double vegas_droptail = 0.0;
+  double vegas_fq = 0.0;
+  {
+    core::DumbbellScenario net{net40()};
+    net.add_flow(std::make_unique<cca::Vegas>(), std::make_unique<app::BulkApp>());
+    net.add_flow(std::make_unique<cca::Cubic>(), std::make_unique<app::BulkApp>());
+    net.run_until(Time::sec(10.0));
+    const auto snap = net.snapshot_delivered();
+    net.run_until(Time::sec(30.0));
+    vegas_droptail = net.goodputs_mbps_since(snap, Time::sec(20.0))[0];
+  }
+  {
+    core::DumbbellScenario net{net40(), std::make_unique<queue::DrrFairQueue>(
+                                            buf40(), queue::FairnessKey::kPerFlow)};
+    net.add_flow(std::make_unique<cca::Vegas>(), std::make_unique<app::BulkApp>());
+    net.add_flow(std::make_unique<cca::Cubic>(), std::make_unique<app::BulkApp>());
+    net.run_until(Time::sec(10.0));
+    const auto snap = net.snapshot_delivered();
+    net.run_until(Time::sec(30.0));
+    vegas_fq = net.goodputs_mbps_since(snap, Time::sec(20.0))[0];
+  }
+  EXPECT_GT(vegas_fq, vegas_droptail * 1.5)
+      << "droptail=" << vegas_droptail << " fq=" << vegas_fq;
+  EXPECT_GT(vegas_fq, 15.0);  // ~half of 40 Mbit/s
+}
+
+// --- §2.1: per-user shaping pins each user to their contract ---
+
+TEST(Integration, PerUserContractsBindRegardlessOfFlowCount) {
+  // Per-user buffer of ~100 ms at the contracted rate (a realistic shaper
+  // depth; anything much deeper puts sojourn times past the min RTO).
+  const ByteCount per_user_buf = bdp_bytes(Rate::mbps(10), Time::ms(100));
+  auto iso = std::make_unique<queue::PerUserIsolation>(Rate::mbps(10), 30'000, per_user_buf);
+  iso->set_contract(1, Rate::mbps(10));
+  iso->set_contract(2, Rate::mbps(10));
+  core::DumbbellScenario net{net40(), std::move(iso)};
+  // User 1 opens three flows, user 2 one: both still get ~10 Mbit/s total.
+  net.add_flow(std::make_unique<cca::Cubic>(), std::make_unique<app::BulkApp>(), 1);
+  net.add_flow(std::make_unique<cca::Cubic>(), std::make_unique<app::BulkApp>(), 1);
+  net.add_flow(std::make_unique<cca::Cubic>(), std::make_unique<app::BulkApp>(), 1);
+  net.add_flow(std::make_unique<cca::Cubic>(), std::make_unique<app::BulkApp>(), 2);
+  net.run_until(Time::sec(10.0));
+  const auto snap = net.snapshot_delivered();
+  net.run_until(Time::sec(50.0));
+  const auto g = net.goodputs_mbps_since(snap, Time::sec(40.0));
+  const double user1 = g[0] + g[1] + g[2];
+  const double user2 = g[3];
+  EXPECT_NEAR(user1, 10.0, 2.0);
+  EXPECT_NEAR(user2, 10.0, 2.0);
+}
+
+// --- §3.2: the elasticity probe classifies cross traffic correctly ---
+
+TEST(Integration, ElasticityHighAgainstBackloggedReno) {
+  core::DumbbellConfig dc;
+  dc.bottleneck_rate = Rate::mbps(48);
+  dc.one_way_delay = Time::ms(50);
+  dc.reverse_delay = Time::ms(50);
+  dc.buffer_bdp_multiple = 1.5;
+  core::DumbbellScenario net{dc};
+  nimbus::NimbusConfig ncfg;
+  ncfg.capacity_hint = dc.bottleneck_rate;
+  auto nim = std::make_unique<nimbus::NimbusCca>(net.scheduler(), ncfg);
+  auto* probe = nim.get();
+  net.add_flow(std::move(nim), std::make_unique<app::BulkApp>());
+  net.add_flow(std::make_unique<cca::NewReno>(), std::make_unique<app::BulkApp>(), 2,
+               Time::sec(5.0));
+  net.run_until(Time::sec(25.0));
+  EXPECT_GE(probe->elasticity(), nimbus::kElasticThreshold)
+      << "eta=" << probe->elasticity();
+}
+
+TEST(Integration, ElasticityLowAgainstCbr) {
+  core::DumbbellConfig dc;
+  dc.bottleneck_rate = Rate::mbps(48);
+  dc.one_way_delay = Time::ms(50);
+  dc.reverse_delay = Time::ms(50);
+  dc.buffer_bdp_multiple = 1.5;
+  core::DumbbellScenario net{dc};
+  nimbus::NimbusConfig ncfg;
+  ncfg.capacity_hint = dc.bottleneck_rate;
+  auto nim = std::make_unique<nimbus::NimbusCca>(net.scheduler(), ncfg);
+  auto* probe = nim.get();
+  net.add_flow(std::move(nim), std::make_unique<app::BulkApp>());
+  net.add_cbr(Rate::mbps(12), Time::sec(5.0), Time::sec(25.0), 2);
+  net.run_until(Time::sec(25.0));
+  EXPECT_LT(probe->elasticity(), nimbus::kElasticThreshold)
+      << "eta=" << probe->elasticity();
+}
+
+// --- E3 in miniature: the full five-phase study with short phases ---
+
+TEST(Integration, ElasticityPocOrdersPhasesCorrectly) {
+  core::ElasticityPocConfig cfg;
+  // Shorter than the paper's 45 s phases, but long enough for the probe's
+  // ramp and each cross flow's startup transient to clear.
+  cfg.phase_duration = Time::sec(30.0);
+  cfg.warmup = Time::sec(10.0);
+  const auto result = core::run_elasticity_poc(cfg);
+  ASSERT_EQ(result.phases.size(), 5u);
+  const auto& reno = result.phases[0];
+  const auto& bbr = result.phases[1];
+  const auto& video = result.phases[2];
+  const auto& shortf = result.phases[3];
+  const auto& cbr = result.phases[4];
+  // Elastic phases dominate inelastic ones.
+  const double min_elastic = std::min(reno.median_elasticity, bbr.median_elasticity);
+  const double max_inelastic = std::max({video.median_elasticity, shortf.median_elasticity,
+                                         cbr.median_elasticity});
+  EXPECT_GT(min_elastic, max_inelastic)
+      << "reno=" << reno.median_elasticity << " bbr=" << bbr.median_elasticity
+      << " video=" << video.median_elasticity << " short=" << shortf.median_elasticity
+      << " cbr=" << cbr.median_elasticity;
+}
+
+}  // namespace
+}  // namespace ccc

@@ -1,0 +1,142 @@
+// Small-surface tests that close coverage gaps across modules.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/bulk.hpp"
+#include "bwe/capped_cca.hpp"
+#include "cca/new_reno.hpp"
+#include "core/cca_registry.hpp"
+#include "core/dumbbell.hpp"
+#include "nimbus/nimbus.hpp"
+#include "queue/hierarchical_fq.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace ccc {
+namespace {
+
+TEST(CcaRegistry, KnownNamesConstruct) {
+  for (const auto name : core::known_ccas()) {
+    auto cc = core::make_cca_factory(name)();
+    ASSERT_NE(cc, nullptr) << name;
+    EXPECT_GT(cc->cwnd_bytes(), 0) << name;
+  }
+}
+
+TEST(CcaRegistry, UnknownNameThrows) {
+  EXPECT_THROW((void)core::make_cca_factory("quic-magic"), std::invalid_argument);
+}
+
+TEST(CcaRegistry, RenoAliases) {
+  auto a = core::make_cca_factory("reno")();
+  auto b = core::make_cca_factory("newreno")();
+  EXPECT_EQ(a->name(), b->name());
+}
+
+TEST(CappedCca, UncappedPassesThrough) {
+  bwe::CappedCca cc{std::make_unique<cca::NewReno>()};
+  EXPECT_EQ(cc.cwnd_bytes(), cca::kInitialWindowBytes);
+  EXPECT_TRUE(cc.pacing_rate().is_zero());  // NewReno is unpaced
+}
+
+TEST(CappedCca, CapPacesAnUnpacedCca) {
+  bwe::CappedCca cc{std::make_unique<cca::NewReno>()};
+  cc.set_cap(Rate::mbps(10));
+  EXPECT_DOUBLE_EQ(cc.pacing_rate().to_mbps(), 10.0);
+}
+
+TEST(CappedCca, CapClampsWindowToBdpEquivalent) {
+  bwe::CappedCca cc{std::make_unique<cca::NewReno>()};
+  // Grow the inner window far beyond the cap's BDP.
+  cca::AckEvent ev;
+  ev.now = Time::ms(50);
+  ev.rtt_sample = Time::ms(100);
+  ev.newly_acked_bytes = 100 * sim::kMss;
+  cc.on_ack(ev);
+  cc.set_cap(Rate::mbps(8));
+  // 8 Mbit/s * 100 ms * 1.5 = 150 KB.
+  EXPECT_NEAR(static_cast<double>(cc.cwnd_bytes()), 150'000.0, 10'000.0);
+}
+
+TEST(CappedCca, EventsForwardToInner) {
+  bwe::CappedCca cc{std::make_unique<cca::NewReno>()};
+  const ByteCount before = cc.inner().cwnd_bytes();
+  cca::AckEvent ev;
+  ev.now = Time::ms(10);
+  ev.newly_acked_bytes = sim::kMss;
+  cc.on_ack(ev);
+  EXPECT_GT(cc.inner().cwnd_bytes(), before);
+  cc.on_rto(Time::ms(20));
+  EXPECT_EQ(cc.inner().cwnd_bytes(), sim::kMss);
+}
+
+TEST(TimeSeries, EmptySliceAndMean) {
+  telemetry::TimeSeries ts;
+  EXPECT_TRUE(ts.slice(0.0, 10.0).empty());
+  EXPECT_DOUBLE_EQ(ts.mean_in(0.0, 10.0), 0.0);
+}
+
+TEST(Hfq, NextReadySemantics) {
+  queue::HierarchicalFairQueue q{1 << 20, [](const sim::Packet& p) {
+                                   return static_cast<queue::ClassId>(p.flow);
+                                 }};
+  const auto x = q.add_class(queue::kRootClass, 1.0);
+  EXPECT_EQ(q.next_ready(Time::ms(3)), Time::never());
+  sim::Packet p;
+  p.flow = x;
+  p.size_bytes = 500;
+  q.enqueue(p, Time::ms(3));
+  EXPECT_EQ(q.next_ready(Time::ms(3)), Time::ms(3));  // work conserving
+}
+
+TEST(Hfq, ServedCountersRollUpTheTree) {
+  queue::HierarchicalFairQueue q{1 << 20, [](const sim::Packet& p) {
+                                   return static_cast<queue::ClassId>(p.flow);
+                                 }};
+  const auto a = q.add_class(queue::kRootClass, 1.0, "a");
+  const auto a1 = q.add_class(a, 1.0, "a1");
+  const auto a2 = q.add_class(a, 1.0, "a2");
+  sim::Packet p;
+  p.size_bytes = 700;
+  p.flow = a1;
+  q.enqueue(p, Time::zero());
+  p.flow = a2;
+  q.enqueue(p, Time::zero());
+  while (q.dequeue(Time::zero()).has_value()) {
+  }
+  EXPECT_EQ(q.bytes_served(a1), 700);
+  EXPECT_EQ(q.bytes_served(a2), 700);
+  EXPECT_EQ(q.bytes_served(a), 1400);
+  EXPECT_EQ(q.bytes_served(queue::kRootClass), 1400);
+  EXPECT_EQ(q.class_name(a1), "a1");
+}
+
+TEST(DumbbellScenario, BaseRttAndBufferHelpers) {
+  core::DumbbellConfig cfg;
+  cfg.bottleneck_rate = Rate::mbps(48);
+  cfg.one_way_delay = Time::ms(50);
+  cfg.reverse_delay = Time::ms(50);
+  cfg.buffer_bdp_multiple = 1.5;
+  core::DumbbellScenario net{cfg};
+  EXPECT_EQ(net.base_rtt(), Time::ms(100));
+  // 48 Mbit/s * 100 ms = 600 KB; x1.5 = 900 KB.
+  EXPECT_EQ(core::dumbbell_buffer_bytes(cfg), 900'000);
+}
+
+TEST(DumbbellScenario, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    core::DumbbellConfig cfg;
+    cfg.bottleneck_rate = Rate::mbps(20);
+    cfg.one_way_delay = Time::ms(10);
+    cfg.reverse_delay = Time::ms(10);
+    core::DumbbellScenario net{cfg};
+    net.add_flow(core::make_cca_factory("cubic")(), std::make_unique<app::BulkApp>());
+    net.add_flow(core::make_cca_factory("bbr")(), std::make_unique<app::BulkApp>());
+    net.run_until(Time::sec(12.0));
+    return std::pair{net.flow(0).delivered_bytes(), net.flow(1).delivered_bytes()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ccc

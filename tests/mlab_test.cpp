@@ -1,0 +1,185 @@
+// Tests for the synthetic NDT dataset generator.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "mlab/csv_io.hpp"
+
+#include "mlab/synthetic.hpp"
+#include "util/stats.hpp"
+
+namespace ccc::mlab {
+namespace {
+
+TEST(Synthetic, DeterministicForSeed) {
+  SyntheticConfig cfg;
+  cfg.n_flows = 50;
+  Rng r1{7};
+  Rng r2{7};
+  const auto a = generate_dataset(cfg, r1);
+  const auto b = generate_dataset(cfg, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].truth, b[i].truth);
+    EXPECT_DOUBLE_EQ(a[i].mean_throughput_mbps, b[i].mean_throughput_mbps);
+  }
+}
+
+TEST(Synthetic, GeneratesRequestedCount) {
+  SyntheticConfig cfg;
+  cfg.n_flows = 500;
+  Rng rng{1};
+  EXPECT_EQ(generate_dataset(cfg, rng).size(), 500u);
+}
+
+TEST(Synthetic, MixMatchesConfiguredFractions) {
+  SyntheticConfig cfg;
+  cfg.n_flows = 8000;
+  Rng rng{2};
+  const auto ds = generate_dataset(cfg, rng);
+  std::map<FlowArchetype, int> counts;
+  for (const auto& r : ds) ++counts[r.truth];
+  const double n = static_cast<double>(ds.size());
+  EXPECT_NEAR(counts[FlowArchetype::kAppLimitedStreaming] / n, 0.30, 0.03);
+  EXPECT_NEAR(counts[FlowArchetype::kShortFlow] / n, 0.22, 0.03);
+  EXPECT_NEAR(counts[FlowArchetype::kBulkContended] / n, 0.06, 0.02);
+}
+
+TEST(Synthetic, AppLimitedFlowsCarryTheField) {
+  SyntheticConfig cfg;
+  Rng rng{3};
+  const auto rec = generate_record(FlowArchetype::kAppLimitedStreaming, cfg, rng);
+  EXPECT_GT(rec.app_limited_sec, 0.0);
+  EXPECT_DOUBLE_EQ(rec.rwnd_limited_sec, 0.0);
+}
+
+TEST(Synthetic, RwndLimitedFlowsCarryTheField) {
+  SyntheticConfig cfg;
+  Rng rng{4};
+  const auto rec = generate_record(FlowArchetype::kRwndLimited, cfg, rng);
+  EXPECT_GT(rec.rwnd_limited_sec, 0.0);
+  EXPECT_DOUBLE_EQ(rec.app_limited_sec, 0.0);
+}
+
+TEST(Synthetic, ShortFlowsAreShort) {
+  SyntheticConfig cfg;
+  Rng rng{5};
+  for (int i = 0; i < 50; ++i) {
+    const auto rec = generate_record(FlowArchetype::kShortFlow, cfg, rng);
+    EXPECT_LE(rec.duration_sec, 1.5);
+    EXPECT_LE(rec.throughput_mbps.size(), 15u);
+  }
+}
+
+TEST(Synthetic, ContendedFlowsHaveALevelShift) {
+  SyntheticConfig cfg;
+  Rng rng{6};
+  // A contended flow's series must contain two clearly different levels.
+  int with_gap = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto rec = generate_record(FlowArchetype::kBulkContended, cfg, rng);
+    const double hi = quantile(rec.throughput_mbps, 0.9);
+    const double lo = quantile(rec.throughput_mbps, 0.1);
+    if (lo < 0.75 * hi) ++with_gap;
+  }
+  EXPECT_GE(with_gap, 28);
+}
+
+TEST(Synthetic, CleanBulkFlowsAreFlat) {
+  SyntheticConfig cfg;
+  Rng rng{7};
+  int flat = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto rec = generate_record(FlowArchetype::kBulkClean, cfg, rng);
+    if (rec.access == AccessType::kCellular || rec.access == AccessType::kSatellite) continue;
+    RunningStats st;
+    for (double x : rec.throughput_mbps) st.add(x);
+    if (st.stddev() / st.mean() < 0.2) ++flat;
+  }
+  EXPECT_GE(flat, 15);  // most wired bulk flows are stable
+}
+
+TEST(Synthetic, PolicedFlowsStepDownOnce) {
+  SyntheticConfig cfg;
+  Rng rng{8};
+  const auto rec = generate_record(FlowArchetype::kPoliced, cfg, rng);
+  // Early mean must exceed late mean (burst then policed).
+  const auto& v = rec.throughput_mbps;
+  double early = 0.0;
+  double late = 0.0;
+  const std::size_t k = v.size() / 10;
+  for (std::size_t i = 0; i < k; ++i) early += v[i];
+  for (std::size_t i = v.size() - 3 * k; i < v.size(); ++i) late += v[i];
+  early /= static_cast<double>(k);
+  late /= static_cast<double>(3 * k);
+  if (rec.access != AccessType::kCellular && rec.access != AccessType::kSatellite) {
+    EXPECT_GT(early, late * 1.3);
+  }
+}
+
+TEST(Synthetic, TruthContendedFlagOnlyForContended) {
+  SyntheticConfig cfg;
+  Rng rng{9};
+  EXPECT_TRUE(generate_record(FlowArchetype::kBulkContended, cfg, rng).truth_contended());
+  EXPECT_FALSE(generate_record(FlowArchetype::kPoliced, cfg, rng).truth_contended());
+  EXPECT_FALSE(generate_record(FlowArchetype::kBulkClean, cfg, rng).truth_contended());
+}
+
+TEST(Synthetic, ArchetypeNamesAreStable) {
+  EXPECT_EQ(to_string(FlowArchetype::kPoliced), "policed");
+  EXPECT_EQ(to_string(AccessType::kCellular), "cellular");
+}
+
+
+// ---------- CSV round trip ----------
+
+TEST(CsvIo, RoundTripPreservesRecords) {
+  SyntheticConfig cfg;
+  cfg.n_flows = 200;
+  Rng rng{31};
+  const auto original = generate_dataset(cfg, rng);
+  std::stringstream ss;
+  write_csv(ss, original);
+  const auto loaded = read_csv(ss);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, original[i].id);
+    EXPECT_EQ(loaded[i].truth, original[i].truth);
+    EXPECT_EQ(loaded[i].access, original[i].access);
+    EXPECT_NEAR(loaded[i].app_limited_sec, original[i].app_limited_sec, 1e-4);
+    ASSERT_EQ(loaded[i].throughput_mbps.size(), original[i].throughput_mbps.size());
+    if (!original[i].throughput_mbps.empty()) {
+      EXPECT_NEAR(loaded[i].throughput_mbps.back(), original[i].throughput_mbps.back(), 1e-3);
+    }
+  }
+}
+
+TEST(CsvIo, RejectsWrongHeader) {
+  std::stringstream ss{"not,a,valid,header\n1,cable\n"};
+  EXPECT_THROW((void)read_csv(ss), std::runtime_error);
+}
+
+TEST(CsvIo, RejectsMalformedRow) {
+  std::stringstream out;
+  write_csv(out, std::vector<NdtRecord>{});
+  std::string csv = out.str() + "1,cable,policed,ten,0,0,5,20,0.1,1;2;3\n";
+  std::stringstream in{csv};
+  EXPECT_THROW((void)read_csv(in), std::runtime_error);
+}
+
+TEST(CsvIo, RejectsUnknownEnums) {
+  EXPECT_THROW((void)archetype_from_string("warp-drive"), std::runtime_error);
+  EXPECT_THROW((void)access_from_string("telepathy"), std::runtime_error);
+  EXPECT_EQ(archetype_from_string("policed"), FlowArchetype::kPoliced);
+  EXPECT_EQ(access_from_string("dsl"), AccessType::kDsl);
+}
+
+TEST(CsvIo, EmptyDatasetRoundTrips) {
+  std::stringstream ss;
+  write_csv(ss, std::vector<NdtRecord>{});
+  EXPECT_TRUE(read_csv(ss).empty());
+}
+
+}  // namespace
+}  // namespace ccc::mlab

@@ -1,0 +1,271 @@
+// Unit tests for the discrete-event simulator core.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "queue/drop_tail.hpp"
+#include "sim/demux.hpp"
+#include "sim/link.hpp"
+#include "sim/rate_trace.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ccc::sim {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(Time::ms(30), [&] { order.push_back(3); });
+  sched.schedule_at(Time::ms(10), [&] { order.push_back(1); });
+  sched.schedule_at(Time::ms(20), [&] { order.push_back(2); });
+  sched.run_until(Time::ms(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), Time::ms(100));
+}
+
+TEST(Scheduler, FifoTieBreakAtEqualTimes) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule_at(Time::ms(10), [&order, i] { order.push_back(i); });
+  }
+  sched.run_until(Time::ms(10));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  const EventId id = sched.schedule_at(Time::ms(5), [&] { fired = true; });
+  sched.cancel(id);
+  sched.run_until(Time::ms(10));
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelUnknownIdIsNoop) {
+  Scheduler sched;
+  sched.cancel(99999);  // must not crash
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(Scheduler, EventsCanReschedule) {
+  Scheduler sched;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 5) sched.schedule_after(Time::ms(10), tick);
+  };
+  sched.schedule_at(Time::zero(), tick);
+  sched.run_until(Time::sec(1.0));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler sched;
+  bool late_fired = false;
+  sched.schedule_at(Time::ms(10), [] {});
+  sched.schedule_at(Time::ms(21), [&] { late_fired = true; });
+  sched.run_until(Time::ms(20));
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(sched.now(), Time::ms(20));
+  sched.run_until(Time::ms(30));
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(Scheduler, EventAtExactBoundaryFires) {
+  Scheduler sched;
+  bool fired = false;
+  sched.schedule_at(Time::ms(20), [&] { fired = true; });
+  sched.run_until(Time::ms(20));
+  EXPECT_TRUE(fired);
+}
+
+// --- link ---
+
+class CollectingSink : public PacketSink {
+ public:
+  explicit CollectingSink(Scheduler& s) : sched_{s} {}
+  void deliver(const Packet& pkt) override {
+    packets.push_back(pkt);
+    arrival_times.push_back(sched_.now());
+  }
+  std::vector<Packet> packets;
+  std::vector<Time> arrival_times;
+
+ private:
+  Scheduler& sched_;
+};
+
+Packet make_data(FlowId flow, ByteCount size) {
+  Packet p;
+  p.flow = flow;
+  p.size_bytes = size;
+  p.payload_bytes = size - kHeaderBytes;
+  return p;
+}
+
+TEST(Link, SerializationPlusPropagationDelay) {
+  Scheduler sched;
+  CollectingSink sink{sched};
+  // 12 Mbit/s, 10 ms: a 1500-byte packet takes 1 ms to serialize.
+  Link link{sched, Rate::mbps(12), Time::ms(10), std::make_unique<queue::DropTailQueue>(100000),
+            sink};
+  link.send(make_data(1, 1500));
+  sched.run_until(Time::sec(1.0));
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sink.arrival_times[0], Time::ms(11));
+}
+
+TEST(Link, BackToBackPacketsSpacedBySerialization) {
+  Scheduler sched;
+  CollectingSink sink{sched};
+  Link link{sched, Rate::mbps(12), Time::ms(10), std::make_unique<queue::DropTailQueue>(100000),
+            sink};
+  link.send(make_data(1, 1500));
+  link.send(make_data(1, 1500));
+  link.send(make_data(1, 1500));
+  sched.run_until(Time::sec(1.0));
+  ASSERT_EQ(sink.packets.size(), 3u);
+  EXPECT_EQ(sink.arrival_times[1] - sink.arrival_times[0], Time::ms(1));
+  EXPECT_EQ(sink.arrival_times[2] - sink.arrival_times[1], Time::ms(1));
+}
+
+TEST(Link, DropsWhenQueueFull) {
+  Scheduler sched;
+  CollectingSink sink{sched};
+  // Queue holds exactly 2 x 1500B.
+  Link link{sched, Rate::mbps(1), Time::ms(1), std::make_unique<queue::DropTailQueue>(3000),
+            sink};
+  for (int i = 0; i < 10; ++i) link.send(make_data(1, 1500));
+  sched.run_until(Time::sec(10.0));
+  // First packet dequeues immediately (not in queue), 2 queued, rest dropped.
+  EXPECT_EQ(sink.packets.size(), 3u);
+  EXPECT_EQ(link.qdisc().stats().dropped_packets, 7u);
+}
+
+TEST(Link, ThroughputMatchesRate) {
+  Scheduler sched;
+  CollectingSink sink{sched};
+  Link link{sched, Rate::mbps(10), Time::ms(1),
+            std::make_unique<queue::DropTailQueue>(10'000'000), sink};
+  // Offer 10 seconds' worth instantly; link should deliver ~10 Mbit/s.
+  const int n = 800;  // 800 * 1500B * 8 = 9.6 Mbit
+  for (int i = 0; i < n; ++i) link.send(make_data(1, 1500));
+  sched.run_until(Time::sec(1.0));
+  EXPECT_EQ(sink.packets.size(), static_cast<std::size_t>(n));
+  const Time last = sink.arrival_times.back();
+  EXPECT_NEAR(last.to_sec(), 0.96 + 0.001, 0.01);
+}
+
+TEST(Link, UtilizationAccounting) {
+  Scheduler sched;
+  CollectingSink sink{sched};
+  Link link{sched, Rate::mbps(12), Time::ms(1), std::make_unique<queue::DropTailQueue>(1 << 20),
+            sink};
+  // 1 ms of serialization in a 10 ms window = 10%.
+  link.send(make_data(1, 1500));
+  sched.run_until(Time::ms(10));
+  EXPECT_NEAR(link.utilization(sched.now()), 0.1, 1e-6);
+}
+
+TEST(Link, SetRateAffectsSubsequentPackets) {
+  Scheduler sched;
+  CollectingSink sink{sched};
+  Link link{sched, Rate::mbps(12), Time::zero(), std::make_unique<queue::DropTailQueue>(1 << 20),
+            sink};
+  link.send(make_data(1, 1500));  // 1 ms at 12 Mbit/s
+  sched.run_until(Time::ms(1));
+  link.set_rate(Rate::mbps(6));
+  link.send(make_data(1, 1500));  // 2 ms at 6 Mbit/s
+  sched.run_until(Time::sec(1.0));
+  ASSERT_EQ(sink.packets.size(), 2u);
+  EXPECT_EQ(sink.arrival_times[0], Time::ms(1));
+  EXPECT_EQ(sink.arrival_times[1], Time::ms(3));
+}
+
+TEST(Link, TxTapSeesEveryPacket) {
+  Scheduler sched;
+  CollectingSink sink{sched};
+  Link link{sched, Rate::mbps(12), Time::ms(5), std::make_unique<queue::DropTailQueue>(1 << 20),
+            sink};
+  int tapped = 0;
+  link.set_tx_tap([&](const Packet&, Time) { ++tapped; });
+  for (int i = 0; i < 4; ++i) link.send(make_data(1, 1500));
+  sched.run_until(Time::sec(1.0));
+  EXPECT_EQ(tapped, 4);
+}
+
+// --- delay line & demux ---
+
+TEST(DelayLine, AddsFixedDelay) {
+  Scheduler sched;
+  CollectingSink sink{sched};
+  DelayLine line{sched, Time::ms(7), sink};
+  sched.schedule_at(Time::ms(3), [&] { line.deliver(make_data(1, 100)); });
+  sched.run_until(Time::sec(1.0));
+  ASSERT_EQ(sink.arrival_times.size(), 1u);
+  EXPECT_EQ(sink.arrival_times[0], Time::ms(10));
+}
+
+TEST(Demux, RoutesByFlowId) {
+  Scheduler sched;
+  CollectingSink a{sched};
+  CollectingSink b{sched};
+  FlowDemux demux;
+  demux.register_flow(1, a);
+  demux.register_flow(2, b);
+  demux.deliver(make_data(1, 100));
+  demux.deliver(make_data(2, 100));
+  demux.deliver(make_data(2, 100));
+  demux.deliver(make_data(3, 100));  // unroutable
+  EXPECT_EQ(a.packets.size(), 1u);
+  EXPECT_EQ(b.packets.size(), 2u);
+  EXPECT_EQ(demux.unroutable_packets(), 1u);
+}
+
+TEST(Demux, DeregisterStopsRouting) {
+  Scheduler sched;
+  CollectingSink a{sched};
+  FlowDemux demux;
+  demux.register_flow(1, a);
+  demux.deregister_flow(1);
+  demux.deliver(make_data(1, 100));
+  EXPECT_TRUE(a.packets.empty());
+  EXPECT_EQ(demux.unroutable_packets(), 1u);
+}
+
+// --- rate traces ---
+
+TEST(RateTrace, SquareWaveAlternates) {
+  const auto trace = square_wave_trace(Rate::mbps(5), Rate::mbps(10), Time::sec(1.0),
+                                       Time::sec(3.0));
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_DOUBLE_EQ(trace[0].rate.to_mbps(), 10.0);
+  EXPECT_DOUBLE_EQ(trace[1].rate.to_mbps(), 5.0);
+  EXPECT_DOUBLE_EQ(trace[2].rate.to_mbps(), 10.0);
+}
+
+TEST(RateTrace, RandomWalkStaysBounded) {
+  Rng rng{5};
+  const auto trace = random_walk_trace(rng, Rate::mbps(10), Rate::mbps(2), Rate::mbps(50), 0.3,
+                                       Time::ms(100), Time::sec(30.0));
+  for (const auto& pt : trace) {
+    EXPECT_GE(pt.rate.to_mbps(), 2.0);
+    EXPECT_LE(pt.rate.to_mbps(), 50.0);
+  }
+}
+
+TEST(RateTrace, ApplyChangesLinkRate) {
+  Scheduler sched;
+  CollectingSink sink{sched};
+  Link link{sched, Rate::mbps(10), Time::zero(), std::make_unique<queue::DropTailQueue>(1 << 20),
+            sink};
+  apply_rate_trace(sched, link, {{Time::ms(5), Rate::mbps(20)}});
+  sched.run_until(Time::ms(10));
+  EXPECT_DOUBLE_EQ(link.rate().to_mbps(), 20.0);
+}
+
+}  // namespace
+}  // namespace ccc::sim

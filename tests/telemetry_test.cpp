@@ -1,0 +1,95 @@
+// Tests for samplers and TCPInfo-style flow monitoring.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/bulk.hpp"
+#include "app/rate_limited.hpp"
+#include "cca/new_reno.hpp"
+#include "core/dumbbell.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/tcp_info.hpp"
+
+namespace ccc::telemetry {
+namespace {
+
+TEST(PeriodicSampler, FiresAtInterval) {
+  sim::Scheduler sched;
+  std::vector<double> times;
+  PeriodicSampler s{sched, Time::ms(100), Time::zero(), Time::sec(1.0),
+                    [&](Time t) { times.push_back(t.to_sec()); }};
+  sched.run_until(Time::sec(2.0));
+  ASSERT_EQ(times.size(), 10u);  // 0.0 .. 0.9
+  EXPECT_DOUBLE_EQ(times[0], 0.0);
+  EXPECT_NEAR(times[9], 0.9, 1e-9);
+}
+
+TEST(TimeSeries, MeanAndSlice) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) ts.add(Time::sec(i), static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(ts.mean_in(0.0, 5.0), 2.0);
+  EXPECT_EQ(ts.slice(3.0, 6.0).size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.mean_in(100.0, 200.0), 0.0);
+}
+
+core::DumbbellConfig small_net() {
+  core::DumbbellConfig cfg;
+  cfg.bottleneck_rate = Rate::mbps(10);
+  cfg.one_way_delay = Time::ms(10);
+  cfg.reverse_delay = Time::ms(10);
+  return cfg;
+}
+
+TEST(FlowMonitor, ThroughputSeriesTracksGoodput) {
+  core::DumbbellScenario net{small_net()};
+  net.add_flow(std::make_unique<cca::NewReno>(), std::make_unique<app::BulkApp>());
+  FlowMonitor mon{net.scheduler(), net.flow(0).sender(), Time::zero(), Time::sec(10.0)};
+  net.run_until(Time::sec(10.0));
+  const auto series = mon.throughput_series_mbps();
+  ASSERT_GT(series.size(), 50u);
+  // Steady state (second half) should track the 10 Mbit/s link.
+  double mean = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = series.size() / 2; i < series.size(); ++i) {
+    mean += series[i];
+    ++n;
+  }
+  mean /= static_cast<double>(n);
+  EXPECT_GT(mean, 8.0);
+  EXPECT_LT(mean, 10.5);
+}
+
+TEST(FlowMonitor, AppLimitedTimeDominatesForSlowApp) {
+  core::DumbbellScenario net{small_net()};
+  auto app = std::make_unique<app::RateLimitedApp>(net.scheduler(), Rate::mbps(1));
+  net.add_flow(std::make_unique<cca::NewReno>(), std::move(app));
+  FlowMonitor mon{net.scheduler(), net.flow(0).sender(), Time::zero(), Time::sec(10.0)};
+  net.run_until(Time::sec(10.0));
+  EXPECT_GT(mon.app_limited_sec(), 5.0);
+  EXPECT_LT(mon.rwnd_limited_sec(), 1.0);
+}
+
+TEST(FlowMonitor, RwndLimitedTimeDominatesForSmallWindow) {
+  core::DumbbellScenario net{small_net()};
+  net.add_flow(std::make_unique<cca::NewReno>(), std::make_unique<app::BulkApp>(), 1,
+               Time::zero(), /*receiver_window=*/6 * 1448);
+  FlowMonitor mon{net.scheduler(), net.flow(0).sender(), Time::zero(), Time::sec(10.0)};
+  net.run_until(Time::sec(10.0));
+  EXPECT_GT(mon.rwnd_limited_sec(), 5.0);
+  EXPECT_LT(mon.app_limited_sec(), 1.0);
+}
+
+TEST(FlowMonitor, SnapshotsCarryRttAndCwnd) {
+  core::DumbbellScenario net{small_net()};
+  net.add_flow(std::make_unique<cca::NewReno>(), std::make_unique<app::BulkApp>());
+  FlowMonitor mon{net.scheduler(), net.flow(0).sender(), Time::zero(), Time::sec(5.0)};
+  net.run_until(Time::sec(5.0));
+  ASSERT_FALSE(mon.snapshots().empty());
+  const auto& last = mon.snapshots().back();
+  EXPECT_GT(last.srtt_ms, 15.0);
+  EXPECT_GT(last.cwnd_bytes, 0);
+  EXPECT_GT(last.bytes_acked, 0);
+}
+
+}  // namespace
+}  // namespace ccc::telemetry

@@ -1,0 +1,301 @@
+// Unit tests for util: units, rng, stats, fft, table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <vector>
+
+#include "util/fft.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace ccc {
+namespace {
+
+// ---------- units ----------
+
+TEST(Units, TimeConversionsRoundTrip) {
+  EXPECT_EQ(Time::ms(5).count_ns(), 5'000'000);
+  EXPECT_EQ(Time::us(7).count_ns(), 7'000);
+  EXPECT_DOUBLE_EQ(Time::sec(1.5).to_sec(), 1.5);
+  EXPECT_DOUBLE_EQ(Time::ms(250).to_ms(), 250.0);
+}
+
+TEST(Units, TimeArithmeticAndOrdering) {
+  const Time a = Time::ms(10);
+  const Time b = Time::ms(3);
+  EXPECT_EQ((a + b).count_ns(), Time::ms(13).count_ns());
+  EXPECT_EQ((a - b).count_ns(), Time::ms(7).count_ns());
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a * 3, Time::ms(30));
+  EXPECT_DOUBLE_EQ(a / b, 10.0 / 3.0);
+  EXPECT_EQ(a / 2, Time::ms(5));
+}
+
+TEST(Units, TimeNeverIsLargest) {
+  EXPECT_GT(Time::never(), Time::sec(1e9));
+}
+
+TEST(Units, RateTransmitTime) {
+  // 1500 bytes at 12 Mbit/s = 1 ms.
+  const Rate r = Rate::mbps(12);
+  EXPECT_EQ(r.transmit_time(1500).count_ns(), 1'000'000);
+}
+
+TEST(Units, RateBytesIn) {
+  EXPECT_EQ(Rate::mbps(8).bytes_in(Time::sec(1.0)), 1'000'000);
+}
+
+TEST(Units, RateBytesPer) {
+  const Rate r = Rate::bytes_per(1'000'000, Time::sec(1.0));
+  EXPECT_DOUBLE_EQ(r.to_mbps(), 8.0);
+}
+
+TEST(Units, BdpBytes) {
+  // 48 Mbit/s * 100 ms = 600,000 bytes.
+  EXPECT_EQ(bdp_bytes(Rate::mbps(48), Time::ms(100)), 600'000);
+}
+
+TEST(Units, RateArithmetic) {
+  EXPECT_DOUBLE_EQ((Rate::mbps(10) + Rate::mbps(5)).to_mbps(), 15.0);
+  EXPECT_DOUBLE_EQ((Rate::mbps(10) * 0.5).to_mbps(), 5.0);
+  EXPECT_DOUBLE_EQ(Rate::mbps(10) / Rate::mbps(5), 2.0);
+}
+
+// ---------- rng ----------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(3.0, 5.0);
+    EXPECT_GE(x, 3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng{7};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    saw_lo |= v == 1;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{11};
+  RunningStats st;
+  for (int i = 0; i < 20000; ++i) st.add(rng.exponential(0.5));
+  EXPECT_NEAR(st.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng rng{13};
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.bounded_pareto(1.2, 10.0, 1000.0);
+    EXPECT_GE(x, 10.0 * 0.999);
+    EXPECT_LE(x, 1000.0 * 1.001);
+  }
+}
+
+TEST(Rng, BoundedParetoIsHeavyTailed) {
+  Rng rng{13};
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.bounded_pareto(1.2, 1.0, 1e6));
+  // Median far below mean for a heavy tail.
+  RunningStats st;
+  for (double x : xs) st.add(x);
+  EXPECT_LT(median(xs), st.mean() / 3.0);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng{17};
+  const std::vector<double> w{0.0, 9.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 5);
+}
+
+TEST(Rng, WeightedIndexThrowsOnAllZero) {
+  Rng rng{17};
+  EXPECT_THROW((void)rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a{99};
+  Rng child = a.fork();
+  // Child draws do not change the parent's subsequent sequence relative to a
+  // clone that forked identically.
+  Rng b{99};
+  Rng child2 = b.fork();
+  (void)child2;
+  for (int i = 0; i < 10; ++i) (void)child.uniform();
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+// ---------- stats ----------
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Stats, CdfFractionAndInverse) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const Cdf cdf{xs};
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1000.0), 1.0);
+  EXPECT_NEAR(cdf.value_at_quantile(0.25), 25.75, 1e-9);
+}
+
+TEST(Stats, CdfCurveIsMonotone) {
+  std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  const auto curve = Cdf{xs}.curve(11);
+  ASSERT_EQ(curve.size(), 11u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+}
+
+TEST(Stats, JainIndexExtremes) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index(std::vector<double>{1, 1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index(std::vector<double>{4, 0, 0, 0}), 0.25);
+}
+
+TEST(Stats, JainIndexScaleInvariant) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{10, 20, 30};
+  EXPECT_DOUBLE_EQ(jain_fairness_index(a), jain_fairness_index(b));
+}
+
+TEST(Stats, HarmMetric) {
+  EXPECT_DOUBLE_EQ(harm(10.0, 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(harm(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(harm(10.0, 12.0), 0.0);  // improvement is not harm
+}
+
+// ---------- fft ----------
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(500), 512u);
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  std::vector<std::complex<double>> data(16);
+  Rng rng{3};
+  for (auto& c : data) c = {rng.uniform(), 0.0};
+  auto copy = data;
+  fft_inplace(copy);
+  fft_inplace(copy, /*inverse=*/true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(copy[i].real() / 16.0, data[i].real(), 1e-9);
+  }
+}
+
+TEST(Fft, DetectsPureTone) {
+  // 8 Hz tone sampled at 64 Hz for 4 seconds.
+  const double fs = 64.0;
+  std::vector<double> sig;
+  for (int i = 0; i < 256; ++i) {
+    sig.push_back(std::sin(2.0 * std::numbers::pi * 8.0 * static_cast<double>(i) / fs));
+  }
+  const auto spec = magnitude_spectrum(sig, fs);
+  const auto peak_bin = spec.bin_for(8.0);
+  for (std::size_t i = 1; i < spec.magnitude.size(); ++i) {
+    if (i >= peak_bin - 1 && i <= peak_bin + 1) continue;
+    EXPECT_LT(spec.magnitude[i], spec.magnitude[peak_bin] * 0.2)
+        << "leak at bin " << i;
+  }
+}
+
+TEST(Fft, SpectrumRemovesDc) {
+  std::vector<double> sig(128, 42.0);  // pure DC
+  const auto spec = magnitude_spectrum(sig, 10.0);
+  for (double m : spec.magnitude) EXPECT_NEAR(m, 0.0, 1e-9);
+}
+
+TEST(Fft, BinForClampsToNyquist) {
+  std::vector<double> sig(64, 0.0);
+  sig[3] = 1.0;
+  const auto spec = magnitude_spectrum(sig, 10.0);
+  EXPECT_EQ(spec.bin_for(1e9), spec.magnitude.size() - 1);
+}
+
+// ---------- table ----------
+
+TEST(Table, AlignedOutputContainsCells) {
+  TextTable t{{"name", "value"}};
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+  EXPECT_NE(s.find("value"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TextTable t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvQuotesSpecials) {
+  TextTable t{{"a"}};
+  t.add_row({"x,y"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace ccc
