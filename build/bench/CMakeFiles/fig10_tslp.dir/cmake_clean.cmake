@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tslp.dir/fig10_tslp.cpp.o"
+  "CMakeFiles/fig10_tslp.dir/fig10_tslp.cpp.o.d"
+  "fig10_tslp"
+  "fig10_tslp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tslp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

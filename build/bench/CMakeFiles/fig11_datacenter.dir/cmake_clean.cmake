@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_datacenter.dir/fig11_datacenter.cpp.o"
+  "CMakeFiles/fig11_datacenter.dir/fig11_datacenter.cpp.o.d"
+  "fig11_datacenter"
+  "fig11_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_rcs.dir/fig12_rcs.cpp.o"
+  "CMakeFiles/fig12_rcs.dir/fig12_rcs.cpp.o.d"
+  "fig12_rcs"
+  "fig12_rcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_rcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_bwe.dir/fig13_bwe.cpp.o"
+  "CMakeFiles/fig13_bwe.dir/fig13_bwe.cpp.o.d"
+  "fig13_bwe"
+  "fig13_bwe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_bwe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

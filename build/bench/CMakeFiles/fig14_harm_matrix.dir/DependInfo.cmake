@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig14_harm_matrix.cpp" "bench/CMakeFiles/fig14_harm_matrix.dir/fig14_harm_matrix.cpp.o" "gcc" "bench/CMakeFiles/fig14_harm_matrix.dir/fig14_harm_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ccc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/changepoint/CMakeFiles/ccc_changepoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlab/CMakeFiles/ccc_mlab.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ccc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ccc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/ccc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/nimbus/CMakeFiles/ccc_nimbus.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwe/CMakeFiles/ccc_bwe.dir/DependInfo.cmake"
+  "/root/repo/build/src/cca/CMakeFiles/ccc_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/ccc_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

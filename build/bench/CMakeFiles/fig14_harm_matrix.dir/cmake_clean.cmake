@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_harm_matrix.dir/fig14_harm_matrix.cpp.o"
+  "CMakeFiles/fig14_harm_matrix.dir/fig14_harm_matrix.cpp.o.d"
+  "fig14_harm_matrix"
+  "fig14_harm_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_harm_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_isolation_ablation.dir/fig1_isolation_ablation.cpp.o"
+  "CMakeFiles/fig1_isolation_ablation.dir/fig1_isolation_ablation.cpp.o.d"
+  "fig1_isolation_ablation"
+  "fig1_isolation_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_isolation_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_mlab_passive.dir/fig2_mlab_passive.cpp.o"
+  "CMakeFiles/fig2_mlab_passive.dir/fig2_mlab_passive.cpp.o.d"
+  "fig2_mlab_passive"
+  "fig2_mlab_passive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_mlab_passive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_elasticity_poc.dir/fig3_elasticity_poc.cpp.o"
+  "CMakeFiles/fig3_elasticity_poc.dir/fig3_elasticity_poc.cpp.o.d"
+  "fig3_elasticity_poc"
+  "fig3_elasticity_poc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_elasticity_poc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_elasticity_poc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bbr_vs_loss.dir/fig4_bbr_vs_loss.cpp.o"
+  "CMakeFiles/fig4_bbr_vs_loss.dir/fig4_bbr_vs_loss.cpp.o.d"
+  "fig4_bbr_vs_loss"
+  "fig4_bbr_vs_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bbr_vs_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

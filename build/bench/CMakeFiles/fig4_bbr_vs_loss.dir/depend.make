@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_bbr_vs_loss.
+# This may be replaced when dependencies are built.

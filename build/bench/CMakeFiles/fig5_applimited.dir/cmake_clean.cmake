@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_applimited.dir/fig5_applimited.cpp.o"
+  "CMakeFiles/fig5_applimited.dir/fig5_applimited.cpp.o.d"
+  "fig5_applimited"
+  "fig5_applimited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_applimited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

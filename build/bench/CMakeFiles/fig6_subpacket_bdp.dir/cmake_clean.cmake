@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_subpacket_bdp.dir/fig6_subpacket_bdp.cpp.o"
+  "CMakeFiles/fig6_subpacket_bdp.dir/fig6_subpacket_bdp.cpp.o.d"
+  "fig6_subpacket_bdp"
+  "fig6_subpacket_bdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_subpacket_bdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_variability.dir/fig8_variability.cpp.o"
+  "CMakeFiles/fig8_variability.dir/fig8_variability.cpp.o.d"
+  "fig8_variability"
+  "fig8_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_jitter.dir/fig9_jitter.cpp.o"
+  "CMakeFiles/fig9_jitter.dir/fig9_jitter.cpp.o.d"
+  "fig9_jitter"
+  "fig9_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

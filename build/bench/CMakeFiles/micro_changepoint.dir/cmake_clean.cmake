@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_changepoint.dir/micro_changepoint.cpp.o"
+  "CMakeFiles/micro_changepoint.dir/micro_changepoint.cpp.o.d"
+  "micro_changepoint"
+  "micro_changepoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_changepoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

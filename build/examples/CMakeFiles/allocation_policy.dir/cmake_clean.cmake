@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocation_policy.dir/allocation_policy.cpp.o"
+  "CMakeFiles/allocation_policy.dir/allocation_policy.cpp.o.d"
+  "allocation_policy"
+  "allocation_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocation_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticity_probe.dir/elasticity_probe.cpp.o"
+  "CMakeFiles/elasticity_probe.dir/elasticity_probe.cpp.o.d"
+  "elasticity_probe"
+  "elasticity_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticity_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

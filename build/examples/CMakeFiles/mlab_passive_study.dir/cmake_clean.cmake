@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlab_passive_study.dir/mlab_passive_study.cpp.o"
+  "CMakeFiles/mlab_passive_study.dir/mlab_passive_study.cpp.o.d"
+  "mlab_passive_study"
+  "mlab_passive_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlab_passive_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

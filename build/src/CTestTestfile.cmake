@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("queue")
+subdirs("cca")
+subdirs("nimbus")
+subdirs("bwe")
+subdirs("app")
+subdirs("flow")
+subdirs("telemetry")
+subdirs("mlab")
+subdirs("changepoint")
+subdirs("analysis")
+subdirs("core")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/fairness.cpp" "src/analysis/CMakeFiles/ccc_analysis.dir/fairness.cpp.o" "gcc" "src/analysis/CMakeFiles/ccc_analysis.dir/fairness.cpp.o.d"
+  "/root/repo/src/analysis/ndt_bridge.cpp" "src/analysis/CMakeFiles/ccc_analysis.dir/ndt_bridge.cpp.o" "gcc" "src/analysis/CMakeFiles/ccc_analysis.dir/ndt_bridge.cpp.o.d"
+  "/root/repo/src/analysis/passive_study.cpp" "src/analysis/CMakeFiles/ccc_analysis.dir/passive_study.cpp.o" "gcc" "src/analysis/CMakeFiles/ccc_analysis.dir/passive_study.cpp.o.d"
+  "/root/repo/src/analysis/tslp.cpp" "src/analysis/CMakeFiles/ccc_analysis.dir/tslp.cpp.o" "gcc" "src/analysis/CMakeFiles/ccc_analysis.dir/tslp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mlab/CMakeFiles/ccc_mlab.dir/DependInfo.cmake"
+  "/root/repo/build/src/changepoint/CMakeFiles/ccc_changepoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ccc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ccc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cca/CMakeFiles/ccc_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/ccc_app.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_analysis.dir/fairness.cpp.o"
+  "CMakeFiles/ccc_analysis.dir/fairness.cpp.o.d"
+  "CMakeFiles/ccc_analysis.dir/ndt_bridge.cpp.o"
+  "CMakeFiles/ccc_analysis.dir/ndt_bridge.cpp.o.d"
+  "CMakeFiles/ccc_analysis.dir/passive_study.cpp.o"
+  "CMakeFiles/ccc_analysis.dir/passive_study.cpp.o.d"
+  "CMakeFiles/ccc_analysis.dir/tslp.cpp.o"
+  "CMakeFiles/ccc_analysis.dir/tslp.cpp.o.d"
+  "libccc_analysis.a"
+  "libccc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

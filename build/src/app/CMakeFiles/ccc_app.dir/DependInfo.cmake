@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/abr_video.cpp" "src/app/CMakeFiles/ccc_app.dir/abr_video.cpp.o" "gcc" "src/app/CMakeFiles/ccc_app.dir/abr_video.cpp.o.d"
+  "/root/repo/src/app/rate_limited.cpp" "src/app/CMakeFiles/ccc_app.dir/rate_limited.cpp.o" "gcc" "src/app/CMakeFiles/ccc_app.dir/rate_limited.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

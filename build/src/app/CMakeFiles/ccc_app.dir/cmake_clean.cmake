@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_app.dir/abr_video.cpp.o"
+  "CMakeFiles/ccc_app.dir/abr_video.cpp.o.d"
+  "CMakeFiles/ccc_app.dir/rate_limited.cpp.o"
+  "CMakeFiles/ccc_app.dir/rate_limited.cpp.o.d"
+  "libccc_app.a"
+  "libccc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

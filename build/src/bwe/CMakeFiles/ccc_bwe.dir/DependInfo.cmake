@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bwe/allocator.cpp" "src/bwe/CMakeFiles/ccc_bwe.dir/allocator.cpp.o" "gcc" "src/bwe/CMakeFiles/ccc_bwe.dir/allocator.cpp.o.d"
+  "/root/repo/src/bwe/enforcer.cpp" "src/bwe/CMakeFiles/ccc_bwe.dir/enforcer.cpp.o" "gcc" "src/bwe/CMakeFiles/ccc_bwe.dir/enforcer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cca/CMakeFiles/ccc_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

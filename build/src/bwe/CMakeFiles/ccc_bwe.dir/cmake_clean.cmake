@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_bwe.dir/allocator.cpp.o"
+  "CMakeFiles/ccc_bwe.dir/allocator.cpp.o.d"
+  "CMakeFiles/ccc_bwe.dir/enforcer.cpp.o"
+  "CMakeFiles/ccc_bwe.dir/enforcer.cpp.o.d"
+  "libccc_bwe.a"
+  "libccc_bwe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_bwe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cca/aimd.cpp" "src/cca/CMakeFiles/ccc_cca.dir/aimd.cpp.o" "gcc" "src/cca/CMakeFiles/ccc_cca.dir/aimd.cpp.o.d"
+  "/root/repo/src/cca/bbr.cpp" "src/cca/CMakeFiles/ccc_cca.dir/bbr.cpp.o" "gcc" "src/cca/CMakeFiles/ccc_cca.dir/bbr.cpp.o.d"
+  "/root/repo/src/cca/copa.cpp" "src/cca/CMakeFiles/ccc_cca.dir/copa.cpp.o" "gcc" "src/cca/CMakeFiles/ccc_cca.dir/copa.cpp.o.d"
+  "/root/repo/src/cca/cubic.cpp" "src/cca/CMakeFiles/ccc_cca.dir/cubic.cpp.o" "gcc" "src/cca/CMakeFiles/ccc_cca.dir/cubic.cpp.o.d"
+  "/root/repo/src/cca/dctcp.cpp" "src/cca/CMakeFiles/ccc_cca.dir/dctcp.cpp.o" "gcc" "src/cca/CMakeFiles/ccc_cca.dir/dctcp.cpp.o.d"
+  "/root/repo/src/cca/new_reno.cpp" "src/cca/CMakeFiles/ccc_cca.dir/new_reno.cpp.o" "gcc" "src/cca/CMakeFiles/ccc_cca.dir/new_reno.cpp.o.d"
+  "/root/repo/src/cca/vegas.cpp" "src/cca/CMakeFiles/ccc_cca.dir/vegas.cpp.o" "gcc" "src/cca/CMakeFiles/ccc_cca.dir/vegas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

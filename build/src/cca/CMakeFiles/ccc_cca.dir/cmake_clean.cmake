@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_cca.dir/aimd.cpp.o"
+  "CMakeFiles/ccc_cca.dir/aimd.cpp.o.d"
+  "CMakeFiles/ccc_cca.dir/bbr.cpp.o"
+  "CMakeFiles/ccc_cca.dir/bbr.cpp.o.d"
+  "CMakeFiles/ccc_cca.dir/copa.cpp.o"
+  "CMakeFiles/ccc_cca.dir/copa.cpp.o.d"
+  "CMakeFiles/ccc_cca.dir/cubic.cpp.o"
+  "CMakeFiles/ccc_cca.dir/cubic.cpp.o.d"
+  "CMakeFiles/ccc_cca.dir/dctcp.cpp.o"
+  "CMakeFiles/ccc_cca.dir/dctcp.cpp.o.d"
+  "CMakeFiles/ccc_cca.dir/new_reno.cpp.o"
+  "CMakeFiles/ccc_cca.dir/new_reno.cpp.o.d"
+  "CMakeFiles/ccc_cca.dir/vegas.cpp.o"
+  "CMakeFiles/ccc_cca.dir/vegas.cpp.o.d"
+  "libccc_cca.a"
+  "libccc_cca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_cca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_changepoint.dir/cost.cpp.o"
+  "CMakeFiles/ccc_changepoint.dir/cost.cpp.o.d"
+  "CMakeFiles/ccc_changepoint.dir/detectors.cpp.o"
+  "CMakeFiles/ccc_changepoint.dir/detectors.cpp.o.d"
+  "libccc_changepoint.a"
+  "libccc_changepoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_changepoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

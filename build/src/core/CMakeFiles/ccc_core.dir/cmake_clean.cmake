@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_core.dir/cca_registry.cpp.o"
+  "CMakeFiles/ccc_core.dir/cca_registry.cpp.o.d"
+  "CMakeFiles/ccc_core.dir/dumbbell.cpp.o"
+  "CMakeFiles/ccc_core.dir/dumbbell.cpp.o.d"
+  "CMakeFiles/ccc_core.dir/elasticity_study.cpp.o"
+  "CMakeFiles/ccc_core.dir/elasticity_study.cpp.o.d"
+  "libccc_core.a"
+  "libccc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/short_flow_workload.cpp" "src/flow/CMakeFiles/ccc_flow.dir/short_flow_workload.cpp.o" "gcc" "src/flow/CMakeFiles/ccc_flow.dir/short_flow_workload.cpp.o.d"
+  "/root/repo/src/flow/tcp_flow.cpp" "src/flow/CMakeFiles/ccc_flow.dir/tcp_flow.cpp.o" "gcc" "src/flow/CMakeFiles/ccc_flow.dir/tcp_flow.cpp.o.d"
+  "/root/repo/src/flow/tcp_receiver.cpp" "src/flow/CMakeFiles/ccc_flow.dir/tcp_receiver.cpp.o" "gcc" "src/flow/CMakeFiles/ccc_flow.dir/tcp_receiver.cpp.o.d"
+  "/root/repo/src/flow/tcp_sender.cpp" "src/flow/CMakeFiles/ccc_flow.dir/tcp_sender.cpp.o" "gcc" "src/flow/CMakeFiles/ccc_flow.dir/tcp_sender.cpp.o.d"
+  "/root/repo/src/flow/udp_source.cpp" "src/flow/CMakeFiles/ccc_flow.dir/udp_source.cpp.o" "gcc" "src/flow/CMakeFiles/ccc_flow.dir/udp_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cca/CMakeFiles/ccc_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/ccc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

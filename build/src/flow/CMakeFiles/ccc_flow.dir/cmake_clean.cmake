@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_flow.dir/short_flow_workload.cpp.o"
+  "CMakeFiles/ccc_flow.dir/short_flow_workload.cpp.o.d"
+  "CMakeFiles/ccc_flow.dir/tcp_flow.cpp.o"
+  "CMakeFiles/ccc_flow.dir/tcp_flow.cpp.o.d"
+  "CMakeFiles/ccc_flow.dir/tcp_receiver.cpp.o"
+  "CMakeFiles/ccc_flow.dir/tcp_receiver.cpp.o.d"
+  "CMakeFiles/ccc_flow.dir/tcp_sender.cpp.o"
+  "CMakeFiles/ccc_flow.dir/tcp_sender.cpp.o.d"
+  "CMakeFiles/ccc_flow.dir/udp_source.cpp.o"
+  "CMakeFiles/ccc_flow.dir/udp_source.cpp.o.d"
+  "libccc_flow.a"
+  "libccc_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

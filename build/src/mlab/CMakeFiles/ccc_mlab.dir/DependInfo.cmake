@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mlab/csv_io.cpp" "src/mlab/CMakeFiles/ccc_mlab.dir/csv_io.cpp.o" "gcc" "src/mlab/CMakeFiles/ccc_mlab.dir/csv_io.cpp.o.d"
+  "/root/repo/src/mlab/ndt_record.cpp" "src/mlab/CMakeFiles/ccc_mlab.dir/ndt_record.cpp.o" "gcc" "src/mlab/CMakeFiles/ccc_mlab.dir/ndt_record.cpp.o.d"
+  "/root/repo/src/mlab/synthetic.cpp" "src/mlab/CMakeFiles/ccc_mlab.dir/synthetic.cpp.o" "gcc" "src/mlab/CMakeFiles/ccc_mlab.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_mlab.dir/csv_io.cpp.o"
+  "CMakeFiles/ccc_mlab.dir/csv_io.cpp.o.d"
+  "CMakeFiles/ccc_mlab.dir/ndt_record.cpp.o"
+  "CMakeFiles/ccc_mlab.dir/ndt_record.cpp.o.d"
+  "CMakeFiles/ccc_mlab.dir/synthetic.cpp.o"
+  "CMakeFiles/ccc_mlab.dir/synthetic.cpp.o.d"
+  "libccc_mlab.a"
+  "libccc_mlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_mlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

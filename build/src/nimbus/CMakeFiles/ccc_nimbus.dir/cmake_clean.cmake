@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_nimbus.dir/elasticity.cpp.o"
+  "CMakeFiles/ccc_nimbus.dir/elasticity.cpp.o.d"
+  "CMakeFiles/ccc_nimbus.dir/nimbus.cpp.o"
+  "CMakeFiles/ccc_nimbus.dir/nimbus.cpp.o.d"
+  "libccc_nimbus.a"
+  "libccc_nimbus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_nimbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

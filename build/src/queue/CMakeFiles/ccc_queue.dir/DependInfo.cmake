@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queue/codel.cpp" "src/queue/CMakeFiles/ccc_queue.dir/codel.cpp.o" "gcc" "src/queue/CMakeFiles/ccc_queue.dir/codel.cpp.o.d"
+  "/root/repo/src/queue/drop_tail.cpp" "src/queue/CMakeFiles/ccc_queue.dir/drop_tail.cpp.o" "gcc" "src/queue/CMakeFiles/ccc_queue.dir/drop_tail.cpp.o.d"
+  "/root/repo/src/queue/drr_fair_queue.cpp" "src/queue/CMakeFiles/ccc_queue.dir/drr_fair_queue.cpp.o" "gcc" "src/queue/CMakeFiles/ccc_queue.dir/drr_fair_queue.cpp.o.d"
+  "/root/repo/src/queue/hierarchical_fq.cpp" "src/queue/CMakeFiles/ccc_queue.dir/hierarchical_fq.cpp.o" "gcc" "src/queue/CMakeFiles/ccc_queue.dir/hierarchical_fq.cpp.o.d"
+  "/root/repo/src/queue/per_user_isolation.cpp" "src/queue/CMakeFiles/ccc_queue.dir/per_user_isolation.cpp.o" "gcc" "src/queue/CMakeFiles/ccc_queue.dir/per_user_isolation.cpp.o.d"
+  "/root/repo/src/queue/sfq.cpp" "src/queue/CMakeFiles/ccc_queue.dir/sfq.cpp.o" "gcc" "src/queue/CMakeFiles/ccc_queue.dir/sfq.cpp.o.d"
+  "/root/repo/src/queue/token_bucket.cpp" "src/queue/CMakeFiles/ccc_queue.dir/token_bucket.cpp.o" "gcc" "src/queue/CMakeFiles/ccc_queue.dir/token_bucket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

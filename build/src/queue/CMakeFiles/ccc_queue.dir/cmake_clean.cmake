@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_queue.dir/codel.cpp.o"
+  "CMakeFiles/ccc_queue.dir/codel.cpp.o.d"
+  "CMakeFiles/ccc_queue.dir/drop_tail.cpp.o"
+  "CMakeFiles/ccc_queue.dir/drop_tail.cpp.o.d"
+  "CMakeFiles/ccc_queue.dir/drr_fair_queue.cpp.o"
+  "CMakeFiles/ccc_queue.dir/drr_fair_queue.cpp.o.d"
+  "CMakeFiles/ccc_queue.dir/hierarchical_fq.cpp.o"
+  "CMakeFiles/ccc_queue.dir/hierarchical_fq.cpp.o.d"
+  "CMakeFiles/ccc_queue.dir/per_user_isolation.cpp.o"
+  "CMakeFiles/ccc_queue.dir/per_user_isolation.cpp.o.d"
+  "CMakeFiles/ccc_queue.dir/sfq.cpp.o"
+  "CMakeFiles/ccc_queue.dir/sfq.cpp.o.d"
+  "CMakeFiles/ccc_queue.dir/token_bucket.cpp.o"
+  "CMakeFiles/ccc_queue.dir/token_bucket.cpp.o.d"
+  "libccc_queue.a"
+  "libccc_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

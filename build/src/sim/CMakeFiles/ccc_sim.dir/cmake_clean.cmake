@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_sim.dir/link.cpp.o"
+  "CMakeFiles/ccc_sim.dir/link.cpp.o.d"
+  "CMakeFiles/ccc_sim.dir/rate_trace.cpp.o"
+  "CMakeFiles/ccc_sim.dir/rate_trace.cpp.o.d"
+  "CMakeFiles/ccc_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/ccc_sim.dir/scheduler.cpp.o.d"
+  "libccc_sim.a"
+  "libccc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

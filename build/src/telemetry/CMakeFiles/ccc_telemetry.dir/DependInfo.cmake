@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/sampler.cpp" "src/telemetry/CMakeFiles/ccc_telemetry.dir/sampler.cpp.o" "gcc" "src/telemetry/CMakeFiles/ccc_telemetry.dir/sampler.cpp.o.d"
+  "/root/repo/src/telemetry/tcp_info.cpp" "src/telemetry/CMakeFiles/ccc_telemetry.dir/tcp_info.cpp.o" "gcc" "src/telemetry/CMakeFiles/ccc_telemetry.dir/tcp_info.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ccc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cca/CMakeFiles/ccc_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/ccc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

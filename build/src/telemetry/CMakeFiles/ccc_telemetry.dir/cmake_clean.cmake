@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_telemetry.dir/sampler.cpp.o"
+  "CMakeFiles/ccc_telemetry.dir/sampler.cpp.o.d"
+  "CMakeFiles/ccc_telemetry.dir/tcp_info.cpp.o"
+  "CMakeFiles/ccc_telemetry.dir/tcp_info.cpp.o.d"
+  "libccc_telemetry.a"
+  "libccc_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_util.dir/fft.cpp.o"
+  "CMakeFiles/ccc_util.dir/fft.cpp.o.d"
+  "CMakeFiles/ccc_util.dir/rng.cpp.o"
+  "CMakeFiles/ccc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ccc_util.dir/stats.cpp.o"
+  "CMakeFiles/ccc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ccc_util.dir/table.cpp.o"
+  "CMakeFiles/ccc_util.dir/table.cpp.o.d"
+  "libccc_util.a"
+  "libccc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

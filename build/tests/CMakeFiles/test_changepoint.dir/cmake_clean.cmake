@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_changepoint.dir/changepoint_test.cpp.o"
+  "CMakeFiles/test_changepoint.dir/changepoint_test.cpp.o.d"
+  "test_changepoint"
+  "test_changepoint.pdb"
+  "test_changepoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_changepoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dctcp_ecn.dir/dctcp_ecn_test.cpp.o"
+  "CMakeFiles/test_dctcp_ecn.dir/dctcp_ecn_test.cpp.o.d"
+  "test_dctcp_ecn"
+  "test_dctcp_ecn.pdb"
+  "test_dctcp_ecn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dctcp_ecn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

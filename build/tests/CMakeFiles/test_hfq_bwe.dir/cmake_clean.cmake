@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hfq_bwe.dir/hfq_bwe_test.cpp.o"
+  "CMakeFiles/test_hfq_bwe.dir/hfq_bwe_test.cpp.o.d"
+  "test_hfq_bwe"
+  "test_hfq_bwe.pdb"
+  "test_hfq_bwe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hfq_bwe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

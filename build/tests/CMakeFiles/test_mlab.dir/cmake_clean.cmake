@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlab.dir/mlab_test.cpp.o"
+  "CMakeFiles/test_mlab.dir/mlab_test.cpp.o.d"
+  "test_mlab"
+  "test_mlab.pdb"
+  "test_mlab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

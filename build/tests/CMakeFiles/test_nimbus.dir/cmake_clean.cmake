@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nimbus.dir/nimbus_test.cpp.o"
+  "CMakeFiles/test_nimbus.dir/nimbus_test.cpp.o.d"
+  "test_nimbus"
+  "test_nimbus.pdb"
+  "test_nimbus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nimbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tslp_bridge.dir/tslp_bridge_test.cpp.o"
+  "CMakeFiles/test_tslp_bridge.dir/tslp_bridge_test.cpp.o.d"
+  "test_tslp_bridge"
+  "test_tslp_bridge.pdb"
+  "test_tslp_bridge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tslp_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
