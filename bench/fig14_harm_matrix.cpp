@@ -7,16 +7,23 @@
 // DropTail — the worst case the §2 operator mechanisms are said to remove —
 // and then the same matrix under per-flow FQ, where every entry should
 // collapse toward the fair-share harm floor.
+//
+// Every cell is an independent simulation, so the whole grid (4 solo runs +
+// 2 qdiscs x 4x4 pairings = 36 scenarios) fans out over an ExperimentRunner;
+// pass `--jobs N` or set CCC_JOBS to pick the worker count. Results are
+// bit-identical for any job count.
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/fairness.hpp"
 #include "app/bulk.hpp"
 #include "core/cca_registry.hpp"
 #include "core/dumbbell.hpp"
 #include "queue/drr_fair_queue.hpp"
+#include "runner/experiment_runner.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -58,15 +65,47 @@ double contended_goodput(const std::string& victim, const std::string& attacker,
   return net.goodput_mbps_since(0, snap, Time::sec(30.0));
 }
 
+/// One cell of the sweep: either a solo baseline or a victim/attacker pair.
+struct Scenario {
+  std::string victim;
+  std::string attacker;  // empty = solo baseline
+  bool fq{false};
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccc;
   const std::vector<std::string> ccas{"reno", "cubic", "bbr", "vegas"};
 
-  std::map<std::string, double> solo;
-  for (const auto& c : ccas) solo[c] = solo_goodput(c);
+  // Build the full scenario grid in display order, then fan it out.
+  std::vector<Scenario> grid;
+  for (const auto& c : ccas) grid.push_back({c, "", false});
+  for (const bool fq : {false, true}) {
+    for (const auto& victim : ccas) {
+      for (const auto& attacker : ccas) grid.push_back({victim, attacker, fq});
+    }
+  }
 
+  // Progress to stderr: the completion counter is the same text for any job
+  // count, so redirected output stays comparable across runs.
+  runner::RunnerOptions opts;
+  opts.jobs = runner::jobs_from_cli(argc, argv);
+  opts.on_progress = [](std::size_t done, std::size_t total) {
+    std::cerr << "\rscenario " << done << "/" << total << std::flush;
+    if (done == total) std::cerr << "\n";
+  };
+  runner::ExperimentRunner pool{opts};
+  const auto goodputs = pool.map<double>(grid.size(), [&](std::size_t i) {
+    const Scenario& s = grid[i];
+    return s.attacker.empty() ? solo_goodput(s.victim)
+                              : contended_goodput(s.victim, s.attacker, s.fq);
+  });
+
+  std::map<std::string, double> solo;
+  for (std::size_t i = 0; i < ccas.size(); ++i) solo[ccas[i]] = goodputs[i];
+
+  std::size_t next = ccas.size();
   for (const bool fq : {false, true}) {
     print_banner(std::cout,
                  std::string{"E14: pairwise harm (rows = victim, cols = attacker) — "} +
@@ -76,9 +115,8 @@ int main() {
     TextTable t{header};
     for (const auto& victim : ccas) {
       std::vector<std::string> row{victim};
-      for (const auto& attacker : ccas) {
-        const double contended = contended_goodput(victim, attacker, fq);
-        row.push_back(TextTable::num(harm(solo[victim], contended), 2));
+      for (std::size_t a = 0; a < ccas.size(); ++a) {
+        row.push_back(TextTable::num(harm(solo[victim], goodputs[next++]), 2));
       }
       t.add_row(std::move(row));
     }

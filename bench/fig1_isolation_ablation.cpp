@@ -14,8 +14,14 @@
 // Expected shape: Jain index ~= 1 and spread ~= 1 the moment any isolation
 // mechanism is enabled, regardless of the CCA mix; droptail/codel remain
 // skewed by CCA aggression.
+//
+// Each qdisc row is an independent simulation, fanned out over an
+// ExperimentRunner (`--jobs N` / CCC_JOBS); results are bit-identical for
+// any job count.
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "analysis/fairness.hpp"
 #include "app/bulk.hpp"
@@ -26,6 +32,7 @@
 #include "queue/drr_fair_queue.hpp"
 #include "queue/per_user_isolation.hpp"
 #include "queue/token_bucket.hpp"
+#include "runner/experiment_runner.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -47,8 +54,12 @@ struct Outcome {
   double user_jain{0.0};
 };
 
-Outcome run_with(std::unique_ptr<sim::Qdisc> qdisc) {
-  core::DumbbellScenario net{agg_link(), std::move(qdisc)};
+/// Tasks construct their qdisc inside the worker, so each scenario in the
+/// sweep owns its state outright.
+using QdiscFactory = std::function<std::unique_ptr<sim::Qdisc>()>;
+
+Outcome run_with(const QdiscFactory& make_qdisc) {
+  core::DumbbellScenario net{agg_link(), make_qdisc()};
   const char* ccas[] = {"bbr", "reno", "cubic", "vegas"};
   for (sim::UserId user = 1; user <= 4; ++user) {
     for (int k = 0; k < 2; ++k) {
@@ -71,7 +82,7 @@ Outcome run_with(std::unique_ptr<sim::Qdisc> qdisc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccc;
   const auto buf = core::dumbbell_buffer_bytes(agg_link());
 
@@ -79,34 +90,43 @@ int main() {
                "Figure 1 (quantified): operator isolation removes CCA contention");
   std::cout << "4 users x 2 flows (BBR/Reno/Cubic/Vegas), 100 Mbit/s aggregation link\n";
 
+  struct Row {
+    std::string name;
+    QdiscFactory make;
+  };
+  const std::vector<Row> sweep{
+      {"droptail", [buf] { return std::make_unique<queue::DropTailQueue>(buf); }},
+      {"codel", [buf] { return std::make_unique<queue::CoDelQueue>(buf); }},
+      {"fq-flow",
+       [buf] { return std::make_unique<queue::DrrFairQueue>(buf, queue::FairnessKey::kPerFlow); }},
+      {"fq-user",
+       [buf] { return std::make_unique<queue::DrrFairQueue>(buf, queue::FairnessKey::kPerUser); }},
+      // Shaping: per-user buffers of ~100 ms at the contracted rate.
+      {"shaping-25M",
+       [] {
+         return std::make_unique<queue::PerUserIsolation>(
+             Rate::mbps(25), 40'000, bdp_bytes(Rate::mbps(25), Time::ms(100)));
+       }},
+      // Policing each user to 25 Mbit/s: same token buckets but almost no
+      // queue — non-conforming packets are dropped nearly immediately.
+      {"policing-25M", [] {
+         return std::make_unique<queue::PerUserIsolation>(
+             Rate::mbps(25), 15'000, bdp_bytes(Rate::mbps(25), Time::ms(10)));
+       }}};
+
+  runner::ExperimentRunner pool{{.jobs = runner::jobs_from_cli(argc, argv)}};
+  const auto outcomes =
+      pool.map<Outcome>(sweep.size(), [&](std::size_t i) { return run_with(sweep[i].make); });
+
   TextTable t{{"qdisc", "flow Jain", "flow max/min", "user Jain", "per-user Mbit/s",
                "CCA identity matters?"}};
-
-  auto report = [&](const std::string& name, Outcome o) {
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const Outcome& o = outcomes[i];
     std::string users;
     for (double u : o.per_user_mbps) users += TextTable::num(u, 1) + " ";
-    t.add_row({name, TextTable::num(o.flows.jain, 3), TextTable::num(o.flows.spread_ratio, 2),
-               TextTable::num(o.user_jain, 3), users, o.user_jain > 0.98 ? "no" : "YES"});
-  };
-
-  report("droptail", run_with(std::make_unique<queue::DropTailQueue>(buf)));
-  report("codel", run_with(std::make_unique<queue::CoDelQueue>(buf)));
-  report("fq-flow", run_with(std::make_unique<queue::DrrFairQueue>(
-                        buf, queue::FairnessKey::kPerFlow)));
-  report("fq-user", run_with(std::make_unique<queue::DrrFairQueue>(
-                        buf, queue::FairnessKey::kPerUser)));
-  {
-    // Shaping: per-user buffers of ~100 ms at the contracted rate.
-    auto iso = std::make_unique<queue::PerUserIsolation>(
-        Rate::mbps(25), 40'000, bdp_bytes(Rate::mbps(25), Time::ms(100)));
-    report("shaping-25M", run_with(std::move(iso)));
-  }
-  {
-    // Policing each user to 25 Mbit/s: same token buckets but almost no
-    // queue — non-conforming packets are dropped nearly immediately.
-    auto iso = std::make_unique<queue::PerUserIsolation>(
-        Rate::mbps(25), 15'000, bdp_bytes(Rate::mbps(25), Time::ms(10)));
-    report("policing-25M", run_with(std::move(iso)));
+    t.add_row({sweep[i].name, TextTable::num(o.flows.jain, 3),
+               TextTable::num(o.flows.spread_ratio, 2), TextTable::num(o.user_jain, 3), users,
+               o.user_jain > 0.98 ? "no" : "YES"});
   }
 
   t.print(std::cout);

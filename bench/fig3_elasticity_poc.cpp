@@ -8,13 +8,24 @@
 // Expected shape (the paper's headline): "clearly higher values for the
 // elasticity metric for the flows that contend for bandwidth" — Reno and BBR
 // phases above the elastic threshold (2.0), video / short / CBR below it.
+//
+// The five phases run as independent single-phase simulations fanned out
+// over an ExperimentRunner (`--jobs N` / CCC_JOBS); pass `--serial` to run
+// the original continuous single-simulation timeline instead.
+#include <cstring>
 #include <iostream>
 
 #include "core/elasticity_study.hpp"
+#include "runner/experiment_runner.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccc;
+
+  bool serial = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serial") == 0) serial = true;
+  }
 
   core::ElasticityPocConfig cfg;  // paper defaults: 48 Mbit/s, 100 ms, 45 s
   print_banner(std::cout, "Figure 3: actively measuring elasticity (Nimbus probe)");
@@ -22,7 +33,9 @@ int main() {
             << (2 * cfg.one_way_delay).to_ms() << " ms, phases of "
             << cfg.phase_duration.to_sec() << " s\n";
 
-  const auto result = core::run_elasticity_poc(cfg);
+  const auto result =
+      serial ? core::run_elasticity_poc(cfg)
+             : core::run_elasticity_poc_parallel(cfg, runner::jobs_from_cli(argc, argv));
 
   TextTable phases{{"phase", "window(s)", "median elasticity", "p90", "frac>thresh",
                     "probe goodput (Mbit/s)", "verdict"}};

@@ -5,14 +5,20 @@
 // inelastic CBR at varying ratios), reporting the measured elasticity. This
 // probes the measurement study's design choices: how strong must pulses be,
 // and does partial elasticity still register?
+//
+// Each (amplitude, cross-traffic) point is an independent simulation; the
+// whole sweep fans out over an ExperimentRunner (`--jobs N` / CCC_JOBS) with
+// bit-identical results for any job count.
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "app/bulk.hpp"
 #include "app/stop_at.hpp"
 #include "cca/new_reno.hpp"
 #include "core/dumbbell.hpp"
 #include "nimbus/nimbus.hpp"
+#include "runner/experiment_runner.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -61,34 +67,57 @@ ProbeRun run_probe(double amplitude, double cbr_mbps, bool reno_on) {
   return out;
 }
 
+/// One sweep point, tagged with which table (E7a or E7b) it belongs to.
+struct Point {
+  bool table_b{false};
+  double amplitude{0.25};
+  double cbr_mbps{0.0};
+  bool reno{false};
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccc;
-  print_banner(std::cout, "E7a: elasticity vs pulse amplitude");
-  TextTable ta{{"amplitude (xmu)", "cross traffic", "median elasticity", "detected?"}};
+
+  std::vector<Point> sweep;
   for (const double amp : {0.0625, 0.125, 0.25, 0.4}) {
     for (const bool reno : {true, false}) {
-      const auto r = run_probe(amp, reno ? 0.0 : 12.0, reno);
-      const bool detected = r.median_eta >= nimbus::kElasticThreshold;
-      ta.add_row({TextTable::num(amp, 3), reno ? "reno-bulk" : "cbr-12M",
-                  TextTable::num(r.median_eta, 2),
-                  detected ? (reno ? "yes (correct)" : "FALSE POSITIVE")
-                           : (reno ? "MISSED" : "no (correct)")});
+      sweep.push_back({false, amp, reno ? 0.0 : 12.0, reno});
     }
   }
-  ta.print(std::cout);
-
-  print_banner(std::cout, "E7b: elasticity vs elastic/inelastic traffic mix");
-  TextTable tb{{"reno flows", "cbr (Mbit/s)", "median elasticity", "verdict"}};
   for (const double cbr : {0.0, 8.0, 16.0, 24.0}) {
     for (const bool reno : {false, true}) {
       if (!reno && cbr == 0.0) continue;  // empty link: nothing to measure
-      const auto r = run_probe(0.25, cbr, reno);
-      tb.add_row({reno ? "1" : "0", TextTable::num(cbr, 0), TextTable::num(r.median_eta, 2),
+      sweep.push_back({true, 0.25, cbr, reno});
+    }
+  }
+
+  runner::ExperimentRunner pool{{.jobs = runner::jobs_from_cli(argc, argv)}};
+  const auto results = pool.map<ProbeRun>(sweep.size(), [&](std::size_t i) {
+    return run_probe(sweep[i].amplitude, sweep[i].cbr_mbps, sweep[i].reno);
+  });
+
+  TextTable ta{{"amplitude (xmu)", "cross traffic", "median elasticity", "detected?"}};
+  TextTable tb{{"reno flows", "cbr (Mbit/s)", "median elasticity", "verdict"}};
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const Point& pt = sweep[i];
+    const ProbeRun& r = results[i];
+    if (!pt.table_b) {
+      const bool detected = r.median_eta >= nimbus::kElasticThreshold;
+      ta.add_row({TextTable::num(pt.amplitude, 3), pt.reno ? "reno-bulk" : "cbr-12M",
+                  TextTable::num(r.median_eta, 2),
+                  detected ? (pt.reno ? "yes (correct)" : "FALSE POSITIVE")
+                           : (pt.reno ? "MISSED" : "no (correct)")});
+    } else {
+      tb.add_row({pt.reno ? "1" : "0", TextTable::num(pt.cbr_mbps, 0),
+                  TextTable::num(r.median_eta, 2),
                   r.median_eta >= nimbus::kElasticThreshold ? "elastic" : "inelastic"});
     }
   }
+  print_banner(std::cout, "E7a: elasticity vs pulse amplitude");
+  ta.print(std::cout);
+  print_banner(std::cout, "E7b: elasticity vs elastic/inelastic traffic mix");
   tb.print(std::cout);
 
   std::cout << "\nshape check: elastic verdicts should require a Reno flow; amplitude "

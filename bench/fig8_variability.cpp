@@ -7,13 +7,19 @@
 // wave (12<->48 Mbit/s, 2 s half-period) and a bounded multiplicative random
 // walk. We report utilization and self-inflicted queueing delay — exactly
 // the §5.1 trade-off — plus loss, for each CCA.
+//
+// Each (trace, CCA) cell is an independent simulation; the grid fans out
+// over an ExperimentRunner (`--jobs N` / CCC_JOBS) with bit-identical
+// results for any job count.
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "app/bulk.hpp"
 #include "core/cca_registry.hpp"
 #include "core/dumbbell.hpp"
 #include "nimbus/nimbus.hpp"
+#include "runner/experiment_runner.hpp"
 #include "sim/rate_trace.hpp"
 #include "telemetry/sampler.hpp"
 #include "util/stats.hpp"
@@ -93,14 +99,31 @@ Outcome run_cca(const std::string& name, bool random_walk) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccc;
+  const std::vector<std::string> ccas{"reno", "cubic", "bbr", "vegas", "copa", "nimbus"};
+
+  // Grid in display order: both traces x all CCAs.
+  struct Cell {
+    std::string cca;
+    bool walk;
+  };
+  std::vector<Cell> grid;
+  for (const bool walk : {false, true}) {
+    for (const auto& name : ccas) grid.push_back({name, walk});
+  }
+
+  runner::ExperimentRunner pool{{.jobs = runner::jobs_from_cli(argc, argv)}};
+  const auto outcomes = pool.map<Outcome>(
+      grid.size(), [&](std::size_t i) { return run_cca(grid[i].cca, grid[i].walk); });
+
+  std::size_t next = 0;
   for (const bool walk : {false, true}) {
     print_banner(std::cout, std::string{"E8 (§5.1): solo CCAs on a variable-capacity link — "} +
                                 (walk ? "random-walk trace" : "square wave 12<->48 Mbit/s"));
     TextTable t{{"cca", "utilization", "mean queue (ms)", "p95 queue (ms)", "drops/s"}};
-    for (const char* name : {"reno", "cubic", "bbr", "vegas", "copa", "nimbus"}) {
-      const auto o = run_cca(name, walk);
+    for (const auto& name : ccas) {
+      const Outcome& o = outcomes[next++];
       t.add_row({name, TextTable::num(o.utilization, 3), TextTable::num(o.mean_queue_ms, 1),
                  TextTable::num(o.p95_queue_ms, 1), TextTable::num(o.loss_per_sec, 1)});
     }

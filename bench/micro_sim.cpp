@@ -1,6 +1,13 @@
 // Micro-benchmarks: simulator event throughput and qdisc operations (M2).
+//
+// Besides the google-benchmark micros, main() emits one machine-readable
+// JSON line per headline metric (events/sec on the scheduler hot path) so
+// the perf trajectory can be tracked across PRs:
+//   {"bench": "scheduler_chain", "events": ..., "wall_sec": ..., "events_per_sec": ...}
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
 
 #include "app/bulk.hpp"
@@ -73,4 +80,58 @@ void BM_EndToEndFlowSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndFlowSecond);
 
+void BM_SchedulerTimerChurn(benchmark::State& state) {
+  // The retransmission-timer pattern: every event re-arms a far-future
+  // timer and cancels the previous one, so cancelled entries pile up in the
+  // heap. Exercises slab reuse + compaction.
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int count = 0;
+    sim::EventId rto = 0;
+    std::function<void()> tick = [&] {
+      sched.cancel(rto);  // "ACK arrived": disarm the previous timer
+      rto = sched.schedule_after(Time::ms(200), [] {});
+      if (++count < 10000) sched.schedule_after(Time::us(1), tick);
+    };
+    sched.schedule_at(Time::zero(), tick);
+    sched.run_until(Time::sec(1.0));
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerTimerChurn);
+
+/// Wall-clock events/sec on the raw dispatch path, printed as JSON.
+void report_events_per_sec(const char* name, bool churn) {
+  constexpr int kEvents = 2'000'000;
+  sim::Scheduler sched;
+  int count = 0;
+  sim::EventId rto = 0;
+  std::function<void()> tick = [&] {
+    if (churn) {
+      sched.cancel(rto);
+      rto = sched.schedule_after(Time::ms(200), [] {});
+    }
+    if (++count < kEvents) sched.schedule_after(Time::us(1), tick);
+  };
+  sched.schedule_at(Time::zero(), tick);
+  const auto t0 = std::chrono::steady_clock::now();
+  sched.run_until(Time::sec(10.0));
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - t0;
+  std::printf("{\"bench\": \"%s\", \"events\": %llu, \"wall_sec\": %.4f, "
+              "\"events_per_sec\": %.0f}\n",
+              name, static_cast<unsigned long long>(sched.events_executed()), wall.count(),
+              static_cast<double>(sched.events_executed()) / wall.count());
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report_events_per_sec("scheduler_chain", /*churn=*/false);
+  report_events_per_sec("scheduler_timer_churn", /*churn=*/true);
+  return 0;
+}

@@ -10,11 +10,20 @@
 #include "cca/new_reno.hpp"
 #include "core/cca_registry.hpp"
 #include "core/dumbbell.hpp"
+#include "runner/experiment_runner.hpp"
 #include "util/stats.hpp"
 
 namespace ccc::core {
 
-ElasticityPocResult run_elasticity_poc(const ElasticityPocConfig& cfg) {
+namespace {
+
+constexpr int kPhaseCount = 5;
+constexpr const char* kPhaseNames[kPhaseCount] = {"reno-bulk", "bbr-bulk", "abr-video",
+                                                  "poisson-short", "cbr-udp"};
+
+/// Builds the shared dumbbell (link + buffer sizing rationale is identical
+/// for the serial and per-phase variants).
+DumbbellConfig poc_dumbbell(const ElasticityPocConfig& cfg, std::uint64_t seed) {
   DumbbellConfig dc;
   dc.bottleneck_rate = cfg.link_rate;
   dc.one_way_delay = cfg.one_way_delay;
@@ -24,10 +33,13 @@ ElasticityPocResult run_elasticity_poc(const ElasticityPocConfig& cfg) {
   // queue shallow enough that loss-based responses still reach the probe at
   // the pulse frequency (see EXPERIMENTS.md for this sensitivity).
   dc.buffer_bdp_multiple = 1.5;
-  dc.seed = cfg.seed;
-  DumbbellScenario net{dc};
+  dc.seed = seed;
+  return dc;
+}
 
-  // --- the probe ---
+/// Installs the probe flow and returns a handle to it.
+nimbus::NimbusCca* add_probe(DumbbellScenario& net, const ElasticityPocConfig& cfg,
+                             std::size_t* probe_idx) {
   // The paper's testbed emulates a known 48 Mbit/s link, so the probe gets
   // the capacity as a hint (the deployed measurement study would obtain it
   // from a prior speedtest-style estimate). The windowed-max estimator
@@ -36,57 +48,132 @@ ElasticityPocResult run_elasticity_poc(const ElasticityPocConfig& cfg) {
   if (ncfg.capacity_hint.is_zero()) ncfg.capacity_hint = cfg.link_rate;
   auto nimbus_cc = std::make_unique<nimbus::NimbusCca>(net.scheduler(), ncfg);
   nimbus::NimbusCca* probe = nimbus_cc.get();
-  const std::size_t probe_idx =
+  const std::size_t idx =
       net.add_flow(std::move(nimbus_cc), std::make_unique<app::BulkApp>(), /*user=*/1);
+  if (probe_idx != nullptr) *probe_idx = idx;
+  return probe;
+}
 
-  // --- the five phases ---
+/// Adds phase `phase`'s cross traffic (all user 2), active on [begin, end).
+void add_phase_traffic(DumbbellScenario& net, const ElasticityPocConfig& cfg, int phase,
+                       Time begin, Time end) {
+  switch (phase) {
+    case 0:  // backlogged NewReno
+      net.add_flow(
+          std::make_unique<cca::NewReno>(),
+          std::make_unique<app::StopAtApp>(std::make_unique<app::BulkApp>(), end),
+          /*user=*/2, begin);
+      break;
+    case 1:  // backlogged BBR
+      net.add_flow(std::make_unique<cca::Bbr>(),
+                   std::make_unique<app::StopAtApp>(std::make_unique<app::BulkApp>(), end),
+                   /*user=*/2, begin);
+      break;
+    case 2: {  // ABR video over Cubic (a realistic streaming stack). The
+      // ladder tops out at HD rates (~5.8 Mbit/s), as for the single stream
+      // the paper ran: demand bounded far below the 48 Mbit/s link.
+      app::AbrConfig video_cfg;
+      video_cfg.ladder = {Rate::mbps(0.35), Rate::mbps(0.75), Rate::mbps(1.75), Rate::mbps(3.0),
+                          Rate::mbps(5.8)};
+      // Server-paced chunk delivery at 2x playback, as streaming CDNs do —
+      // the transport never gets a full chunk to blast at line rate.
+      video_cfg.supply_rate_multiple = 2.0;
+      net.add_flow(std::make_unique<cca::Cubic>(),
+                   std::make_unique<app::StopAtApp>(
+                       std::make_unique<app::AbrVideoApp>(net.scheduler(), video_cfg), end),
+                   /*user=*/2, begin);
+      break;
+    }
+    case 3: {  // Poisson short flows (Cubic, like ordinary web traffic)
+      flow::ShortFlowConfig sf;
+      sf.user = 2;
+      sf.start_at = begin;
+      sf.stop_at = end;
+      sf.mean_interarrival = cfg.short_flow_interarrival;
+      net.add_short_flows(sf, make_cca_factory("cubic"));
+      break;
+    }
+    case 4:  // constant-bitrate UDP
+      net.add_cbr(cfg.cbr_rate, begin, end, /*user=*/2);
+      break;
+    default:
+      break;
+  }
+}
+
+/// Summarizes the probe's elasticity samples over a phase window, skipping
+/// the first 20%: there the FFT window still spans what came before the
+/// phase (the previous phase serially, the warmup in per-phase runs).
+void summarize_phase(const telemetry::TimeSeries& etas, double begin_sec, double end_sec,
+                     PhaseSummary* s) {
+  const double skip = begin_sec + 0.2 * (end_sec - begin_sec);
+  const auto window = etas.slice(skip, end_sec);
+  if (window.empty()) return;
+  s->median_elasticity = median(window);
+  s->p90_elasticity = quantile(window, 0.9);
+  std::size_t above = 0;
+  for (double e : window) {
+    if (e >= nimbus::kElasticThreshold) ++above;
+  }
+  s->frac_elastic = static_cast<double>(above) / static_cast<double>(window.size());
+}
+
+/// One phase as its own simulation: probe warms up alone on [0, warmup),
+/// then the phase's cross traffic runs for phase_duration. Returned series
+/// use the LOCAL clock; the caller shifts them onto the canonical timeline.
+struct SinglePhaseResult {
+  PhaseSummary summary;
+  telemetry::TimeSeries elasticity;
+  telemetry::TimeSeries probe_rate_mbps;
+};
+
+SinglePhaseResult run_single_phase(const ElasticityPocConfig& cfg, int phase) {
+  DumbbellScenario net{poc_dumbbell(cfg, runner::derive_seed(cfg.seed, phase))};
+  std::size_t probe_idx = 0;
+  nimbus::NimbusCca* probe = add_probe(net, cfg, &probe_idx);
+
+  const Time begin = cfg.warmup;
+  const Time end = cfg.warmup + cfg.phase_duration;
+  add_phase_traffic(net, cfg, phase, begin, end);
+
+  SinglePhaseResult out;
+  out.elasticity.name = "elasticity";
+  out.probe_rate_mbps.name = "probe_base_rate_mbps";
+  telemetry::PeriodicSampler sampler{
+      net.scheduler(), cfg.sample_interval, Time::sec(1.0), end + Time::sec(1.0),
+      [&](Time now) {
+        out.elasticity.add(now, probe->elasticity());
+        out.probe_rate_mbps.add(now, probe->base_rate().to_mbps());
+      }};
+
+  net.run_until(begin);
+  const auto snap = net.snapshot_delivered();
+  net.run_until(end);
+  out.summary.name = kPhaseNames[phase];
+  out.summary.probe_goodput_mbps = net.goodput_mbps_since(probe_idx, snap, end - begin);
+  summarize_phase(out.elasticity, begin.to_sec(), end.to_sec(), &out.summary);
+  return out;
+}
+
+}  // namespace
+
+ElasticityPocResult run_elasticity_poc(const ElasticityPocConfig& cfg) {
+  DumbbellScenario net{poc_dumbbell(cfg, cfg.seed)};
+  std::size_t probe_idx = 0;
+  nimbus::NimbusCca* probe = add_probe(net, cfg, &probe_idx);
+
+  // --- the five phases, back to back on one timeline ---
   const Time p = cfg.phase_duration;
   const Time t0 = cfg.warmup;
   struct Phase {
-    std::string name;
     Time begin;
     Time end;
   };
   std::vector<Phase> phases;
-  for (int i = 0; i < 5; ++i) {
-    static const char* names[] = {"reno-bulk", "bbr-bulk", "abr-video", "poisson-short",
-                                  "cbr-udp"};
-    phases.push_back({names[i], t0 + p * i, t0 + p * (i + 1)});
+  for (int i = 0; i < kPhaseCount; ++i) {
+    phases.push_back({t0 + p * i, t0 + p * (i + 1)});
+    add_phase_traffic(net, cfg, i, phases.back().begin, phases.back().end);
   }
-
-  // Phase 1: backlogged NewReno.
-  net.add_flow(std::make_unique<cca::NewReno>(),
-               std::make_unique<app::StopAtApp>(std::make_unique<app::BulkApp>(), phases[0].end),
-               /*user=*/2, phases[0].begin);
-  // Phase 2: backlogged BBR.
-  net.add_flow(std::make_unique<cca::Bbr>(),
-               std::make_unique<app::StopAtApp>(std::make_unique<app::BulkApp>(), phases[1].end),
-               /*user=*/2, phases[1].begin);
-  // Phase 3: ABR video over Cubic (a realistic streaming stack). The ladder
-  // tops out at HD rates (~5.8 Mbit/s), as for the single stream the paper
-  // ran: demand bounded far below the 48 Mbit/s link.
-  app::AbrConfig video_cfg;
-  video_cfg.ladder = {Rate::mbps(0.35), Rate::mbps(0.75), Rate::mbps(1.75), Rate::mbps(3.0),
-                      Rate::mbps(5.8)};
-  // Server-paced chunk delivery at 2x playback, as streaming CDNs do — the
-  // transport never gets a full chunk to blast at line rate.
-  video_cfg.supply_rate_multiple = 2.0;
-  net.add_flow(
-      std::make_unique<cca::Cubic>(),
-      std::make_unique<app::StopAtApp>(
-          std::make_unique<app::AbrVideoApp>(net.scheduler(), video_cfg), phases[2].end),
-      /*user=*/2, phases[2].begin);
-  // Phase 4: Poisson short flows (Cubic, like ordinary web traffic).
-  {
-    flow::ShortFlowConfig sf;
-    sf.user = 2;
-    sf.start_at = phases[3].begin;
-    sf.stop_at = phases[3].end;
-    sf.mean_interarrival = cfg.short_flow_interarrival;
-    net.add_short_flows(sf, make_cca_factory("cubic"));
-  }
-  // Phase 5: constant-bitrate UDP.
-  net.add_cbr(cfg.cbr_rate, phases[4].begin, phases[4].end, /*user=*/2);
 
   // --- sampling ---
   ElasticityPocResult result;
@@ -101,31 +188,53 @@ ElasticityPocResult run_elasticity_poc(const ElasticityPocConfig& cfg) {
 
   // --- run phase by phase, measuring probe goodput per phase ---
   net.run_until(t0);
-  for (const auto& ph : phases) {
+  for (int i = 0; i < kPhaseCount; ++i) {
+    const auto& ph = phases[i];
     const auto snap = net.snapshot_delivered();
     net.run_until(ph.end);
     PhaseSummary s;
-    s.name = ph.name;
+    s.name = kPhaseNames[i];
     s.t_begin_sec = ph.begin.to_sec();
     s.t_end_sec = ph.end.to_sec();
     s.probe_goodput_mbps = net.goodput_mbps_since(probe_idx, snap, ph.end - ph.begin);
-
-    // Skip the first 20% of each phase when summarizing elasticity: the FFT
-    // window still spans the previous phase there.
-    const double skip = ph.begin.to_sec() + 0.2 * (ph.end - ph.begin).to_sec();
-    const auto etas = result.elasticity.slice(skip, ph.end.to_sec());
-    if (!etas.empty()) {
-      s.median_elasticity = median(etas);
-      s.p90_elasticity = quantile(etas, 0.9);
-      std::size_t above = 0;
-      for (double e : etas) {
-        if (e >= nimbus::kElasticThreshold) ++above;
-      }
-      s.frac_elastic = static_cast<double>(above) / static_cast<double>(etas.size());
-    }
+    summarize_phase(result.elasticity, s.t_begin_sec, s.t_end_sec, &s);
     result.phases.push_back(std::move(s));
   }
   net.run_until(run_end);
+  return result;
+}
+
+ElasticityPocResult run_elasticity_poc_parallel(const ElasticityPocConfig& cfg,
+                                                unsigned jobs) {
+  runner::ExperimentRunner pool{{.jobs = jobs}};
+  const auto singles = pool.map<SinglePhaseResult>(
+      kPhaseCount, [&cfg](std::size_t i) { return run_single_phase(cfg, static_cast<int>(i)); });
+
+  // Stitch the independent phases back onto the canonical timeline: phase i's
+  // local window [warmup, warmup+p) maps to [warmup + p*i, warmup + p*(i+1)).
+  ElasticityPocResult result;
+  result.elasticity.name = "elasticity";
+  result.probe_rate_mbps.name = "probe_base_rate_mbps";
+  const double p = cfg.phase_duration.to_sec();
+  const double t0 = cfg.warmup.to_sec();
+  for (int i = 0; i < kPhaseCount; ++i) {
+    const auto& single = singles[i];
+    const double shift = p * i;
+    for (std::size_t k = 0; k < single.elasticity.size(); ++k) {
+      const double t = single.elasticity.t_sec[k];
+      // Warmup samples beyond phase 0 would land in the previous phase's
+      // canonical window; drop them.
+      if (i > 0 && t < t0) continue;
+      result.elasticity.t_sec.push_back(t + shift);
+      result.elasticity.value.push_back(single.elasticity.value[k]);
+      result.probe_rate_mbps.t_sec.push_back(t + shift);
+      result.probe_rate_mbps.value.push_back(single.probe_rate_mbps.value[k]);
+    }
+    PhaseSummary s = single.summary;
+    s.t_begin_sec = t0 + p * i;
+    s.t_end_sec = t0 + p * (i + 1);
+    result.phases.push_back(std::move(s));
+  }
   return result;
 }
 

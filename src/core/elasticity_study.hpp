@@ -51,7 +51,23 @@ struct ElasticityPocResult {
   std::vector<PhaseSummary> phases;
 };
 
-/// Runs the full five-phase experiment. Deterministic for a given config.
+/// Runs the full five-phase experiment as ONE continuous simulation (the
+/// paper's literal setup: a single probe watches cross-traffic types take
+/// turns). Deterministic for a given config.
 [[nodiscard]] ElasticityPocResult run_elasticity_poc(const ElasticityPocConfig& cfg = {});
+
+/// Runs the same five phases as five *independent* single-phase simulations
+/// (probe + warmup + one cross-traffic type each) fanned out over a
+/// runner::ExperimentRunner with `jobs` workers (0 = CCC_JOBS / hardware).
+///
+/// Each phase simulation is deterministic and owns its scheduler and RNG
+/// (seeded via runner::derive_seed(cfg.seed, phase)), so results are
+/// bit-identical for any job count. Phase windows are reported on the same
+/// canonical timeline as the serial run; per-phase warmup samples (which
+/// have no canonical-timeline equivalent after phase 1) are dropped from the
+/// stitched time series. Versus the serial run this also removes cross-phase
+/// contamination: no FFT window ever spans two traffic types.
+[[nodiscard]] ElasticityPocResult run_elasticity_poc_parallel(
+    const ElasticityPocConfig& cfg = {}, unsigned jobs = 0);
 
 }  // namespace ccc::core

@@ -1,0 +1,44 @@
+// A fixed-size worker pool draining a FIFO job queue.
+//
+// This is deliberately minimal: experiments submit closed-over thunks and
+// synchronize on their own completion counters (see ExperimentRunner). The
+// pool guarantees that every job submitted before destruction runs to
+// completion — the destructor drains the queue and joins the workers.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccc::runner {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(unsigned threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Finishes all queued jobs, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues a job. Jobs start in FIFO order but may complete in any order.
+  void submit(std::function<void()> job);
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ccc::runner

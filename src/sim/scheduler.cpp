@@ -1,28 +1,74 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace ccc::sim {
 
 EventId Scheduler::schedule_at(Time at, std::function<void()> fn) {
   assert(at >= now_ && "cannot schedule into the past");
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id});
-  pending_callbacks_.emplace(id, std::move(fn));
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.armed = true;
+  heap_.push_back(Entry{at, next_seq_++, slot, s.gen});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  ++live_;
+  return make_id(slot, s.gen);
 }
 
-void Scheduler::cancel(EventId id) { pending_callbacks_.erase(id); }
+std::function<void()> Scheduler::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  auto fn = std::move(s.fn);
+  s.fn = nullptr;  // drop any moved-from shell so captures are destroyed
+  s.armed = false;
+  ++s.gen;
+  free_slots_.push_back(slot);
+  --live_;
+  return fn;
+}
+
+void Scheduler::cancel(EventId id) {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffff'ffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (!s.armed || s.gen != gen) return;  // already fired/cancelled, or reused
+  release_slot(slot);
+  // The heap still holds this event's entry; it is now stale and will be
+  // dropped lazily when popped — unless stale entries start to dominate, in
+  // which case we rebuild the heap so disarmed timers cannot grow it forever.
+  if (++stale_ >= 64 && stale_ > heap_.size() / 2) compact();
+}
+
+void Scheduler::compact() {
+  std::erase_if(heap_, [this](const Entry& e) { return !is_live(e); });
+  std::make_heap(heap_.begin(), heap_.end(), later);
+  stale_ = 0;
+}
+
+void Scheduler::pop_front() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  heap_.pop_back();
+}
 
 bool Scheduler::run_one() {
   while (!heap_.empty()) {
-    const Entry top = heap_.top();
-    heap_.pop();
-    auto it = pending_callbacks_.find(top.id);
-    if (it == pending_callbacks_.end()) continue;  // cancelled: skip
-    // Move the callback out before erasing so it may reschedule itself.
-    auto fn = std::move(it->second);
-    pending_callbacks_.erase(it);
+    const Entry top = heap_.front();
+    pop_front();
+    if (!is_live(top)) {
+      --stale_;
+      continue;
+    }
+    auto fn = release_slot(top.slot);  // the callback may reschedule itself
     now_ = top.at;
     ++executed_;
     fn();
@@ -34,10 +80,11 @@ bool Scheduler::run_one() {
 void Scheduler::run_until(Time end) {
   assert(end >= now_);
   while (!heap_.empty()) {
-    // Peek past cancelled entries without executing.
-    const Entry top = heap_.top();
-    if (!pending_callbacks_.contains(top.id)) {
-      heap_.pop();
+    // Peek past stale (cancelled) entries without executing.
+    const Entry& top = heap_.front();
+    if (!is_live(top)) {
+      pop_front();
+      --stale_;
       continue;
     }
     if (top.at > end) break;

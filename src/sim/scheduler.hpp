@@ -3,13 +3,19 @@
 // The simulator is single threaded and driven entirely by this event queue.
 // Components schedule callbacks at absolute times; ties are broken by
 // insertion order so runs are fully deterministic.
+//
+// Hot-path design: callbacks live in a slab (a vector of reusable slots with
+// an intrusive free list) instead of a hash map, and the time-ordered heap
+// stores plain {time, seq, slot, gen} records. Scheduling, cancelling and
+// firing therefore cost O(log n) heap work plus O(1) slab indexing — no hash
+// lookups and no per-event node allocation. Cancelled events are lazily
+// dropped when popped; if too many accumulate (long-lived retransmission
+// timers that ACKs keep disarming), the heap is compacted in place so it
+// cannot grow unboundedly.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "util/units.hpp"
@@ -17,7 +23,10 @@
 namespace ccc::sim {
 
 /// Identifies a scheduled event so it can be cancelled (e.g. a retransmission
-/// timer disarmed by an ACK).
+/// timer disarmed by an ACK). Packed as (generation << 32) | slot: the slab
+/// slot is reused after the event fires or is cancelled, but its generation
+/// counter is bumped on every release, so a stale id never aliases a newer
+/// event scheduled into the same slot.
 using EventId = std::uint64_t;
 
 /// A time-ordered event queue with cancellation.
@@ -38,8 +47,9 @@ class Scheduler {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
-  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
-  /// harmless no-op (timers race with the events that disarm them).
+  /// Cancels a pending event. Cancelling an already-fired, already-cancelled
+  /// or unknown id is a harmless no-op (timers race with the events that
+  /// disarm them).
   void cancel(EventId id);
 
   /// Runs events until the queue is empty or simulated time would exceed
@@ -52,24 +62,59 @@ class Scheduler {
   /// Number of events executed since construction (for perf benches).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   /// Number of live (non-cancelled) pending events.
-  [[nodiscard]] std::size_t pending() const { return pending_callbacks_.size(); }
+  [[nodiscard]] std::size_t pending() const { return live_; }
+  /// Heap records including not-yet-collected cancelled ones (tests use this
+  /// to verify compaction keeps the heap bounded under cancel churn).
+  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
 
  private:
-  struct Entry {
-    Time at;
-    EventId id;
-    // Min-heap by (time, id): id grows monotonically, giving FIFO tie-break.
-    [[nodiscard]] bool operator>(const Entry& o) const {
-      if (at != o.at) return at > o.at;
-      return id > o.id;
-    }
+  /// A slab slot holding one event's callback. `gen` counts how many times
+  /// the slot has been released; an EventId or heap entry carrying an older
+  /// generation is stale. (Wrap after 2^32 releases of a single slot is
+  /// beyond any simulation we run.)
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t gen{1};
+    bool armed{false};
   };
 
+  struct Entry {
+    Time at;
+    std::uint64_t seq;   // global schedule order: FIFO tie-break at equal times
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  // std::push_heap/pop_heap build a max-heap w.r.t. the comparator, so
+  // "later" as less-than puts the earliest (and lowest-seq) entry at front.
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+
+  [[nodiscard]] static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+  [[nodiscard]] bool is_live(const Entry& e) const {
+    const Slot& s = slots_[e.slot];
+    return s.armed && s.gen == e.gen;
+  }
+
+  /// Moves the callback out of a live slot and returns the slot to the free
+  /// list (bumping its generation so stale ids/entries cannot alias it).
+  std::function<void()> release_slot(std::uint32_t slot);
+  /// Pops the front heap entry (the earliest).
+  void pop_front();
+  /// Rebuilds the heap without stale (cancelled) entries.
+  void compact();
+
   Time now_{Time::zero()};
-  EventId next_id_{1};
+  std::uint64_t next_seq_{1};
   std::uint64_t executed_{0};
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<EventId, std::function<void()>> pending_callbacks_;
+  std::size_t live_{0};   // armed slots == live heap entries
+  std::size_t stale_{0};  // cancelled entries still sitting in the heap
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace ccc::sim

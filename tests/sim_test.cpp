@@ -82,6 +82,94 @@ TEST(Scheduler, EventAtExactBoundaryFires) {
   EXPECT_TRUE(fired);
 }
 
+TEST(Scheduler, CancelAfterFireIsNoop) {
+  Scheduler sched;
+  int fired = 0;
+  const EventId id = sched.schedule_at(Time::ms(5), [&] { ++fired; });
+  sched.run_until(Time::ms(10));
+  EXPECT_EQ(fired, 1);
+  sched.cancel(id);  // stale id: must not crash or disturb anything
+  EXPECT_EQ(sched.pending(), 0u);
+  // A new event scheduled after the stale cancel still fires normally.
+  sched.schedule_at(Time::ms(20), [&] { ++fired; });
+  sched.cancel(id);  // stale id again, now that the slot may be reused
+  sched.run_until(Time::ms(30));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, IdsNeverAliasAfterSlabReuse) {
+  Scheduler sched;
+  // Cycle the same slab slot many times; every id must be distinct and a
+  // stale id must never cancel the slot's current occupant.
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = sched.schedule_at(Time::ms(5), [] {});
+    sched.cancel(id);  // releases the slot for reuse
+    ids.push_back(id);
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) EXPECT_NE(ids[i], ids[j]);
+  }
+  bool fired = false;
+  sched.schedule_at(Time::ms(5), [&] { fired = true; });  // reuses a slot
+  for (const EventId stale : ids) sched.cancel(stale);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run_until(Time::ms(10));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, PendingAccurateUnderCancelChurn) {
+  Scheduler sched;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(sched.schedule_at(Time::ms(100 + i), [&] { ++fired; }));
+  }
+  EXPECT_EQ(sched.pending(), 1000u);
+  for (std::size_t i = 0; i < ids.size(); i += 2) sched.cancel(ids[i]);
+  EXPECT_EQ(sched.pending(), 500u);
+  for (std::size_t i = 0; i < ids.size(); i += 2) sched.cancel(ids[i]);  // double-cancel: no-op
+  EXPECT_EQ(sched.pending(), 500u);
+  sched.run_until(Time::sec(5.0));
+  EXPECT_EQ(fired, 500);
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_EQ(sched.events_executed(), 500u);
+}
+
+TEST(Scheduler, HeapCompactsUnderMassCancellation) {
+  Scheduler sched;
+  // The retransmission-timer pathology: long-lived timers that are always
+  // disarmed before firing. Without compaction the heap grows unboundedly.
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(sched.schedule_at(Time::sec(100.0), [] {}));
+  }
+  for (const EventId id : ids) sched.cancel(id);
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_LT(sched.heap_entries(), 5000u) << "cancelled timers must not accumulate";
+  // The scheduler remains fully functional after compaction.
+  bool fired = false;
+  sched.schedule_at(Time::ms(1), [&] { fired = true; });
+  sched.run_until(Time::ms(2));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, FifoTieBreakSurvivesSlotReuse) {
+  Scheduler sched;
+  // Fire-and-reschedule so slots get reused out of their original order,
+  // then verify FIFO tie-break still follows schedule order, not slot order.
+  std::vector<int> order;
+  const EventId a = sched.schedule_at(Time::ms(1), [] {});
+  const EventId b = sched.schedule_at(Time::ms(1), [] {});
+  sched.cancel(b);
+  sched.cancel(a);  // free list now holds slots in reverse order
+  for (int i = 0; i < 4; ++i) {
+    sched.schedule_at(Time::ms(10), [&order, i] { order.push_back(i); });
+  }
+  sched.run_until(Time::ms(10));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
 // --- link ---
 
 class CollectingSink : public PacketSink {
