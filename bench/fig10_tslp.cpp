@@ -18,10 +18,12 @@
 
 #include "analysis/tslp.hpp"
 #include "app/bulk.hpp"
+#include "bench/cli.hpp"
 #include "cca/cubic.hpp"
 #include "core/cca_registry.hpp"
 #include "core/dumbbell.hpp"
 #include "nimbus/nimbus.hpp"
+#include "telemetry/run_report.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -92,9 +94,11 @@ Verdicts run_case(bool contention) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccc;
-  print_banner(std::cout, "E10 (§4): TSLP vs the elasticity probe on two congested links");
+  auto cli = bench::Cli::parse(argc, argv, "fig10_tslp");
+  std::ostream& os = cli.output();
+  print_banner(os, "E10 (§4): TSLP vs the elasticity probe on two congested links");
 
   const auto contention = run_case(true);
   const auto aggregate = run_case(false);
@@ -110,14 +114,26 @@ int main() {
   };
   row("2 backlogged cubic (true contention)", contention);
   row("short-flow aggregate (no contention)", aggregate);
-  t.print(std::cout);
+  telemetry::RunReport report{"fig10_tslp", core::DumbbellConfig{}.seed};
+  auto report_case = [&](const std::string& scope, const Verdicts& v) {
+    report.add_scalar(scope, "tslp_congested_frac", v.tslp_congested_frac);
+    report.add_scalar(scope, "tslp_mean_delay_ms", v.tslp_mean_delay_ms);
+    report.add_scalar(scope, "elasticity", v.elasticity);
+  };
+  report_case("contention", contention);
+  report_case("aggregate", aggregate);
+  t.print(os);
 
   const bool reproduced = contention.tslp_congested_frac > 0.25 &&
                           aggregate.tslp_congested_frac > 0.25 &&
                           contention.elasticity >= nimbus::kElasticThreshold &&
                           aggregate.elasticity < nimbus::kElasticThreshold;
-  std::cout << "\nshape check: TSLP flags BOTH as congested (it measures queues, not "
+  os << "\nshape check: TSLP flags BOTH as congested (it measures queues, not "
                "contention); only the elasticity probe separates them -> "
             << (reproduced ? "REPRODUCED" : "NOT reproduced") << "\n";
+  if (!report.emit(cli.report)) {
+    std::cerr << "fig10_tslp: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
   return reproduced ? 0 : 1;
 }

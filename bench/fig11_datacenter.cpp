@@ -16,10 +16,12 @@
 
 #include "analysis/fairness.hpp"
 #include "app/bulk.hpp"
+#include "bench/cli.hpp"
 #include "core/cca_registry.hpp"
 #include "core/dumbbell.hpp"
 #include "queue/drop_tail.hpp"
 #include "queue/drr_fair_queue.hpp"
+#include "telemetry/run_report.hpp"
 #include "telemetry/sampler.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -88,9 +90,12 @@ DcOutcome run_case(const std::string& cca, bool fq, ByteCount ecn_threshold) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccc;
-  print_banner(std::cout,
+  auto cli = bench::Cli::parse(argc, argv, "fig11_datacenter");
+  std::ostream& os = cli.output();
+  telemetry::RunReport report{"fig11_datacenter", core::DumbbellConfig{}.seed};
+  print_banner(os,
                "E11 (§2.3): datacenter operators pick the mechanism — 8 flows, "
                "800 Mbit/s, 200 us RTT");
 
@@ -100,6 +105,12 @@ int main() {
     t.add_row({name, TextTable::num(o.jain, 3), TextTable::num(o.utilization, 3),
                TextTable::num(o.mean_queue_pkts, 1), TextTable::num(o.p99_queue_pkts, 0),
                std::to_string(o.drops), std::to_string(o.marks)});
+    report.add_scalar(name, "jain", o.jain);
+    report.add_scalar(name, "utilization", o.utilization);
+    report.add_scalar(name, "mean_queue_pkts", o.mean_queue_pkts);
+    report.add_scalar(name, "p99_queue_pkts", o.p99_queue_pkts);
+    report.add_scalar(name, "drops", static_cast<double>(o.drops));
+    report.add_scalar(name, "ecn_marks", static_cast<double>(o.marks));
   };
 
   add("cubic + droptail", run_case("cubic", false, 0));
@@ -108,9 +119,13 @@ int main() {
   add("dctcp + ECN(K=20pkt)", run_case("dctcp", false, 20 * sim::kFullPacket));
   add("cubic + fq-flow", run_case("cubic", true, 0));
 
-  t.print(std::cout);
-  std::cout << "\nshape check: DCTCP and FQ match the loss-based rows' fairness and "
+  t.print(os);
+  os << "\nshape check: DCTCP and FQ match the loss-based rows' fairness and "
                "utilization with far shallower queues (and zero or near-zero drops for "
                "DCTCP) — allocation by operator mechanism, not CCA contention.\n";
+  if (!report.emit(cli.report)) {
+    std::cerr << "fig11_datacenter: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
   return 0;
 }

@@ -17,9 +17,11 @@
 #include <memory>
 
 #include "app/bulk.hpp"
+#include "bench/cli.hpp"
 #include "core/cca_registry.hpp"
 #include "core/dumbbell.hpp"
 #include "queue/hierarchical_fq.hpp"
+#include "telemetry/run_report.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -37,9 +39,11 @@ struct Service {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccc;
-  print_banner(std::cout, "E12 (§5.3): Recursive Congestion Shares on a 90 Mbit/s ISP link");
+  auto cli = bench::Cli::parse(argc, argv, "fig12_rcs");
+  std::ostream& os = cli.output();
+  print_banner(os, "E12 (§5.3): Recursive Congestion Shares on a 90 Mbit/s ISP link");
 
   core::DumbbellConfig cfg;
   cfg.bottleneck_rate = Rate::mbps(90);
@@ -94,6 +98,7 @@ int main() {
   TextTable t{{"service", "flows", "cca", "share (weights say)", "share (measured)",
                "Mbit/s"}};
   bool ok = true;
+  telemetry::RunReport report{"fig12_rcs", cfg.seed};
   for (const auto& svc : services) {
     double mbps = 0.0;
     for (auto idx : svc.flow_idx) mbps += g[idx];
@@ -102,10 +107,17 @@ int main() {
     t.add_row({svc.name, std::to_string(svc.flows), svc.cca,
                TextTable::num(svc.expected_fraction, 3), TextTable::num(share, 3),
                TextTable::num(mbps, 1)});
+    report.add_scalar(svc.name, "expected_share", svc.expected_fraction);
+    report.add_scalar(svc.name, "measured_share", share);
+    report.add_scalar(svc.name, "goodput_mbps", mbps);
   }
-  t.print(std::cout);
-  std::cout << "\nshape check: measured shares track the recursive weights at every level"
+  t.print(os);
+  os << "\nshape check: measured shares track the recursive weights at every level"
                " — 6 BBR flows cannot out-take 1 cubic flow with a bigger share -> "
             << (ok ? "REPRODUCED" : "NOT reproduced") << "\n";
+  if (!report.emit(cli.report)) {
+    std::cerr << "fig12_rcs: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
   return ok ? 0 : 1;
 }

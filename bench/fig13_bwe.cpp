@@ -15,11 +15,13 @@
 
 #include "app/bulk.hpp"
 #include "app/rate_limited.hpp"
+#include "bench/cli.hpp"
 #include "bwe/allocator.hpp"
 #include "bwe/capped_cca.hpp"
 #include "bwe/enforcer.hpp"
 #include "core/cca_registry.hpp"
 #include "core/dumbbell.hpp"
+#include "telemetry/run_report.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -41,9 +43,17 @@ const double kWeights[3] = {4.0, 2.0, 1.0};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccc;
-  print_banner(std::cout, "E13 (§2.1): BwE host-based allocation vs free CCA contention");
+  auto cli = bench::Cli::parse(argc, argv, "fig13_bwe");
+  std::ostream& os = cli.output();
+  telemetry::RunReport report{"fig13_bwe", wan().seed};
+  auto report_regime = [&report](const std::string& scope, const std::vector<double>& g) {
+    report.add_scalar(scope, "prod_mbps", g[0]);
+    report.add_scalar(scope, "analytics_mbps", g[1]);
+    report.add_scalar(scope, "backup_mbps", g[2]);
+  };
+  print_banner(os, "E13 (§2.1): BwE host-based allocation vs free CCA contention");
 
   TextTable t{{"regime", "prod Mbit/s", "analytics Mbit/s", "backup Mbit/s",
                "matches policy (4:2:1)?"}};
@@ -69,6 +79,7 @@ int main() {
     raw = net.goodputs_mbps_since(snap, Time::sec(30.0));
     t.add_row({"free contention", TextTable::num(raw[0], 1), TextTable::num(raw[1], 1),
                TextTable::num(raw[2], 1), policy_ok(raw) ? "yes" : "NO (CCA-decided)"});
+    report_regime("free-contention", raw);
   }
 
   // --- Phase B: BwE enforcement ---
@@ -95,6 +106,7 @@ int main() {
     const auto g = net.goodputs_mbps_since(snap, Time::sec(30.0));
     t.add_row({"BwE (all hungry)", TextTable::num(g[0], 1), TextTable::num(g[1], 1),
                TextTable::num(g[2], 1), policy_ok(g) ? "yes" : "NO"});
+    report_regime("bwe-all-hungry", g);
   }
 
   // --- Phase C: BwE with a demand drop mid-run ---
@@ -129,11 +141,16 @@ int main() {
     t.add_row({"BwE (analytics idle)", TextTable::num(g[0], 1), TextTable::num(g[1], 1),
                TextTable::num(g[2], 1),
                redistributed ? "yes (4:1 among the hungry)" : "NO"});
+    report_regime("bwe-analytics-idle", g);
   }
 
-  t.print(std::cout);
-  std::cout << "\nshape check: free contention ignores the 4:2:1 policy (BBR grabs what "
+  t.print(os);
+  os << "\nshape check: free contention ignores the 4:2:1 policy (BBR grabs what "
                "its dynamics give it); BwE pins it, and reassigns an idle service's "
                "grant within a control period.\n";
+  if (!report.emit(cli.report)) {
+    std::cerr << "fig13_bwe: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
   return 0;
 }

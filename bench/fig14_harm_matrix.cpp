@@ -20,10 +20,12 @@
 
 #include "analysis/fairness.hpp"
 #include "app/bulk.hpp"
+#include "bench/cli.hpp"
 #include "core/cca_registry.hpp"
 #include "core/dumbbell.hpp"
 #include "queue/drr_fair_queue.hpp"
 #include "runner/experiment_runner.hpp"
+#include "telemetry/run_report.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -76,6 +78,8 @@ struct Scenario {
 
 int main(int argc, char** argv) {
   using namespace ccc;
+  auto cli = bench::Cli::parse(argc, argv, "fig14_harm_matrix");
+  std::ostream& os = cli.output();
   const std::vector<std::string> ccas{"reno", "cubic", "bbr", "vegas"};
 
   // Build the full scenario grid in display order, then fan it out.
@@ -90,7 +94,7 @@ int main(int argc, char** argv) {
   // Progress to stderr: the completion counter is the same text for any job
   // count, so redirected output stays comparable across runs.
   runner::RunnerOptions opts;
-  opts.jobs = runner::jobs_from_cli(argc, argv);
+  opts.jobs = cli.jobs;
   opts.on_progress = [](std::size_t done, std::size_t total) {
     std::cerr << "\rscenario " << done << "/" << total << std::flush;
     if (done == total) std::cerr << "\n";
@@ -103,29 +107,40 @@ int main(int argc, char** argv) {
   });
 
   std::map<std::string, double> solo;
-  for (std::size_t i = 0; i < ccas.size(); ++i) solo[ccas[i]] = goodputs[i];
+  telemetry::RunReport report{"fig14_harm_matrix", net40().seed};
+  for (std::size_t i = 0; i < ccas.size(); ++i) {
+    solo[ccas[i]] = goodputs[i];
+    report.add_scalar("solo", ccas[i] + "_mbps", goodputs[i]);
+  }
 
   std::size_t next = ccas.size();
   for (const bool fq : {false, true}) {
-    print_banner(std::cout,
+    print_banner(os,
                  std::string{"E14: pairwise harm (rows = victim, cols = attacker) — "} +
                      (fq ? "per-flow FQ" : "DropTail FIFO"));
     std::vector<std::string> header{"victim \\ attacker"};
     for (const auto& c : ccas) header.push_back(c);
     TextTable t{header};
+    const std::string scope = fq ? "fq-flow" : "droptail";
     for (const auto& victim : ccas) {
       std::vector<std::string> row{victim};
       for (std::size_t a = 0; a < ccas.size(); ++a) {
-        row.push_back(TextTable::num(harm(solo[victim], goodputs[next++]), 2));
+        const double h = harm(solo[victim], goodputs[next++]);
+        row.push_back(TextTable::num(h, 2));
+        report.add_scalar(scope, victim + "_vs_" + ccas[a] + "_harm", h);
       }
       t.add_row(std::move(row));
     }
-    t.print(std::cout);
+    t.print(os);
   }
 
-  std::cout << "\nshape check: the fair-share harm floor is 0.5 (an equal split halves "
-               "the incumbent). Under DropTail, BBR and cubic columns inflict well above "
-               "it on delay-based victims; under FQ every column sits near 0.5 — the "
-               "qdisc, not the CCA pairing, decides (the paper's §2.1 claim).\n";
+  os << "\nshape check: the fair-share harm floor is 0.5 (an equal split halves "
+        "the incumbent). Under DropTail, BBR and cubic columns inflict well above "
+        "it on delay-based victims; under FQ every column sits near 0.5 — the "
+        "qdisc, not the CCA pairing, decides (the paper's §2.1 claim).\n";
+  if (!report.emit(cli.report)) {
+    std::cerr << "fig14_harm_matrix: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
   return 0;
 }

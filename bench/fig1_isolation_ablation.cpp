@@ -25,6 +25,7 @@
 
 #include "analysis/fairness.hpp"
 #include "app/bulk.hpp"
+#include "bench/cli.hpp"
 #include "core/cca_registry.hpp"
 #include "core/dumbbell.hpp"
 #include "queue/codel.hpp"
@@ -33,6 +34,7 @@
 #include "queue/per_user_isolation.hpp"
 #include "queue/token_bucket.hpp"
 #include "runner/experiment_runner.hpp"
+#include "telemetry/run_report.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -84,11 +86,12 @@ Outcome run_with(const QdiscFactory& make_qdisc) {
 
 int main(int argc, char** argv) {
   using namespace ccc;
+  auto cli = bench::Cli::parse(argc, argv, "fig1_isolation_ablation");
+  std::ostream& os = cli.output();
   const auto buf = core::dumbbell_buffer_bytes(agg_link());
 
-  print_banner(std::cout,
-               "Figure 1 (quantified): operator isolation removes CCA contention");
-  std::cout << "4 users x 2 flows (BBR/Reno/Cubic/Vegas), 100 Mbit/s aggregation link\n";
+  print_banner(os, "Figure 1 (quantified): operator isolation removes CCA contention");
+  os << "4 users x 2 flows (BBR/Reno/Cubic/Vegas), 100 Mbit/s aggregation link\n";
 
   struct Row {
     std::string name;
@@ -114,10 +117,11 @@ int main(int argc, char** argv) {
              Rate::mbps(25), 15'000, bdp_bytes(Rate::mbps(25), Time::ms(10)));
        }}};
 
-  runner::ExperimentRunner pool{{.jobs = runner::jobs_from_cli(argc, argv)}};
+  runner::ExperimentRunner pool{{.jobs = cli.jobs}};
   const auto outcomes =
       pool.map<Outcome>(sweep.size(), [&](std::size_t i) { return run_with(sweep[i].make); });
 
+  telemetry::RunReport report{"fig1_isolation_ablation", agg_link().seed};
   TextTable t{{"qdisc", "flow Jain", "flow max/min", "user Jain", "per-user Mbit/s",
                "CCA identity matters?"}};
   for (std::size_t i = 0; i < sweep.size(); ++i) {
@@ -127,10 +131,21 @@ int main(int argc, char** argv) {
     t.add_row({sweep[i].name, TextTable::num(o.flows.jain, 3),
                TextTable::num(o.flows.spread_ratio, 2), TextTable::num(o.user_jain, 3), users,
                o.user_jain > 0.98 ? "no" : "YES"});
+    report.add_scalar(sweep[i].name, "flow_jain", o.flows.jain);
+    report.add_scalar(sweep[i].name, "flow_spread_ratio", o.flows.spread_ratio);
+    report.add_scalar(sweep[i].name, "user_jain", o.user_jain);
+    for (std::size_t u = 0; u < o.per_user_mbps.size(); ++u) {
+      report.add_scalar(sweep[i].name, "user" + std::to_string(u + 1) + "_mbps",
+                        o.per_user_mbps[u]);
+    }
   }
 
-  t.print(std::cout);
-  std::cout << "\nshape check: isolation rows (fq-*, shaping, policing) should show user "
-               "Jain ~= 1.0 while droptail/codel do not.\n";
+  t.print(os);
+  os << "\nshape check: isolation rows (fq-*, shaping, policing) should show user "
+        "Jain ~= 1.0 while droptail/codel do not.\n";
+  if (!report.emit(cli.report)) {
+    std::cerr << "fig1_isolation_ablation: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
   return 0;
 }

@@ -14,18 +14,23 @@
 #include <map>
 
 #include "analysis/passive_study.hpp"
+#include "bench/cli.hpp"
 #include "mlab/synthetic.hpp"
+#include "telemetry/run_report.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccc;
+  auto cli = bench::Cli::parse(argc, argv, "fig2_mlab_passive");
+  std::ostream& os = cli.output();
 
   mlab::SyntheticConfig scfg;  // n_flows = 9,984, the paper's query size
-  Rng rng{20230601};           // June 2023, in spirit
+  const std::uint64_t seed = cli.seed_or(20230601);  // June 2023, in spirit
+  Rng rng{seed};
   const auto dataset = mlab::generate_dataset(scfg, rng);
 
-  print_banner(std::cout, "Figure 2 / §3.1: passive NDT analysis (" +
+  print_banner(os, "Figure 2 / §3.1: passive NDT analysis (" +
                               std::to_string(dataset.size()) + " flows)");
 
   const auto report = analysis::run_passive_study(dataset);
@@ -35,13 +40,13 @@ int main() {
     verdicts.add_row({std::string{analysis::to_string(v)}, std::to_string(c),
                       TextTable::num(static_cast<double>(c) / report.total(), 3)});
   }
-  verdicts.print(std::cout);
+  verdicts.print(os);
 
-  std::cout << "\nfiltered before change-point stage: "
+  os << "\nfiltered before change-point stage: "
             << TextTable::num(report.filtered_fraction() * 100, 1) << "%\n";
 
   // Per-archetype confusion: how each ground-truth class was classified.
-  print_banner(std::cout, "Ground-truth breakdown (synthetic labels)");
+  print_banner(os, "Ground-truth breakdown (synthetic labels)");
   std::map<mlab::FlowArchetype, std::map<analysis::Verdict, int>> confusion;
   std::map<mlab::FlowArchetype, int> totals;
   for (const auto& f : report.findings) {
@@ -65,10 +70,10 @@ int main() {
     conf.add_row({std::string{mlab::to_string(truth)}, std::to_string(totals[truth]),
                   std::to_string(filtered), std::to_string(noshift), std::to_string(suspect)});
   }
-  conf.print(std::cout);
+  conf.print(os);
 
-  print_banner(std::cout, "Pipeline scoring (impossible with real M-Lab data)");
-  std::cout << "precision of 'contention-suspect': " << TextTable::num(report.precision(), 3)
+  print_banner(os, "Pipeline scoring (impossible with real M-Lab data)");
+  os << "precision of 'contention-suspect': " << TextTable::num(report.precision(), 3)
             << "\nrecall of true contention:          " << TextTable::num(report.recall(), 3)
             << "\nfalse positives (mostly policing/ABR aliasing): " << report.false_positives
             << "\n";
@@ -79,13 +84,13 @@ int main() {
     for (double m : f.shift_magnitudes) magnitudes.push_back(m);
   }
   if (!magnitudes.empty()) {
-    print_banner(std::cout, "CDF of detected level-shift magnitudes");
+    print_banner(os, "CDF of detected level-shift magnitudes");
     TextTable cdf{{"shift fraction", "cumulative fraction"}};
     const Cdf c{magnitudes};
     for (const auto& [x, q] : c.curve(11)) {
       cdf.add_row({TextTable::num(x, 2), TextTable::num(q, 2)});
     }
-    cdf.print(std::cout);
+    cdf.print(os);
   }
 
   // Shape check for EXPERIMENTS.md: most flows filtered; suspects a small
@@ -95,10 +100,25 @@ int main() {
       suspect_it == report.verdict_counts.end()
           ? 0.0
           : static_cast<double>(suspect_it->second) / static_cast<double>(report.total());
-  std::cout << "\nshape check: filtered=" << TextTable::num(report.filtered_fraction(), 2)
+  os << "\nshape check: filtered=" << TextTable::num(report.filtered_fraction(), 2)
             << " suspect=" << TextTable::num(suspects, 3) << " -> "
             << (report.filtered_fraction() > 0.5 && suspects < 0.2 ? "REPRODUCED"
                                                                    : "NOT reproduced")
             << "\n";
+  telemetry::RunReport run_report{"fig2_mlab_passive", seed};
+  for (const auto& [v, c] : report.verdict_counts) {
+    run_report.add_scalar("verdicts", std::string{analysis::to_string(v)},
+                          static_cast<double>(c));
+  }
+  run_report.add_scalar("pipeline", "filtered_fraction", report.filtered_fraction());
+  run_report.add_scalar("pipeline", "precision", report.precision());
+  run_report.add_scalar("pipeline", "recall", report.recall());
+  run_report.add_scalar("pipeline", "false_positives",
+                        static_cast<double>(report.false_positives));
+  run_report.add_scalar("pipeline", "suspect_fraction", suspects);
+  if (!run_report.emit(cli.report)) {
+    std::cerr << "fig2_mlab_passive: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
   return report.filtered_fraction() > 0.5 && suspects < 0.2 ? 0 : 1;
 }

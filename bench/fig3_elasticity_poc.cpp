@@ -12,30 +12,28 @@
 // The five phases run as independent single-phase simulations fanned out
 // over an ExperimentRunner (`--jobs N` / CCC_JOBS); pass `--serial` to run
 // the original continuous single-simulation timeline instead.
-#include <cstring>
 #include <iostream>
 
+#include "bench/cli.hpp"
 #include "core/elasticity_study.hpp"
-#include "runner/experiment_runner.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace ccc;
 
-  bool serial = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--serial") == 0) serial = true;
-  }
+  auto cli = bench::Cli::parse(argc, argv, "fig3_elasticity_poc");
+  std::ostream& os = cli.output();
 
   core::ElasticityPocConfig cfg;  // paper defaults: 48 Mbit/s, 100 ms, 45 s
-  print_banner(std::cout, "Figure 3: actively measuring elasticity (Nimbus probe)");
-  std::cout << "link " << cfg.link_rate.to_mbps() << " Mbit/s, RTT "
-            << (2 * cfg.one_way_delay).to_ms() << " ms, phases of "
-            << cfg.phase_duration.to_sec() << " s\n";
+  cfg.seed = cli.seed_or(cfg.seed);
+  cfg.phase_duration = cli.duration_or(cfg.phase_duration);
+  print_banner(os, "Figure 3: actively measuring elasticity (Nimbus probe)");
+  os << "link " << cfg.link_rate.to_mbps() << " Mbit/s, RTT "
+     << (2 * cfg.one_way_delay).to_ms() << " ms, phases of "
+     << cfg.phase_duration.to_sec() << " s\n";
 
-  const auto result =
-      serial ? core::run_elasticity_poc(cfg)
-             : core::run_elasticity_poc_parallel(cfg, runner::jobs_from_cli(argc, argv));
+  const auto result = cli.serial ? core::run_elasticity_poc(cfg)
+                                 : core::run_elasticity_poc_parallel(cfg, cli.jobs);
 
   TextTable phases{{"phase", "window(s)", "median elasticity", "p90", "frac>thresh",
                     "probe goodput (Mbit/s)", "verdict"}};
@@ -48,9 +46,9 @@ int main(int argc, char** argv) {
                     p.median_elasticity >= nimbus::kElasticThreshold ? "ELASTIC (contends)"
                                                                      : "inelastic"});
   }
-  phases.print(std::cout);
+  phases.print(os);
 
-  std::cout << "\nElasticity time series (1 s bins, for plotting):\n";
+  os << "\nElasticity time series (1 s bins, for plotting):\n";
   TextTable series{{"t(s)", "elasticity"}};
   // Downsample the 250 ms samples to 1 s means to keep output readable.
   const double t_end = result.phases.back().t_end_sec;
@@ -58,7 +56,7 @@ int main(int argc, char** argv) {
     const double eta = result.elasticity.mean_in(t, t + 1.0);
     series.add_row({TextTable::num(t, 0), TextTable::num(eta, 2)});
   }
-  series.print_csv(std::cout);
+  series.print_csv(os);
 
   // Reproduction check, printed for EXPERIMENTS.md.
   const double min_elastic =
@@ -66,8 +64,13 @@ int main(int argc, char** argv) {
   const double max_inelastic =
       std::max({result.phases[2].median_elasticity, result.phases[3].median_elasticity,
                 result.phases[4].median_elasticity});
-  std::cout << "\nshape check: min(elastic phases)=" << TextTable::num(min_elastic, 2)
-            << " vs max(inelastic phases)=" << TextTable::num(max_inelastic, 2) << " -> "
-            << (min_elastic > max_inelastic ? "REPRODUCED" : "NOT reproduced") << "\n";
+  os << "\nshape check: min(elastic phases)=" << TextTable::num(min_elastic, 2)
+     << " vs max(inelastic phases)=" << TextTable::num(max_inelastic, 2) << " -> "
+     << (min_elastic > max_inelastic ? "REPRODUCED" : "NOT reproduced") << "\n";
+
+  if (!result.report.emit(cli.report)) {
+    std::cerr << "fig3_elasticity_poc: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
   return min_elastic > max_inelastic ? 0 : 1;
 }

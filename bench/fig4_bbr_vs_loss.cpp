@@ -9,10 +9,12 @@
 #include <memory>
 
 #include "app/bulk.hpp"
+#include "bench/cli.hpp"
 #include "cca/bbr.hpp"
 #include "cca/cubic.hpp"
 #include "core/dumbbell.hpp"
 #include "queue/drr_fair_queue.hpp"
+#include "telemetry/run_report.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -46,10 +48,13 @@ double bbr_share(int n_cubic, double buffer_bdp, bool fq) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccc;
-  print_banner(std::cout, "E4: one BBR flow vs N Cubic flows (Ware et al. shape)");
-  std::cout << "40 Mbit/s, 40 ms base RTT dumbbell; share = BBR fraction of total\n\n";
+  auto cli = bench::Cli::parse(argc, argv, "fig4_bbr_vs_loss");
+  std::ostream& os = cli.output();
+  telemetry::RunReport report{"fig4_bbr_vs_loss", core::DumbbellConfig{}.seed};
+  print_banner(os, "E4: one BBR flow vs N Cubic flows (Ware et al. shape)");
+  os << "40 Mbit/s, 40 ms base RTT dumbbell; share = BBR fraction of total\n\n";
 
   TextTable t{{"qdisc", "buffer (xBDP)", "N cubic", "fair share", "BBR share", "BBR/fair"}};
   for (const bool fq : {false, true}) {
@@ -61,12 +66,20 @@ int main() {
         t.add_row({fq ? "fq-flow" : "droptail", TextTable::num(buf, 0), std::to_string(n),
                    TextTable::num(fair, 3), TextTable::num(share, 3),
                    TextTable::num(share / fair, 2)});
+        const std::string scope = std::string{fq ? "fq-flow" : "droptail"} + ".buf" +
+                                  TextTable::num(buf, 0) + ".n" + std::to_string(n);
+        report.add_scalar(scope, "fair_share", fair);
+        report.add_scalar(scope, "bbr_share", share);
       }
     }
   }
-  t.print(std::cout);
-  std::cout << "\nshape check: under droptail/1xBDP, the BBR share column should be "
+  t.print(os);
+  os << "\nshape check: under droptail/1xBDP, the BBR share column should be "
                "roughly constant in N (well above fair share for large N); under "
                "fq-flow it should track the fair-share column.\n";
+  if (!report.emit(cli.report)) {
+    std::cerr << "fig4_bbr_vs_loss: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
   return 0;
 }

@@ -13,8 +13,10 @@
 #include "app/abr_video.hpp"
 #include "app/bulk.hpp"
 #include "app/rate_limited.hpp"
+#include "bench/cli.hpp"
 #include "core/cca_registry.hpp"
 #include "core/dumbbell.hpp"
+#include "telemetry/run_report.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -32,10 +34,13 @@ core::DumbbellConfig access_link() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccc;
-  print_banner(std::cout, "E5: app-limited flows get their offered load (until capacity)");
-  std::cout << "50 Mbit/s access link; demands are per rate-limited app\n\n";
+  auto cli = bench::Cli::parse(argc, argv, "fig5_applimited");
+  std::ostream& os = cli.output();
+  telemetry::RunReport report{"fig5_applimited", access_link().seed};
+  print_banner(os, "E5: app-limited flows get their offered load (until capacity)");
+  os << "50 Mbit/s access link; demands are per rate-limited app\n\n";
 
   TextTable t{{"rate-limited apps", "demand each (Mbit/s)", "total demand", "goodput each",
                "demand met?", "video bitrate (Mbit/s)", "video rebuffer (s)"}};
@@ -71,11 +76,20 @@ int main() {
                app_goodput > 0.9 * demand ? "yes" : "NO (capacity exceeded)",
                TextTable::num(video_raw->current_bitrate().to_mbps(), 2),
                TextTable::num(video_raw->rebuffer_seconds(), 1)});
+    const std::string scope = "apps" + std::to_string(n_apps);
+    report.add_scalar(scope, "total_demand_mbps", total_demand);
+    report.add_scalar(scope, "goodput_each_mbps", app_goodput);
+    report.add_scalar(scope, "video_bitrate_mbps", video_raw->current_bitrate().to_mbps());
+    report.add_scalar(scope, "video_rebuffer_sec", video_raw->rebuffer_seconds());
   }
 
-  t.print(std::cout);
-  std::cout << "\nshape check: 'demand met' should flip to NO only once total demand "
+  t.print(os);
+  os << "\nshape check: 'demand met' should flip to NO only once total demand "
                "crosses ~50 Mbit/s, and the ABR stream should absorb pressure by "
                "lowering its bitrate rather than contending.\n";
+  if (!report.emit(cli.report)) {
+    std::cerr << "fig5_applimited: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
   return 0;
 }

@@ -9,8 +9,10 @@
 
 #include "analysis/fairness.hpp"
 #include "app/bulk.hpp"
+#include "bench/cli.hpp"
 #include "cca/new_reno.hpp"
 #include "core/dumbbell.hpp"
+#include "telemetry/run_report.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -64,10 +66,13 @@ WindowStats run_case(double bdp_packets, int n_flows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccc;
-  print_banner(std::cout, "E6: sub-packet BDP regimes starve flows on short timescales");
-  std::cout << "N Reno flows, 100 ms RTT, link rate set so BDP = K packets;\n"
+  auto cli = bench::Cli::parse(argc, argv, "fig6_subpacket_bdp");
+  std::ostream& os = cli.output();
+  telemetry::RunReport report{"fig6_subpacket_bdp", core::DumbbellConfig{}.seed};
+  print_banner(os, "E6: sub-packet BDP regimes starve flows on short timescales");
+  os << "N Reno flows, 100 ms RTT, link rate set so BDP = K packets;\n"
                "per-20s-window shares over 6 windows\n\n";
 
   TextTable t{{"BDP (pkts)", "flows", "worst min/fair", "starved windows (of 6)",
@@ -78,11 +83,19 @@ int main() {
       t.add_row({TextTable::num(bdp, 1), std::to_string(n),
                  TextTable::num(s.worst_min_fair_ratio, 3), std::to_string(s.starved_windows),
                  TextTable::num(s.jain_overall, 3)});
+      const std::string scope = "bdp" + TextTable::num(bdp, 1) + ".n" + std::to_string(n);
+      report.add_scalar(scope, "worst_min_fair_ratio", s.worst_min_fair_ratio);
+      report.add_scalar(scope, "starved_windows", static_cast<double>(s.starved_windows));
+      report.add_scalar(scope, "jain_overall", s.jain_overall);
     }
   }
-  t.print(std::cout);
-  std::cout << "\nshape check: at BDP <= 1 packet the worst min/fair ratio collapses "
+  t.print(os);
+  os << "\nshape check: at BDP <= 1 packet the worst min/fair ratio collapses "
                "toward 0 and starved windows appear; at BDP >= 8 packets windows are "
                "near-fair. (Chen et al.'s sub-packet unfairness.)\n";
+  if (!report.emit(cli.report)) {
+    std::cerr << "fig6_subpacket_bdp: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
   return 0;
 }

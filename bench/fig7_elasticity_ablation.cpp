@@ -15,10 +15,12 @@
 
 #include "app/bulk.hpp"
 #include "app/stop_at.hpp"
+#include "bench/cli.hpp"
 #include "cca/new_reno.hpp"
 #include "core/dumbbell.hpp"
 #include "nimbus/nimbus.hpp"
 #include "runner/experiment_runner.hpp"
+#include "telemetry/run_report.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -79,6 +81,8 @@ struct Point {
 
 int main(int argc, char** argv) {
   using namespace ccc;
+  auto cli = bench::Cli::parse(argc, argv, "fig7_elasticity_ablation");
+  std::ostream& os = cli.output();
 
   std::vector<Point> sweep;
   for (const double amp : {0.0625, 0.125, 0.25, 0.4}) {
@@ -93,16 +97,22 @@ int main(int argc, char** argv) {
     }
   }
 
-  runner::ExperimentRunner pool{{.jobs = runner::jobs_from_cli(argc, argv)}};
+  runner::ExperimentRunner pool{{.jobs = cli.jobs}};
   const auto results = pool.map<ProbeRun>(sweep.size(), [&](std::size_t i) {
     return run_probe(sweep[i].amplitude, sweep[i].cbr_mbps, sweep[i].reno);
   });
 
+  telemetry::RunReport report{"fig7_elasticity_ablation", core::DumbbellConfig{}.seed};
   TextTable ta{{"amplitude (xmu)", "cross traffic", "median elasticity", "detected?"}};
   TextTable tb{{"reno flows", "cbr (Mbit/s)", "median elasticity", "verdict"}};
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const Point& pt = sweep[i];
     const ProbeRun& r = results[i];
+    const std::string scope = std::string{pt.table_b ? "mix" : "amplitude"} + "." +
+                              TextTable::num(pt.amplitude, 3) + (pt.reno ? ".reno" : "") +
+                              ".cbr" + TextTable::num(pt.cbr_mbps, 0);
+    report.add_scalar(scope, "median_elasticity", r.median_eta);
+    report.add_scalar(scope, "probe_mbps", r.probe_mbps);
     if (!pt.table_b) {
       const bool detected = r.median_eta >= nimbus::kElasticThreshold;
       ta.add_row({TextTable::num(pt.amplitude, 3), pt.reno ? "reno-bulk" : "cbr-12M",
@@ -115,13 +125,17 @@ int main(int argc, char** argv) {
                   r.median_eta >= nimbus::kElasticThreshold ? "elastic" : "inelastic"});
     }
   }
-  print_banner(std::cout, "E7a: elasticity vs pulse amplitude");
-  ta.print(std::cout);
-  print_banner(std::cout, "E7b: elasticity vs elastic/inelastic traffic mix");
-  tb.print(std::cout);
+  print_banner(os, "E7a: elasticity vs pulse amplitude");
+  ta.print(os);
+  print_banner(os, "E7b: elasticity vs elastic/inelastic traffic mix");
+  tb.print(os);
 
-  std::cout << "\nshape check: elastic verdicts should require a Reno flow; amplitude "
+  os << "\nshape check: elastic verdicts should require a Reno flow; amplitude "
                ">= 0.125 should suffice for detection, with weaker pulses degrading "
                "the margin.\n";
+  if (!report.emit(cli.report)) {
+    std::cerr << "fig7_elasticity_ablation: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
   return 0;
 }

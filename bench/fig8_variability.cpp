@@ -16,11 +16,13 @@
 #include <vector>
 
 #include "app/bulk.hpp"
+#include "bench/cli.hpp"
 #include "core/cca_registry.hpp"
 #include "core/dumbbell.hpp"
 #include "nimbus/nimbus.hpp"
 #include "runner/experiment_runner.hpp"
 #include "sim/rate_trace.hpp"
+#include "telemetry/run_report.hpp"
 #include "telemetry/sampler.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -101,6 +103,8 @@ Outcome run_cca(const std::string& name, bool random_walk) {
 
 int main(int argc, char** argv) {
   using namespace ccc;
+  auto cli = bench::Cli::parse(argc, argv, "fig8_variability");
+  std::ostream& os = cli.output();
   const std::vector<std::string> ccas{"reno", "cubic", "bbr", "vegas", "copa", "nimbus"};
 
   // Grid in display order: both traces x all CCAs.
@@ -113,24 +117,34 @@ int main(int argc, char** argv) {
     for (const auto& name : ccas) grid.push_back({name, walk});
   }
 
-  runner::ExperimentRunner pool{{.jobs = runner::jobs_from_cli(argc, argv)}};
+  runner::ExperimentRunner pool{{.jobs = cli.jobs}};
   const auto outcomes = pool.map<Outcome>(
       grid.size(), [&](std::size_t i) { return run_cca(grid[i].cca, grid[i].walk); });
 
+  telemetry::RunReport report{"fig8_variability", core::DumbbellConfig{}.seed};
   std::size_t next = 0;
   for (const bool walk : {false, true}) {
-    print_banner(std::cout, std::string{"E8 (§5.1): solo CCAs on a variable-capacity link — "} +
+    print_banner(os, std::string{"E8 (§5.1): solo CCAs on a variable-capacity link — "} +
                                 (walk ? "random-walk trace" : "square wave 12<->48 Mbit/s"));
     TextTable t{{"cca", "utilization", "mean queue (ms)", "p95 queue (ms)", "drops/s"}};
     for (const auto& name : ccas) {
       const Outcome& o = outcomes[next++];
       t.add_row({name, TextTable::num(o.utilization, 3), TextTable::num(o.mean_queue_ms, 1),
                  TextTable::num(o.p95_queue_ms, 1), TextTable::num(o.loss_per_sec, 1)});
+      const std::string scope = std::string{walk ? "walk" : "square"} + "." + name;
+      report.add_scalar(scope, "utilization", o.utilization);
+      report.add_scalar(scope, "mean_queue_ms", o.mean_queue_ms);
+      report.add_scalar(scope, "p95_queue_ms", o.p95_queue_ms);
+      report.add_scalar(scope, "loss_per_sec", o.loss_per_sec);
     }
-    t.print(std::cout);
+    t.print(os);
   }
-  std::cout << "\nshape check: loss-based CCAs buy utilization with standing queues; "
+  os << "\nshape check: loss-based CCAs buy utilization with standing queues; "
                "delay-based ones (vegas/copa/nimbus) hold queues low and give up some "
                "utilization at capacity drops — the §5.1 trade-off.\n";
+  if (!report.emit(cli.report)) {
+    std::cerr << "fig8_variability: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
   return 0;
 }

@@ -19,11 +19,13 @@
 
 #include "app/bulk.hpp"
 #include "app/stop_at.hpp"
+#include "bench/cli.hpp"
 #include "cca/cubic.hpp"
 #include "core/dumbbell.hpp"
 #include "queue/drop_tail.hpp"
 #include "queue/drr_fair_queue.hpp"
 #include "queue/token_bucket.hpp"
+#include "telemetry/run_report.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -90,9 +92,12 @@ JitterOutcome run_case(std::unique_ptr<sim::Qdisc> qdisc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccc;
-  print_banner(std::cout,
+  auto cli = bench::Cli::parse(argc, argv, "fig9_jitter");
+  std::ostream& os = cli.output();
+  telemetry::RunReport report{"fig9_jitter", core::DumbbellConfig{}.seed};
+  print_banner(os,
                "E9 (§5.2): jitter contention — a 4 Mbit/s live stream vs a bursty "
                "cubic flow, 20 Mbit/s link");
 
@@ -102,6 +107,9 @@ int main() {
   auto add = [&](const std::string& name, JitterOutcome o) {
     t.add_row({name, TextTable::num(o.mean_owd_ms, 2), TextTable::num(o.jitter_ms, 3),
                TextTable::num(o.p99_owd_ms, 2)});
+    report.add_scalar(name, "mean_owd_ms", o.mean_owd_ms);
+    report.add_scalar(name, "jitter_ms", o.jitter_ms);
+    report.add_scalar(name, "p99_owd_ms", o.p99_owd_ms);
   };
 
   add("fifo", run_case(std::make_unique<queue::DropTailQueue>(buf)));
@@ -116,9 +124,13 @@ int main() {
         run_case(std::make_unique<queue::TokenBucketShaper>(Rate::mbps(10), burst, buf)));
   }
 
-  t.print(std::cout);
-  std::cout << "\nshape check: fq-flow cuts the live stream's mean delay vs fifo, but "
+  t.print(os);
+  os << "\nshape check: fq-flow cuts the live stream's mean delay vs fifo, but "
                "jitter survives FQ (the paper's point); token-bucket jitter grows with "
                "the burst allowance.\n";
+  if (!report.emit(cli.report)) {
+    std::cerr << "fig9_jitter: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
   return 0;
 }

@@ -1,9 +1,14 @@
 // Micro-benchmarks: change-point detection throughput (M1). These bound the
 // cost of running the §3.1 pipeline over M-Lab-scale datasets.
+//
+// Defines its own main() so the shared bench::Cli contract applies here too:
+// --help/--jobs/... are handled uniformly and google-benchmark only sees the
+// leftover --benchmark_* flags.
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "bench/cli.hpp"
 #include "changepoint/cost.hpp"
 #include "changepoint/detectors.hpp"
 #include "util/rng.hpp"
@@ -84,3 +89,15 @@ void BM_DetectMeanShiftsPipelineRecord(benchmark::State& state) {
 BENCHMARK(BM_DetectMeanShiftsPipelineRecord);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  auto cli = ccc::bench::Cli::parse(argc, argv, "micro_changepoint");
+  std::vector<char*> bench_argv{argv[0]};
+  for (auto& a : cli.rest) bench_argv.push_back(a.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

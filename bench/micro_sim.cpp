@@ -8,14 +8,18 @@
 
 #include <chrono>
 #include <cstdio>
+#include <iostream>
 #include <memory>
+#include <vector>
 
 #include "app/bulk.hpp"
+#include "bench/cli.hpp"
 #include "cca/new_reno.hpp"
 #include "core/dumbbell.hpp"
 #include "queue/drop_tail.hpp"
 #include "queue/drr_fair_queue.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/run_report.hpp"
 
 namespace {
 
@@ -101,8 +105,10 @@ void BM_SchedulerTimerChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerTimerChurn);
 
-/// Wall-clock events/sec on the raw dispatch path, printed as JSON.
-void report_events_per_sec(const char* name, bool churn) {
+/// Wall-clock events/sec on the raw dispatch path, printed as JSON and
+/// mirrored into the machine-readable RunReport (--report).
+void report_events_per_sec(const char* name, bool churn, std::ostream& os,
+                           telemetry::RunReport& report) {
   constexpr int kEvents = 2'000'000;
   sim::Scheduler sched;
   int count = 0;
@@ -118,20 +124,41 @@ void report_events_per_sec(const char* name, bool churn) {
   const auto t0 = std::chrono::steady_clock::now();
   sched.run_until(Time::sec(10.0));
   const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - t0;
-  std::printf("{\"bench\": \"%s\", \"events\": %llu, \"wall_sec\": %.4f, "
-              "\"events_per_sec\": %.0f}\n",
-              name, static_cast<unsigned long long>(sched.events_executed()), wall.count(),
-              static_cast<double>(sched.events_executed()) / wall.count());
+  const double eps = static_cast<double>(sched.events_executed()) / wall.count();
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "{\"bench\": \"%s\", \"events\": %llu, \"wall_sec\": %.4f, "
+                "\"events_per_sec\": %.0f}\n",
+                name, static_cast<unsigned long long>(sched.events_executed()), wall.count(),
+                eps);
+  os << line;
+  report.add_scalar(name, "events", static_cast<double>(sched.events_executed()));
+  report.add_scalar(name, "wall_sec", wall.count());
+  report.add_scalar(name, "events_per_sec", eps);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  using namespace ccc;
+  // Shared bench flags first; anything unrecognized (google-benchmark's
+  // --benchmark_* family) passes through via cli.rest.
+  auto cli = bench::Cli::parse(argc, argv, "micro_sim");
+  std::vector<char*> bench_argv{argv[0]};
+  for (auto& a : cli.rest) bench_argv.push_back(a.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  report_events_per_sec("scheduler_chain", /*churn=*/false);
-  report_events_per_sec("scheduler_timer_churn", /*churn=*/true);
+
+  std::ostream& os = cli.output();
+  telemetry::RunReport report{"micro_sim", 0};
+  report_events_per_sec("scheduler_chain", /*churn=*/false, os, report);
+  report_events_per_sec("scheduler_timer_churn", /*churn=*/true, os, report);
+  if (!report.emit(cli.report)) {
+    std::cerr << "micro_sim: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
   return 0;
 }

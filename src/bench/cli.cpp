@@ -1,0 +1,129 @@
+#include "bench/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace ccc::bench {
+
+namespace {
+
+/// Strictly positive integer, or 0 on malformed input.
+unsigned parse_positive(const char* s) {
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == nullptr || *end != '\0' || v <= 0) return 0;
+  return static_cast<unsigned>(v);
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 0);  // 0: accept 0x...
+  if (end == nullptr || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_seconds(const char* s, double& out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == nullptr || *end != '\0' || !(v > 0.0)) return false;
+  out = v;
+  return true;
+}
+
+[[noreturn]] void die(std::string_view bench_name, const std::string& msg) {
+  std::cerr << bench_name << ": " << msg << "\n"
+            << Cli::usage(bench_name);
+  std::exit(2);
+}
+
+}  // namespace
+
+std::string Cli::usage(std::string_view bench_name) {
+  std::string u;
+  u += "usage: ";
+  u += bench_name.empty() ? "bench" : bench_name;
+  u += " [options]\n";
+  u +=
+      "  --jobs N, -jN     worker threads for the sweep (default: CCC_JOBS,\n"
+      "                    else hardware concurrency)\n"
+      "  --seed N          base RNG seed (default: the bench's built-in seed)\n"
+      "  --duration S      run length in seconds (default: bench-specific)\n"
+      "  --out PATH        write the human-readable table to PATH\n"
+      "  --report PATH     write a machine-readable RunReport; JSONL, or CSV\n"
+      "                    when PATH ends in .csv\n"
+      "  --serial          force the serial (jobs=1) code path\n"
+      "  --help, -h        this text\n";
+  return u;
+}
+
+Cli Cli::parse(int argc, char** argv, std::string_view bench_name) {
+  Cli cli;
+  cli.bench_name_ = std::string{bench_name};
+  const bool strict = !bench_name.empty();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg{argv[i]};
+    // Flags taking a value accept both "--flag V" and "--flag=V".
+    auto value_of = [&](const std::string& flag) -> const char* {
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      if (arg.rfind(flag + "=", 0) == 0) return arg.c_str() + flag.size() + 1;
+      return nullptr;
+    };
+
+    if (arg == "--help" || arg == "-h") {
+      cli.help = true;
+    } else if (const char* v = value_of("--jobs"); v != nullptr) {
+      cli.jobs = parse_positive(v);
+      if (cli.jobs == 0 && strict) die(bench_name, "invalid --jobs value '" + std::string{v} + "'");
+    } else if (arg == "-j" && i + 1 < argc) {
+      cli.jobs = parse_positive(argv[++i]);
+      if (cli.jobs == 0 && strict)
+        die(bench_name, "invalid -j value '" + std::string{argv[i]} + "'");
+    } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+      cli.jobs = parse_positive(arg.c_str() + 2);
+      if (cli.jobs == 0 && strict) die(bench_name, "invalid -j value '" + arg.substr(2) + "'");
+    } else if (const char* v = value_of("--seed"); v != nullptr) {
+      cli.has_seed = parse_u64(v, cli.seed);
+      if (!cli.has_seed && strict)
+        die(bench_name, "invalid --seed value '" + std::string{v} + "'");
+    } else if (const char* v = value_of("--duration"); v != nullptr) {
+      cli.has_duration = parse_seconds(v, cli.duration_sec);
+      if (!cli.has_duration && strict)
+        die(bench_name, "invalid --duration value '" + std::string{v} + "' (want seconds > 0)");
+    } else if (const char* v = value_of("--out"); v != nullptr) {
+      cli.out = v;
+    } else if (const char* v = value_of("--report"); v != nullptr) {
+      cli.report = v;
+    } else if (arg == "--serial") {
+      cli.serial = true;
+    } else {
+      cli.rest.push_back(arg);
+    }
+  }
+
+  if (cli.help && strict) {
+    std::cout << usage(bench_name);
+    std::exit(0);
+  }
+  return cli;
+}
+
+std::ostream& Cli::output() {
+  if (out.empty()) return std::cout;
+  if (!out_opened_) {
+    out_file_.open(out);
+    out_opened_ = true;
+    if (!out_file_ && !bench_name_.empty()) {
+      std::cerr << bench_name_ << ": cannot open --out file '" << out << "'\n";
+      std::exit(2);
+    }
+  }
+  return out_file_;
+}
+
+}  // namespace ccc::bench

@@ -1,0 +1,78 @@
+// bench::Cli — the one command-line contract shared by every bench binary.
+//
+// Before this existed each bench hand-rolled its own argv scan (or took no
+// flags at all), so sweep scripts couldn't rely on a uniform interface. Now
+// all benches accept:
+//
+//   --jobs N | --jobs=N | -j N | -jN   worker threads (0 = auto-resolve)
+//   --seed N                           base RNG seed override
+//   --duration S                       run length override, in seconds
+//   --out PATH                         redirect the human-readable table
+//   --report PATH                      machine-readable RunReport (JSONL, or
+//                                      CSV when PATH ends in .csv)
+//   --serial                           force the serial (jobs=1) code path
+//   --help | -h                        print usage and exit
+//
+// Unrecognized arguments are retained in `rest` so wrappers (notably
+// google-benchmark's own flag parser in micro benches) still see them.
+// Interpretation of --seed/--duration is up to the bench: parse() only
+// records the values, and `seed_or`/`duration_or` supply the bench's
+// defaults — so a bench run with no flags reproduces its historical output
+// byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ccc::bench {
+
+class Cli {
+ public:
+  /// Parses argv. If `bench_name` is non-empty this is the bench's main
+  /// entry: `--help` prints usage for that bench and exits 0, and a
+  /// malformed flag value prints an error and exits 2. With an empty name
+  /// (library callers, e.g. runner::jobs_from_cli) parsing never exits and
+  /// malformed values are treated as absent.
+  static Cli parse(int argc, char** argv, std::string_view bench_name = {});
+
+  /// The usage text `--help` prints.
+  static std::string usage(std::string_view bench_name);
+
+  // Parsed flags. Zero/empty means "absent" except where a has_* flag says
+  // otherwise.
+  unsigned jobs{0};  ///< 0 = resolve from CCC_JOBS / hardware concurrency
+  bool has_seed{false};
+  std::uint64_t seed{0};
+  bool has_duration{false};
+  double duration_sec{0.0};
+  std::string out;     ///< "" = stdout
+  std::string report;  ///< "" = no machine-readable report
+  bool serial{false};
+  bool help{false};
+  std::vector<std::string> rest;  ///< unrecognized argv entries, in order
+
+  [[nodiscard]] std::uint64_t seed_or(std::uint64_t fallback) const {
+    return has_seed ? seed : fallback;
+  }
+  [[nodiscard]] Time duration_or(Time fallback) const {
+    return has_duration ? Time::sec(duration_sec) : fallback;
+  }
+
+  /// The stream bench tables should print to: the `--out` file when given
+  /// (opened lazily, exits 2 if unopenable in bench-main mode), else
+  /// std::cout.
+  [[nodiscard]] std::ostream& output();
+
+ private:
+  std::string bench_name_;
+  std::ofstream out_file_;
+  bool out_opened_{false};
+};
+
+}  // namespace ccc::bench

@@ -2,9 +2,26 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+
 namespace ccc::cca {
 
 Bbr::Bbr(ByteCount initial_cwnd, ByteCount mss) : mss_{mss}, initial_cwnd_{initial_cwnd} {}
+
+void Bbr::bind_metrics(telemetry::MetricRegistry& reg, const std::string& prefix) {
+  mode_transitions_ = &reg.counter(prefix + ".mode_transitions");
+  mode_trace_ = &reg.trace(prefix + ".mode", Time::zero());
+  mode_trace_->record(Time::zero(), static_cast<double>(state_));
+}
+
+void Bbr::enter_state(State next, Time now) {
+  if (next == state_) return;
+  state_ = next;
+  if (mode_transitions_ != nullptr) {
+    mode_transitions_->inc();
+    mode_trace_->record(now, static_cast<double>(next));
+  }
+}
 
 Rate Bbr::btlbw() const {
   Rate best = Rate::zero();
@@ -92,7 +109,7 @@ void Bbr::advance_state_machine(const AckEvent& ev) {
         ++full_bw_rounds_;
         if (full_bw_rounds_ >= 3) {
           filled_pipe_ = true;
-          state_ = State::kDrain;
+          enter_state(State::kDrain, ev.now);
           pacing_gain_ = kDrainGain;
         }
       }
@@ -100,7 +117,7 @@ void Bbr::advance_state_machine(const AckEvent& ev) {
     }
     case State::kDrain:
       if (ev.inflight_bytes <= bdp_with_gain(1.0)) {
-        state_ = State::kProbeBw;
+        enter_state(State::kProbeBw, ev.now);
         cycle_idx_ = 0;
         cycle_stamp_ = ev.now;
         pacing_gain_ = kCycleGains[cycle_idx_];
@@ -110,7 +127,7 @@ void Bbr::advance_state_machine(const AckEvent& ev) {
       advance_probe_bw_phase(ev.now);
       // Periodically revisit min RTT: if the estimate is stale, dip.
       if (ev.now - min_rtt_stamp_ > Time::sec(kMinRttExpirySec)) {
-        state_ = State::kProbeRtt;
+        enter_state(State::kProbeRtt, ev.now);
         probe_rtt_done_ = ev.now + std::max(Time::ms(200), srtt_);
         pacing_gain_ = 1.0;
       }
@@ -118,7 +135,7 @@ void Bbr::advance_state_machine(const AckEvent& ev) {
     case State::kProbeRtt:
       if (ev.now >= probe_rtt_done_) {
         min_rtt_stamp_ = ev.now;  // refreshed by draining the queue
-        state_ = filled_pipe_ ? State::kProbeBw : State::kStartup;
+        enter_state(filled_pipe_ ? State::kProbeBw : State::kStartup, ev.now);
         if (state_ == State::kProbeBw) {
           cycle_idx_ = 0;
           cycle_stamp_ = ev.now;
@@ -143,12 +160,12 @@ void Bbr::on_loss(const LossEvent& /*ev*/) {
   // loss-based CCAs, reproduced in E4.)
 }
 
-void Bbr::on_rto(Time /*now*/) {
+void Bbr::on_rto(Time now) {
   // Like deployed BBR, keep the path model across a timeout — one lost
   // window says nothing about the bottleneck bandwidth. Restart the cautious
   // startup ramp only if the pipe was never filled.
   if (!filled_pipe_) {
-    state_ = State::kStartup;
+    enter_state(State::kStartup, now);
     pacing_gain_ = kStartupGain;
   }
 }

@@ -13,6 +13,11 @@
 
 #include "cca/cca.hpp"
 
+namespace ccc::telemetry {
+class Counter;
+class Trace;
+}  // namespace ccc::telemetry
+
 namespace ccc::cca {
 
 class Bbr : public CongestionControl {
@@ -31,9 +36,15 @@ class Bbr : public CongestionControl {
   [[nodiscard]] Rate btlbw() const;
   [[nodiscard]] Time min_rtt() const { return min_rtt_; }
 
+  /// Registers `<prefix>.mode_transitions` (counter) and `<prefix>.mode`
+  /// (state timeline, values = State enum) in `reg`.
+  void bind_metrics(telemetry::MetricRegistry& reg, const std::string& prefix) override;
+
  private:
   void update_model(const AckEvent& ev);
   void advance_state_machine(const AckEvent& ev);
+  /// All state transitions funnel through here so bound metrics see them.
+  void enter_state(State next, Time now);
   void advance_probe_bw_phase(Time now);
   [[nodiscard]] ByteCount bdp_with_gain(double gain) const;
   void start_round(Time now);
@@ -71,6 +82,10 @@ class Bbr : public CongestionControl {
   double pacing_gain_{kStartupGain};
   ByteCount initial_cwnd_;
   ByteCount inflight_hint_{0};  ///< latest inflight from ACK events (for drain exit)
+
+  // Telemetry (null unless bind_metrics was called; hot paths gate on that).
+  telemetry::Counter* mode_transitions_{nullptr};
+  telemetry::Trace* mode_trace_{nullptr};
 };
 
 }  // namespace ccc::cca

@@ -15,10 +15,15 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 
 #include "sim/packet.hpp"
 #include "util/units.hpp"
+
+namespace ccc::telemetry {
+class MetricRegistry;
+}  // namespace ccc::telemetry
 
 namespace ccc::cca {
 
@@ -82,6 +87,15 @@ class CongestionControl {
   /// True if this CCA negotiates ECN (the sender then marks its packets
   /// ECN-capable and AQMs may CE-mark instead of dropping them).
   [[nodiscard]] virtual bool wants_ecn() const { return false; }
+
+  /// Hooks the CCA into a per-scenario metric registry under `prefix`
+  /// (e.g. "flow3.cca"). Mode-switching CCAs (BBR, Nimbus) register a
+  /// mode-transition counter and timeline; the default is a no-op, and
+  /// unbound CCAs must pay nothing on their ACK path.
+  virtual void bind_metrics(telemetry::MetricRegistry& reg, const std::string& prefix) {
+    (void)reg;
+    (void)prefix;
+  }
 };
 
 /// Factory signature used by scenario builders to stamp out per-flow CCAs.

@@ -1,10 +1,77 @@
 #include "core/dumbbell.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "queue/drop_tail.hpp"
 
 namespace ccc::core {
+
+void DumbbellConfig::validate() const {
+  if (!(bottleneck_rate.to_bps() > 0.0)) {
+    throw std::invalid_argument{"DumbbellConfig: bottleneck_rate must be positive (got " +
+                                std::to_string(bottleneck_rate.to_bps()) + " bps)"};
+  }
+  if (one_way_delay <= Time::zero()) {
+    throw std::invalid_argument{"DumbbellConfig: one_way_delay must be positive (got " +
+                                std::to_string(one_way_delay.count_ns()) + " ns)"};
+  }
+  if (reverse_delay <= Time::zero()) {
+    throw std::invalid_argument{"DumbbellConfig: reverse_delay must be positive (got " +
+                                std::to_string(reverse_delay.count_ns()) + " ns)"};
+  }
+  if (!(buffer_bdp_multiple > 0.0)) {
+    throw std::invalid_argument{"DumbbellConfig: buffer_bdp_multiple must be positive (got " +
+                                std::to_string(buffer_bdp_multiple) + ")"};
+  }
+}
+
+DumbbellConfig& DumbbellConfig::with_rate(Rate r) {
+  bottleneck_rate = r;
+  if (!(r.to_bps() > 0.0)) {
+    throw std::invalid_argument{"DumbbellConfig: bottleneck_rate must be positive (got " +
+                                std::to_string(r.to_bps()) + " bps)"};
+  }
+  return *this;
+}
+
+DumbbellConfig& DumbbellConfig::with_one_way_delay(Time d) {
+  one_way_delay = d;
+  if (d <= Time::zero()) {
+    throw std::invalid_argument{"DumbbellConfig: one_way_delay must be positive (got " +
+                                std::to_string(d.count_ns()) + " ns)"};
+  }
+  return *this;
+}
+
+DumbbellConfig& DumbbellConfig::with_reverse_delay(Time d) {
+  reverse_delay = d;
+  if (d <= Time::zero()) {
+    throw std::invalid_argument{"DumbbellConfig: reverse_delay must be positive (got " +
+                                std::to_string(d.count_ns()) + " ns)"};
+  }
+  return *this;
+}
+
+DumbbellConfig& DumbbellConfig::with_buffer_bdp_multiple(double m) {
+  buffer_bdp_multiple = m;
+  if (!(m > 0.0)) {
+    throw std::invalid_argument{"DumbbellConfig: buffer_bdp_multiple must be positive (got " +
+                                std::to_string(m) + ")"};
+  }
+  return *this;
+}
+
+DumbbellConfig& DumbbellConfig::with_seed(std::uint64_t s) {
+  seed = s;
+  return *this;
+}
+
+DumbbellConfig& DumbbellConfig::with_telemetry(bool on) {
+  enable_telemetry = on;
+  return *this;
+}
 
 ByteCount dumbbell_buffer_bytes(const DumbbellConfig& cfg) {
   const Time rtt = cfg.one_way_delay + cfg.reverse_delay;
@@ -15,12 +82,15 @@ ByteCount dumbbell_buffer_bytes(const DumbbellConfig& cfg) {
 
 DumbbellScenario::DumbbellScenario(DumbbellConfig cfg, std::unique_ptr<sim::Qdisc> qdisc)
     : cfg_{cfg}, rng_{cfg.seed} {
+  cfg_.validate();
   if (!qdisc) {
     qdisc = std::make_unique<queue::DropTailQueue>(dumbbell_buffer_bytes(cfg_));
   }
   link_ = std::make_unique<sim::Link>(sched_, cfg_.bottleneck_rate, cfg_.one_way_delay,
                                       std::move(qdisc), demux_);
   link_sink_ = std::make_unique<sim::LinkSink>(*link_);
+  metrics_.set_enabled(cfg_.enable_telemetry);
+  if (cfg_.enable_telemetry) link_->bind_metrics(metrics_, "link");
 }
 
 Time DumbbellScenario::base_rtt() const {
@@ -40,6 +110,10 @@ std::size_t DumbbellScenario::add_flow(std::unique_ptr<cca::CongestionControl> c
   fc.receiver_window = receiver_window;
   flows_.push_back(std::make_unique<flow::TcpFlow>(sched_, fc, std::move(cc), std::move(a),
                                                    *link_sink_, demux_));
+  if (cfg_.enable_telemetry) {
+    flows_.back()->sender().bind_metrics(metrics_,
+                                         "flow" + std::to_string(fc.flow_id));
+  }
   return flows_.size() - 1;
 }
 
@@ -60,6 +134,12 @@ flow::UdpCbrSource& DumbbellScenario::add_cbr(Rate rate, Time start, Time stop,
   cbr_sources_.push_back(
       std::make_unique<flow::UdpCbrSource>(sched_, id, user, rate, start, stop, *link_sink_));
   return *cbr_sources_.back();
+}
+
+void DumbbellScenario::collect_metrics() {
+  if (!cfg_.enable_telemetry) return;
+  link_->export_metrics(sched_.now());
+  for (const auto& f : flows_) f->sender().export_metrics(metrics_);
 }
 
 std::vector<ByteCount> DumbbellScenario::snapshot_delivered() const {

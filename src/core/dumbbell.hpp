@@ -21,6 +21,7 @@
 #include "sim/demux.hpp"
 #include "sim/link.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace ccc::core {
@@ -33,6 +34,22 @@ struct DumbbellConfig {
   double buffer_bdp_multiple{1.0};
   /// Seed for the scenario's RNG (short-flow arrivals and sizes).
   std::uint64_t seed{0x5eed'cafe};
+  /// When true, the scenario binds its link and every flow into a
+  /// MetricRegistry (see DumbbellScenario::metrics()). Off by default:
+  /// disabled telemetry must cost nothing on the hot path.
+  bool enable_telemetry{false};
+
+  /// Throws std::invalid_argument naming the offending field. The scenario
+  /// constructor calls this; call it earlier to fail fast at parse time.
+  void validate() const;
+
+  // Fluent setters, each validating its own field immediately.
+  DumbbellConfig& with_rate(Rate r);
+  DumbbellConfig& with_one_way_delay(Time d);
+  DumbbellConfig& with_reverse_delay(Time d);
+  DumbbellConfig& with_buffer_bdp_multiple(double m);
+  DumbbellConfig& with_seed(std::uint64_t s);
+  DumbbellConfig& with_telemetry(bool on = true);
 };
 
 class DumbbellScenario {
@@ -80,6 +97,16 @@ class DumbbellScenario {
   [[nodiscard]] Time base_rtt() const;
   [[nodiscard]] const DumbbellConfig& config() const { return cfg_; }
 
+  /// The scenario's private registry. Live instruments (sojourn/RTT
+  /// histograms, cwnd traces, CCA mode timelines) stream into it during the
+  /// run when cfg.enable_telemetry is set; call collect_metrics() to also
+  /// mirror the snapshot-style stats before reading it.
+  [[nodiscard]] telemetry::MetricRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const telemetry::MetricRegistry& metrics() const { return metrics_; }
+  /// Mirrors link/qdisc/sender counters into metrics() as of now. No-op
+  /// (and the registry stays empty) when telemetry is disabled.
+  void collect_metrics();
+
   /// Flow ids are allocated sequentially starting here; CBR sources count up
   /// from 900000 to stay clear of TCP flows and short-flow workloads.
   static constexpr sim::FlowId kFirstFlowId = 1;
@@ -98,6 +125,7 @@ class DumbbellScenario {
   sim::FlowId next_flow_id_{kFirstFlowId};
   sim::FlowId next_cbr_id_{900000};
   sim::FlowId next_short_base_{100000};
+  telemetry::MetricRegistry metrics_;
 };
 
 /// Buffer size in bytes for a dumbbell config (exposed for tests).

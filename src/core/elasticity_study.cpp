@@ -34,7 +34,22 @@ DumbbellConfig poc_dumbbell(const ElasticityPocConfig& cfg, std::uint64_t seed) 
   // the pulse frequency (see EXPERIMENTS.md for this sensitivity).
   dc.buffer_bdp_multiple = 1.5;
   dc.seed = seed;
+  // Observation only — binds the link/flow instruments so the RunReport can
+  // carry sojourn/RTT histograms; has no effect on simulated dynamics.
+  dc.enable_telemetry = true;
   return dc;
+}
+
+/// Appends phase `i`'s headline scalars (canonical-timeline windows) to the
+/// report — the shared row layout of the serial and parallel variants.
+void report_phase_scalars(telemetry::RunReport& report, const PhaseSummary& s) {
+  const Time at = Time::sec(s.t_end_sec);
+  report.add_scalar(s.name, "t_begin_sec", s.t_begin_sec, at);
+  report.add_scalar(s.name, "t_end_sec", s.t_end_sec, at);
+  report.add_scalar(s.name, "median_elasticity", s.median_elasticity, at);
+  report.add_scalar(s.name, "p90_elasticity", s.p90_elasticity, at);
+  report.add_scalar(s.name, "frac_elastic", s.frac_elastic, at);
+  report.add_scalar(s.name, "probe_goodput_mbps", s.probe_goodput_mbps, at);
 }
 
 /// Installs the probe flow and returns a handle to it.
@@ -125,6 +140,8 @@ struct SinglePhaseResult {
   PhaseSummary summary;
   telemetry::TimeSeries elasticity;
   telemetry::TimeSeries probe_rate_mbps;
+  /// This phase's registry rows (scope = phase name, phase-local time).
+  telemetry::RunReport fragment;
 };
 
 SinglePhaseResult run_single_phase(const ElasticityPocConfig& cfg, int phase) {
@@ -152,6 +169,8 @@ SinglePhaseResult run_single_phase(const ElasticityPocConfig& cfg, int phase) {
   out.summary.name = kPhaseNames[phase];
   out.summary.probe_goodput_mbps = net.goodput_mbps_since(probe_idx, snap, end - begin);
   summarize_phase(out.elasticity, begin.to_sec(), end.to_sec(), &out.summary);
+  net.collect_metrics();
+  out.fragment.add_registry(kPhaseNames[phase], net.metrics(), end);
   return out;
 }
 
@@ -201,6 +220,11 @@ ElasticityPocResult run_elasticity_poc(const ElasticityPocConfig& cfg) {
     result.phases.push_back(std::move(s));
   }
   net.run_until(run_end);
+
+  result.report.set_bench("fig3_elasticity_poc", cfg.seed);
+  for (const auto& s : result.phases) report_phase_scalars(result.report, s);
+  net.collect_metrics();
+  result.report.add_registry("net", net.metrics(), run_end);
   return result;
 }
 
@@ -235,6 +259,12 @@ ElasticityPocResult run_elasticity_poc_parallel(const ElasticityPocConfig& cfg,
     s.t_end_sec = t0 + p * (i + 1);
     result.phases.push_back(std::move(s));
   }
+
+  // Rows in phase order — independent of job count, so the serialized
+  // report is byte-identical for any `jobs`.
+  result.report.set_bench("fig3_elasticity_poc", cfg.seed);
+  for (const auto& s : result.phases) report_phase_scalars(result.report, s);
+  for (int i = 0; i < kPhaseCount; ++i) result.report.append(singles[i].fragment);
   return result;
 }
 

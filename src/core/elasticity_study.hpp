@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "nimbus/nimbus.hpp"
+#include "telemetry/run_report.hpp"
 #include "telemetry/sampler.hpp"
 #include "util/units.hpp"
 
@@ -49,6 +50,14 @@ struct ElasticityPocResult {
   telemetry::TimeSeries elasticity;       ///< (t, eta) over the whole run
   telemetry::TimeSeries probe_rate_mbps;  ///< probe base rate (diagnostics)
   std::vector<PhaseSummary> phases;
+  /// Machine-readable run artifact: per-phase summary scalars followed by
+  /// the full metric registry (link/qdisc/flow/CCA instruments). Row order
+  /// is phase order then registry (name) order, so the parallel variant's
+  /// report is byte-identical for any job count. In the parallel variant
+  /// registry rows are scoped per phase and stamped with phase-local sim
+  /// time; the serial variant exports its one continuous registry under
+  /// scope "net".
+  telemetry::RunReport report;
 };
 
 /// Runs the full five-phase experiment as ONE continuous simulation (the

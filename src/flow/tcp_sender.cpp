@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "telemetry/metrics.hpp"
+
 namespace ccc::flow {
 
 TcpSender::TcpSender(sim::Scheduler& sched, SenderConfig cfg,
@@ -19,6 +21,34 @@ TcpSender::TcpSender(sim::Scheduler& sched, SenderConfig cfg,
   app_.set_data_ready_hook([this] {
     if (started_ && !completed_) try_send();
   });
+}
+
+void TcpSender::bind_metrics(telemetry::MetricRegistry& reg, const std::string& prefix) {
+  metric_prefix_ = prefix;
+  // 0.05 ms .. ~1.6 s, the span between datacenter RTTs and a bufferbloated
+  // last mile.
+  rtt_hist_ =
+      &reg.histogram(prefix + ".rtt_ms", telemetry::Histogram::geometric_bounds(0.05, 2.0, 16));
+  // Per-ACK recording would grow with flow length; 10 ms of sim time between
+  // points is ample for cwnd dynamics and keeps traces bounded.
+  cwnd_trace_ = &reg.trace(prefix + ".cwnd_bytes", Time::ms(10));
+  cc_->bind_metrics(reg, prefix + ".cca");
+}
+
+void TcpSender::export_metrics(telemetry::MetricRegistry& reg) const {
+  const std::string& p = metric_prefix_;
+  reg.counter(p + ".packets_sent").set(stats_.packets_sent);
+  reg.counter(p + ".bytes_sent").set(static_cast<std::uint64_t>(stats_.bytes_sent));
+  reg.counter(p + ".bytes_acked").set(static_cast<std::uint64_t>(stats_.bytes_acked));
+  reg.counter(p + ".bytes_retransmitted")
+      .set(static_cast<std::uint64_t>(stats_.bytes_retransmitted));
+  reg.counter(p + ".retransmissions").set(stats_.retransmissions);
+  reg.counter(p + ".rto_events").set(stats_.rto_events);
+  reg.counter(p + ".tail_probes").set(stats_.tail_probes);
+  reg.counter(p + ".recovery_episodes").set(stats_.recovery_episodes);
+  reg.counter(p + ".rtt_samples").set(stats_.rtt_samples);
+  reg.gauge(p + ".srtt_ms").set(srtt_.to_ms());
+  reg.gauge(p + ".cwnd_bytes").set(static_cast<double>(cc_->cwnd_bytes()));
 }
 
 void TcpSender::start(Time at) {
@@ -249,6 +279,7 @@ void TcpSender::process_new_ack(const sim::Packet& ack) {
     update_rtt(rtt);
     ++stats_.rtt_samples;
     min_rtt_ = std::min(min_rtt_, rtt);
+    if (rtt_hist_ != nullptr) rtt_hist_->observe(rtt.to_ms());
   } else {
     rtt = Time::zero();
   }
@@ -287,6 +318,9 @@ void TcpSender::process_new_ack(const sim::Packet& ack) {
   ev.app_limited = app_limited_sample;
   ev.ecn_echo = ack.ece;
   cc_->on_ack(ev);
+  if (cwnd_trace_ != nullptr) {
+    cwnd_trace_->record(now, static_cast<double>(cc_->cwnd_bytes()));
+  }
 
   if (inflight_bytes() > 0) {
     arm_rto();

@@ -20,6 +20,12 @@
 #include "sim/packet.hpp"
 #include "sim/scheduler.hpp"
 
+namespace ccc::telemetry {
+class Histogram;
+class MetricRegistry;
+class Trace;
+}  // namespace ccc::telemetry
+
 namespace ccc::flow {
 
 /// Why the sender was not transmitting at a given instant.
@@ -91,6 +97,15 @@ class TcpSender : public sim::PacketSink {
 
   /// Invoked once, when the app finishes and all its bytes are ACKed.
   void set_on_complete(std::function<void(Time)> fn) { on_complete_ = std::move(fn); }
+
+  /// Hooks this sender into a per-scenario registry under `prefix` (e.g.
+  /// "flow3"): live RTT histogram `<prefix>.rtt_ms`, interval-sampled cwnd
+  /// trace `<prefix>.cwnd_bytes`, plus the CCA's own instruments under
+  /// `<prefix>.cca`. Unbound senders pay nothing on the ACK path.
+  void bind_metrics(telemetry::MetricRegistry& reg, const std::string& prefix);
+  /// Mirrors SenderStats into `reg` as `<prefix>.*` counters (snapshot-style;
+  /// call at collection points, costs nothing in between).
+  void export_metrics(telemetry::MetricRegistry& reg) const;
 
  private:
   struct Segment {
@@ -174,6 +189,11 @@ class TcpSender : public sim::PacketSink {
   bool completed_{false};
   SenderStats stats_;
   std::function<void(Time)> on_complete_;
+
+  // Telemetry (null unless bind_metrics was called; hot paths gate on that).
+  std::string metric_prefix_;
+  telemetry::Histogram* rtt_hist_{nullptr};
+  telemetry::Trace* cwnd_trace_{nullptr};
 };
 
 }  // namespace ccc::flow

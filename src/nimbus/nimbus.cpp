@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "telemetry/metrics.hpp"
+
 namespace ccc::nimbus {
 
 NimbusCca::NimbusCca(const sim::Scheduler& sched, NimbusConfig cfg)
@@ -188,17 +190,28 @@ void NimbusCca::run_delay_controller(Time now) {
   }
 }
 
+void NimbusCca::bind_metrics(telemetry::MetricRegistry& reg, const std::string& prefix) {
+  mode_transitions_ = &reg.counter(prefix + ".mode_transitions");
+  mode_trace_ = &reg.trace(prefix + ".mode", Time::zero());
+  mode_trace_->record(Time::zero(), static_cast<double>(mode_));
+}
+
 void NimbusCca::update_mode(Time now) {
   if (!cfg_.enable_mode_switching) return;
   if (now - last_mode_eval_ < cfg_.fft_window) return;  // one decision per window
   last_mode_eval_ = now;
   const bool elastic = elasticity() >= kElasticThreshold;
+  const Mode before = mode_;
   if (elastic && mode_ == Mode::kDelay) {
     mode_ = Mode::kTcpCompetitive;
     competitive_rate_bps_ = base_rate_.to_bps();
   } else if (!elastic && mode_ == Mode::kTcpCompetitive) {
     mode_ = Mode::kDelay;
     base_rate_ = Rate::bps(competitive_rate_bps_);
+  }
+  if (mode_ != before && mode_transitions_ != nullptr) {
+    mode_transitions_->inc();
+    mode_trace_->record(now, static_cast<double>(mode_));
   }
 }
 

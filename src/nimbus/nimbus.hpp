@@ -20,6 +20,11 @@
 #include "nimbus/elasticity.hpp"
 #include "sim/scheduler.hpp"
 
+namespace ccc::telemetry {
+class Counter;
+class Trace;
+}  // namespace ccc::telemetry
+
 namespace ccc::nimbus {
 
 struct NimbusConfig {
@@ -86,6 +91,10 @@ class NimbusCca : public cca::CongestionControl {
   /// for tests of pulse shape and mean-neutrality.
   [[nodiscard]] Rate pulsed_rate(Time now) const;
 
+  /// Registers `<prefix>.mode_transitions` (counter) and `<prefix>.mode`
+  /// (timeline, values = Mode enum) in `reg`.
+  void bind_metrics(telemetry::MetricRegistry& reg, const std::string& prefix) override;
+
  private:
   void account_delivery(const cca::AckEvent& ev);
   void finalize_bin(std::int64_t next_bin);
@@ -112,6 +121,10 @@ class NimbusCca : public cca::CongestionControl {
 
   // TCP-competitive mode state (AIMD on rate).
   double competitive_rate_bps_{0.0};
+
+  // Telemetry (null unless bind_metrics was called; hot paths gate on that).
+  telemetry::Counter* mode_transitions_{nullptr};
+  telemetry::Trace* mode_trace_{nullptr};
 
   // z(t) sampling: deliveries are binned by the *send* time of the acked
   // packets, so rin (bytes/bin-width in send time) and rout (bytes over the

@@ -12,6 +12,7 @@ CoDelQueue::CoDelQueue(ByteCount capacity_bytes, Time target, Time interval)
 }
 
 bool CoDelQueue::enqueue(const sim::Packet& pkt, Time now) {
+  ++stats_.enqueued_packets;  // offered (see QdiscStats contract)
   if (backlog_bytes_ + pkt.size_bytes > capacity_bytes_) {
     ++stats_.dropped_packets;
     stats_.dropped_bytes += pkt.size_bytes;
@@ -19,7 +20,6 @@ bool CoDelQueue::enqueue(const sim::Packet& pkt, Time now) {
   }
   fifo_.push_back({pkt, now});
   backlog_bytes_ += pkt.size_bytes;
-  ++stats_.enqueued_packets;
   return true;
 }
 

@@ -10,6 +10,7 @@ DropTailQueue::DropTailQueue(ByteCount capacity_bytes, ByteCount ecn_threshold_b
 }
 
 bool DropTailQueue::enqueue(const sim::Packet& pkt, Time /*now*/) {
+  ++stats_.enqueued_packets;  // offered (see QdiscStats contract)
   if (backlog_bytes_ + pkt.size_bytes > capacity_bytes_) {
     ++stats_.dropped_packets;
     stats_.dropped_bytes += pkt.size_bytes;
@@ -21,7 +22,6 @@ bool DropTailQueue::enqueue(const sim::Packet& pkt, Time /*now*/) {
     ++stats_.ecn_marked_packets;
   }
   backlog_bytes_ += pkt.size_bytes;
-  ++stats_.enqueued_packets;
   return true;
 }
 

@@ -26,7 +26,7 @@ bool DrrFairQueue::enqueue(const sim::Packet& pkt, Time /*now*/) {
   q.bytes += pkt.size_bytes;
   backlog_bytes_ += pkt.size_bytes;
   ++backlog_packets_;
-  ++stats_.enqueued_packets;
+  ++stats_.enqueued_packets;  // offered == admitted here: DRR evicts after admitting
   if (!q.active) {
     q.active = true;
     active_.push_back(key_of(pkt));

@@ -80,6 +80,7 @@ void HierarchicalFairQueue::activate_path(ClassId leaf) {
 }
 
 bool HierarchicalFairQueue::enqueue(const sim::Packet& pkt, Time /*now*/) {
+  ++stats_.enqueued_packets;  // offered (see QdiscStats contract)
   const ClassId cls = classifier_(pkt);
   if (cls == kRootClass || cls >= nodes_.size() || !nodes_[cls].is_leaf) {
     ++unclassified_drops_;
@@ -102,7 +103,6 @@ bool HierarchicalFairQueue::enqueue(const sim::Packet& pkt, Time /*now*/) {
   }
   backlog_bytes_ += pkt.size_bytes;
   ++backlog_packets_;
-  ++stats_.enqueued_packets;
   activate_path(cls);
   return true;
 }

@@ -33,6 +33,7 @@ PerUserIsolation::UserQueue& PerUserIsolation::queue_for(sim::UserId user) {
 }
 
 bool PerUserIsolation::enqueue(const sim::Packet& pkt, Time /*now*/) {
+  ++stats_.enqueued_packets;  // offered (see QdiscStats contract)
   UserQueue& q = queue_for(pkt.user);
   if (q.bytes + pkt.size_bytes > per_user_capacity_) {
     ++stats_.dropped_packets;
@@ -43,7 +44,6 @@ bool PerUserIsolation::enqueue(const sim::Packet& pkt, Time /*now*/) {
   q.bytes += pkt.size_bytes;
   backlog_bytes_ += pkt.size_bytes;
   ++backlog_packets_;
-  ++stats_.enqueued_packets;
   return true;
 }
 

@@ -41,6 +41,7 @@ TokenBucketShaper::TokenBucketShaper(Rate rate, ByteCount burst_bytes, ByteCount
 }
 
 bool TokenBucketShaper::enqueue(const sim::Packet& pkt, Time /*now*/) {
+  ++stats_.enqueued_packets;  // offered (see QdiscStats contract)
   if (backlog_bytes_ + pkt.size_bytes > capacity_bytes_) {
     ++stats_.dropped_packets;
     stats_.dropped_bytes += pkt.size_bytes;
@@ -48,7 +49,6 @@ bool TokenBucketShaper::enqueue(const sim::Packet& pkt, Time /*now*/) {
   }
   fifo_.push_back(pkt);
   backlog_bytes_ += pkt.size_bytes;
-  ++stats_.enqueued_packets;
   return true;
 }
 
@@ -74,22 +74,34 @@ Policer::Policer(Rate rate, ByteCount burst_bytes, std::unique_ptr<sim::Qdisc> i
   assert(inner_ != nullptr);
 }
 
+void Policer::sync_stats() {
+  // The policer's ledger folds the inner qdisc's in, so every packet offered
+  // to the policer is accounted exactly once: policed drop, inner drop
+  // (at admission or later, e.g. a CoDel head drop), dequeue, or backlog.
+  const sim::QdiscStats& in = inner_->stats();
+  stats_.dequeued_packets = in.dequeued_packets;
+  stats_.dropped_packets = policed_drops_ + in.dropped_packets;
+  stats_.dropped_bytes = policed_bytes_ + in.dropped_bytes;
+  stats_.ecn_marked_packets = in.ecn_marked_packets;
+}
+
 bool Policer::enqueue(const sim::Packet& pkt, Time now) {
-  if (!bucket_.conforms(pkt.size_bytes, now)) {
+  ++stats_.enqueued_packets;  // offered (see QdiscStats contract)
+  bool admitted = false;
+  if (bucket_.conforms(pkt.size_bytes, now)) {
+    bucket_.consume(pkt.size_bytes);
+    admitted = inner_->enqueue(pkt, now);
+  } else {
     ++policed_drops_;
-    ++stats_.dropped_packets;
-    stats_.dropped_bytes += pkt.size_bytes;
-    return false;
+    policed_bytes_ += pkt.size_bytes;
   }
-  bucket_.consume(pkt.size_bytes);
-  const bool admitted = inner_->enqueue(pkt, now);
-  if (admitted) ++stats_.enqueued_packets;
+  sync_stats();
   return admitted;
 }
 
 std::optional<sim::Packet> Policer::dequeue(Time now) {
   auto pkt = inner_->dequeue(now);
-  if (pkt) ++stats_.dequeued_packets;
+  sync_stats();
   return pkt;
 }
 

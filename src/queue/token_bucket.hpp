@@ -78,9 +78,14 @@ class Policer : public sim::Qdisc {
   [[nodiscard]] std::uint64_t policed_drops() const { return policed_drops_; }
 
  private:
+  /// Re-derives the combined policer+inner ledger (stats() rolls both up so
+  /// the QdiscStats conservation contract holds at this layer too).
+  void sync_stats();
+
   TokenBucket bucket_;
   std::unique_ptr<sim::Qdisc> inner_;
   std::uint64_t policed_drops_{0};
+  ByteCount policed_bytes_{0};
 };
 
 }  // namespace ccc::queue

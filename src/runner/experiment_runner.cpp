@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "bench/cli.hpp"
 #include "runner/thread_pool.hpp"
 
 namespace ccc::runner {
@@ -33,17 +34,10 @@ unsigned resolve_jobs(unsigned requested) {
 }
 
 unsigned jobs_from_cli(int argc, char** argv, unsigned fallback) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg{argv[i]};
-    if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
-      if (const unsigned v = parse_jobs(argv[i + 1]); v > 0) return v;
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      if (const unsigned v = parse_jobs(arg.c_str() + 7); v > 0) return v;
-    } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
-      if (const unsigned v = parse_jobs(arg.c_str() + 2); v > 0) return v;
-    }
-  }
-  return fallback;
+  // Thin wrapper over the shared bench CLI so one grammar serves both the
+  // runner and the bench binaries (non-strict parse: malformed == absent).
+  const bench::Cli cli = bench::Cli::parse(argc, argv);
+  return cli.jobs > 0 ? cli.jobs : fallback;
 }
 
 std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t task_index) {

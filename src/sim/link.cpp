@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "telemetry/metrics.hpp"
+
 namespace ccc::sim {
 
 Link::Link(Scheduler& sched, Rate rate, Time prop_delay, std::unique_ptr<Qdisc> qdisc,
@@ -12,7 +14,14 @@ Link::Link(Scheduler& sched, Rate rate, Time prop_delay, std::unique_ptr<Qdisc> 
 }
 
 void Link::send(const Packet& pkt) {
-  qdisc_->enqueue(pkt, sched_.now());
+  if (sojourn_hist_ != nullptr) {
+    // Stamp the enqueue instant so the dequeue side can observe the sojourn.
+    Packet stamped = pkt;
+    stamped.enqueued_at = sched_.now();
+    qdisc_->enqueue(stamped, sched_.now());
+  } else {
+    qdisc_->enqueue(pkt, sched_.now());
+  }
   maybe_start_tx();
 }
 
@@ -24,6 +33,32 @@ void Link::set_rate(Rate rate) {
 double Link::utilization(Time now) const {
   if (now <= Time::zero()) return 0.0;
   return stats_.busy_time / now;
+}
+
+void Link::bind_metrics(telemetry::MetricRegistry& reg, const std::string& prefix) {
+  metrics_ = &reg;
+  metric_prefix_ = prefix;
+  // 0.05 ms .. ~1.7 s in 16 geometric buckets: spans sub-ms datacenter
+  // sojourns through multi-second bufferbloat.
+  sojourn_hist_ = &reg.histogram(prefix + ".qdisc.sojourn_ms",
+                                 telemetry::Histogram::geometric_bounds(0.05, 2.0, 16));
+}
+
+void Link::export_metrics(Time now) {
+  if (metrics_ == nullptr) return;
+  auto& m = *metrics_;
+  const std::string& p = metric_prefix_;
+  m.counter(p + ".tx_packets").set(stats_.packets_sent);
+  m.counter(p + ".tx_bytes").set(static_cast<std::uint64_t>(stats_.bytes_sent));
+  m.gauge(p + ".utilization").set(utilization(now));
+  const QdiscStats& qs = qdisc_->stats();
+  m.counter(p + ".qdisc.enqueued_packets").set(qs.enqueued_packets);
+  m.counter(p + ".qdisc.dequeued_packets").set(qs.dequeued_packets);
+  m.counter(p + ".qdisc.dropped_packets").set(qs.dropped_packets);
+  m.counter(p + ".qdisc.ecn_marked_packets").set(qs.ecn_marked_packets);
+  m.counter(p + ".qdisc.dropped_bytes").set(static_cast<std::uint64_t>(qs.dropped_bytes));
+  m.gauge(p + ".qdisc.backlog_bytes").set(static_cast<double>(qdisc_->backlog_bytes()));
+  m.gauge(p + ".qdisc.backlog_packets").set(static_cast<double>(qdisc_->backlog_packets()));
 }
 
 void Link::maybe_start_tx() {
@@ -42,6 +77,10 @@ void Link::maybe_start_tx() {
 
   auto pkt = qdisc_->dequeue(now);
   if (!pkt) return;  // qdisc changed its mind (e.g. CoDel dropped the head)
+
+  if (sojourn_hist_ != nullptr && pkt->enqueued_at > Time::zero()) {
+    sojourn_hist_->observe((now - pkt->enqueued_at).to_ms());
+  }
 
   busy_ = true;
   const Time tx_time = rate_.transmit_time(pkt->size_bytes);

@@ -9,12 +9,18 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "sim/packet.hpp"
 #include "sim/qdisc.hpp"
 #include "sim/scheduler.hpp"
 #include "util/units.hpp"
+
+namespace ccc::telemetry {
+class Histogram;
+class MetricRegistry;
+}  // namespace ccc::telemetry
 
 namespace ccc::sim {
 
@@ -60,6 +66,15 @@ class Link {
   /// telemetry to sample per-flow link shares.
   void set_tx_tap(std::function<void(const Packet&, Time)> tap) { tx_tap_ = std::move(tap); }
 
+  /// Binds this link to a metric registry: live queue-sojourn histogram
+  /// (`prefix + ".sojourn_ms"`) plus tx/utilization/qdisc counters refreshed
+  /// by export_metrics(). Unbound links pay only a null-pointer check.
+  void bind_metrics(telemetry::MetricRegistry& reg, const std::string& prefix = "link");
+
+  /// Mirrors LinkStats/QdiscStats and the utilization/backlog gauges into
+  /// the bound registry. No-op when bind_metrics() was never called.
+  void export_metrics(Time now);
+
  private:
   void maybe_start_tx();
   void on_tx_complete(Packet pkt);
@@ -73,6 +88,9 @@ class Link {
   EventId wake_event_{0};
   LinkStats stats_;
   std::function<void(const Packet&, Time)> tx_tap_;
+  telemetry::MetricRegistry* metrics_{nullptr};
+  telemetry::Histogram* sojourn_hist_{nullptr};
+  std::string metric_prefix_;
 };
 
 /// A fixed-delay, infinite-capacity pipe. Used for uncongested segments,

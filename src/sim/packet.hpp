@@ -56,6 +56,11 @@ struct Packet {
   // --- network marks ---
   bool ecn_capable{false};  ///< transport is ECN-capable (ECT)
   bool ecn_marked{false};   ///< CE mark applied by a qdisc
+
+  // --- telemetry ---
+  /// Stamped by an instrumented Link when the packet enters its qdisc;
+  /// zero() when telemetry is off. Sojourn = dequeue time - enqueued_at.
+  Time enqueued_at{Time::zero()};
 };
 
 /// Conventional sizes (Ethernet-ish MTU; 40-byte TCP/IP header abstraction).

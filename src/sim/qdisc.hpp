@@ -15,6 +15,14 @@
 namespace ccc::sim {
 
 /// Byte/packet counters every qdisc maintains; read by telemetry and benches.
+///
+/// Accounting contract (enforced by the cross-qdisc conservation test):
+///   - `enqueued_packets` counts every packet OFFERED to enqueue(), whether
+///     admitted or tail-dropped.
+///   - every drop — at admission or later (CoDel head drops, policer
+///     rejections) — is counted exactly once in `dropped_packets`.
+/// Hence at any instant:
+///   enqueued_packets == dequeued_packets + dropped_packets + backlog_packets()
 struct QdiscStats {
   std::uint64_t enqueued_packets{0};
   std::uint64_t dequeued_packets{0};

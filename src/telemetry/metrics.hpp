@@ -1,0 +1,174 @@
+// MetricRegistry: the run-wide observability core (counters, gauges,
+// fixed-bucket histograms, and sim-time traces).
+//
+// Design rules, in service of the paper's measurement methodology (§3):
+//   - Registries are PER SCENARIO. An ExperimentRunner fan-out gives every
+//     task its own registry, so instrumentation needs no locking and results
+//     are bit-identical for any `--jobs` count.
+//   - Every exported value is keyed by *simulated* time, never wall time, so
+//     reports are deterministic across machines and job counts.
+//   - Hot paths pay a single pointer-null check when telemetry is disabled:
+//     components hold raw instrument pointers that stay nullptr until a
+//     registry is bound, and increments are plain uint64_t adds.
+//
+// Header-only on purpose: sim/, queue/, flow/, and cca/ include this without
+// taking a link dependency on ccc_telemetry (which itself links ccc_flow).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ccc::telemetry {
+
+/// Monotone event count. `set()` exists for snapshot-style export, where a
+/// component mirrors an internally maintained uint64_t (e.g. QdiscStats)
+/// into the registry at collection time instead of paying per-event cost.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_ += n; }
+  void set(std::uint64_t v) { v_ = v; }
+  [[nodiscard]] std::uint64_t value() const { return v_; }
+
+ private:
+  std::uint64_t v_{0};
+};
+
+/// Point-in-time value (utilization, backlog, srtt, ...).
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  [[nodiscard]] double value() const { return v_; }
+
+ private:
+  double v_{0.0};
+};
+
+/// Fixed-bucket histogram: counts per upper bound plus an overflow bucket.
+/// Bounds are fixed at registration so two runs always bucket identically.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds) : bounds_{std::move(upper_bounds)} {
+    std::sort(bounds_.begin(), bounds_.end());
+    counts_.assign(bounds_.size() + 1, 0);  // +1: overflow
+  }
+
+  void observe(double v) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    ++count_;
+    sum_ += v;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// counts()[i] observes <= bounds()[i]; counts().back() is the overflow.
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Linear-interpolated quantile estimate from the bucket counts (the
+  /// overflow bucket is attributed to the largest bound).
+  [[nodiscard]] double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      cum += counts_[i];
+      if (static_cast<double>(cum) >= target) {
+        return i < bounds_.size() ? bounds_[i] : bounds_.back();
+      }
+    }
+    return bounds_.empty() ? 0.0 : bounds_.back();
+  }
+
+  /// Geometric bucket bounds: n bounds starting at `first`, each `factor`
+  /// apart. The standard latency-histogram shape.
+  [[nodiscard]] static std::vector<double> geometric_bounds(double first, double factor, int n) {
+    std::vector<double> out;
+    out.reserve(static_cast<std::size_t>(n));
+    double b = first;
+    for (int i = 0; i < n; ++i) {
+      out.push_back(b);
+      b *= factor;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_{0};
+  double sum_{0.0};
+};
+
+/// A sim-time-stamped series of samples (cwnd trace, mode timeline, ...).
+/// `min_interval` downsamples at the source so per-ACK recording stays
+/// bounded; sampling is sim-clock driven, hence deterministic.
+class Trace {
+ public:
+  explicit Trace(Time min_interval = Time::zero()) : interval_{min_interval} {}
+
+  void record(Time t, double v) {
+    if (!points_.empty() && t < next_due_) return;
+    next_due_ = t + interval_;
+    points_.emplace_back(t.to_sec(), v);
+  }
+
+  [[nodiscard]] const std::vector<std::pair<double, double>>& points() const { return points_; }
+
+ private:
+  Time interval_;
+  Time next_due_{Time::zero()};
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// Owns all instruments for one scenario/run. Lookup happens at bind time
+/// (never on hot paths); iteration order is the metric-name order, which is
+/// what makes report output deterministic.
+class MetricRegistry {
+ public:
+  /// When disabled (the default construction state is enabled; scenarios
+  /// decide), components should skip binding so their instrument pointers
+  /// stay null and hot paths pay only the null check.
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram{std::move(upper_bounds)}).first;
+    }
+    return it->second;
+  }
+  Trace& trace(const std::string& name, Time min_interval = Time::zero()) {
+    auto it = traces_.find(name);
+    if (it == traces_.end()) it = traces_.emplace(name, Trace{min_interval}).first;
+    return it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const { return counters_; }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+  [[nodiscard]] const std::map<std::string, Trace>& traces() const { return traces_; }
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size() + traces_.size();
+  }
+
+ private:
+  bool enabled_{true};
+  // std::map: node stability (components hold references) + sorted export.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Trace> traces_;
+};
+
+}  // namespace ccc::telemetry

@@ -1,0 +1,74 @@
+#include "telemetry/run_report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace ccc::telemetry {
+
+void RunReport::add_scalar(const std::string& scope, const std::string& name, double value,
+                           Time at) {
+  rows_.push_back({scope, name, "scalar", at.to_sec(), value});
+}
+
+void RunReport::add_registry(const std::string& scope, const MetricRegistry& reg, Time at) {
+  const double t = at.to_sec();
+  for (const auto& [name, c] : reg.counters()) {
+    rows_.push_back({scope, name, "counter", t, static_cast<double>(c.value())});
+  }
+  for (const auto& [name, g] : reg.gauges()) {
+    rows_.push_back({scope, name, "gauge", t, g.value()});
+  }
+  for (const auto& [name, h] : reg.histograms()) {
+    const auto& bounds = h.bounds();
+    const auto& counts = h.counts();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      rows_.push_back({scope, name + ".le_" + format_value(bounds[i]), "hist_bucket", t,
+                       static_cast<double>(counts[i])});
+    }
+    rows_.push_back({scope, name + ".overflow", "hist_bucket", t,
+                     static_cast<double>(counts.back())});
+    rows_.push_back({scope, name + ".count", "hist_count", t, static_cast<double>(h.count())});
+    rows_.push_back({scope, name + ".sum", "hist_sum", t, h.sum()});
+  }
+  for (const auto& [name, tr] : reg.traces()) {
+    for (const auto& [pt_t, pt_v] : tr.points()) {
+      rows_.push_back({scope, name, "trace", pt_t, pt_v});
+    }
+  }
+}
+
+void RunReport::append(const RunReport& fragment) {
+  rows_.insert(rows_.end(), fragment.rows_.begin(), fragment.rows_.end());
+}
+
+void RunReport::write(Sink& sink) const {
+  sink.meta(bench_, seed_);
+  for (const auto& r : rows_) sink.row(r);
+}
+
+std::string RunReport::to_jsonl() const {
+  std::ostringstream os;
+  JsonlSink sink{os};
+  write(sink);
+  return os.str();
+}
+
+bool RunReport::emit(const std::string& path) const {
+  if (path.empty()) {
+    NullSink sink;
+    write(sink);
+    return true;
+  }
+  std::ofstream os{path};
+  if (!os) return false;
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    CsvSink sink{os};
+    write(sink);
+  } else {
+    JsonlSink sink{os};
+    write(sink);
+  }
+  return os.good();
+}
+
+}  // namespace ccc::telemetry

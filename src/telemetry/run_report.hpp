@@ -1,0 +1,64 @@
+// RunReport: the machine-readable artifact every bench emits alongside its
+// human-readable figure output.
+//
+// A report is an ordered list of ReportRows plus (bench, seed) metadata.
+// Rows are appended in a deterministic order — scopes in task order,
+// metrics within a scope in registry (name) order — so serializing the same
+// run twice, at any `--jobs` count, yields byte-identical output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/sink.hpp"
+#include "util/units.hpp"
+
+namespace ccc::telemetry {
+
+class RunReport {
+ public:
+  RunReport() = default;
+  explicit RunReport(std::string bench_name, std::uint64_t seed = 0)
+      : bench_{std::move(bench_name)}, seed_{seed} {}
+
+  [[nodiscard]] const std::string& bench() const { return bench_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  void set_bench(std::string bench_name, std::uint64_t seed) {
+    bench_ = std::move(bench_name);
+    seed_ = seed;
+  }
+
+  /// Adds one headline value (a table cell a bench would print).
+  void add_scalar(const std::string& scope, const std::string& name, double value,
+                  Time at = Time::zero());
+
+  /// Flattens a registry into rows: counters and gauges one row each,
+  /// histograms as per-bucket rows plus _count/_sum, traces one row per
+  /// point (at the point's own sim time). `at` stamps the non-trace rows.
+  void add_registry(const std::string& scope, const MetricRegistry& reg, Time at);
+
+  /// Appends another report's rows verbatim (fan-out merge, in task order).
+  void append(const RunReport& fragment);
+
+  [[nodiscard]] const std::vector<ReportRow>& rows() const { return rows_; }
+
+  /// Streams meta + all rows into a sink.
+  void write(Sink& sink) const;
+
+  /// Serializes through a JsonlSink into a string (tests; byte-compare).
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// Emits through a sink chosen by `path`: "" -> NullSink (the report code
+  /// path always runs), "*.csv" -> CsvSink, anything else -> JsonlSink.
+  /// Returns false if the file could not be opened.
+  bool emit(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::uint64_t seed_{0};
+  std::vector<ReportRow> rows_;
+};
+
+}  // namespace ccc::telemetry

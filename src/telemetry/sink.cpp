@@ -1,0 +1,50 @@
+#include "telemetry/sink.hpp"
+
+#include <cstdio>
+
+namespace ccc::telemetry {
+
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+namespace {
+
+/// Escapes the few JSON-special characters that can appear in metric or
+/// scope names (quotes and backslashes; names never contain control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonlSink::meta(const std::string& bench, std::uint64_t seed) {
+  os_ << "{\"schema\":\"ccc.report.v1\",\"bench\":\"" << json_escape(bench)
+      << "\",\"seed\":" << seed << "}\n";
+}
+
+void JsonlSink::row(const ReportRow& r) {
+  os_ << "{\"scope\":\"" << json_escape(r.scope) << "\",\"name\":\"" << json_escape(r.name)
+      << "\",\"kind\":\"" << r.kind << "\",\"t\":" << format_value(r.t_sec)
+      << ",\"value\":" << format_value(r.value) << "}\n";
+}
+
+void CsvSink::meta(const std::string& bench, std::uint64_t seed) {
+  os_ << "# bench=" << bench << " seed=" << seed << " schema=ccc.report.v1\n"
+      << "scope,name,kind,t_sec,value\n";
+}
+
+void CsvSink::row(const ReportRow& r) {
+  os_ << r.scope << ',' << r.name << ',' << r.kind << ',' << format_value(r.t_sec) << ','
+      << format_value(r.value) << '\n';
+}
+
+}  // namespace ccc::telemetry

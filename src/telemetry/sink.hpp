@@ -1,0 +1,69 @@
+// Pluggable report sinks: where RunReport rows go.
+//
+// A sink consumes a flat stream of (scope, name, kind, t, value) rows. All
+// formatting is locale-independent and value-deterministic, so two runs that
+// produce the same rows produce byte-identical files — the property the
+// `--jobs 1` vs `--jobs 8` acceptance test pins down.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace ccc::telemetry {
+
+/// One exported observation. `t_sec` is SIMULATED time (see metrics.hpp);
+/// `kind` is one of: counter, gauge, hist_bucket, hist_count, hist_sum,
+/// trace, scalar.
+struct ReportRow {
+  std::string scope;  ///< which sub-run (phase, sweep cell); "" for run-wide
+  std::string name;   ///< metric name, e.g. "qdisc.dropped_packets"
+  std::string kind;
+  double t_sec{0.0};
+  double value{0.0};
+};
+
+/// Formats a double with up to 12 significant digits, no locale, no
+/// trailing-zero noise ("48" not "48.000000"). Shared by all sinks.
+[[nodiscard]] std::string format_value(double v);
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// Report header: called once, before any row.
+  virtual void meta(const std::string& bench, std::uint64_t seed) = 0;
+  virtual void row(const ReportRow& r) = 0;
+};
+
+/// One JSON object per line; the schema documented in DESIGN.md.
+class JsonlSink final : public Sink {
+ public:
+  explicit JsonlSink(std::ostream& os) : os_{os} {}
+  void meta(const std::string& bench, std::uint64_t seed) override;
+  void row(const ReportRow& r) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Header + one row per line: scope,name,kind,t_sec,value.
+class CsvSink final : public Sink {
+ public:
+  explicit CsvSink(std::ostream& os) : os_{os} {}
+  void meta(const std::string& bench, std::uint64_t seed) override;
+  void row(const ReportRow& r) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Swallows everything. The default sink, so the report path is always
+/// exercised even when no `--report` file was requested.
+class NullSink final : public Sink {
+ public:
+  void meta(const std::string&, std::uint64_t) override {}
+  void row(const ReportRow&) override {}
+};
+
+}  // namespace ccc::telemetry

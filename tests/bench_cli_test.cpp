@@ -1,0 +1,89 @@
+// Tests for bench::Cli, the shared command-line contract of every bench
+// binary. All cases run in non-strict (library) mode, where parsing never
+// exits the process; the strict-mode exit behaviour (--help -> 0, malformed
+// value -> 2) is exercised end to end by the bench binaries themselves.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/cli.hpp"
+
+namespace ccc::bench {
+namespace {
+
+/// argv helper: parse() wants char**, tests want initializer lists.
+Cli parse(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::string prog = "bench";
+  argv.push_back(prog.data());
+  for (auto& a : args) argv.push_back(a.data());
+  return Cli::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchCli, JobsAcceptsAllSpellings) {
+  EXPECT_EQ(parse({"--jobs", "8"}).jobs, 8u);
+  EXPECT_EQ(parse({"--jobs=12"}).jobs, 12u);
+  EXPECT_EQ(parse({"-j4"}).jobs, 4u);
+  EXPECT_EQ(parse({"-j", "2"}).jobs, 2u);
+  EXPECT_EQ(parse({}).jobs, 0u);  // absent -> auto-resolve
+}
+
+TEST(BenchCli, MalformedValuesAreAbsentInLibraryMode) {
+  EXPECT_EQ(parse({"--jobs=-1"}).jobs, 0u);
+  EXPECT_EQ(parse({"--jobs", "zero"}).jobs, 0u);
+  EXPECT_FALSE(parse({"--seed", "12x"}).has_seed);
+  EXPECT_FALSE(parse({"--duration", "-3"}).has_duration);
+}
+
+TEST(BenchCli, SeedAcceptsDecimalAndHex) {
+  const Cli dec = parse({"--seed", "42"});
+  EXPECT_TRUE(dec.has_seed);
+  EXPECT_EQ(dec.seed, 42u);
+  const Cli hex = parse({"--seed=0xdeadbeef"});
+  EXPECT_TRUE(hex.has_seed);
+  EXPECT_EQ(hex.seed, 0xdeadbeefu);
+  EXPECT_EQ(parse({}).seed_or(7), 7u);
+  EXPECT_EQ(dec.seed_or(7), 42u);
+}
+
+TEST(BenchCli, DurationIsSeconds) {
+  const Cli cli = parse({"--duration", "2.5"});
+  ASSERT_TRUE(cli.has_duration);
+  EXPECT_DOUBLE_EQ(cli.duration_sec, 2.5);
+  EXPECT_EQ(cli.duration_or(Time::sec(9.0)), Time::sec(2.5));
+  EXPECT_EQ(parse({}).duration_or(Time::sec(9.0)), Time::sec(9.0));
+}
+
+TEST(BenchCli, OutReportAndSerialFlags) {
+  const Cli cli = parse({"--out", "/tmp/t.txt", "--report=/tmp/r.jsonl", "--serial"});
+  EXPECT_EQ(cli.out, "/tmp/t.txt");
+  EXPECT_EQ(cli.report, "/tmp/r.jsonl");
+  EXPECT_TRUE(cli.serial);
+  EXPECT_FALSE(cli.help);
+}
+
+TEST(BenchCli, UnrecognizedArgsPassThroughInOrder) {
+  const Cli cli =
+      parse({"--benchmark_filter=Sched", "--jobs", "3", "positional", "--benchmark_list_tests"});
+  EXPECT_EQ(cli.jobs, 3u);
+  EXPECT_EQ(cli.rest, (std::vector<std::string>{"--benchmark_filter=Sched", "positional",
+                                                "--benchmark_list_tests"}));
+}
+
+TEST(BenchCli, HelpIsRecordedNotActedOnInLibraryMode) {
+  EXPECT_TRUE(parse({"--help"}).help);
+  EXPECT_TRUE(parse({"-h"}).help);
+}
+
+TEST(BenchCli, UsageMentionsEveryFlag) {
+  const std::string u = Cli::usage("fig0");
+  for (const char* flag :
+       {"--jobs", "--seed", "--duration", "--out", "--report", "--serial", "--help"}) {
+    EXPECT_NE(u.find(flag), std::string::npos) << flag;
+  }
+  EXPECT_NE(u.find("fig0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccc::bench

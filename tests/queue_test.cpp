@@ -8,6 +8,7 @@
 #include "queue/codel.hpp"
 #include "queue/drop_tail.hpp"
 #include "queue/drr_fair_queue.hpp"
+#include "queue/hierarchical_fq.hpp"
 #include "queue/per_user_isolation.hpp"
 #include "queue/sfq.hpp"
 #include "queue/token_bucket.hpp"
@@ -346,6 +347,111 @@ TEST(PerUserIsolation, PerUserBufferIsolation) {
   for (int i = 0; i < 50; ++i) iso.enqueue(pkt(1, 1000, 1), Time::zero());
   EXPECT_TRUE(iso.enqueue(pkt(2, 1000, 2), Time::zero()));
   EXPECT_GT(iso.stats().dropped_packets, 0u);
+}
+
+// ---------- Packet conservation (the QdiscStats accounting contract) ----------
+//
+// Every qdisc must satisfy, at any instant:
+//   enqueued_packets == dequeued_packets + dropped_packets + backlog_packets()
+// where `enqueued_packets` counts every packet OFFERED (admitted or not).
+// This is what makes the telemetry drop accounting comparable across
+// disciplines: a policer rejection, a CoDel head drop, and a DRR
+// buffer-steal eviction all land in the same ledger.
+
+void expect_conserved(const sim::Qdisc& q, const char* ctx) {
+  const auto& s = q.stats();
+  EXPECT_EQ(s.enqueued_packets, s.dequeued_packets + s.dropped_packets + q.backlog_packets())
+      << ctx << ": enq=" << s.enqueued_packets << " deq=" << s.dequeued_packets
+      << " drop=" << s.dropped_packets << " backlog=" << q.backlog_packets();
+}
+
+/// Drives a qdisc with an overload phase (4 flows / 2 users bursting faster
+/// than the drain), then a drain phase, checking conservation throughout.
+void drive_and_check(sim::Qdisc& q, const char* name) {
+  std::uint64_t offered = 0;
+  for (int step = 0; step < 400; ++step) {
+    const Time now = Time::ms(step);
+    for (int f = 0; f < 4; ++f) {
+      q.enqueue(pkt(static_cast<sim::FlowId>(f + 1), 1000,
+                    static_cast<sim::UserId>(f % 2 + 1)),
+                now);
+      ++offered;
+    }
+    q.dequeue(now);  // drain at 1/4 of the offered rate -> forced drops
+    if (step % 50 == 0) expect_conserved(q, name);
+  }
+  // Drain whatever is still eligible (shapers release over time).
+  for (int step = 400; step < 3000; ++step) {
+    const Time now = Time::ms(step);
+    if (q.next_ready(now) == Time::never()) break;
+    q.dequeue(now);
+  }
+  expect_conserved(q, name);
+  EXPECT_EQ(q.stats().enqueued_packets, offered) << name << ": offered-count contract";
+  EXPECT_GT(q.stats().dropped_packets, 0u) << name << ": overload phase must drop";
+}
+
+TEST(Conservation, DropTail) {
+  DropTailQueue q{20'000};
+  drive_and_check(q, "droptail");
+}
+
+TEST(Conservation, CoDel) {
+  CoDelQueue q{20'000};
+  drive_and_check(q, "codel");
+}
+
+TEST(Conservation, DrrFairQueue) {
+  DrrFairQueue q{20'000, FairnessKey::kPerFlow, 1514};
+  drive_and_check(q, "drr");
+}
+
+TEST(Conservation, Sfq) {
+  SfqQueue q{20'000, 16, /*seed=*/7};
+  drive_and_check(q, "sfq");
+}
+
+TEST(Conservation, TokenBucketShaper) {
+  TokenBucketShaper q{Rate::mbps(8), 2000, 20'000};
+  drive_and_check(q, "tbf");
+}
+
+TEST(Conservation, Policer) {
+  Policer q{Rate::mbps(8), 2000, std::make_unique<DropTailQueue>(20'000)};
+  drive_and_check(q, "policer");
+}
+
+TEST(Conservation, PolicerWithCoDelInner) {
+  // Drops happen at two layers (policer rejections + inner AQM); the rolled
+  // up ledger must still balance.
+  Policer q{Rate::mbps(16), 4000, std::make_unique<CoDelQueue>(20'000)};
+  drive_and_check(q, "policer+codel");
+}
+
+TEST(Conservation, PerUserIsolation) {
+  PerUserIsolation q{Rate::mbps(8), 2000, 10'000};
+  drive_and_check(q, "per-user");
+}
+
+TEST(Conservation, HierarchicalFairQueue) {
+  HierarchicalFairQueue q{20'000, [](const sim::Packet& p) {
+                            return static_cast<ClassId>(p.flow);  // leaf = flow id
+                          }};
+  // Leaves 1..4 under the root, matching drive_and_check's flow ids.
+  for (double w : {4.0, 3.0, 2.0, 1.0}) q.add_class(kRootClass, w);
+  drive_and_check(q, "hfq");
+}
+
+TEST(Conservation, HierarchicalFairQueueUnclassified) {
+  // Packets with no matching leaf are dropped — and must still be in the
+  // ledger, not silently vanish.
+  HierarchicalFairQueue q{20'000, [](const sim::Packet&) { return ClassId{99}; }};
+  q.add_class(kRootClass, 1.0);
+  EXPECT_FALSE(q.enqueue(pkt(1, 1000), Time::zero()));
+  EXPECT_EQ(q.stats().enqueued_packets, 1u);
+  EXPECT_EQ(q.stats().dropped_packets, 1u);
+  EXPECT_EQ(q.unclassified_drops(), 1u);
+  expect_conserved(q, "hfq-unclassified");
 }
 
 }  // namespace
