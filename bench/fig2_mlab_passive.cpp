@@ -10,23 +10,100 @@
 // and adds ground-truth labels — so this bench additionally reports the
 // pipeline's precision/recall, quantifying the paper's claim that passive
 // measurement "cannot conclusively determine" contention.
+//
+// Beyond the paper-scale default, two extra flags exercise the sharded
+// store + pipeline path (src/store/, src/pipeline/):
+//
+//   --scale N        analyze N x 9,984 synthetic flows, streamed through a
+//                    temporary ccfs store (constant memory) and the sharded
+//                    pipeline at --jobs parallelism
+//   --input PATH     analyze an existing dataset: *.ccfs (zero-copy mmap)
+//                    or *.csv (converted to a temporary ccfs store first)
+//
+// The default invocation (neither flag) runs the legacy in-memory study and
+// its output is byte-identical to the pre-store version of this bench.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "analysis/passive_study.hpp"
 #include "bench/cli.hpp"
+#include "bench/progress.hpp"
 #include "mlab/synthetic.hpp"
+#include "pipeline/pipeline.hpp"
+#include "store/convert.hpp"
+#include "store/flow_store.hpp"
 #include "telemetry/run_report.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
-  using namespace ccc;
-  auto cli = bench::Cli::parse(argc, argv, "fig2_mlab_passive");
-  std::ostream& os = cli.output();
+namespace {
 
+namespace fs = std::filesystem;
+using namespace ccc;
+
+struct Fig2Options {
+  std::string input;     ///< *.csv or *.ccfs dataset; "" = synthetic
+  std::size_t scale{0};  ///< multiply the paper's 9,984 flows; 0 = off
+};
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(),
+                                                suffix.size(), suffix) == 0;
+}
+
+/// Parses --input/--scale out of the args bench::Cli didn't recognize.
+/// Exits 2 on anything else (a typo'd flag silently ignored would silently
+/// analyze the wrong dataset).
+Fig2Options parse_extra_flags(const std::vector<std::string>& rest) {
+  Fig2Options opt;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const std::string& a = rest[i];
+    auto value_of = [&](std::string_view flag) -> std::string {
+      if (a.size() > flag.size() && a.compare(0, flag.size(), flag) == 0 &&
+          a[flag.size()] == '=') {
+        return a.substr(flag.size() + 1);
+      }
+      if (a == flag && i + 1 < rest.size()) return rest[++i];
+      return {};
+    };
+    if (a.rfind("--input", 0) == 0) {
+      opt.input = value_of("--input");
+      if (!opt.input.empty()) continue;
+    } else if (a.rfind("--scale", 0) == 0) {
+      const std::string v = value_of("--scale");
+      opt.scale = v.empty() ? 0 : static_cast<std::size_t>(std::stoull(v));
+      if (opt.scale > 0) continue;
+    }
+    std::cerr << "fig2_mlab_passive: unrecognized or incomplete argument '" << a
+              << "'\n  extra flags: --scale N | --input PATH.{csv,ccfs}\n";
+    std::exit(2);
+  }
+  if (!opt.input.empty() && opt.scale > 0) {
+    std::cerr << "fig2_mlab_passive: --input and --scale are mutually exclusive\n";
+    std::exit(2);
+  }
+  return opt;
+}
+
+/// Temporary ccfs shards for the streamed paths; removed on destruction.
+struct ScratchStore {
+  std::vector<std::string> paths;
+  ~ScratchStore() {
+    std::error_code ec;
+    for (const auto& p : paths) fs::remove(p, ec);
+  }
+};
+
+// ---------- the paper-scale (legacy, in-memory) path ----------
+
+int run_paper_scale(bench::Cli& cli, std::uint64_t seed) {
+  std::ostream& os = cli.output();
   mlab::SyntheticConfig scfg;  // n_flows = 9,984, the paper's query size
-  const std::uint64_t seed = cli.seed_or(20230601);  // June 2023, in spirit
   Rng rng{seed};
   const auto dataset = mlab::generate_dataset(scfg, rng);
 
@@ -121,4 +198,157 @@ int main(int argc, char** argv) {
     return 2;
   }
   return report.filtered_fraction() > 0.5 && suspects < 0.2 ? 0 : 1;
+}
+
+// ---------- the at-scale (store + sharded pipeline) path ----------
+
+int run_at_scale(bench::Cli& cli, std::uint64_t seed, const Fig2Options& opt) {
+  std::ostream& os = cli.output();
+
+  // Stage 0: materialize the dataset as ccfs shards (unless given one).
+  ScratchStore scratch;
+  std::vector<std::string> store_paths;
+  std::string dataset_desc;
+  if (!opt.input.empty() && ends_with(opt.input, ".ccfs")) {
+    store_paths.push_back(opt.input);
+    dataset_desc = opt.input;
+  } else {
+    const auto scratch_base =
+        (fs::temp_directory_path() /
+         ("fig2_scale." + std::to_string(static_cast<std::uint64_t>(seed)) + "." +
+          std::to_string(opt.scale) + ".ccfs"))
+            .string();
+    // 64k flows/shard keeps shard files ~55 MB and lets very large runs
+    // be inspected / resumed file by file.
+    store::ShardedFlowStoreWriter writer{scratch_base, 65536};
+    if (!opt.input.empty()) {
+      std::ifstream csv{opt.input};
+      if (!csv) {
+        std::cerr << "fig2_mlab_passive: cannot open --input file '" << opt.input << "'\n";
+        return 2;
+      }
+      mlab::CsvParseStats stats;
+      mlab::for_each_csv_record(
+          csv, [&writer](mlab::NdtRecord&& rec) { writer.append(rec); }, &stats);
+      if (stats.rows_skipped > 0) {
+        std::cerr << "fig2_mlab_passive: skipped " << stats.rows_skipped
+                  << " malformed CSV rows (parsed " << stats.rows_parsed << ")\n";
+      }
+      dataset_desc = opt.input;
+    } else {
+      mlab::SyntheticConfig scfg;
+      scfg.n_flows *= opt.scale;
+      Rng rng{seed};
+      mlab::generate_dataset_stream(
+          scfg, rng, [&writer](mlab::NdtRecord&& rec) { writer.append(rec); });
+      dataset_desc = "synthetic x" + std::to_string(opt.scale);
+    }
+    store_paths = writer.finish();
+    scratch.paths = store_paths;
+  }
+
+  std::vector<store::FlowStoreReader> readers;
+  pipeline::StoreSource source;
+  readers.reserve(store_paths.size());
+  for (const auto& p : store_paths) {
+    readers.emplace_back(p);
+    source.add(readers.back());
+  }
+
+  print_banner(os, "Figure 2 / §3.1 at scale: " + std::to_string(source.size()) +
+                       " flows (" + dataset_desc + ", " +
+                       std::to_string(store_paths.size()) + " ccfs shards)");
+
+  pipeline::PipelineConfig pcfg;
+  pcfg.jobs = cli.serial ? 1 : cli.jobs;
+  pcfg.on_progress = bench::stderr_progress("fig2_mlab_passive: shards");
+  const auto res = pipeline::run_pipeline(source, pcfg);
+  const auto total = static_cast<double>(res.flows);
+
+  TextTable verdicts{{"pipeline verdict", "flows", "fraction"}};
+  for (const auto& [v, c] : res.verdict_map()) {
+    verdicts.add_row({std::string{pipeline::to_string(v)}, std::to_string(c),
+                      TextTable::num(static_cast<double>(c) / total, 3)});
+  }
+  verdicts.print(os);
+
+  os << "\nfiltered before change-point stage: "
+     << TextTable::num(res.filtered_fraction() * 100, 1) << "%\n";
+
+  print_banner(os, "Ground-truth breakdown (synthetic labels)");
+  TextTable conf{{"truth", "flows", "filtered", "no-shift", "contention-suspect"}};
+  for (std::size_t a = 0; a < res.confusion.size(); ++a) {
+    const auto& row = res.confusion[a];
+    std::uint64_t flows = 0;
+    std::uint64_t filtered = 0;
+    for (std::size_t v = 0; v < pipeline::kVerdictCount; ++v) {
+      flows += row[v];
+      if (v < static_cast<std::size_t>(pipeline::Verdict::kNoLevelShift)) filtered += row[v];
+    }
+    if (flows == 0) continue;  // CSV inputs may lack some archetypes
+    conf.add_row(
+        {std::string{mlab::to_string(static_cast<mlab::FlowArchetype>(a))},
+         std::to_string(flows), std::to_string(filtered),
+         std::to_string(row[static_cast<std::size_t>(pipeline::Verdict::kNoLevelShift)]),
+         std::to_string(row[static_cast<std::size_t>(pipeline::Verdict::kContentionSuspect)])});
+  }
+  conf.print(os);
+
+  print_banner(os, "Pipeline scoring (impossible with real M-Lab data)");
+  os << "precision of 'contention-suspect': " << TextTable::num(res.precision(), 3)
+     << "\nrecall of true contention:          " << TextTable::num(res.recall(), 3)
+     << "\nfalse positives (mostly policing/ABR aliasing): " << res.false_positives << "\n";
+
+  // CDF of detected shift magnitudes, from the merged shard histogram (the
+  // at-scale path never keeps per-flow findings).
+  const auto hist_it = res.metrics.histograms().find("pipeline.shift_magnitude");
+  if (hist_it != res.metrics.histograms().end() && hist_it->second.count() > 0) {
+    print_banner(os, "CDF of detected level-shift magnitudes");
+    TextTable cdf{{"shift fraction", "cumulative fraction"}};
+    const auto& h = hist_it->second;
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+      cum += h.counts()[b];
+      cdf.add_row({TextTable::num(h.bounds()[b], 2),
+                   TextTable::num(static_cast<double>(cum) / static_cast<double>(h.count()), 2)});
+    }
+    cdf.print(os);
+  }
+
+  const auto suspects =
+      static_cast<double>(
+          res.verdicts[static_cast<std::size_t>(pipeline::Verdict::kContentionSuspect)]) /
+      total;
+  os << "\nshape check: filtered=" << TextTable::num(res.filtered_fraction(), 2)
+     << " suspect=" << TextTable::num(suspects, 3) << " -> "
+     << (res.filtered_fraction() > 0.5 && suspects < 0.2 ? "REPRODUCED" : "NOT reproduced")
+     << "\n";
+
+  telemetry::RunReport run_report{"fig2_mlab_passive", seed};
+  for (const auto& [v, c] : res.verdict_map()) {
+    run_report.add_scalar("verdicts", std::string{pipeline::to_string(v)},
+                          static_cast<double>(c));
+  }
+  run_report.add_scalar("pipeline", "filtered_fraction", res.filtered_fraction());
+  run_report.add_scalar("pipeline", "precision", res.precision());
+  run_report.add_scalar("pipeline", "recall", res.recall());
+  run_report.add_scalar("pipeline", "false_positives",
+                        static_cast<double>(res.false_positives));
+  run_report.add_scalar("pipeline", "suspect_fraction", suspects);
+  run_report.add_registry("pipeline", res.metrics, Time::zero());
+  if (!run_report.emit(cli.report)) {
+    std::cerr << "fig2_mlab_passive: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
+  return res.filtered_fraction() > 0.5 && suspects < 0.2 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cli = bench::Cli::parse(argc, argv, "fig2_mlab_passive");
+  const Fig2Options opt = parse_extra_flags(cli.rest);
+  const std::uint64_t seed = cli.seed_or(20230601);  // June 2023, in spirit
+  if (opt.input.empty() && opt.scale == 0) return run_paper_scale(cli, seed);
+  return run_at_scale(cli, seed, opt);
 }

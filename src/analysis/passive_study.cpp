@@ -1,23 +1,8 @@
 #include "analysis/passive_study.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "changepoint/detectors.hpp"
+#include "pipeline/pipeline.hpp"
 
 namespace ccc::analysis {
-
-std::string_view to_string(Verdict v) {
-  switch (v) {
-    case Verdict::kFilteredAppLimited: return "filtered-app-limited";
-    case Verdict::kFilteredRwndLimited: return "filtered-rwnd-limited";
-    case Verdict::kFilteredCellular: return "filtered-cellular";
-    case Verdict::kFilteredShort: return "filtered-short";
-    case Verdict::kNoLevelShift: return "no-level-shift";
-    case Verdict::kContentionSuspect: return "contention-suspect";
-  }
-  return "unknown";
-}
 
 double StudyReport::precision() const {
   const auto denom = true_positives + false_positives;
@@ -38,90 +23,24 @@ double StudyReport::filtered_fraction() const {
   return static_cast<double>(filtered) / static_cast<double>(findings.size());
 }
 
-FlowFinding classify_flow(const mlab::NdtRecord& rec, const PassiveConfig& cfg) {
-  FlowFinding f;
-  f.id = rec.id;
-  f.truth = rec.truth;
-
-  if (rec.app_limited_sec > cfg.app_limited_threshold_sec) {
-    f.verdict = Verdict::kFilteredAppLimited;
-    return f;
-  }
-  if (rec.rwnd_limited_sec > cfg.rwnd_limited_threshold_sec) {
-    f.verdict = Verdict::kFilteredRwndLimited;
-    return f;
-  }
-  if (cfg.exclude_cellular && (rec.access == mlab::AccessType::kCellular ||
-                               rec.access == mlab::AccessType::kSatellite)) {
-    f.verdict = Verdict::kFilteredCellular;
-    return f;
-  }
-  if (rec.duration_sec < cfg.min_duration_sec ||
-      rec.throughput_mbps.size() < static_cast<std::size_t>(4)) {
-    f.verdict = Verdict::kFilteredShort;
-    return f;
-  }
-
-  // Change-point search on the *log* throughput series: rate noise is
-  // multiplicative (a fixed coefficient of variation), so the log transform
-  // stabilizes the variance and a single penalty suits high and low levels
-  // alike; level shifts stay steps under the transform.
-  std::vector<double> log_tput;
-  log_tput.reserve(rec.throughput_mbps.size());
-  for (double x : rec.throughput_mbps) log_tput.push_back(std::log(std::max(x, 1e-3)));
-  const double dt = rec.snapshot_interval_sec;
-  const auto min_seg = static_cast<std::size_t>(std::ceil(cfg.min_segment_sec / dt));
-  // The persistence requirement goes into the search itself: PELT then finds
-  // the best segmentation at the granularity we care about instead of
-  // shattering gradual transitions into sub-threshold fragments.
-  const auto cps = changepoint::detect_mean_shifts(log_tput, cfg.sensitivity, min_seg);
-
-  // Evaluate each change point: segment boundaries are [0, cps..., n).
-  std::vector<std::size_t> bounds{0};
-  bounds.insert(bounds.end(), cps.begin(), cps.end());
-  bounds.push_back(rec.throughput_mbps.size());
-
-  auto seg_mean = [&](std::size_t a, std::size_t b) {
-    double s = 0.0;
-    for (std::size_t i = a; i < b; ++i) s += rec.throughput_mbps[i];
-    return s / static_cast<double>(b - a);
-  };
-
-  for (std::size_t k = 1; k + 1 < bounds.size(); ++k) {
-    const std::size_t a = bounds[k - 1];
-    const std::size_t b = bounds[k];
-    const std::size_t c = bounds[k + 1];
-    if (b - a < min_seg || c - b < min_seg) continue;  // transient, not a level
-    const double before = seg_mean(a, b);
-    const double after = seg_mean(b, c);
-    const double larger = std::max(before, after);
-    if (larger <= 0.0) continue;
-    const double shift = std::abs(after - before) / larger;
-    if (shift >= cfg.min_shift_fraction) {
-      f.shift_times_sec.push_back(static_cast<double>(b) * dt);
-      f.shift_magnitudes.push_back(shift);
-    }
-  }
-
-  f.verdict = f.shift_times_sec.empty() ? Verdict::kNoLevelShift : Verdict::kContentionSuspect;
-  return f;
-}
-
 StudyReport run_passive_study(std::span<const mlab::NdtRecord> dataset,
                               const PassiveConfig& cfg) {
+  pipeline::MemorySource src{dataset};
+  pipeline::PipelineConfig pcfg;
+  pcfg.classify = cfg;
+  pcfg.jobs = 1;  // the compat path stays serial; results don't depend on it
+  pcfg.shard_flows = dataset.empty() ? 1 : dataset.size();
+  pcfg.keep_findings = true;
+  pcfg.enable_telemetry = false;
+  auto res = pipeline::run_pipeline(src, pcfg);
+
   StudyReport report;
-  report.findings.reserve(dataset.size());
-  for (const auto& rec : dataset) {
-    FlowFinding f = classify_flow(rec, cfg);
-    ++report.verdict_counts[f.verdict];
-    const bool flagged = f.verdict == Verdict::kContentionSuspect;
-    const bool truly = rec.truth_contended();
-    if (flagged && truly) ++report.true_positives;
-    if (flagged && !truly) ++report.false_positives;
-    if (!flagged && truly) ++report.false_negatives;
-    if (!flagged && !truly) ++report.true_negatives;
-    report.findings.push_back(std::move(f));
-  }
+  report.findings = std::move(res.findings);
+  for (const auto& [v, c] : res.verdict_map()) report.verdict_counts[v] = c;
+  report.true_positives = static_cast<std::size_t>(res.true_positives);
+  report.false_positives = static_cast<std::size_t>(res.false_positives);
+  report.false_negatives = static_cast<std::size_t>(res.false_negatives);
+  report.true_negatives = static_cast<std::size_t>(res.true_negatives);
   return report;
 }
 

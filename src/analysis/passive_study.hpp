@@ -13,6 +13,13 @@
 // the pipeline — quantifying the paper's own caveat that passive analysis
 // "cannot conclusively determine the presence (or absence) of CCA
 // contention" (policing and ABR rate steps alias as contention).
+//
+// This header is now a thin compatibility facade: the per-flow decision
+// tree and change-point stages live in src/pipeline/ (which also shards
+// them over a thread pool for the millions-of-flows path; see
+// pipeline::run_pipeline). run_passive_study() here wraps a single-shard,
+// in-memory, findings-preserving pipeline run, so its results — and the
+// seed fig2 output — are unchanged.
 #pragma once
 
 #include <cstdint>
@@ -21,44 +28,16 @@
 #include <vector>
 
 #include "mlab/ndt_record.hpp"
+#include "pipeline/classify.hpp"
 
 namespace ccc::analysis {
 
-enum class Verdict : std::uint8_t {
-  kFilteredAppLimited,
-  kFilteredRwndLimited,
-  kFilteredCellular,
-  kFilteredShort,
-  kNoLevelShift,        ///< survived filters; throughput stable
-  kContentionSuspect,   ///< survived filters; persistent level shift found
-};
-
-[[nodiscard]] std::string_view to_string(Verdict v);
-
-struct PassiveConfig {
-  /// A flow counts as app-/rwnd-limited when the cumulative limited time
-  /// exceeds this many seconds (the paper used "field > 0").
-  double app_limited_threshold_sec{0.0};
-  double rwnd_limited_threshold_sec{0.0};
-  bool exclude_cellular{true};
-  /// Flows shorter than this can't show multi-second dynamics.
-  double min_duration_sec{2.0};
-  /// A level shift counts if adjacent segment means differ by at least this
-  /// fraction of the larger mean...
-  double min_shift_fraction{0.25};
-  /// ...and both segments persist at least this long.
-  double min_segment_sec{1.0};
-  /// PELT penalty scale (see detect_mean_shifts()).
-  double sensitivity{1.0};
-};
-
-struct FlowFinding {
-  std::uint64_t id{0};
-  Verdict verdict{Verdict::kNoLevelShift};
-  std::vector<double> shift_times_sec;       ///< accepted change points
-  std::vector<double> shift_magnitudes;      ///< |mean_after/mean_before - 1|
-  mlab::FlowArchetype truth{};               ///< copied from the record
-};
+// Re-exports: the pipeline owns the §3.1 taxonomy and per-flow logic now.
+using Verdict = pipeline::Verdict;
+using PassiveConfig = pipeline::ClassifyConfig;
+using FlowFinding = pipeline::FlowFinding;
+using pipeline::classify_flow;
+using pipeline::to_string;
 
 struct StudyReport {
   std::vector<FlowFinding> findings;
@@ -77,10 +56,9 @@ struct StudyReport {
   [[nodiscard]] std::size_t total() const { return findings.size(); }
 };
 
-/// Classifies a single record (the per-flow unit of the pipeline).
-[[nodiscard]] FlowFinding classify_flow(const mlab::NdtRecord& rec, const PassiveConfig& cfg);
-
-/// Runs the full study over a dataset.
+/// Runs the full study over a dataset (serial, in-memory, per-flow findings
+/// kept — the paper-scale path; use pipeline::run_pipeline directly for
+/// sharded at-scale runs).
 [[nodiscard]] StudyReport run_passive_study(std::span<const mlab::NdtRecord> dataset,
                                             const PassiveConfig& cfg = {});
 

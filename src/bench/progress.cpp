@@ -1,0 +1,35 @@
+#include "bench/progress.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+namespace ccc::bench {
+
+runner::ProgressFn stderr_progress(std::string label, double min_interval_sec) {
+  using Clock = std::chrono::steady_clock;
+  struct State {
+    std::string label;
+    Clock::duration interval;
+    Clock::time_point last{};  // epoch: the first tick always prints
+  };
+  // shared_ptr: ProgressFn must be copyable, and every copy must share the
+  // throttle clock (the runner may copy the callback into its options).
+  auto st = std::make_shared<State>();
+  st->label = std::move(label);
+  st->interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(min_interval_sec));
+  return [st](std::size_t done, std::size_t total) {
+    const auto now = Clock::now();
+    if (done != total && now - st->last < st->interval) return;
+    st->last = now;
+    const double pct = total == 0 ? 100.0
+                                  : 100.0 * static_cast<double>(done) /
+                                        static_cast<double>(total);
+    std::fprintf(stderr, "%s: %zu/%zu (%.1f%%)%s", st->label.c_str(), done, total,
+                 pct, done == total ? "\n" : "\r");
+    std::fflush(stderr);
+  };
+}
+
+}  // namespace ccc::bench

@@ -1,0 +1,27 @@
+// bench::stderr_progress — a throttled runner::ProgressFn for long sweeps.
+//
+// The runner invokes progress callbacks serialized, once per completed task
+// (or pipeline shard). At millions of flows that is thousands of shards, so
+// the logger rate-limits itself: it prints at most once per `min_interval`
+// of wall time, plus always the final (done == total) tick so the line ends
+// at 100%. Output goes to stderr — stdout stays reserved for the bench's
+// tables, keeping default output byte-identical when redirected.
+//
+// Wall-clock throttling is presentation only; it never feeds back into the
+// computation, so determinism guarantees are untouched.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "runner/experiment_runner.hpp"
+
+namespace ccc::bench {
+
+/// Builds a ProgressFn that logs "<label>: done/total (pct%)" to stderr at
+/// most every `min_interval_sec` (and on the final tick). The returned
+/// callable owns its state; copy it into RunnerOptions / PipelineConfig.
+[[nodiscard]] runner::ProgressFn stderr_progress(std::string label,
+                                                 double min_interval_sec = 1.0);
+
+}  // namespace ccc::bench

@@ -1,10 +1,12 @@
 #include "mlab/csv_io.hpp"
 
 #include <array>
+#include <istream>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "telemetry/metrics.hpp"
 
 namespace ccc::mlab {
 
@@ -12,6 +14,86 @@ namespace {
 constexpr std::string_view kHeader =
     "id,access,truth,duration_sec,app_limited_sec,rwnd_limited_sec,mean_throughput_mbps,"
     "min_rtt_ms,snapshot_interval_sec,throughput_mbps";
+
+/// Splits one CSV line into cells, honoring RFC-4180 quoting: a field that
+/// starts with '"' runs to the matching close quote, with "" as an escaped
+/// quote and commas inside taken literally. Returns false on an
+/// unterminated quote (the row counts as malformed).
+bool split_csv_line(const std::string& line, std::vector<std::string>& cells) {
+  cells.clear();
+  std::string cell;
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  while (true) {
+    cell.clear();
+    if (i < n && line[i] == '"') {
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (line[i] == '"') {
+          if (i + 1 < n && line[i + 1] == '"') {  // escaped quote
+            cell.push_back('"');
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          cell.push_back(line[i++]);
+        }
+      }
+      if (!closed) return false;
+      // Lenient: any unquoted tail before the comma is taken literally.
+      while (i < n && line[i] != ',') cell.push_back(line[i++]);
+    } else {
+      while (i < n && line[i] != ',') cell.push_back(line[i++]);
+    }
+    cells.push_back(cell);
+    if (i >= n) return true;
+    ++i;  // skip the comma; a trailing comma yields a final empty cell
+  }
+}
+
+/// Strict double parse: the whole cell must be consumed.
+double parse_double(const std::string& s) {
+  std::size_t pos = 0;
+  const double v = std::stod(s, &pos);  // throws invalid_argument / out_of_range
+  if (pos != s.size()) throw std::invalid_argument{"trailing characters"};
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  std::size_t pos = 0;
+  const std::uint64_t v = std::stoull(s, &pos);
+  if (pos != s.size()) throw std::invalid_argument{"trailing characters"};
+  return v;
+}
+
+/// Parses one split row into a record; throws on any malformed cell.
+NdtRecord parse_row(const std::vector<std::string>& cells) {
+  NdtRecord r;
+  r.id = parse_u64(cells[0]);
+  r.access = access_from_string(cells[1]);
+  r.truth = archetype_from_string(cells[2]);
+  r.duration_sec = parse_double(cells[3]);
+  r.app_limited_sec = parse_double(cells[4]);
+  r.rwnd_limited_sec = parse_double(cells[5]);
+  r.mean_throughput_mbps = parse_double(cells[6]);
+  r.min_rtt_ms = parse_double(cells[7]);
+  r.snapshot_interval_sec = parse_double(cells[8]);
+  const std::string& series = cells[9];
+  std::size_t start = 0;
+  while (start <= series.size() && !series.empty()) {
+    const std::size_t end = series.find(';', start);
+    const std::size_t stop = end == std::string::npos ? series.size() : end;
+    if (stop > start) r.throughput_mbps.push_back(parse_double(series.substr(start, stop - start)));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return r;
+}
+
 }  // namespace
 
 FlowArchetype archetype_from_string(std::string_view s) {
@@ -35,59 +117,73 @@ AccessType access_from_string(std::string_view s) {
   throw std::runtime_error{"unknown access type: " + std::string{s}};
 }
 
-void write_csv(std::ostream& os, std::span<const NdtRecord> dataset) {
-  os << kHeader << '\n';
-  for (const auto& r : dataset) {
-    os << r.id << ',' << to_string(r.access) << ',' << to_string(r.truth) << ','
-       << r.duration_sec << ',' << r.app_limited_sec << ',' << r.rwnd_limited_sec << ','
-       << r.mean_throughput_mbps << ',' << r.min_rtt_ms << ',' << r.snapshot_interval_sec
-       << ',';
-    for (std::size_t i = 0; i < r.throughput_mbps.size(); ++i) {
-      if (i > 0) os << ';';
-      os << r.throughput_mbps[i];
-    }
-    os << '\n';
+void write_csv_record(std::ostream& os, const NdtRecord& r) {
+  os << r.id << ',' << to_string(r.access) << ',' << to_string(r.truth) << ','
+     << r.duration_sec << ',' << r.app_limited_sec << ',' << r.rwnd_limited_sec << ','
+     << r.mean_throughput_mbps << ',' << r.min_rtt_ms << ',' << r.snapshot_interval_sec
+     << ',';
+  for (std::size_t i = 0; i < r.throughput_mbps.size(); ++i) {
+    if (i > 0) os << ';';
+    os << r.throughput_mbps[i];
   }
+  os << '\n';
 }
 
-std::vector<NdtRecord> read_csv(std::istream& is) {
-  std::vector<NdtRecord> out;
+void write_csv(std::ostream& os, std::span<const NdtRecord> dataset) {
+  os << kHeader << '\n';
+  for (const auto& r : dataset) write_csv_record(os, r);
+}
+
+void for_each_csv_record(std::istream& is, const std::function<void(NdtRecord&&)>& fn,
+                         CsvParseStats* stats) {
   std::string line;
-  if (!std::getline(is, line)) return out;
+  if (!std::getline(is, line)) return;  // empty input: no header, no rows
+  if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF export
   if (line != kHeader) throw std::runtime_error{"csv: unexpected header"};
 
+  CsvParseStats local;
+  std::vector<std::string> cells;
   while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    std::vector<std::string> cells;
-    std::stringstream ss{line};
-    std::string cell;
-    while (std::getline(ss, cell, ',')) cells.push_back(cell);
-    if (cells.size() == 9) cells.emplace_back();  // empty throughput series
-    if (cells.size() != 10) {
-      throw std::runtime_error{"csv: expected 10 columns, got " +
-                               std::to_string(cells.size())};
-    }
-    NdtRecord r;
-    try {
-      r.id = std::stoull(cells[0]);
-      r.access = access_from_string(cells[1]);
-      r.truth = archetype_from_string(cells[2]);
-      r.duration_sec = std::stod(cells[3]);
-      r.app_limited_sec = std::stod(cells[4]);
-      r.rwnd_limited_sec = std::stod(cells[5]);
-      r.mean_throughput_mbps = std::stod(cells[6]);
-      r.min_rtt_ms = std::stod(cells[7]);
-      r.snapshot_interval_sec = std::stod(cells[8]);
-      std::stringstream ts{cells[9]};
-      std::string v;
-      while (std::getline(ts, v, ';')) {
-        if (!v.empty()) r.throughput_mbps.push_back(std::stod(v));
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // blank separators / trailing blank lines
+    ++local.rows_seen;
+    bool ok = split_csv_line(line, cells);
+    if (ok && cells.size() == 9) cells.emplace_back();  // empty series field
+    ok = ok && cells.size() == 10;
+    NdtRecord rec;
+    if (ok) {
+      try {
+        rec = parse_row(cells);
+      } catch (const std::invalid_argument&) {
+        ok = false;
+      } catch (const std::out_of_range&) {
+        ok = false;
+      } catch (const std::runtime_error&) {  // unknown enum value
+        ok = false;
       }
-    } catch (const std::invalid_argument&) {
-      throw std::runtime_error{"csv: unparsable number in: " + line};
     }
-    out.push_back(std::move(r));
+    if (ok) {
+      ++local.rows_parsed;
+      fn(std::move(rec));  // outside the catch: callback errors propagate
+    } else {
+      ++local.rows_skipped;
+    }
   }
+  if (stats != nullptr) *stats = local;
+}
+
+std::vector<NdtRecord> read_csv(std::istream& is, CsvParseStats* stats) {
+  std::vector<NdtRecord> out;
+  for_each_csv_record(is, [&out](NdtRecord&& r) { out.push_back(std::move(r)); }, stats);
+  return out;
+}
+
+std::vector<NdtRecord> read_csv(std::istream& is, telemetry::MetricRegistry& reg) {
+  CsvParseStats stats;
+  auto out = read_csv(is, &stats);
+  reg.counter("csv.rows_seen").inc(stats.rows_seen);
+  reg.counter("csv.rows_parsed").inc(stats.rows_parsed);
+  reg.counter("csv.rows_malformed_skipped").inc(stats.rows_skipped);
   return out;
 }
 

@@ -2,24 +2,58 @@
 //
 // Lets the synthetic corpus (or records bridged from simulations) be
 // exported for external analysis and re-imported — the workflow a user of a
-// real M-Lab dump would follow with this toolkit.
+// real M-Lab dump would follow with this toolkit. Real-world dumps are
+// messy, so the parser accepts CRLF line endings, RFC-4180-style quoted
+// fields (with "" escapes), and trailing blank lines; malformed data rows
+// are counted and skipped rather than aborting the whole load (a BigQuery
+// export with one truncated row should not discard the other 9,983).
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <span>
 #include <vector>
 
 #include "mlab/ndt_record.hpp"
 
+namespace ccc::telemetry {
+class MetricRegistry;
+}
+
 namespace ccc::mlab {
+
+/// What the parser saw: every data row is either parsed or skipped.
+struct CsvParseStats {
+  std::size_t rows_seen{0};     ///< non-blank data rows (header excluded)
+  std::size_t rows_parsed{0};   ///< rows that produced a record
+  std::size_t rows_skipped{0};  ///< malformed rows, counted and dropped
+};
 
 /// Writes a dataset as CSV with a header row. The throughput series is
 /// serialized as a ';'-separated list inside one field.
 void write_csv(std::ostream& os, std::span<const NdtRecord> dataset);
 
-/// Reads a dataset written by write_csv. Throws std::runtime_error on
-/// malformed input (wrong column count, unparsable numbers, unknown enums).
-[[nodiscard]] std::vector<NdtRecord> read_csv(std::istream& is);
+/// Writes one data row (no header) — the streaming-export building block.
+void write_csv_record(std::ostream& os, const NdtRecord& rec);
+
+/// Streaming parse: invokes `fn` once per well-formed data row, in file
+/// order, without materializing the dataset (the ccfs ingest path at
+/// millions of flows). Malformed rows are tallied in `stats` (optional) and
+/// skipped. Throws std::runtime_error only if the header row is wrong.
+void for_each_csv_record(std::istream& is, const std::function<void(NdtRecord&&)>& fn,
+                         CsvParseStats* stats = nullptr);
+
+/// Reads a dataset written by write_csv. Malformed data rows are skipped
+/// (and counted in `stats` when given); a missing/wrong header throws.
+[[nodiscard]] std::vector<NdtRecord> read_csv(std::istream& is, CsvParseStats* stats = nullptr);
+
+/// As above, but reports parse tallies into `reg`'s counters
+/// ("csv.rows_seen", "csv.rows_parsed", "csv.rows_malformed_skipped") so
+/// ingest jobs surface data-quality problems through the standard
+/// telemetry channel instead of a side channel.
+[[nodiscard]] std::vector<NdtRecord> read_csv(std::istream& is,
+                                              telemetry::MetricRegistry& reg);
 
 /// Enum parsing helpers (exposed for tests).
 [[nodiscard]] FlowArchetype archetype_from_string(std::string_view s);

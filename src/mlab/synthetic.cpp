@@ -147,7 +147,9 @@ NdtRecord generate_record(FlowArchetype archetype, const SyntheticConfig& cfg, R
   return rec;
 }
 
-std::vector<NdtRecord> generate_dataset(const SyntheticConfig& cfg, Rng& rng) {
+void generate_dataset_stream(const SyntheticConfig& cfg, Rng& rng,
+                             const std::function<void(NdtRecord&&)>& fn,
+                             std::uint64_t first_id) {
   const std::vector<double> weights = {
       cfg.frac_app_limited_streaming, cfg.frac_app_limited_constant, cfg.frac_short,
       cfg.frac_rwnd_limited,          cfg.frac_bulk_clean,           cfg.frac_bulk_contended,
@@ -158,12 +160,16 @@ std::vector<NdtRecord> generate_dataset(const SyntheticConfig& cfg, Rng& rng) {
       FlowArchetype::kBulkClean,           FlowArchetype::kBulkContended,
       FlowArchetype::kPoliced};
 
-  std::vector<NdtRecord> out;
-  out.reserve(cfg.n_flows);
   for (std::size_t i = 0; i < cfg.n_flows; ++i) {
     const FlowArchetype a = archetypes[rng.weighted_index(weights)];
-    out.push_back(generate_record(a, cfg, rng, i));
+    fn(generate_record(a, cfg, rng, first_id + i));
   }
+}
+
+std::vector<NdtRecord> generate_dataset(const SyntheticConfig& cfg, Rng& rng) {
+  std::vector<NdtRecord> out;
+  out.reserve(cfg.n_flows);
+  generate_dataset_stream(cfg, rng, [&out](NdtRecord&& rec) { out.push_back(std::move(rec)); });
   return out;
 }
 

@@ -8,6 +8,7 @@
 // ground-truth archetype so the passive pipeline's verdicts can be scored.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "mlab/ndt_record.hpp"
@@ -41,6 +42,14 @@ struct SyntheticConfig {
 
 /// Generates a labeled dataset. Deterministic for a given (config, seed).
 [[nodiscard]] std::vector<NdtRecord> generate_dataset(const SyntheticConfig& cfg, Rng& rng);
+
+/// Streaming variant: hands each record to `fn` instead of materializing a
+/// vector, so a 10^7-flow population (fig2 --scale) can feed a store writer
+/// in constant memory. Record ids run [first_id, first_id + n_flows); with
+/// first_id = 0 the record stream is identical to generate_dataset's.
+void generate_dataset_stream(const SyntheticConfig& cfg, Rng& rng,
+                             const std::function<void(NdtRecord&&)>& fn,
+                             std::uint64_t first_id = 0);
 
 /// Generates a single record of the given archetype (exposed for unit tests
 /// of the pipeline's per-archetype behaviour).

@@ -1,0 +1,155 @@
+#include "pipeline/classify.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "changepoint/cost.hpp"
+#include "changepoint/detectors.hpp"
+
+namespace ccc::pipeline {
+
+std::string_view to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kFilteredAppLimited: return "filtered-app-limited";
+    case Verdict::kFilteredRwndLimited: return "filtered-rwnd-limited";
+    case Verdict::kFilteredCellular: return "filtered-cellular";
+    case Verdict::kFilteredShort: return "filtered-short";
+    case Verdict::kNoLevelShift: return "no-level-shift";
+    case Verdict::kContentionSuspect: return "contention-suspect";
+  }
+  return "unknown";
+}
+
+Verdict classify_filters(const store::FlowView& flow, const ClassifyConfig& cfg) {
+  if (flow.app_limited_sec > cfg.app_limited_threshold_sec) {
+    return Verdict::kFilteredAppLimited;
+  }
+  if (flow.rwnd_limited_sec > cfg.rwnd_limited_threshold_sec) {
+    return Verdict::kFilteredRwndLimited;
+  }
+  if (cfg.exclude_cellular && (flow.access == mlab::AccessType::kCellular ||
+                               flow.access == mlab::AccessType::kSatellite)) {
+    return Verdict::kFilteredCellular;
+  }
+  if (flow.duration_sec < cfg.min_duration_sec ||
+      flow.throughput_mbps.size() < static_cast<std::size_t>(4)) {
+    return Verdict::kFilteredShort;
+  }
+  return Verdict::kNoLevelShift;  // residual: proceed to the changepoint stage
+}
+
+namespace {
+
+/// log(max(x, 1e-3)) over [begin, end) of the series — the transform under
+/// which multiplicative rate noise has stable variance (see below).
+std::vector<double> log_series(std::span<const double> series, std::size_t begin,
+                               std::size_t end) {
+  std::vector<double> out;
+  out.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    out.push_back(std::log(std::max(series[i], 1e-3)));
+  }
+  return out;
+}
+
+}  // namespace
+
+FlowFinding detect_changepoints(const store::FlowView& flow, const ClassifyConfig& cfg) {
+  FlowFinding f;
+  f.id = flow.id;
+  f.truth = flow.truth;
+
+  const std::span<const double> series = flow.throughput_mbps;
+  const std::size_t n = series.size();
+  const double dt = flow.snapshot_interval_sec;
+  const auto min_seg = static_cast<std::size_t>(std::ceil(cfg.min_segment_sec / dt));
+
+  // TURBOTEST-style screen: read only the first window; if a CUSUM over the
+  // log-prefix never drifts, trust the prefix and skip the full search (and
+  // the unread tail pages of a columnar store).
+  if (cfg.early_exit) {
+    const auto w = static_cast<std::size_t>(std::ceil(cfg.early_exit_window_sec / dt));
+    if (w >= 4 && w < n) {
+      const auto prefix = log_series(series, 0, w);
+      double sigma = changepoint::estimate_noise_sigma(prefix);
+      if (sigma <= 1e-12) sigma = 1e-6;  // same noise-free convention as the full path
+      const std::size_t ref_n = std::max<std::size_t>(1, std::min(min_seg, w));
+      double ref = 0.0;
+      for (std::size_t i = 0; i < ref_n; ++i) ref += prefix[i];
+      ref /= static_cast<double>(ref_n);
+      changepoint::Cusum screen{ref, 0.5 * sigma, 5.0 * sigma};
+      bool alarm = false;
+      for (const double v : prefix) {
+        if (screen.add(v)) {
+          alarm = true;
+          break;
+        }
+      }
+      if (!alarm) {
+        f.verdict = Verdict::kNoLevelShift;
+        f.early_exited = true;
+        f.samples_scanned = static_cast<std::uint32_t>(w);
+        return f;
+      }
+    }
+  }
+
+  // Change-point search on the *log* throughput series: rate noise is
+  // multiplicative (a fixed coefficient of variation), so the log transform
+  // stabilizes the variance and a single penalty suits high and low levels
+  // alike; level shifts stay steps under the transform.
+  const auto log_tput = log_series(series, 0, n);
+  // The persistence requirement goes into the search itself: PELT then finds
+  // the best segmentation at the granularity we care about instead of
+  // shattering gradual transitions into sub-threshold fragments.
+  const auto cps = changepoint::detect_mean_shifts(log_tput, cfg.sensitivity, min_seg);
+
+  // Evaluate each change point: segment boundaries are [0, cps..., n).
+  std::vector<std::size_t> bounds{0};
+  bounds.insert(bounds.end(), cps.begin(), cps.end());
+  bounds.push_back(n);
+
+  auto seg_mean = [&](std::size_t a, std::size_t b) {
+    double s = 0.0;
+    for (std::size_t i = a; i < b; ++i) s += series[i];
+    return s / static_cast<double>(b - a);
+  };
+
+  for (std::size_t k = 1; k + 1 < bounds.size(); ++k) {
+    const std::size_t a = bounds[k - 1];
+    const std::size_t b = bounds[k];
+    const std::size_t c = bounds[k + 1];
+    if (b - a < min_seg || c - b < min_seg) continue;  // transient, not a level
+    const double before = seg_mean(a, b);
+    const double after = seg_mean(b, c);
+    const double larger = std::max(before, after);
+    if (larger <= 0.0) continue;
+    const double shift = std::abs(after - before) / larger;
+    if (shift >= cfg.min_shift_fraction) {
+      f.shift_times_sec.push_back(static_cast<double>(b) * dt);
+      f.shift_magnitudes.push_back(shift);
+    }
+  }
+
+  f.verdict = f.shift_times_sec.empty() ? Verdict::kNoLevelShift : Verdict::kContentionSuspect;
+  f.samples_scanned = static_cast<std::uint32_t>(n);
+  return f;
+}
+
+FlowFinding classify_flow(const store::FlowView& flow, const ClassifyConfig& cfg) {
+  const Verdict filter = classify_filters(flow, cfg);
+  if (filter != Verdict::kNoLevelShift) {
+    FlowFinding f;
+    f.id = flow.id;
+    f.truth = flow.truth;
+    f.verdict = filter;
+    return f;
+  }
+  return detect_changepoints(flow, cfg);
+}
+
+FlowFinding classify_flow(const mlab::NdtRecord& rec, const ClassifyConfig& cfg) {
+  return classify_flow(store::FlowView::from_record(rec), cfg);
+}
+
+}  // namespace ccc::pipeline

@@ -1,0 +1,89 @@
+// Classify + Changepoint stages of the passive pipeline — the paper's §3.1
+// decision tree as per-flow pure functions over zero-copy FlowViews.
+//
+//   Classify:    drop app-limited / rwnd-limited / cellular / too-short
+//                flows from TCPInfo aggregates alone (no series access —
+//                on a columnar store this stage never faults in the
+//                throughput pool pages of flows it filters).
+//   Changepoint: offline level-shift search on each residual flow's series;
+//                a large persistent shift marks it "contention-suspect".
+//
+// The optional early-exit follows TURBOTEST's observation that most of a
+// flow's classification signal arrives early: a cheap CUSUM screen over
+// just the first `early_exit_window_sec` of the series decides whether the
+// full PELT search (and the rest of the series) is worth reading. Off by
+// default — results are then byte-identical to the pre-pipeline analysis;
+// switching it on trades recall on late-arriving contention for a bounded
+// per-flow read. This enum/logic used to live in analysis::passive_study,
+// which now re-exports it (src/analysis/passive_study.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "mlab/ndt_record.hpp"
+#include "store/flow_store.hpp"
+
+namespace ccc::pipeline {
+
+enum class Verdict : std::uint8_t {
+  kFilteredAppLimited,
+  kFilteredRwndLimited,
+  kFilteredCellular,
+  kFilteredShort,
+  kNoLevelShift,       ///< survived filters; throughput stable
+  kContentionSuspect,  ///< survived filters; persistent level shift found
+};
+inline constexpr std::size_t kVerdictCount = 6;
+
+[[nodiscard]] std::string_view to_string(Verdict v);
+
+struct ClassifyConfig {
+  /// A flow counts as app-/rwnd-limited when the cumulative limited time
+  /// exceeds this many seconds (the paper used "field > 0").
+  double app_limited_threshold_sec{0.0};
+  double rwnd_limited_threshold_sec{0.0};
+  bool exclude_cellular{true};
+  /// Flows shorter than this can't show multi-second dynamics.
+  double min_duration_sec{2.0};
+  /// A level shift counts if adjacent segment means differ by at least this
+  /// fraction of the larger mean...
+  double min_shift_fraction{0.25};
+  /// ...and both segments persist at least this long.
+  double min_segment_sec{1.0};
+  /// PELT penalty scale (see detect_mean_shifts()).
+  double sensitivity{1.0};
+
+  /// TURBOTEST-style early exit (changepoint stage). Off by default so
+  /// results stay byte-identical to the full search; on, a residual flow
+  /// whose first `early_exit_window_sec` shows no CUSUM drift is declared
+  /// shift-free without reading the rest of its series.
+  bool early_exit{false};
+  double early_exit_window_sec{5.0};
+};
+
+struct FlowFinding {
+  std::uint64_t id{0};
+  Verdict verdict{Verdict::kNoLevelShift};
+  std::vector<double> shift_times_sec;   ///< accepted change points
+  std::vector<double> shift_magnitudes;  ///< |mean_after/mean_before - 1|
+  mlab::FlowArchetype truth{};           ///< copied from the record
+  bool early_exited{false};              ///< CUSUM screen skipped the search
+  std::uint32_t samples_scanned{0};      ///< series samples actually read
+};
+
+/// Classify stage alone: the aggregate-only decision tree. Returns one of
+/// the kFiltered* verdicts, or kNoLevelShift meaning "residual — hand the
+/// flow to the changepoint stage".
+[[nodiscard]] Verdict classify_filters(const store::FlowView& flow, const ClassifyConfig& cfg);
+
+/// Changepoint stage alone (precondition: classify_filters said residual).
+[[nodiscard]] FlowFinding detect_changepoints(const store::FlowView& flow,
+                                              const ClassifyConfig& cfg);
+
+/// Both stages composed: the per-flow unit of the pipeline.
+[[nodiscard]] FlowFinding classify_flow(const store::FlowView& flow, const ClassifyConfig& cfg);
+[[nodiscard]] FlowFinding classify_flow(const mlab::NdtRecord& rec, const ClassifyConfig& cfg);
+
+}  // namespace ccc::pipeline

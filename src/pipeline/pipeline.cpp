@@ -1,0 +1,161 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <string>
+
+namespace ccc::pipeline {
+
+namespace {
+
+/// Bounds for the shift-magnitude histogram. Fixed at registration (and
+/// identical across shards) so shard merges are exact and two runs always
+/// bucket identically. Magnitudes live in (min_shift_fraction, 1].
+const std::vector<double>& magnitude_bounds() {
+  static const std::vector<double> bounds = {0.25, 0.35, 0.45, 0.55, 0.65,
+                                             0.75, 0.85, 0.95, 1.0};
+  return bounds;
+}
+
+/// The Sink stage: everything one shard accumulates. Workers share nothing;
+/// the merge below folds these in shard index order.
+struct ShardSink {
+  std::array<std::uint64_t, kVerdictCount> verdicts{};
+  std::array<std::array<std::uint64_t, kVerdictCount>, 7> confusion{};
+  std::uint64_t tp{0};
+  std::uint64_t fp{0};
+  std::uint64_t fn{0};
+  std::uint64_t tn{0};
+  std::uint64_t changepoints{0};
+  std::uint64_t early_exits{0};
+  std::uint64_t samples_scanned{0};
+  std::vector<double> magnitudes;  // flushed into the histogram at shard end
+  std::vector<FlowFinding> findings;
+
+  void accumulate(FlowFinding&& f, bool truly_contended, bool keep) {
+    const auto v = static_cast<std::size_t>(f.verdict);
+    ++verdicts[v];
+    ++confusion[static_cast<std::size_t>(f.truth)][v];
+    const bool flagged = f.verdict == Verdict::kContentionSuspect;
+    tp += static_cast<std::uint64_t>(flagged && truly_contended);
+    fp += static_cast<std::uint64_t>(flagged && !truly_contended);
+    fn += static_cast<std::uint64_t>(!flagged && truly_contended);
+    tn += static_cast<std::uint64_t>(!flagged && !truly_contended);
+    changepoints += f.shift_times_sec.size();
+    early_exits += static_cast<std::uint64_t>(f.early_exited);
+    samples_scanned += f.samples_scanned;
+    magnitudes.insert(magnitudes.end(), f.shift_magnitudes.begin(), f.shift_magnitudes.end());
+    if (keep) findings.push_back(std::move(f));
+  }
+};
+
+struct ShardResult {
+  ShardSink sink;
+  telemetry::MetricRegistry metrics;
+};
+
+/// Flushes a shard's tallies into its registry once, at shard end — the
+/// per-flow hot loop stays plain integer adds, no map lookups.
+void export_metrics(const ShardSink& sink, std::uint64_t shard_flows,
+                    telemetry::MetricRegistry& reg) {
+  reg.counter("pipeline.flows").inc(shard_flows);
+  for (std::size_t v = 0; v < kVerdictCount; ++v) {
+    reg.counter(std::string{"pipeline.verdict."} + std::string{to_string(static_cast<Verdict>(v))})
+        .inc(sink.verdicts[v]);
+  }
+  const std::uint64_t residual = sink.verdicts[static_cast<std::size_t>(Verdict::kNoLevelShift)] +
+                                 sink.verdicts[static_cast<std::size_t>(Verdict::kContentionSuspect)];
+  reg.counter("pipeline.residual_flows").inc(residual);
+  reg.counter("pipeline.changepoints").inc(sink.changepoints);
+  reg.counter("pipeline.early_exits").inc(sink.early_exits);
+  reg.counter("pipeline.samples_scanned").inc(sink.samples_scanned);
+  auto& hist = reg.histogram("pipeline.shift_magnitude", magnitude_bounds());
+  for (const double m : sink.magnitudes) hist.observe(m);
+}
+
+}  // namespace
+
+double PipelineResult::precision() const {
+  const auto denom = true_positives + false_positives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / static_cast<double>(denom);
+}
+
+double PipelineResult::recall() const {
+  const auto denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / static_cast<double>(denom);
+}
+
+double PipelineResult::filtered_fraction() const {
+  if (flows == 0) return 0.0;
+  const std::uint64_t unfiltered =
+      verdicts[static_cast<std::size_t>(Verdict::kNoLevelShift)] +
+      verdicts[static_cast<std::size_t>(Verdict::kContentionSuspect)];
+  return static_cast<double>(flows - unfiltered) / static_cast<double>(flows);
+}
+
+std::map<Verdict, std::size_t> PipelineResult::verdict_map() const {
+  std::map<Verdict, std::size_t> out;
+  for (std::size_t v = 0; v < kVerdictCount; ++v) {
+    if (verdicts[v] > 0) out[static_cast<Verdict>(v)] = verdicts[v];
+  }
+  return out;
+}
+
+PipelineResult run_pipeline(const FlowSource& src, const PipelineConfig& cfg) {
+  const std::size_t n = src.size();
+  const std::size_t shard_flows = std::max<std::size_t>(1, cfg.shard_flows);
+  const std::size_t n_shards = (n + shard_flows - 1) / shard_flows;
+
+  runner::ExperimentRunner runner{{cfg.jobs, cfg.on_progress}};
+
+  // One task per shard: Source -> Classify -> Changepoint -> Sink, all
+  // inside the worker; nothing is shared until the ordered merge below.
+  auto shard_results = runner.map<ShardResult>(n_shards, [&](std::size_t s) {
+    const std::size_t begin = s * shard_flows;
+    const std::size_t end = std::min(n, begin + shard_flows);
+    ShardResult r;
+    if (cfg.keep_findings) r.sink.findings.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      const store::FlowView flow = src.flow(i);                    // Source
+      const Verdict filter = classify_filters(flow, cfg.classify);  // Classify
+      FlowFinding f;
+      if (filter != Verdict::kNoLevelShift) {
+        f.id = flow.id;
+        f.truth = flow.truth;
+        f.verdict = filter;
+      } else {
+        f = detect_changepoints(flow, cfg.classify);  // Changepoint
+      }
+      const bool truly = flow.truth == mlab::FlowArchetype::kBulkContended;
+      r.sink.accumulate(std::move(f), truly, cfg.keep_findings);  // Sink
+    }
+    if (cfg.enable_telemetry) export_metrics(r.sink, end - begin, r.metrics);
+    return r;
+  });
+
+  // Ordered reduction: shard index order, independent of completion order.
+  PipelineResult out;
+  out.flows = n;
+  out.shards = n_shards;
+  out.jobs = runner.jobs();
+  if (cfg.keep_findings) out.findings.reserve(n);
+  for (auto& r : shard_results) {
+    ShardSink& s = r.sink;
+    for (std::size_t v = 0; v < kVerdictCount; ++v) out.verdicts[v] += s.verdicts[v];
+    for (std::size_t a = 0; a < out.confusion.size(); ++a) {
+      for (std::size_t v = 0; v < kVerdictCount; ++v) out.confusion[a][v] += s.confusion[a][v];
+    }
+    out.true_positives += s.tp;
+    out.false_positives += s.fp;
+    out.false_negatives += s.fn;
+    out.true_negatives += s.tn;
+    out.changepoints_total += s.changepoints;
+    out.early_exits += s.early_exits;
+    out.samples_scanned += s.samples_scanned;
+    std::move(s.findings.begin(), s.findings.end(), std::back_inserter(out.findings));
+    if (cfg.enable_telemetry) out.metrics.merge_from(r.metrics);
+  }
+  return out;
+}
+
+}  // namespace ccc::pipeline

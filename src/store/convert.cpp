@@ -1,0 +1,36 @@
+#include "store/convert.hpp"
+
+#include <ostream>
+
+namespace ccc::store {
+
+mlab::CsvParseStats csv_to_ccfs(std::istream& csv, FlowStoreWriter& writer) {
+  mlab::CsvParseStats stats;
+  mlab::for_each_csv_record(
+      csv, [&writer](mlab::NdtRecord&& rec) { writer.append(rec); }, &stats);
+  return stats;
+}
+
+mlab::CsvParseStats csv_file_to_ccfs(std::istream& csv, const std::string& path) {
+  FlowStoreWriter writer{path};
+  const auto stats = csv_to_ccfs(csv, writer);
+  writer.finish();
+  return stats;
+}
+
+void ccfs_to_csv(const FlowStoreReader& reader, std::ostream& csv) {
+  // Reuse the row serializer so the two paths cannot drift; the header line
+  // comes from write_csv on an empty span.
+  mlab::write_csv(csv, {});
+  for (std::size_t i = 0; i < reader.size(); ++i) {
+    mlab::write_csv_record(csv, reader.record(i));
+  }
+}
+
+void write_store(const std::string& path, std::span<const mlab::NdtRecord> dataset) {
+  FlowStoreWriter writer{path};
+  for (const auto& rec : dataset) writer.append(rec);
+  writer.finish();
+}
+
+}  // namespace ccc::store

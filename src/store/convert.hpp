@@ -1,0 +1,32 @@
+// CSV <-> ccfs converters: the bridge between the existing mlab:: text
+// workflow (synthetic exports, external tools) and the columnar store.
+// Both directions stream — the CSV side row by row, the ccfs side flow by
+// flow — so converting a multi-gigabyte dump needs constant memory.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "mlab/csv_io.hpp"
+#include "store/flow_store.hpp"
+
+namespace ccc::store {
+
+/// Streams a CSV dataset (write_csv format) into `writer`. Malformed rows
+/// are skipped per the csv_io contract; the returned stats say how many.
+/// The caller finishes the writer (so multiple CSVs can feed one store).
+mlab::CsvParseStats csv_to_ccfs(std::istream& csv, FlowStoreWriter& writer);
+
+/// Convenience: one CSV stream -> one finished ccfs file at `path`.
+/// Returns the parse stats.
+mlab::CsvParseStats csv_file_to_ccfs(std::istream& csv, const std::string& path);
+
+/// Streams every flow of `reader` back out as CSV (header included).
+void ccfs_to_csv(const FlowStoreReader& reader, std::ostream& csv);
+
+/// Writes an in-memory dataset as one finished ccfs file (tests, small
+/// corpora; the scale path appends to a writer directly).
+void write_store(const std::string& path, std::span<const mlab::NdtRecord> dataset);
+
+}  // namespace ccc::store

@@ -1,0 +1,364 @@
+#include "store/flow_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string_view>
+
+namespace ccc::store {
+
+// ---------------------------------------------------------------- crc32
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB8'8320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = make_crc_table();
+  return table;
+}
+
+}  // namespace
+
+void Crc32::update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const auto& table = crc_table();
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < len; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  state_ = c;
+}
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  Crc32 c;
+  c.update(data, len);
+  return c.value();
+}
+
+// ---------------------------------------------------------------- writer
+
+FlowStoreWriter::FlowStoreWriter(std::string path)
+    : path_{std::move(path)}, out_{path_, std::ios::binary | std::ios::trunc} {
+  if (!out_) throw std::runtime_error{"ccfs: cannot open for writing: " + path_};
+  Header hdr{};
+  std::memcpy(hdr.magic, kHeaderMagic, sizeof hdr.magic);
+  hdr.version = kFormatVersion;
+  out_.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
+  pos_ = sizeof hdr;  // header excluded from the CRC (patched at finish)
+}
+
+FlowStoreWriter::~FlowStoreWriter() {
+  try {
+    finish();
+  } catch (...) {  // destructor must not throw; callers wanting errors call finish()
+  }
+}
+
+void FlowStoreWriter::write_crc(const void* data, std::size_t len) {
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+  crc_.update(data, len);
+  pos_ += len;
+}
+
+void FlowStoreWriter::pad_to_alignment() {
+  static constexpr char kZeros[kSectionAlign] = {};
+  const std::size_t rem = pos_ % kSectionAlign;
+  if (rem != 0) write_crc(kZeros, kSectionAlign - rem);
+}
+
+void FlowStoreWriter::append(const FlowView& flow) {
+  if (finished_) throw std::runtime_error{"ccfs: append after finish: " + path_};
+  // The series streams to disk immediately; only scalars are buffered.
+  if (!flow.throughput_mbps.empty()) {
+    write_crc(flow.throughput_mbps.data(), flow.throughput_mbps.size_bytes());
+  }
+  sample_count_ += flow.throughput_mbps.size();
+  ids_.push_back(flow.id);
+  access_.push_back(static_cast<std::uint8_t>(flow.access));
+  truth_.push_back(static_cast<std::uint8_t>(flow.truth));
+  duration_.push_back(flow.duration_sec);
+  app_limited_.push_back(flow.app_limited_sec);
+  rwnd_limited_.push_back(flow.rwnd_limited_sec);
+  mean_tput_.push_back(flow.mean_throughput_mbps);
+  min_rtt_.push_back(flow.min_rtt_ms);
+  snap_interval_.push_back(flow.snapshot_interval_sec);
+  ts_offsets_.push_back(sample_count_);
+}
+
+void FlowStoreWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+
+  std::vector<DirectoryEntry> directory;
+  directory.reserve(kSectionCount);
+  // The pool section was streamed at [sizeof(Header), here).
+  directory.push_back({static_cast<std::uint32_t>(SectionId::kTsPool), 0, sizeof(Header),
+                       sample_count_ * sizeof(double)});
+
+  const auto write_section = [&](SectionId id, const void* data, std::uint64_t bytes) {
+    pad_to_alignment();
+    directory.push_back({static_cast<std::uint32_t>(id), 0, pos_, bytes});
+    if (bytes > 0) write_crc(data, bytes);
+  };
+  const std::uint64_t n = ids_.size();
+  write_section(SectionId::kId, ids_.data(), n * sizeof(std::uint64_t));
+  write_section(SectionId::kAccess, access_.data(), n);
+  write_section(SectionId::kTruth, truth_.data(), n);
+  write_section(SectionId::kDuration, duration_.data(), n * sizeof(double));
+  write_section(SectionId::kAppLimited, app_limited_.data(), n * sizeof(double));
+  write_section(SectionId::kRwndLimited, rwnd_limited_.data(), n * sizeof(double));
+  write_section(SectionId::kMeanTput, mean_tput_.data(), n * sizeof(double));
+  write_section(SectionId::kMinRtt, min_rtt_.data(), n * sizeof(double));
+  write_section(SectionId::kSnapInterval, snap_interval_.data(), n * sizeof(double));
+  write_section(SectionId::kTsOffsets, ts_offsets_.data(), (n + 1) * sizeof(std::uint64_t));
+
+  pad_to_alignment();
+  const std::uint64_t directory_offset = pos_;
+  const auto count = static_cast<std::uint32_t>(directory.size());
+  write_crc(&count, sizeof count);
+  write_crc(directory.data(), directory.size() * sizeof(DirectoryEntry));
+
+  Footer footer{};
+  footer.directory_offset = directory_offset;
+  footer.flow_count = n;
+  footer.sample_count = sample_count_;
+  footer.crc32 = crc_.value();
+  footer.magic = kFooterMagic;
+  out_.write(reinterpret_cast<const char*>(&footer), sizeof footer);
+
+  // Patch the header counts (outside the CRC range by construction).
+  Header hdr{};
+  std::memcpy(hdr.magic, kHeaderMagic, sizeof hdr.magic);
+  hdr.version = kFormatVersion;
+  hdr.flow_count = n;
+  hdr.sample_count = sample_count_;
+  hdr.directory_offset = directory_offset;
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
+  out_.flush();
+  if (!out_) throw std::runtime_error{"ccfs: write failed: " + path_};
+  out_.close();
+}
+
+// ------------------------------------------------------- sharded writer
+
+ShardedFlowStoreWriter::ShardedFlowStoreWriter(std::string base_path,
+                                               std::uint64_t flows_per_shard)
+    : base_path_{std::move(base_path)}, flows_per_shard_{flows_per_shard} {
+  if (flows_per_shard_ == 0) {
+    throw std::runtime_error{"ccfs: flows_per_shard must be positive"};
+  }
+}
+
+std::string ShardedFlowStoreWriter::shard_path(std::size_t index) const {
+  // base "x.ccfs" -> "x.00000.ccfs"; any other base gets ".00000.ccfs" appended.
+  static constexpr std::string_view kExt = ".ccfs";
+  std::string stem = base_path_;
+  if (stem.size() >= kExt.size() &&
+      stem.compare(stem.size() - kExt.size(), kExt.size(), kExt) == 0) {
+    stem.resize(stem.size() - kExt.size());
+  }
+  char idx[16];
+  std::snprintf(idx, sizeof idx, ".%05zu", index);
+  return stem + idx + std::string{kExt};
+}
+
+void ShardedFlowStoreWriter::roll() {
+  if (current_) current_->finish();
+  paths_.push_back(shard_path(paths_.size()));
+  current_ = std::make_unique<FlowStoreWriter>(paths_.back());
+}
+
+void ShardedFlowStoreWriter::append(const FlowView& flow) {
+  if (!current_ || current_->flows() >= flows_per_shard_) roll();
+  current_->append(flow);
+  ++total_flows_;
+}
+
+std::vector<std::string> ShardedFlowStoreWriter::finish() {
+  if (!current_) roll();  // zero appends still produce one (empty) shard
+  current_->finish();
+  return paths_;
+}
+
+// ---------------------------------------------------------------- reader
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& why) {
+  throw std::runtime_error{"ccfs: " + path + ": " + why};
+}
+
+}  // namespace
+
+FlowStoreReader::FlowStoreReader(const std::string& path, bool verify_crc) : path_{path} {
+  open_and_validate(path, verify_crc);
+}
+
+FlowStoreReader::~FlowStoreReader() { unmap(); }
+
+FlowStoreReader::FlowStoreReader(FlowStoreReader&& other) noexcept { *this = std::move(other); }
+
+FlowStoreReader& FlowStoreReader::operator=(FlowStoreReader&& other) noexcept {
+  if (this == &other) return *this;
+  unmap();
+  path_ = std::move(other.path_);
+  base_ = other.base_;
+  file_bytes_ = other.file_bytes_;
+  mapped_ = other.mapped_;
+  heap_copy_ = std::move(other.heap_copy_);
+  flow_count_ = other.flow_count_;
+  sample_count_ = other.sample_count_;
+  directory_ = std::move(other.directory_);
+  ts_pool_ = other.ts_pool_;
+  ids_ = other.ids_;
+  access_ = other.access_;
+  truth_ = other.truth_;
+  duration_ = other.duration_;
+  app_limited_ = other.app_limited_;
+  rwnd_limited_ = other.rwnd_limited_;
+  mean_tput_ = other.mean_tput_;
+  min_rtt_ = other.min_rtt_;
+  snap_interval_ = other.snap_interval_;
+  ts_offsets_ = other.ts_offsets_;
+  other.base_ = nullptr;
+  other.mapped_ = false;
+  other.file_bytes_ = 0;
+  return *this;
+}
+
+void FlowStoreReader::unmap() noexcept {
+  if (mapped_ && base_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(base_), file_bytes_);
+  }
+  base_ = nullptr;
+  mapped_ = false;
+}
+
+const std::uint8_t* FlowStoreReader::section(SectionId id, std::uint64_t expect_bytes) const {
+  for (const auto& e : directory_) {
+    if (e.id != static_cast<std::uint32_t>(id)) continue;
+    if (e.bytes != expect_bytes) fail(path_, "section size mismatch");
+    if (e.offset % kSectionAlign != 0) fail(path_, "misaligned section");
+    if (e.offset + e.bytes > file_bytes_) fail(path_, "section out of bounds");
+    return base_ + e.offset;
+  }
+  fail(path_, "missing section");
+}
+
+void FlowStoreReader::open_and_validate(const std::string& path, bool verify_crc) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail(path, "cannot open");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail(path, "fstat failed");
+  }
+  file_bytes_ = static_cast<std::size_t>(st.st_size);
+  if (file_bytes_ < sizeof(Header) + sizeof(Footer)) {
+    ::close(fd);
+    fail(path, "truncated (shorter than header + footer)");
+  }
+
+  void* map = ::mmap(nullptr, file_bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (map != MAP_FAILED) {
+    base_ = static_cast<const std::uint8_t*>(map);
+    mapped_ = true;
+    ::close(fd);
+  } else {
+    // Fallback: read the whole file onto the heap (same validation path).
+    heap_copy_.resize(file_bytes_);
+    std::size_t got = 0;
+    while (got < file_bytes_) {
+      const ssize_t r = ::pread(fd, heap_copy_.data() + got, file_bytes_ - got,
+                                static_cast<off_t>(got));
+      if (r <= 0) {
+        ::close(fd);
+        fail(path, "read failed");
+      }
+      got += static_cast<std::size_t>(r);
+    }
+    ::close(fd);
+    base_ = heap_copy_.data();
+  }
+
+  Header hdr{};
+  std::memcpy(&hdr, base_, sizeof hdr);
+  if (std::memcmp(hdr.magic, kHeaderMagic, sizeof hdr.magic) != 0) fail(path, "bad magic");
+  if (hdr.version != kFormatVersion) fail(path, "unsupported version");
+
+  Footer footer{};
+  std::memcpy(&footer, base_ + file_bytes_ - sizeof footer, sizeof footer);
+  if (footer.magic != kFooterMagic) fail(path, "bad footer magic (torn write?)");
+  flow_count_ = footer.flow_count;
+  sample_count_ = footer.sample_count;
+  const std::uint64_t dir_off = footer.directory_offset;
+  if (dir_off < sizeof(Header) || dir_off + sizeof(std::uint32_t) > file_bytes_) {
+    fail(path, "directory offset out of bounds");
+  }
+
+  std::uint32_t dir_count = 0;
+  std::memcpy(&dir_count, base_ + dir_off, sizeof dir_count);
+  const std::uint64_t dir_bytes =
+      sizeof(std::uint32_t) + std::uint64_t{dir_count} * sizeof(DirectoryEntry);
+  if (dir_count != kSectionCount || dir_off + dir_bytes + sizeof(Footer) != file_bytes_) {
+    fail(path, "directory shape mismatch");
+  }
+  directory_.resize(dir_count);
+  std::memcpy(directory_.data(), base_ + dir_off + sizeof dir_count,
+              dir_count * sizeof(DirectoryEntry));
+
+  if (verify_crc) {
+    const std::uint32_t got = crc32(base_ + sizeof(Header),
+                                    dir_off + dir_bytes - sizeof(Header));
+    if (got != footer.crc32) fail(path, "CRC mismatch (corrupt file)");
+  }
+
+  const std::uint64_t n = flow_count_;
+  const auto f64 = [&](SectionId id) {
+    return std::span<const double>{
+        reinterpret_cast<const double*>(section(id, n * sizeof(double))), n};
+  };
+  ts_pool_ = std::span<const double>{
+      reinterpret_cast<const double*>(section(SectionId::kTsPool, sample_count_ * sizeof(double))),
+      sample_count_};
+  ids_ = std::span<const std::uint64_t>{
+      reinterpret_cast<const std::uint64_t*>(section(SectionId::kId, n * sizeof(std::uint64_t))),
+      n};
+  access_ = std::span<const std::uint8_t>{section(SectionId::kAccess, n), n};
+  truth_ = std::span<const std::uint8_t>{section(SectionId::kTruth, n), n};
+  duration_ = f64(SectionId::kDuration);
+  app_limited_ = f64(SectionId::kAppLimited);
+  rwnd_limited_ = f64(SectionId::kRwndLimited);
+  mean_tput_ = f64(SectionId::kMeanTput);
+  min_rtt_ = f64(SectionId::kMinRtt);
+  snap_interval_ = f64(SectionId::kSnapInterval);
+  ts_offsets_ = std::span<const std::uint64_t>{
+      reinterpret_cast<const std::uint64_t*>(
+          section(SectionId::kTsOffsets, (n + 1) * sizeof(std::uint64_t))),
+      n + 1};
+
+  if (ts_offsets_.front() != 0 || ts_offsets_.back() != sample_count_) {
+    fail(path, "ts_offsets endpoints inconsistent");
+  }
+  if (verify_crc) {
+    for (std::size_t i = 0; i + 1 < ts_offsets_.size(); ++i) {
+      if (ts_offsets_[i] > ts_offsets_[i + 1]) fail(path, "ts_offsets not monotone");
+    }
+  }
+}
+
+}  // namespace ccc::store

@@ -1,0 +1,228 @@
+// FlowStoreWriter / FlowStoreReader — ingest and zero-copy scan of ccfs
+// files (see format.hpp for the layout and the rationale).
+//
+// Writer: append-only and streaming. Each append writes the record's
+// throughput series straight to disk and buffers only the fixed-width
+// scalar columns (~74 bytes/flow), so ingesting 10^7 flows needs tens of
+// megabytes of memory, not gigabytes. finish() lays down the columns,
+// directory, and CRC footer.
+//
+// Reader: maps the file read-only and serves columns as spans into the
+// mapping — no per-flow allocation, no copy. A FlowView is a handful of
+// scalars plus a span over the flow's slice of the series pool; the
+// pipeline's filter stages never touch the pool pages of filtered flows,
+// which is what makes scans memory-bandwidth- rather than parse-bound.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mlab/ndt_record.hpp"
+#include "store/format.hpp"
+
+namespace ccc::store {
+
+/// A zero-copy view of one stored flow: scalar fields by value (they are
+/// copied out of the columns at access time — cheap), the series as a span
+/// into the reader's mapping (or into an NdtRecord for in-memory sources).
+/// This is the unit the pipeline's stages operate on.
+struct FlowView {
+  std::uint64_t id{0};
+  mlab::AccessType access{mlab::AccessType::kCable};
+  mlab::FlowArchetype truth{mlab::FlowArchetype::kBulkClean};
+  double duration_sec{0.0};
+  double app_limited_sec{0.0};
+  double rwnd_limited_sec{0.0};
+  double mean_throughput_mbps{0.0};
+  double min_rtt_ms{0.0};
+  double snapshot_interval_sec{0.1};
+  std::span<const double> throughput_mbps;
+
+  [[nodiscard]] static FlowView from_record(const mlab::NdtRecord& rec) {
+    return FlowView{rec.id,
+                    rec.access,
+                    rec.truth,
+                    rec.duration_sec,
+                    rec.app_limited_sec,
+                    rec.rwnd_limited_sec,
+                    rec.mean_throughput_mbps,
+                    rec.min_rtt_ms,
+                    rec.snapshot_interval_sec,
+                    rec.throughput_mbps};
+  }
+
+  [[nodiscard]] mlab::NdtRecord to_record() const {
+    mlab::NdtRecord rec;
+    rec.id = id;
+    rec.access = access;
+    rec.truth = truth;
+    rec.duration_sec = duration_sec;
+    rec.app_limited_sec = app_limited_sec;
+    rec.rwnd_limited_sec = rwnd_limited_sec;
+    rec.mean_throughput_mbps = mean_throughput_mbps;
+    rec.min_rtt_ms = min_rtt_ms;
+    rec.snapshot_interval_sec = snapshot_interval_sec;
+    rec.throughput_mbps.assign(throughput_mbps.begin(), throughput_mbps.end());
+    return rec;
+  }
+};
+
+/// Append-only single-file writer. Not thread-safe; one writer per file.
+/// Throws std::runtime_error on I/O failure.
+class FlowStoreWriter {
+ public:
+  explicit FlowStoreWriter(std::string path);
+  ~FlowStoreWriter();
+
+  FlowStoreWriter(const FlowStoreWriter&) = delete;
+  FlowStoreWriter& operator=(const FlowStoreWriter&) = delete;
+
+  void append(const mlab::NdtRecord& rec) { append(FlowView::from_record(rec)); }
+  void append(const FlowView& flow);
+
+  /// Writes columns, directory, and footer, then patches the header.
+  /// Idempotent; called by the destructor if the caller forgot (destructor
+  /// swallows errors — call finish() explicitly to see them).
+  void finish();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t flows() const { return ids_.size(); }
+  [[nodiscard]] std::uint64_t samples() const { return sample_count_; }
+
+ private:
+  void write_crc(const void* data, std::size_t len);
+  void pad_to_alignment();
+
+  std::string path_;
+  std::ofstream out_;
+  bool finished_{false};
+  Crc32 crc_;
+  std::uint64_t pos_{0};  // current file offset (mirror of tellp)
+  std::uint64_t sample_count_{0};
+
+  // Buffered scalar columns (the series pool streams to disk directly).
+  std::vector<std::uint64_t> ids_;
+  std::vector<std::uint8_t> access_;
+  std::vector<std::uint8_t> truth_;
+  std::vector<double> duration_;
+  std::vector<double> app_limited_;
+  std::vector<double> rwnd_limited_;
+  std::vector<double> mean_tput_;
+  std::vector<double> min_rtt_;
+  std::vector<double> snap_interval_;
+  std::vector<std::uint64_t> ts_offsets_{0};  // N+1 entries, starts at 0
+};
+
+/// Rolls over to a fresh shard file every `flows_per_shard` appends, naming
+/// shards base.00000.ccfs, base.00001.ccfs, ... (the ".ccfs" suffix of
+/// `base_path` is re-applied after the shard index). The pipeline treats the
+/// resulting shard list as one concatenated store (see pipeline::StoreSource).
+class ShardedFlowStoreWriter {
+ public:
+  ShardedFlowStoreWriter(std::string base_path, std::uint64_t flows_per_shard);
+
+  void append(const mlab::NdtRecord& rec) { append(FlowView::from_record(rec)); }
+  void append(const FlowView& flow);
+
+  /// Finishes the open shard and returns all shard paths, in append order.
+  [[nodiscard]] std::vector<std::string> finish();
+
+  [[nodiscard]] std::uint64_t flows() const { return total_flows_; }
+
+ private:
+  [[nodiscard]] std::string shard_path(std::size_t index) const;
+  void roll();
+
+  std::string base_path_;
+  std::uint64_t flows_per_shard_;
+  std::uint64_t total_flows_{0};
+  std::vector<std::string> paths_;
+  std::unique_ptr<FlowStoreWriter> current_;
+};
+
+/// Read-only, zero-copy view of one ccfs file. The whole file is mapped
+/// (falling back to a heap read when mmap is unavailable) and validated:
+/// magics, version, directory shape, section bounds, and — unless the
+/// caller opts out — the footer CRC and ts_offsets monotonicity. Safe for
+/// concurrent reads from any number of threads.
+class FlowStoreReader {
+ public:
+  /// Throws std::runtime_error with a diagnostic on any validation failure.
+  explicit FlowStoreReader(const std::string& path, bool verify_crc = true);
+  ~FlowStoreReader();
+
+  FlowStoreReader(FlowStoreReader&& other) noexcept;
+  FlowStoreReader& operator=(FlowStoreReader&& other) noexcept;
+  FlowStoreReader(const FlowStoreReader&) = delete;
+  FlowStoreReader& operator=(const FlowStoreReader&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return flow_count_; }
+  [[nodiscard]] std::uint64_t samples() const { return sample_count_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Whole-column access (zero-copy).
+  [[nodiscard]] std::span<const std::uint64_t> ids() const { return ids_; }
+  [[nodiscard]] std::span<const std::uint8_t> access() const { return access_; }
+  [[nodiscard]] std::span<const std::uint8_t> truth() const { return truth_; }
+  [[nodiscard]] std::span<const double> duration_sec() const { return duration_; }
+  [[nodiscard]] std::span<const double> app_limited_sec() const { return app_limited_; }
+  [[nodiscard]] std::span<const double> rwnd_limited_sec() const { return rwnd_limited_; }
+  [[nodiscard]] std::span<const double> mean_throughput_mbps() const { return mean_tput_; }
+  [[nodiscard]] std::span<const double> min_rtt_ms() const { return min_rtt_; }
+  [[nodiscard]] std::span<const double> snapshot_interval_sec() const { return snap_interval_; }
+  [[nodiscard]] std::span<const std::uint64_t> ts_offsets() const { return ts_offsets_; }
+
+  /// Flow i's throughput series, as a span into the mapped pool.
+  [[nodiscard]] std::span<const double> series(std::size_t i) const {
+    return ts_pool_.subspan(ts_offsets_[i], ts_offsets_[i + 1] - ts_offsets_[i]);
+  }
+
+  /// Zero-copy per-flow view (precondition: i < size()).
+  [[nodiscard]] FlowView at(std::size_t i) const {
+    return FlowView{ids_[i],
+                    static_cast<mlab::AccessType>(access_[i]),
+                    static_cast<mlab::FlowArchetype>(truth_[i]),
+                    duration_[i],
+                    app_limited_[i],
+                    rwnd_limited_[i],
+                    mean_tput_[i],
+                    min_rtt_[i],
+                    snap_interval_[i],
+                    series(i)};
+  }
+
+  /// Materializes flow i as an owning NdtRecord (compat with the CSV path).
+  [[nodiscard]] mlab::NdtRecord record(std::size_t i) const { return at(i).to_record(); }
+
+ private:
+  void open_and_validate(const std::string& path, bool verify_crc);
+  [[nodiscard]] const std::uint8_t* section(SectionId id, std::uint64_t expect_bytes) const;
+  void unmap() noexcept;
+
+  std::string path_;
+  const std::uint8_t* base_{nullptr};
+  std::size_t file_bytes_{0};
+  bool mapped_{false};                   // true: munmap; false: heap buffer
+  std::vector<std::uint8_t> heap_copy_;  // mmap fallback storage
+  std::size_t flow_count_{0};
+  std::uint64_t sample_count_{0};
+  std::vector<DirectoryEntry> directory_;
+
+  std::span<const double> ts_pool_;
+  std::span<const std::uint64_t> ids_;
+  std::span<const std::uint8_t> access_;
+  std::span<const std::uint8_t> truth_;
+  std::span<const double> duration_;
+  std::span<const double> app_limited_;
+  std::span<const double> rwnd_limited_;
+  std::span<const double> mean_tput_;
+  std::span<const double> min_rtt_;
+  std::span<const double> snap_interval_;
+  std::span<const std::uint64_t> ts_offsets_;
+};
+
+}  // namespace ccc::store

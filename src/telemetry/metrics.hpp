@@ -86,6 +86,18 @@ class Histogram {
     return bounds_.empty() ? 0.0 : bounds_.back();
   }
 
+  /// Folds another histogram's observations into this one. The bounds must
+  /// be identical — per-shard instruments are registered with the same
+  /// fixed bounds precisely so shard merges are exact (no re-bucketing).
+  /// Returns false (and merges nothing) on a bounds mismatch.
+  bool merge(const Histogram& other) {
+    if (other.bounds_ != bounds_) return false;
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    return true;
+  }
+
   /// Geometric bucket bounds: n bounds starting at `first`, each `factor`
   /// apart. The standard latency-histogram shape.
   [[nodiscard]] static std::vector<double> geometric_bounds(double first, double factor, int n) {
@@ -160,6 +172,27 @@ class MetricRegistry {
 
   [[nodiscard]] std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size() + traces_.size();
+  }
+
+  /// Folds another registry into this one — the fan-out reduction for
+  /// per-shard registries (pipeline shards, parallel sweeps). Merging in
+  /// shard order yields the same totals at any `--jobs` count. Semantics:
+  /// counters sum; gauges take the incoming value (last shard wins — use
+  /// counters for anything that must aggregate); histograms merge when the
+  /// bounds match and are adopted wholesale when this registry lacks the
+  /// name. Traces are NOT merged: per-shard time axes are unrelated, so
+  /// concatenation would fabricate a timeline.
+  void merge_from(const MetricRegistry& other) {
+    for (const auto& [name, c] : other.counters()) counters_[name].inc(c.value());
+    for (const auto& [name, g] : other.gauges()) gauges_[name].set(g.value());
+    for (const auto& [name, h] : other.histograms()) {
+      const auto it = histograms_.find(name);
+      if (it == histograms_.end()) {
+        histograms_.emplace(name, h);
+      } else {
+        it->second.merge(h);
+      }
+    }
   }
 
  private:

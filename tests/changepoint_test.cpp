@@ -233,5 +233,52 @@ TEST(Cusum, DetectsDownwardShiftToo) {
   EXPECT_TRUE(alarmed);
 }
 
+// ---------- degenerate inputs ----------
+// Real NDT exports contain zero-sample flows, one-sample flows, and series
+// shorter than any plausible segment; every search method must answer "no
+// change points" rather than crash or fabricate splits.
+
+TEST(EdgeCases, EmptySeriesHasNoChangePoints) {
+  const std::vector<double> x;
+  CostL2 cost;
+  cost.fit(x);
+  EXPECT_TRUE(pelt(cost, 1.0).empty());
+  EXPECT_TRUE(binary_segmentation(cost, 1.0).empty());
+  EXPECT_TRUE(sliding_window(cost, 5, 1.0).empty());
+  EXPECT_TRUE(detect_mean_shifts(x).empty());
+}
+
+TEST(EdgeCases, SinglePointSeriesHasNoChangePoints) {
+  const std::vector<double> x{42.0};
+  CostL2 cost;
+  cost.fit(x);
+  EXPECT_TRUE(pelt(cost, 1.0).empty());
+  EXPECT_TRUE(binary_segmentation(cost, 1.0).empty());
+  EXPECT_TRUE(sliding_window(cost, 5, 1.0).empty());
+  EXPECT_TRUE(detect_mean_shifts(x).empty());
+}
+
+TEST(EdgeCases, ConstantSeriesHasNoChangePoints) {
+  const std::vector<double> x(200, 7.5);
+  CostL2 cost;
+  cost.fit(x);
+  EXPECT_TRUE(pelt(cost, 1.0).empty());
+  EXPECT_TRUE(binary_segmentation(cost, 1.0).empty());
+  EXPECT_TRUE(sliding_window(cost, 5, 1.0).empty());
+  // The BIC penalty divides by the noise estimate; a zero-variance series
+  // must not turn that into splits everywhere (or a NaN penalty).
+  EXPECT_TRUE(detect_mean_shifts(x).empty());
+}
+
+TEST(EdgeCases, SeriesShorterThanMinSegmentHasNoChangePoints) {
+  // A hard step, but both sides are shorter than the minimum segment:
+  // the constraint must win over the cost reduction.
+  std::vector<double> x{1.0, 1.0, 9.0, 9.0};
+  CostL2 cost;
+  cost.fit(x);
+  EXPECT_TRUE(pelt(cost, 0.001, /*min_segment=*/5).empty());
+  EXPECT_TRUE(detect_mean_shifts(x, 1.0, /*min_segment=*/5).empty());
+}
+
 }  // namespace
 }  // namespace ccc::changepoint

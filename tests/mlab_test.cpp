@@ -7,6 +7,7 @@
 #include "mlab/csv_io.hpp"
 
 #include "mlab/synthetic.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace ccc::mlab {
@@ -160,12 +161,89 @@ TEST(CsvIo, RejectsWrongHeader) {
   EXPECT_THROW((void)read_csv(ss), std::runtime_error);
 }
 
-TEST(CsvIo, RejectsMalformedRow) {
+TEST(CsvIo, MalformedRowsAreCountedAndSkippedNotFatal) {
+  // One truncated export row must not discard the well-formed neighbors.
   std::stringstream out;
   write_csv(out, std::vector<NdtRecord>{});
-  std::string csv = out.str() + "1,cable,policed,ten,0,0,5,20,0.1,1;2;3\n";
+  std::string csv = out.str() +
+                    "1,cable,policed,10,0,0,5,20,0.1,1;2;3\n"       // ok
+                    "2,cable,policed,ten,0,0,5,20,0.1,1;2;3\n"      // bad number
+                    "3,cable,warp-drive,10,0,0,5,20,0.1,1;2;3\n"    // bad enum
+                    "4,cable,policed,10,0,0\n"                      // wrong arity
+                    "5,fiber,bulk-clean,10,0,0,5,20,0.1,1;2;3\n";   // ok
   std::stringstream in{csv};
-  EXPECT_THROW((void)read_csv(in), std::runtime_error);
+  CsvParseStats stats;
+  const auto rows = read_csv(in, &stats);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].id, 1u);
+  EXPECT_EQ(rows[1].id, 5u);
+  EXPECT_EQ(stats.rows_seen, 5u);
+  EXPECT_EQ(stats.rows_parsed, 2u);
+  EXPECT_EQ(stats.rows_skipped, 3u);
+}
+
+TEST(CsvIo, MalformedRowsReportedViaTelemetryCounter) {
+  std::stringstream out;
+  write_csv(out, std::vector<NdtRecord>{});
+  std::stringstream in{out.str() + "nonsense row\n1,cable,policed,10,0,0,5,20,0.1,\n"};
+  telemetry::MetricRegistry reg;
+  const auto rows = read_csv(in, reg);
+  EXPECT_EQ(rows.size(), 1u);
+  EXPECT_EQ(reg.counter("csv.rows_seen").value(), 2u);
+  EXPECT_EQ(reg.counter("csv.rows_parsed").value(), 1u);
+  EXPECT_EQ(reg.counter("csv.rows_malformed_skipped").value(), 1u);
+}
+
+TEST(CsvIo, HandlesCrlfLineEndings) {
+  SyntheticConfig cfg;
+  cfg.n_flows = 20;
+  Rng rng{7};
+  const auto original = generate_dataset(cfg, rng);
+  std::stringstream out;
+  write_csv(out, original);
+  // Re-terminate every line with CRLF, as a Windows/BigQuery export would.
+  std::string crlf;
+  for (const char c : out.str()) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::stringstream in{crlf};
+  CsvParseStats stats;
+  const auto loaded = read_csv(in, &stats);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(stats.rows_skipped, 0u);
+  EXPECT_EQ(loaded.back().id, original.back().id);
+}
+
+TEST(CsvIo, HandlesQuotedFieldsAndTrailingBlankLines) {
+  std::stringstream out;
+  write_csv(out, std::vector<NdtRecord>{});
+  // Quoted numeric and enum fields (quotes many exporters add), a quoted
+  // series containing the separator, and trailing blank lines.
+  std::stringstream in{out.str() +
+                       "\"1\",\"cable\",\"policed\",10,0,0,\"5\",20,0.1,\"1;2;3\"\n"
+                       "2,fiber,bulk-clean,10,0,0,5,20,0.1,4;5\r\n"
+                       "\n"
+                       "\r\n"
+                       "\n"};
+  CsvParseStats stats;
+  const auto rows = read_csv(in, &stats);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].id, 1u);
+  EXPECT_EQ(rows[0].truth, FlowArchetype::kPoliced);
+  ASSERT_EQ(rows[0].throughput_mbps.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0].throughput_mbps[2], 3.0);
+  EXPECT_EQ(stats.rows_seen, 2u);
+  EXPECT_EQ(stats.rows_skipped, 0u);
+}
+
+TEST(CsvIo, UnterminatedQuoteCountsAsMalformed) {
+  std::stringstream out;
+  write_csv(out, std::vector<NdtRecord>{});
+  std::stringstream in{out.str() + "\"1,cable,policed,10,0,0,5,20,0.1,1\n"};
+  CsvParseStats stats;
+  EXPECT_TRUE(read_csv(in, &stats).empty());
+  EXPECT_EQ(stats.rows_skipped, 1u);
 }
 
 TEST(CsvIo, RejectsUnknownEnums) {

@@ -1,0 +1,197 @@
+// Tests for the ccfs columnar flow-record store (src/store/).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "mlab/synthetic.hpp"
+#include "store/convert.hpp"
+#include "store/flow_store.hpp"
+
+namespace ccc::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A unique scratch path, removed (with shard siblings) on destruction.
+class TempPath {
+ public:
+  explicit TempPath(const std::string& stem) {
+    static int counter = 0;
+    path_ = (fs::temp_directory_path() /
+             (stem + "." + std::to_string(::getpid()) + "." + std::to_string(counter++)))
+                .string();
+  }
+  ~TempPath() {
+    std::error_code ec;
+    for (const auto& e : fs::directory_iterator(fs::path(path_).parent_path(), ec)) {
+      const auto name = e.path().filename().string();
+      if (name.rfind(fs::path(path_).filename().string(), 0) == 0) fs::remove(e.path(), ec);
+    }
+  }
+  [[nodiscard]] const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<mlab::NdtRecord> make_dataset(std::size_t n, std::uint64_t seed = 42) {
+  mlab::SyntheticConfig cfg;
+  cfg.n_flows = n;
+  Rng rng{seed};
+  return mlab::generate_dataset(cfg, rng);
+}
+
+TEST(FlowStore, RoundTripIsBitExact) {
+  const auto dataset = make_dataset(300);
+  TempPath p{"store_roundtrip.ccfs"};
+  write_store(p.str(), dataset);
+
+  FlowStoreReader reader{p.str()};
+  ASSERT_EQ(reader.size(), dataset.size());
+  std::uint64_t samples = 0;
+  for (const auto& r : dataset) samples += r.throughput_mbps.size();
+  EXPECT_EQ(reader.samples(), samples);
+
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto v = reader.at(i);
+    EXPECT_EQ(v.id, dataset[i].id);
+    EXPECT_EQ(v.access, dataset[i].access);
+    EXPECT_EQ(v.truth, dataset[i].truth);
+    // Doubles must round-trip bit-exactly — the store copies, never formats.
+    EXPECT_EQ(v.duration_sec, dataset[i].duration_sec);
+    EXPECT_EQ(v.app_limited_sec, dataset[i].app_limited_sec);
+    EXPECT_EQ(v.rwnd_limited_sec, dataset[i].rwnd_limited_sec);
+    EXPECT_EQ(v.mean_throughput_mbps, dataset[i].mean_throughput_mbps);
+    EXPECT_EQ(v.min_rtt_ms, dataset[i].min_rtt_ms);
+    EXPECT_EQ(v.snapshot_interval_sec, dataset[i].snapshot_interval_sec);
+    ASSERT_EQ(v.throughput_mbps.size(), dataset[i].throughput_mbps.size());
+    for (std::size_t k = 0; k < v.throughput_mbps.size(); ++k) {
+      ASSERT_EQ(v.throughput_mbps[k], dataset[i].throughput_mbps[k]);
+    }
+  }
+}
+
+TEST(FlowStore, EmptyStoreRoundTrips) {
+  TempPath p{"store_empty.ccfs"};
+  write_store(p.str(), {});
+  FlowStoreReader reader{p.str()};
+  EXPECT_EQ(reader.size(), 0u);
+  EXPECT_EQ(reader.samples(), 0u);
+}
+
+TEST(FlowStore, ZeroLengthSeriesFlowIsPreserved) {
+  mlab::NdtRecord rec;
+  rec.id = 77;
+  rec.throughput_mbps.clear();
+  TempPath p{"store_zerolen.ccfs"};
+  write_store(p.str(), std::vector<mlab::NdtRecord>{rec});
+  FlowStoreReader reader{p.str()};
+  ASSERT_EQ(reader.size(), 1u);
+  EXPECT_EQ(reader.at(0).id, 77u);
+  EXPECT_TRUE(reader.at(0).throughput_mbps.empty());
+}
+
+TEST(FlowStore, CorruptionIsDetectedByCrc) {
+  const auto dataset = make_dataset(50);
+  TempPath p{"store_corrupt.ccfs"};
+  write_store(p.str(), dataset);
+
+  // Flip one byte in the middle of the file (series pool or columns).
+  {
+    std::fstream f{p.str(), std::ios::in | std::ios::out | std::ios::binary};
+    f.seekp(static_cast<std::streamoff>(fs::file_size(p.str()) / 2));
+    char b = 0;
+    f.read(&b, 1);
+    f.seekp(-1, std::ios::cur);
+    b = static_cast<char>(b ^ 0x40);
+    f.write(&b, 1);
+  }
+  EXPECT_THROW((FlowStoreReader{p.str()}), std::runtime_error);
+  // Opting out of verification must still parse the structure.
+  EXPECT_NO_THROW((FlowStoreReader{p.str(), /*verify_crc=*/false}));
+}
+
+TEST(FlowStore, TruncatedFileIsRejected) {
+  const auto dataset = make_dataset(50);
+  TempPath p{"store_trunc.ccfs"};
+  write_store(p.str(), dataset);
+  fs::resize_file(p.str(), fs::file_size(p.str()) - 16);
+  EXPECT_THROW((FlowStoreReader{p.str()}), std::runtime_error);
+}
+
+TEST(FlowStore, GarbageFileIsRejected) {
+  TempPath p{"store_garbage.ccfs"};
+  std::ofstream{p.str(), std::ios::binary} << std::string(4096, 'x');
+  EXPECT_THROW((FlowStoreReader{p.str()}), std::runtime_error);
+}
+
+TEST(FlowStore, AppendAfterFinishThrows) {
+  TempPath p{"store_finished.ccfs"};
+  FlowStoreWriter w{p.str()};
+  w.append(mlab::NdtRecord{});
+  w.finish();
+  EXPECT_THROW(w.append(mlab::NdtRecord{}), std::runtime_error);
+}
+
+TEST(ShardedWriter, RollsOverAndConcatenatesInOrder) {
+  const auto dataset = make_dataset(1000);
+  TempPath p{"store_shards.ccfs"};
+  ShardedFlowStoreWriter w{p.str(), /*flows_per_shard=*/300};
+  for (const auto& r : dataset) w.append(r);
+  const auto paths = w.finish();
+  ASSERT_EQ(paths.size(), 4u);  // 300 + 300 + 300 + 100
+
+  std::vector<FlowStoreReader> readers;
+  readers.reserve(paths.size());
+  std::size_t total = 0;
+  for (const auto& path : paths) {
+    readers.emplace_back(path);
+    total += readers.back().size();
+  }
+  EXPECT_EQ(total, dataset.size());
+  EXPECT_EQ(readers[0].size(), 300u);
+  EXPECT_EQ(readers[3].size(), 100u);
+  // Concatenated order is append order.
+  EXPECT_EQ(readers[1].at(0).id, dataset[300].id);
+  EXPECT_EQ(readers[3].at(99).id, dataset[999].id);
+}
+
+TEST(Convert, CsvToCcfsToCsvRoundTrips) {
+  const auto dataset = make_dataset(120);
+  std::stringstream csv_in;
+  mlab::write_csv(csv_in, dataset);
+  const std::string original_csv = csv_in.str();
+
+  TempPath p{"store_csv.ccfs"};
+  const auto stats = csv_file_to_ccfs(csv_in, p.str());
+  EXPECT_EQ(stats.rows_parsed, dataset.size());
+  EXPECT_EQ(stats.rows_skipped, 0u);
+
+  FlowStoreReader reader{p.str()};
+  ASSERT_EQ(reader.size(), dataset.size());
+  std::stringstream csv_out;
+  ccfs_to_csv(reader, csv_out);
+  // CSV -> ccfs -> CSV is textually stable (ccfs stores the parsed doubles
+  // and the serializer formats them identically).
+  EXPECT_EQ(csv_out.str(), original_csv);
+}
+
+TEST(Convert, MalformedCsvRowsAreSkippedDuringIngest) {
+  std::stringstream csv;
+  mlab::write_csv(csv, make_dataset(5));
+  csv << "this,is,not,a,flow\n";
+  csv.seekg(0);
+  TempPath p{"store_badrows.ccfs"};
+  const auto stats = csv_file_to_ccfs(csv, p.str());
+  EXPECT_EQ(stats.rows_parsed, 5u);
+  EXPECT_EQ(stats.rows_skipped, 1u);
+  FlowStoreReader reader{p.str()};
+  EXPECT_EQ(reader.size(), 5u);
+}
+
+}  // namespace
+}  // namespace ccc::store
