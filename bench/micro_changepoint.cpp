@@ -1,16 +1,26 @@
 // Micro-benchmarks: change-point detection throughput (M1). These bound the
 // cost of running the §3.1 pipeline over M-Lab-scale datasets.
 //
+// Besides the google-benchmark micros, main() emits machine-readable
+// headline scalars (schema ccc.report.v1) — most importantly flows/sec for
+// the pipeline's per-flow detection stage over a corpus of NDT-shaped
+// records, the number the fig2 at-scale wall time is made of. The committed
+// baseline lives in BENCH_changepoint.json.
+//
 // Defines its own main() so the shared bench::Cli contract applies here too:
 // --help/--jobs/... are handled uniformly and google-benchmark only sees the
 // leftover --benchmark_* flags.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <iostream>
 #include <vector>
 
 #include "bench/cli.hpp"
 #include "changepoint/cost.hpp"
 #include "changepoint/detectors.hpp"
+#include "telemetry/run_report.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -88,6 +98,93 @@ void BM_DetectMeanShiftsPipelineRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_DetectMeanShiftsPipelineRecord);
 
+void BM_DetectMeanShiftsWorkspace(benchmark::State& state) {
+  // Same record, but through the shard-workspace path the pipeline actually
+  // runs: all scratch reused, zero per-flow allocation.
+  const auto x = make_signal(100, 2, 7);
+  changepoint::ChangepointWorkspace ws;
+  for (auto _ : state) {
+    changepoint::detect_mean_shifts_into(x, 1.0, 3, ws, ws.cps);
+    benchmark::DoNotOptimize(ws.cps.data());
+  }
+}
+BENCHMARK(BM_DetectMeanShiftsWorkspace);
+
+/// Headline: wall-clock flows/sec of the detection stage over a corpus of
+/// NDT-shaped records (100-sample series, step/noise mix — the same shape
+/// the fig2 pipeline feeds it). Printed as JSON and mirrored into the
+/// RunReport (--report); the committed baseline is BENCH_changepoint.json.
+void report_detect_rate(std::ostream& os, ccc::telemetry::RunReport& report) {
+  constexpr std::size_t kFlows = 2000;
+  constexpr std::size_t kSamples = 100;
+  std::vector<std::vector<double>> corpus;
+  corpus.reserve(kFlows);
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    // Half the corpus carries a genuine step, half is stationary noise, so
+    // the measured cost averages over PELT's found/not-found paths.
+    corpus.push_back(make_signal(kSamples, i % 2 == 0 ? 2 : 0, 1000 + i));
+  }
+
+  // Through the shard-workspace path the pipeline runs: one workspace,
+  // reused across the whole corpus, zero per-flow allocation.
+  changepoint::ChangepointWorkspace ws;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t flows = 0;
+  std::size_t found = 0;
+  std::chrono::duration<double> wall{0.0};
+  do {
+    for (const auto& x : corpus) {
+      changepoint::detect_mean_shifts_into(x, 1.0, 3, ws, ws.cps);
+      found += ws.cps.size();
+      ++flows;
+    }
+    wall = std::chrono::steady_clock::now() - t0;
+  } while (wall.count() < 0.6);
+  benchmark::DoNotOptimize(found);
+
+  const double fps = static_cast<double>(flows) / wall.count();
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "{\"bench\": \"changepoint_detect\", \"flows\": %zu, \"wall_sec\": %.4f, "
+                "\"flows_per_sec\": %.0f}\n",
+                flows, wall.count(), fps);
+  os << line;
+  report.add_scalar("detect", "flows", static_cast<double>(flows));
+  report.add_scalar("detect", "wall_sec", wall.count());
+  report.add_scalar("detect", "flows_per_sec", fps);
+  report.add_scalar("detect", "samples_per_sec", fps * static_cast<double>(kSamples));
+}
+
+/// Secondary headline: raw PELT samples/sec on one long (10k-sample) series,
+/// the regime where search cost (not per-flow setup) dominates.
+void report_pelt_rate(std::ostream& os, ccc::telemetry::RunReport& report) {
+  const auto x = make_signal(10000, 4, 42);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t runs = 0;
+  std::size_t found = 0;
+  std::chrono::duration<double> wall{0.0};
+  do {
+    changepoint::CostL2 cost;
+    cost.fit(x);
+    const auto cps = changepoint::pelt(cost, changepoint::bic_penalty(x.size(), 0.5));
+    found += cps.size();
+    ++runs;
+    wall = std::chrono::steady_clock::now() - t0;
+  } while (wall.count() < 0.6);
+  benchmark::DoNotOptimize(found);
+
+  const double sps = static_cast<double>(runs * x.size()) / wall.count();
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "{\"bench\": \"changepoint_pelt10k\", \"runs\": %zu, \"wall_sec\": %.4f, "
+                "\"samples_per_sec\": %.0f}\n",
+                runs, wall.count(), sps);
+  os << line;
+  report.add_scalar("pelt_10k", "runs", static_cast<double>(runs));
+  report.add_scalar("pelt_10k", "wall_sec", wall.count());
+  report.add_scalar("pelt_10k", "samples_per_sec", sps);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,5 +196,14 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  std::ostream& os = cli.output();
+  ccc::telemetry::RunReport report{"micro_changepoint", 0};
+  report_detect_rate(os, report);
+  report_pelt_rate(os, report);
+  if (!report.emit(cli.report)) {
+    std::cerr << "micro_changepoint: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
   return 0;
 }

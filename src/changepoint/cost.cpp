@@ -1,7 +1,6 @@
 #include "changepoint/cost.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace ccc::changepoint {
@@ -17,25 +16,14 @@ void build_prefixes(std::span<const double> x, std::vector<double>& p, std::vect
   }
 }
 
-/// Sum of squared deviations from the mean of [i, j), via prefix sums.
-double sse(const std::vector<double>& p, const std::vector<double>& p2, std::size_t i,
-           std::size_t j) {
-  const double n = static_cast<double>(j - i);
-  const double sum = p[j] - p[i];
-  const double sum_sq = p2[j] - p2[i];
-  return std::max(0.0, sum_sq - sum * sum / n);
-}
-
 }  // namespace
+
+// cost() for both models lives inline in cost.hpp so the devirtualized
+// search kernels can inline it; only fit() (cold, once per signal) is here.
 
 void CostL2::fit(std::span<const double> signal) {
   n_ = signal.size();
   build_prefixes(signal, prefix_, prefix_sq_);
-}
-
-double CostL2::cost(std::size_t i, std::size_t j) const {
-  assert(i < j && j <= n_);
-  return sse(prefix_, prefix_sq_, i, j);
 }
 
 void CostNormal::fit(std::span<const double> signal) {
@@ -43,28 +31,27 @@ void CostNormal::fit(std::span<const double> signal) {
   build_prefixes(signal, prefix_, prefix_sq_);
 }
 
-double CostNormal::cost(std::size_t i, std::size_t j) const {
-  assert(i < j && j <= n_);
-  const double n = static_cast<double>(j - i);
-  const double var = std::max(sse(prefix_, prefix_sq_, i, j) / n, 1e-12);
-  return n * std::log(var);
-}
-
 double bic_penalty(std::size_t n, double sigma) {
   return 2.0 * sigma * sigma * std::log(static_cast<double>(std::max<std::size_t>(n, 2)));
 }
 
-double estimate_noise_sigma(std::span<const double> signal) {
+double estimate_noise_sigma(std::span<const double> signal, std::vector<double>& scratch) {
   if (signal.size() < 3) return 0.0;
-  std::vector<double> diffs;
-  diffs.reserve(signal.size() - 1);
+  scratch.clear();
+  scratch.reserve(signal.size() - 1);
   for (std::size_t i = 1; i < signal.size(); ++i) {
-    diffs.push_back(std::abs(signal[i] - signal[i - 1]));
+    scratch.push_back(std::abs(signal[i] - signal[i - 1]));
   }
-  std::nth_element(diffs.begin(), diffs.begin() + static_cast<std::ptrdiff_t>(diffs.size() / 2),
-                   diffs.end());
-  const double mad = diffs[diffs.size() / 2];
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<std::ptrdiff_t>(scratch.size() / 2),
+                   scratch.end());
+  const double mad = scratch[scratch.size() / 2];
   return mad / (std::sqrt(2.0) * 0.6745);
+}
+
+double estimate_noise_sigma(std::span<const double> signal) {
+  std::vector<double> scratch;
+  return estimate_noise_sigma(signal, scratch);
 }
 
 }  // namespace ccc::changepoint

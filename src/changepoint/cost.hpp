@@ -6,6 +6,9 @@
 // methods (PELT, binary segmentation, sliding window) rely on.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -34,11 +37,28 @@ class SegmentCost {
 
 /// L2 cost: sum of squared deviations from the segment mean. Detects mean
 /// shifts — the "throughput level changed" signal of §3.1.
+///
+/// `final`, with the segment cost defined inline: the devirtualized search
+/// kernels (kernel.hpp) call cost() through a concrete reference, so the
+/// whole prefix-sum expression inlines — branch-free (the clamp compiles to
+/// a max instruction) — straight into the search loop.
 class CostL2 final : public SegmentCost {
  public:
   void fit(std::span<const double> signal) override;
-  [[nodiscard]] double cost(std::size_t i, std::size_t j) const override;
+  /// Segment cost from (sum, sum of squares, length) — the formula behind
+  /// cost(). Exposed so the packed PELT fast path (kernel.hpp) can evaluate
+  /// candidates from unit-stride copies of the prefix values.
+  [[nodiscard]] static double cost_from_sums(double sum, double sum_sq, double len) {
+    return std::max(0.0, sum_sq - sum * sum / len);
+  }
+  [[nodiscard]] double cost(std::size_t i, std::size_t j) const override {
+    assert(i < j && j <= n());
+    return cost_from_sums(prefix_[j] - prefix_[i], prefix_sq_[j] - prefix_sq_[i],
+                          static_cast<double>(j - i));
+  }
   [[nodiscard]] std::size_t min_size() const override { return 1; }
+  [[nodiscard]] const std::vector<double>& prefix() const { return prefix_; }
+  [[nodiscard]] const std::vector<double>& prefix_sq() const { return prefix_sq_; }
 
  private:
   std::vector<double> prefix_;     // prefix sums of x
@@ -47,12 +67,25 @@ class CostL2 final : public SegmentCost {
 
 /// Gaussian likelihood cost with per-segment mean AND variance:
 /// (j-i) * log(var_hat). Detects variance changes too (e.g. a flow moving
-/// from a contended sawtooth to a smooth shaped region).
+/// from a contended sawtooth to a smooth shaped region). Inline for the
+/// same devirtualization reason as CostL2.
 class CostNormal final : public SegmentCost {
  public:
   void fit(std::span<const double> signal) override;
-  [[nodiscard]] double cost(std::size_t i, std::size_t j) const override;
+  /// See CostL2::cost_from_sums.
+  [[nodiscard]] static double cost_from_sums(double sum, double sum_sq, double len) {
+    const double sse = std::max(0.0, sum_sq - sum * sum / len);
+    const double var = std::max(sse / len, 1e-12);
+    return len * std::log(var);
+  }
+  [[nodiscard]] double cost(std::size_t i, std::size_t j) const override {
+    assert(i < j && j <= n());
+    return cost_from_sums(prefix_[j] - prefix_[i], prefix_sq_[j] - prefix_sq_[i],
+                          static_cast<double>(j - i));
+  }
   [[nodiscard]] std::size_t min_size() const override { return 3; }
+  [[nodiscard]] const std::vector<double>& prefix() const { return prefix_; }
+  [[nodiscard]] const std::vector<double>& prefix_sq() const { return prefix_sq_; }
 
  private:
   std::vector<double> prefix_;
@@ -67,5 +100,10 @@ class CostNormal final : public SegmentCost {
 /// deviation of diff / (sqrt(2) * 0.6745)); insensitive to the level shifts
 /// we are trying to find. Returns 0 for signals shorter than 3.
 [[nodiscard]] double estimate_noise_sigma(std::span<const double> signal);
+
+/// Allocation-free variant: `scratch` holds the |diff| working buffer and is
+/// reused across calls (the pipeline threads one per shard).
+[[nodiscard]] double estimate_noise_sigma(std::span<const double> signal,
+                                          std::vector<double>& scratch);
 
 }  // namespace ccc::changepoint

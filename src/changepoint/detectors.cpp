@@ -2,144 +2,95 @@
 
 #include <algorithm>
 #include <cassert>
-#include <limits>
+
+#include "changepoint/kernel.hpp"
 
 namespace ccc::changepoint {
 
-std::vector<std::size_t> pelt(const SegmentCost& cost, double penalty,
-                              std::size_t min_segment) {
-  const std::size_t n = cost.n();
-  const std::size_t min_seg = std::max(min_segment, cost.min_size());
-  if (n < 2 * min_seg) return {};
-
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> f(n + 1, kInf);
-  std::vector<std::size_t> prev(n + 1, 0);
-  f[0] = -penalty;
-
-  // Candidate last-change-point set, pruned per the PELT criterion.
-  std::vector<std::size_t> candidates{0};
-
-  for (std::size_t t = min_seg; t <= n; ++t) {
-    double best = kInf;
-    std::size_t best_s = 0;
-    for (const std::size_t s : candidates) {
-      if (t - s < min_seg) continue;
-      const double v = f[s] + cost.cost(s, t) + penalty;
-      if (v < best) {
-        best = v;
-        best_s = s;
-      }
-    }
-    if (best == kInf) continue;
-    f[t] = best;
-    prev[t] = best_s;
-
-    // Prune: s stays a candidate only if it could still win later.
-    std::vector<std::size_t> kept;
-    kept.reserve(candidates.size() + 1);
-    for (const std::size_t s : candidates) {
-      if (t - s < min_seg || f[s] + cost.cost(s, t) <= f[t]) kept.push_back(s);
-    }
-    kept.push_back(t);
-    candidates = std::move(kept);
-  }
-
-  // Backtrack.
-  std::vector<std::size_t> cps;
-  std::size_t t = n;
-  while (t > 0) {
-    const std::size_t s = prev[t];
-    if (s == 0) break;
-    cps.push_back(s);
-    t = s;
-  }
-  std::sort(cps.begin(), cps.end());
-  return cps;
-}
-
 namespace {
 
-/// Best single split of [lo, hi); returns (gain, index) or gain = -inf.
-std::pair<double, std::size_t> best_split(const SegmentCost& cost, std::size_t lo,
-                                          std::size_t hi) {
-  const std::size_t min_seg = cost.min_size();
-  double best_gain = -std::numeric_limits<double>::infinity();
-  std::size_t best_k = 0;
-  if (hi - lo < 2 * min_seg) return {best_gain, best_k};
-  const double whole = cost.cost(lo, hi);
-  for (std::size_t k = lo + min_seg; k + min_seg <= hi; ++k) {
-    const double gain = whole - cost.cost(lo, k) - cost.cost(k, hi);
-    if (gain > best_gain) {
-      best_gain = gain;
-      best_k = k;
-    }
+/// One-time concrete-type dispatch: the search kernels in kernel.hpp are
+/// templated over the cost type, so resolving CostL2 / CostNormal here (both
+/// `final`) devirtualizes and inlines every cost() call in the inner loops.
+/// Unknown SegmentCost subclasses fall through to the same kernels with
+/// virtual dispatch — slower, identical results.
+template <class Fn>
+void with_concrete_cost(const SegmentCost& cost, Fn&& fn) {
+  if (const auto* l2 = dynamic_cast<const CostL2*>(&cost)) {
+    fn(*l2);
+  } else if (const auto* normal = dynamic_cast<const CostNormal*>(&cost)) {
+    fn(*normal);
+  } else {
+    fn(cost);
   }
-  return {best_gain, best_k};
-}
-
-void binseg_recurse(const SegmentCost& cost, std::size_t lo, std::size_t hi, double penalty,
-                    std::size_t budget, std::vector<std::size_t>& out) {
-  if (budget == 0) return;
-  const auto [gain, k] = best_split(cost, lo, hi);
-  if (gain <= penalty) return;
-  out.push_back(k);
-  binseg_recurse(cost, lo, k, penalty, budget - 1, out);
-  binseg_recurse(cost, k, hi, penalty, budget - 1, out);
 }
 
 }  // namespace
 
+void pelt_into(const SegmentCost& cost, double penalty, std::size_t min_segment,
+               ChangepointWorkspace& ws, std::vector<std::size_t>& out) {
+  with_concrete_cost(cost,
+                     [&](const auto& c) { detail::pelt_into(c, penalty, min_segment, ws, out); });
+}
+
+std::vector<std::size_t> pelt(const SegmentCost& cost, double penalty, std::size_t min_segment) {
+  ChangepointWorkspace ws;
+  std::vector<std::size_t> cps;
+  pelt_into(cost, penalty, min_segment, ws, cps);
+  return cps;
+}
+
+void binary_segmentation_into(const SegmentCost& cost, double penalty, std::size_t max_changes,
+                              std::vector<std::size_t>& out) {
+  with_concrete_cost(cost,
+                     [&](const auto& c) { detail::binseg_into(c, penalty, max_changes, out); });
+}
+
 std::vector<std::size_t> binary_segmentation(const SegmentCost& cost, double penalty,
                                              std::size_t max_changes) {
   std::vector<std::size_t> cps;
-  binseg_recurse(cost, 0, cost.n(), penalty, max_changes, cps);
-  std::sort(cps.begin(), cps.end());
+  binary_segmentation_into(cost, penalty, max_changes, cps);
   return cps;
+}
+
+void sliding_window_into(const SegmentCost& cost, std::size_t half_width, double penalty,
+                         ChangepointWorkspace& ws, std::vector<std::size_t>& out) {
+  with_concrete_cost(cost, [&](const auto& c) {
+    detail::sliding_window_into(c, half_width, penalty, ws, out);
+  });
 }
 
 std::vector<std::size_t> sliding_window(const SegmentCost& cost, std::size_t half_width,
                                         double penalty) {
-  const std::size_t n = cost.n();
-  const std::size_t w = std::max(half_width, cost.min_size());
+  ChangepointWorkspace ws;
   std::vector<std::size_t> cps;
-  if (n < 2 * w + 1) return cps;
-
-  std::vector<double> score(n, 0.0);
-  for (std::size_t i = w; i + w <= n; ++i) {
-    score[i] = cost.cost(i - w, i + w) - cost.cost(i - w, i) - cost.cost(i, i + w);
-  }
-  // Local maxima above the penalty, suppressing neighbors within w.
-  std::size_t i = w;
-  while (i + w <= n) {
-    if (score[i] > penalty) {
-      // Walk to the local peak.
-      std::size_t peak = i;
-      for (std::size_t j = i; j < std::min(i + w, n - 1); ++j) {
-        if (score[j] > score[peak]) peak = j;
-      }
-      cps.push_back(peak);
-      i = peak + w;  // non-maximum suppression
-    } else {
-      ++i;
-    }
-  }
+  sliding_window_into(cost, half_width, penalty, ws, cps);
   return cps;
 }
 
-std::vector<std::size_t> detect_mean_shifts(std::span<const double> signal, double sensitivity,
-                                            std::size_t min_segment) {
+void detect_mean_shifts_into(std::span<const double> signal, double sensitivity,
+                             std::size_t min_segment, ChangepointWorkspace& ws,
+                             std::vector<std::size_t>& out) {
   assert(sensitivity > 0.0);
-  if (signal.size() < 4) return {};
-  CostL2 cost;
-  cost.fit(signal);
-  double sigma = estimate_noise_sigma(signal);
+  out.clear();
+  if (signal.size() < 4) return;
+  ws.cost_l2.fit(signal);
+  double sigma = estimate_noise_sigma(signal, ws.diffs);
   if (sigma <= 1e-12) {
     // Noise-free signal: any true level shift still has positive cost; use a
     // tiny penalty so exact steps are found without false positives.
     sigma = 1e-6;
   }
-  return pelt(cost, bic_penalty(signal.size(), sigma) * sensitivity, min_segment);
+  detail::pelt_into(ws.cost_l2, bic_penalty(signal.size(), sigma) * sensitivity, min_segment, ws,
+                    out);
+}
+
+std::vector<std::size_t> detect_mean_shifts(std::span<const double> signal, double sensitivity,
+                                            std::size_t min_segment) {
+  ChangepointWorkspace ws;
+  std::vector<std::size_t> cps;
+  detect_mean_shifts_into(signal, sensitivity, min_segment, ws, cps);
+  return cps;
 }
 
 Cusum::Cusum(double reference_mean, double slack, double threshold)

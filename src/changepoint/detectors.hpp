@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "changepoint/cost.hpp"
+#include "changepoint/workspace.hpp"
 
 namespace ccc::changepoint {
 
@@ -42,6 +43,32 @@ namespace ccc::changepoint {
 [[nodiscard]] std::vector<std::size_t> detect_mean_shifts(std::span<const double> signal,
                                                           double sensitivity = 1.0,
                                                           std::size_t min_segment = 3);
+
+// ---------------------------------------------------------------------------
+// Workspace variants: bit-identical results with zero per-call heap
+// allocation once the workspace buffers have warmed up. The passive pipeline
+// constructs one ChangepointWorkspace per shard and threads it through every
+// flow; the convenience wrappers above allocate a throwaway workspace.
+// ---------------------------------------------------------------------------
+
+/// PELT into a caller-owned output vector, using `ws` for the DP state.
+void pelt_into(const SegmentCost& cost, double penalty, std::size_t min_segment,
+               ChangepointWorkspace& ws, std::vector<std::size_t>& out);
+
+/// Binary segmentation into a caller-owned output vector.
+void binary_segmentation_into(const SegmentCost& cost, double penalty, std::size_t max_changes,
+                              std::vector<std::size_t>& out);
+
+/// Sliding-window discrepancy into a caller-owned output vector; `ws` holds
+/// the per-index score buffer.
+void sliding_window_into(const SegmentCost& cost, std::size_t half_width, double penalty,
+                         ChangepointWorkspace& ws, std::vector<std::size_t>& out);
+
+/// detect_mean_shifts with every buffer (cost prefixes, sigma scratch, PELT
+/// state, output) drawn from `ws`.
+void detect_mean_shifts_into(std::span<const double> signal, double sensitivity,
+                             std::size_t min_segment, ChangepointWorkspace& ws,
+                             std::vector<std::size_t>& out);
 
 /// Online CUSUM detector for upward/downward mean shifts. Feed samples one
 /// at a time; alarms report the sample index at which the cumulative drift

@@ -1,0 +1,376 @@
+// Devirtualized search kernels — the hot inner loops of PELT, binary
+// segmentation, and the sliding window, templated over a CONCRETE cost type.
+//
+// The public API in detectors.hpp takes `const SegmentCost&` and stays the
+// stable entry point; detectors.cpp dispatches each call here after a
+// one-time dynamic_cast to the concrete cost (CostL2 / CostNormal — both
+// `final`, so cost.cost(i, j) devirtualizes and the prefix-sum arithmetic
+// inlines straight into the search loop). Unknown SegmentCost subclasses
+// instantiate the same templates with virtual dispatch — slower, identical
+// results.
+//
+// Two invariants the optimizations must not break (the golden-output tests
+// pin them):
+//  * cost(s, t) is a pure function, so evaluating it ONCE per (s, t) and
+//    reusing the value in both the minimize and the prune pass (the seed
+//    code evaluated it twice) yields bit-identical segmentations.
+//  * all comparisons run in the seed code's candidate order, so FP
+//    tie-breaking is unchanged.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <concepts>
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "changepoint/workspace.hpp"
+
+namespace ccc::changepoint::detail {
+
+/// Costs whose segment cost is a pure function of (sum, sum_sq, len) over
+/// prefix sums — CostL2 and CostNormal. For these, PELT runs a packed fast
+/// path: the per-candidate loads become unit-stride array sweeps.
+template <class Cost>
+concept PrefixSumCost = requires(const Cost& c) {
+  { Cost::cost_from_sums(0.0, 0.0, 1.0) } -> std::convertible_to<double>;
+  { c.prefix() } -> std::convertible_to<const std::vector<double>&>;
+  { c.prefix_sq() } -> std::convertible_to<const std::vector<double>&>;
+};
+
+/// PELT with fused minimize+prune and in-place candidate compaction — the
+/// generic (possibly virtual-dispatch) path for unknown cost types.
+///
+/// Feasibility note (the former silent `best == kInf` path): f[t] stays at
+/// +inf whenever every surviving candidate is younger than min_seg — e.g.
+/// right after a prune removed all old candidates. That is legitimate
+/// transient state: such a t is NOT appended to the candidate set (so no
+/// later step ever reads a non-finite f[s]; asserted below), and if f[n]
+/// itself is unreachable the backtrack stops at prev[n] == 0 and reports
+/// "no change points". The degenerate min_segment > n/2 case exits via the
+/// n < 2 * min_seg guard before the loop.
+template <class Cost>
+void pelt_into_generic(const Cost& cost, double penalty, std::size_t min_segment,
+                       ChangepointWorkspace& ws, std::vector<std::size_t>& out) {
+  out.clear();
+  const std::size_t n = cost.n();
+  const std::size_t min_seg = std::max(min_segment, cost.min_size());
+  if (n < 2 * min_seg) return;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto& f = ws.f;
+  auto& prev = ws.prev;
+  auto& cand = ws.candidates;
+  auto& cand_cost = ws.candidate_cost;
+  f.assign(n + 1, kInf);
+  prev.assign(n + 1, 0);
+  f[0] = -penalty;
+  cand.clear();
+  cand.push_back(0);
+
+  for (std::size_t t = min_seg; t <= n; ++t) {
+    const std::size_t m = cand.size();
+    cand_cost.resize(m);
+    double best = kInf;
+    std::size_t best_s = 0;
+    for (std::size_t idx = 0; idx < m; ++idx) {
+      const std::size_t s = cand[idx];
+      assert(f[s] < kInf);           // only reachable prefixes become candidates
+      if (t - s < min_seg) continue;  // too young to close a segment
+      const double c = cost.cost(s, t);  // evaluated once per (s, t)
+      cand_cost[idx] = c;
+      const double v = f[s] + c + penalty;
+      if (v < best) {
+        best = v;
+        best_s = s;
+      }
+    }
+    if (best == kInf) continue;  // every candidate too young; see note above
+    f[t] = best;
+    prev[t] = best_s;
+
+    // Prune, compacting in place: s survives iff it could still win later.
+    // Young candidates short-circuit before reading their (unset) cache slot.
+    std::size_t w = 0;
+    for (std::size_t idx = 0; idx < m; ++idx) {
+      const std::size_t s = cand[idx];
+      if (t - s < min_seg || f[s] + cand_cost[idx] <= f[t]) cand[w++] = s;
+    }
+    cand.resize(w);
+    cand.push_back(t);
+  }
+
+  // Backtrack.
+  std::size_t t = n;
+  while (t > 0) {
+    const std::size_t s = prev[t];
+    if (s == 0) break;
+    out.push_back(s);
+    t = s;
+  }
+  std::sort(out.begin(), out.end());
+}
+
+/// Packed PELT for prefix-sum costs: bit-identical to pelt_into_generic —
+/// every FP operation runs on the same values in the same order — but each
+/// candidate's (f, prefix, prefix_sq, index) lives in parallel unit-stride
+/// arrays maintained across steps. The minimize loop is then a flat
+/// branch-free sweep: no gathers through f[]/prefix[] by candidate index,
+/// no per-candidate age check (candidates are sorted, so the too-young ones
+/// are a suffix located once per step), and independent divisions the
+/// hardware can pipeline. On the ~100-sample pipeline flows this roughly
+/// halves PELT's per-eval cost.
+template <class Cost>
+  requires PrefixSumCost<Cost>
+void pelt_into_packed(const Cost& cost, double penalty, std::size_t min_segment,
+                      ChangepointWorkspace& ws, std::vector<std::size_t>& out) {
+  out.clear();
+  const std::size_t n = cost.n();
+  const std::size_t min_seg = std::max(min_segment, cost.min_size());
+  if (n < 2 * min_seg) return;
+
+  const std::vector<double>& p = cost.prefix();
+  const std::vector<double>& p2 = cost.prefix_sq();
+  auto& prev = ws.prev;
+  auto& cand = ws.candidates;     // s, ascending (appended in t order)
+  auto& cc = ws.candidate_cost;   // cost(s, t) this step
+  auto& cf = ws.cand_f;           // f[s]
+  auto& cp = ws.cand_p;           // prefix[s]
+  auto& cp2 = ws.cand_p2;         // prefix_sq[s]
+  auto& csd = ws.cand_sd;         // (double)s
+  auto& cv = ws.cand_v;           // f[s] + cost + penalty this step
+  prev.assign(n + 1, 0);
+  // Worst case keeps every index as a candidate, so sizing everything to
+  // n + 1 up front (a) removes all per-step resize/push_back paths and (b)
+  // keeps .data() stable, letting the sweep run over hoisted __restrict
+  // pointers — no per-step runtime aliasing checks for the vectorizer.
+  cand.resize(n + 1);
+  cf.resize(n + 1);
+  cp.resize(n + 1);
+  cp2.resize(n + 1);
+  csd.resize(n + 1);
+  cc.resize(n + 1);
+  cv.resize(n + 1);
+  std::size_t m = 1;  // live candidate count
+  cand[0] = 0;
+  cf[0] = -penalty;  // f[0]
+  cp[0] = p[0];
+  cp2[0] = p2[0];
+  csd[0] = 0.0;
+  std::size_t* __restrict cand_d = cand.data();
+  double* __restrict cf_d = cf.data();
+  double* __restrict cp_d = cp.data();
+  double* __restrict cp2_d = cp2.data();
+  double* __restrict csd_d = csd.data();
+  double* __restrict cc_d = cc.data();
+  double* __restrict cv_d = cv.data();
+  const double* __restrict p_d = p.data();
+  const double* __restrict p2_d = p2.data();
+
+  for (std::size_t t = min_seg; t <= n; ++t) {
+    // Candidates are sorted, so those too young to close a segment
+    // (s > t - min_seg) form a suffix — at most min_seg - 1 entries.
+    const std::size_t s_max = t - min_seg;
+    std::size_t m_old = m;
+    while (m_old > 0 && cand_d[m_old - 1] > s_max) --m_old;
+    if (m_old == 0) continue;  // every candidate too young (kInf in the generic path)
+
+    // Minimize: flat elementwise sweep over the packed arrays. Same values,
+    // same order as f[s] + cost.cost(s, t) + penalty in the generic path —
+    // td - csd[i] is exact for integer-valued doubles, so it equals
+    // (double)(t - s).
+    const double pt = p_d[t];
+    const double p2t = p2_d[t];
+    const double td = static_cast<double>(t);
+    for (std::size_t i = 0; i < m_old; ++i) {
+      const double c =
+          Cost::cost_from_sums(pt - cp_d[i], p2t - cp2_d[i], td - csd_d[i]);
+      cc_d[i] = c;
+      cv_d[i] = cf_d[i] + c + penalty;
+    }
+    // First strict minimum — the same winner the generic path's running
+    // `v < best` comparison picks. Two phases: the min VALUE is
+    // order-independent (no NaNs, and round-to-nearest addition cannot
+    // produce -0.0 here), so it reduces pairwise in SIMD; the first index
+    // attaining that value is exactly the index the sequential strict-<
+    // scan returns.
+    double best;
+    std::size_t best_i;
+#if defined(__SSE2__)
+    {
+      __m128d vmin = _mm_set1_pd(cv_d[0]);
+      std::size_t i = 0;
+      for (; i + 2 <= m_old; i += 2) vmin = _mm_min_pd(vmin, _mm_loadu_pd(cv_d + i));
+      double lanes[2];
+      _mm_storeu_pd(lanes, vmin);
+      best = std::min(lanes[0], lanes[1]);
+      if (i < m_old) best = std::min(best, cv_d[i]);
+      const __m128d vbest = _mm_set1_pd(best);
+      best_i = m_old - 1;  // fallback: an odd tail element must be the min
+      for (i = 0; i + 2 <= m_old; i += 2) {
+        const int eq = _mm_movemask_pd(_mm_cmpeq_pd(_mm_loadu_pd(cv_d + i), vbest));
+        if (eq != 0) {
+          best_i = i + (((eq & 1) != 0) ? 0 : 1);
+          break;
+        }
+      }
+    }
+#else
+    best = cv_d[0];
+    best_i = 0;
+    for (std::size_t i = 1; i < m_old; ++i) {
+      if (cv_d[i] < best) {
+        best = cv_d[i];
+        best_i = i;
+      }
+    }
+#endif
+    const double ft = best;  // f[t]
+    prev[t] = cand_d[best_i];
+
+    // Prune, compacting every packed array in place; the young suffix
+    // survives unconditionally (the `t - s < min_seg` clause). Candidates
+    // up to the first pruned one keep their slots, so when nothing is
+    // pruned — the common case on noisy flows, where every candidate stays
+    // within `penalty` of the optimum — no array is touched at all.
+    std::size_t keep = 0;
+#if defined(__SSE2__)
+    {
+      // Pairwise scan for the first pruned candidate; addpd/cmpgt are the
+      // same IEEE add and compare the scalar loop performs.
+      const __m128d vft = _mm_set1_pd(ft);
+      while (keep + 2 <= m_old) {
+        const __m128d w2 =
+            _mm_add_pd(_mm_loadu_pd(cf_d + keep), _mm_loadu_pd(cc_d + keep));
+        if (_mm_movemask_pd(_mm_cmpgt_pd(w2, vft)) != 0) break;
+        keep += 2;
+      }
+    }
+#endif
+    while (keep < m_old && cf_d[keep] + cc_d[keep] <= ft) ++keep;
+    if (keep < m_old) {
+      std::size_t w = keep;
+      for (std::size_t i = keep + 1; i < m_old; ++i) {
+        if (cf_d[i] + cc_d[i] <= ft) {
+          cand_d[w] = cand_d[i];
+          cf_d[w] = cf_d[i];
+          cp_d[w] = cp_d[i];
+          cp2_d[w] = cp2_d[i];
+          csd_d[w] = csd_d[i];
+          ++w;
+        }
+      }
+      for (std::size_t i = m_old; i < m; ++i) {
+        cand_d[w] = cand_d[i];
+        cf_d[w] = cf_d[i];
+        cp_d[w] = cp_d[i];
+        cp2_d[w] = cp2_d[i];
+        csd_d[w] = csd_d[i];
+        ++w;
+      }
+      m = w;
+    }
+    cand_d[m] = t;
+    cf_d[m] = ft;
+    cp_d[m] = pt;
+    cp2_d[m] = p2t;
+    csd_d[m] = td;
+    ++m;
+  }
+
+  // Backtrack.
+  std::size_t t = n;
+  while (t > 0) {
+    const std::size_t s = prev[t];
+    if (s == 0) break;
+    out.push_back(s);
+    t = s;
+  }
+  std::sort(out.begin(), out.end());
+}
+
+/// Entry point: packed fast path for prefix-sum costs, generic otherwise.
+template <class Cost>
+void pelt_into(const Cost& cost, double penalty, std::size_t min_segment,
+               ChangepointWorkspace& ws, std::vector<std::size_t>& out) {
+  if constexpr (PrefixSumCost<Cost>) {
+    pelt_into_packed(cost, penalty, min_segment, ws, out);
+  } else {
+    pelt_into_generic(cost, penalty, min_segment, ws, out);
+  }
+}
+
+/// Best single split of [lo, hi); returns (gain, index) or gain = -inf.
+template <class Cost>
+std::pair<double, std::size_t> best_split(const Cost& cost, std::size_t lo, std::size_t hi) {
+  const std::size_t min_seg = cost.min_size();
+  double best_gain = -std::numeric_limits<double>::infinity();
+  std::size_t best_k = 0;
+  if (hi - lo < 2 * min_seg) return {best_gain, best_k};
+  const double whole = cost.cost(lo, hi);
+  for (std::size_t k = lo + min_seg; k + min_seg <= hi; ++k) {
+    const double gain = whole - cost.cost(lo, k) - cost.cost(k, hi);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_k = k;
+    }
+  }
+  return {best_gain, best_k};
+}
+
+template <class Cost>
+void binseg_recurse(const Cost& cost, std::size_t lo, std::size_t hi, double penalty,
+                    std::size_t budget, std::vector<std::size_t>& out) {
+  if (budget == 0) return;
+  const auto [gain, k] = best_split(cost, lo, hi);
+  if (gain <= penalty) return;
+  out.push_back(k);
+  binseg_recurse(cost, lo, k, penalty, budget - 1, out);
+  binseg_recurse(cost, k, hi, penalty, budget - 1, out);
+}
+
+template <class Cost>
+void binseg_into(const Cost& cost, double penalty, std::size_t max_changes,
+                 std::vector<std::size_t>& out) {
+  out.clear();
+  binseg_recurse(cost, 0, cost.n(), penalty, max_changes, out);
+  std::sort(out.begin(), out.end());
+}
+
+template <class Cost>
+void sliding_window_into(const Cost& cost, std::size_t half_width, double penalty,
+                         ChangepointWorkspace& ws, std::vector<std::size_t>& out) {
+  out.clear();
+  const std::size_t n = cost.n();
+  const std::size_t w = std::max(half_width, cost.min_size());
+  if (n < 2 * w + 1) return;
+
+  auto& score = ws.score;
+  score.assign(n, 0.0);
+  for (std::size_t i = w; i + w <= n; ++i) {
+    score[i] = cost.cost(i - w, i + w) - cost.cost(i - w, i) - cost.cost(i, i + w);
+  }
+  // Local maxima above the penalty, suppressing neighbors within w.
+  std::size_t i = w;
+  while (i + w <= n) {
+    if (score[i] > penalty) {
+      // Walk to the local peak.
+      std::size_t peak = i;
+      for (std::size_t j = i; j < std::min(i + w, n - 1); ++j) {
+        if (score[j] > score[peak]) peak = j;
+      }
+      out.push_back(peak);
+      i = peak + w;  // non-maximum suppression
+    } else {
+      ++i;
+    }
+  }
+}
+
+}  // namespace ccc::changepoint::detail

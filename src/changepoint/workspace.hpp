@@ -1,0 +1,52 @@
+// ChangepointWorkspace — reusable scratch for the search kernels.
+//
+// The million-flow passive pipeline (§3.1 at scale) runs one change-point
+// search per residual flow; allocating the PELT state (f/prev/candidate
+// arrays), the cost prefix sums, and the log-transformed series per flow
+// dominated the detection stage's cost. A workspace owns all of those
+// buffers: each shard constructs ONE and threads it through every flow, so
+// the buffers grow to the longest series the shard sees and are then reused
+// allocation-free (assign()/clear() on a vector never shrinks capacity).
+//
+// A workspace is plain mutable state — not thread-safe, but shards share
+// nothing, so one workspace per shard (or per thread) is the whole story.
+// Results are identical with or without a workspace: the kernels compute
+// the same values in the same order either way.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "changepoint/cost.hpp"
+
+namespace ccc::changepoint {
+
+struct ChangepointWorkspace {
+  // --- PELT state (pelt_into) ---
+  std::vector<double> f;                   ///< optimal cost to each prefix
+  std::vector<std::size_t> prev;           ///< backtracking links
+  std::vector<std::size_t> candidates;     ///< pruned last-change-point set
+  std::vector<double> candidate_cost;      ///< cost(s, t) cache, one eval per step
+
+  // Packed per-candidate state for the prefix-sum fast path: each
+  // candidate's f value, prefix sums, and index-as-double live in parallel
+  // unit-stride arrays, so the minimize loop is a flat branch-free sweep
+  // (no gathers through f[]/prefix[] by candidate index).
+  std::vector<double> cand_f;              ///< f[s] per candidate
+  std::vector<double> cand_p;              ///< prefix[s] per candidate
+  std::vector<double> cand_p2;             ///< prefix_sq[s] per candidate
+  std::vector<double> cand_sd;             ///< (double)s per candidate
+  std::vector<double> cand_v;              ///< f[s] + cost + penalty per step
+
+  // --- sliding-window state ---
+  std::vector<double> score;               ///< per-index discrepancy scores
+
+  // --- detect_mean_shifts / pipeline detection stage ---
+  CostL2 cost_l2;                          ///< prefix-sum buffers, refit per flow
+  std::vector<double> diffs;               ///< estimate_noise_sigma scratch
+  std::vector<double> log_series;          ///< log-transformed throughput series
+  std::vector<std::size_t> cps;            ///< change-point output buffer
+  std::vector<std::size_t> bounds;         ///< segment boundaries incl. 0 and n
+};
+
+}  // namespace ccc::changepoint

@@ -159,6 +159,9 @@ SinglePhaseResult run_single_phase(const ElasticityPocConfig& cfg, int phase) {
   telemetry::PeriodicSampler sampler{
       net.scheduler(), cfg.sample_interval, Time::sec(1.0), end + Time::sec(1.0),
       [&](Time now) {
+        // Each sample runs one spectrum over the probe's z window; the
+        // FFT plan and scratch buffers persist inside the probe's
+        // SpectrumWorkspace, so repeated windows allocate nothing.
         out.elasticity.add(now, probe->elasticity());
         out.probe_rate_mbps.add(now, probe->base_rate().to_mbps());
       }};

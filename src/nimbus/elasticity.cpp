@@ -9,9 +9,15 @@ namespace ccc::nimbus {
 
 double elasticity_metric(std::span<const double> z, double sample_hz,
                          const ElasticityConfig& cfg) {
+  SpectrumWorkspace ws;
+  return elasticity_metric(z, sample_hz, cfg, ws);
+}
+
+double elasticity_metric(std::span<const double> z, double sample_hz,
+                         const ElasticityConfig& cfg, SpectrumWorkspace& ws) {
   if (z.size() < 16 || sample_hz <= 0.0) return 0.0;
 
-  const Spectrum spec = magnitude_spectrum(z, sample_hz);
+  const Spectrum& spec = magnitude_spectrum(z, sample_hz, ws);
   if (spec.magnitude.size() < 8) return 0.0;
 
   const std::size_t fp_bin = spec.bin_for(cfg.pulse_hz);

@@ -38,6 +38,13 @@ struct ElasticityConfig {
 [[nodiscard]] double elasticity_metric(std::span<const double> z, double sample_hz,
                                        const ElasticityConfig& cfg = {});
 
+/// Workspace variant: identical value, but the spectrum scratch (windowed
+/// copy, FFT buffer, Hann table) comes from `ws` — zero heap allocation per
+/// window once warmed up. The elasticity study and NimbusCca call this once
+/// per FFT window for an entire run.
+[[nodiscard]] double elasticity_metric(std::span<const double> z, double sample_hz,
+                                       const ElasticityConfig& cfg, SpectrumWorkspace& ws);
+
 /// Classification threshold used by Nimbus's mode switcher; we expose it so
 /// benches and the detector agree on one constant.
 inline constexpr double kElasticThreshold = 2.0;

@@ -138,13 +138,16 @@ void NimbusCca::account_delivery(const cca::AckEvent& ev) {
 }
 
 double NimbusCca::elasticity() const {
-  const std::vector<double> z{z_series_.begin(), z_series_.end()};
+  // Linearize the deque into the workspace's staging buffer; the spectrum
+  // scratch inside fft_ws_ is likewise reused across windows.
+  std::vector<double>& z = fft_ws_.series;
+  z.assign(z_series_.begin(), z_series_.end());
   ElasticityConfig ec;
   ec.pulse_hz = cfg_.pulse_hz;
   // A fully-elastic cross flow would answer the pulses nearly 1:1; require a
   // meaningful fraction of that before calling the path elastic.
   ec.reference_amplitude = cfg_.pulse_amplitude * capacity_estimate().to_bps();
-  return elasticity_metric(z, 1.0 / cfg_.sample_bin.to_sec(), ec);
+  return elasticity_metric(z, 1.0 / cfg_.sample_bin.to_sec(), ec, fft_ws_);
 }
 
 void NimbusCca::run_delay_controller(Time now) {

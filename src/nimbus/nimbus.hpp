@@ -140,6 +140,9 @@ class NimbusCca : public cca::CongestionControl {
   double last_z_bps_{0.0};         ///< zero-order hold for empty bins
   std::deque<double> z_series_;    ///< one entry per sample bin
   std::size_t max_bins_{0};
+  /// Spectrum scratch reused across elasticity windows (elasticity() is
+  /// const; the scratch is not observable state).
+  mutable SpectrumWorkspace fft_ws_;
 };
 
 }  // namespace ccc::nimbus

@@ -40,21 +40,21 @@ Verdict classify_filters(const store::FlowView& flow, const ClassifyConfig& cfg)
 
 namespace {
 
-/// log(max(x, 1e-3)) over [begin, end) of the series — the transform under
-/// which multiplicative rate noise has stable variance (see below).
-std::vector<double> log_series(std::span<const double> series, std::size_t begin,
-                               std::size_t end) {
-  std::vector<double> out;
-  out.reserve(end - begin);
+/// Appends log(max(x, 1e-3)) over [begin, end) of the series to `out` — the
+/// transform under which multiplicative rate noise has stable variance (see
+/// below). Append-only so the early-exit prefix extends into the full series
+/// without recomputing.
+void log_series_into(std::span<const double> series, std::size_t begin, std::size_t end,
+                     std::vector<double>& out) {
   for (std::size_t i = begin; i < end; ++i) {
     out.push_back(std::log(std::max(series[i], 1e-3)));
   }
-  return out;
 }
 
 }  // namespace
 
-FlowFinding detect_changepoints(const store::FlowView& flow, const ClassifyConfig& cfg) {
+FlowFinding detect_changepoints(const store::FlowView& flow, const ClassifyConfig& cfg,
+                                changepoint::ChangepointWorkspace& ws) {
   FlowFinding f;
   f.id = flow.id;
   f.truth = flow.truth;
@@ -64,14 +64,18 @@ FlowFinding detect_changepoints(const store::FlowView& flow, const ClassifyConfi
   const double dt = flow.snapshot_interval_sec;
   const auto min_seg = static_cast<std::size_t>(std::ceil(cfg.min_segment_sec / dt));
 
+  auto& log_tput = ws.log_series;
+  log_tput.clear();
+
   // TURBOTEST-style screen: read only the first window; if a CUSUM over the
   // log-prefix never drifts, trust the prefix and skip the full search (and
   // the unread tail pages of a columnar store).
   if (cfg.early_exit) {
     const auto w = static_cast<std::size_t>(std::ceil(cfg.early_exit_window_sec / dt));
     if (w >= 4 && w < n) {
-      const auto prefix = log_series(series, 0, w);
-      double sigma = changepoint::estimate_noise_sigma(prefix);
+      log_series_into(series, 0, w, log_tput);
+      const std::span<const double> prefix{log_tput};
+      double sigma = changepoint::estimate_noise_sigma(prefix, ws.diffs);
       if (sigma <= 1e-12) sigma = 1e-6;  // same noise-free convention as the full path
       const std::size_t ref_n = std::max<std::size_t>(1, std::min(min_seg, w));
       double ref = 0.0;
@@ -97,15 +101,19 @@ FlowFinding detect_changepoints(const store::FlowView& flow, const ClassifyConfi
   // Change-point search on the *log* throughput series: rate noise is
   // multiplicative (a fixed coefficient of variation), so the log transform
   // stabilizes the variance and a single penalty suits high and low levels
-  // alike; level shifts stay steps under the transform.
-  const auto log_tput = log_series(series, 0, n);
+  // alike; level shifts stay steps under the transform. The early-exit
+  // prefix (if we took that path) is already in place; extend to n.
+  log_series_into(series, log_tput.size(), n, log_tput);
   // The persistence requirement goes into the search itself: PELT then finds
   // the best segmentation at the granularity we care about instead of
   // shattering gradual transitions into sub-threshold fragments.
-  const auto cps = changepoint::detect_mean_shifts(log_tput, cfg.sensitivity, min_seg);
+  changepoint::detect_mean_shifts_into(log_tput, cfg.sensitivity, min_seg, ws, ws.cps);
+  const auto& cps = ws.cps;
 
   // Evaluate each change point: segment boundaries are [0, cps..., n).
-  std::vector<std::size_t> bounds{0};
+  auto& bounds = ws.bounds;
+  bounds.clear();
+  bounds.push_back(0);
   bounds.insert(bounds.end(), cps.begin(), cps.end());
   bounds.push_back(n);
 
@@ -134,6 +142,11 @@ FlowFinding detect_changepoints(const store::FlowView& flow, const ClassifyConfi
   f.verdict = f.shift_times_sec.empty() ? Verdict::kNoLevelShift : Verdict::kContentionSuspect;
   f.samples_scanned = static_cast<std::uint32_t>(n);
   return f;
+}
+
+FlowFinding detect_changepoints(const store::FlowView& flow, const ClassifyConfig& cfg) {
+  changepoint::ChangepointWorkspace ws;
+  return detect_changepoints(flow, cfg, ws);
 }
 
 FlowFinding classify_flow(const store::FlowView& flow, const ClassifyConfig& cfg) {

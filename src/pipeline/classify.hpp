@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "changepoint/workspace.hpp"
 #include "mlab/ndt_record.hpp"
 #include "store/flow_store.hpp"
 
@@ -81,6 +82,14 @@ struct FlowFinding {
 /// Changepoint stage alone (precondition: classify_filters said residual).
 [[nodiscard]] FlowFinding detect_changepoints(const store::FlowView& flow,
                                               const ClassifyConfig& cfg);
+
+/// Workspace variant: identical result, but the log series, noise scratch,
+/// cost prefixes, and PELT state all come from `ws` — zero heap allocation
+/// per flow once the shard's workspace has warmed up. (The FlowFinding's own
+/// shift vectors still allocate; they are the output, not scratch.)
+[[nodiscard]] FlowFinding detect_changepoints(const store::FlowView& flow,
+                                              const ClassifyConfig& cfg,
+                                              changepoint::ChangepointWorkspace& ws);
 
 /// Both stages composed: the per-flow unit of the pipeline.
 [[nodiscard]] FlowFinding classify_flow(const store::FlowView& flow, const ClassifyConfig& cfg);

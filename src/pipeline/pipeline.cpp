@@ -115,6 +115,10 @@ PipelineResult run_pipeline(const FlowSource& src, const PipelineConfig& cfg) {
     const std::size_t end = std::min(n, begin + shard_flows);
     ShardResult r;
     if (cfg.keep_findings) r.sink.findings.reserve(end - begin);
+    // One workspace per shard: the changepoint stage's scratch (log series,
+    // cost prefixes, PELT state) grows to the shard's longest flow and is
+    // then reused allocation-free. Shards share nothing, so no locking.
+    changepoint::ChangepointWorkspace ws;
     for (std::size_t i = begin; i < end; ++i) {
       const store::FlowView flow = src.flow(i);                    // Source
       const Verdict filter = classify_filters(flow, cfg.classify);  // Classify
@@ -124,7 +128,7 @@ PipelineResult run_pipeline(const FlowSource& src, const PipelineConfig& cfg) {
         f.truth = flow.truth;
         f.verdict = filter;
       } else {
-        f = detect_changepoints(flow, cfg.classify);  // Changepoint
+        f = detect_changepoints(flow, cfg.classify, ws);  // Changepoint
       }
       const bool truly = flow.truth == mlab::FlowArchetype::kBulkContended;
       r.sink.accumulate(std::move(f), truly, cfg.keep_findings);  // Sink

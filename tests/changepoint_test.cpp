@@ -1,6 +1,7 @@
 // Unit + property tests for change-point detection.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "changepoint/cost.hpp"
@@ -278,6 +279,176 @@ TEST(EdgeCases, SeriesShorterThanMinSegmentHasNoChangePoints) {
   cost.fit(x);
   EXPECT_TRUE(pelt(cost, 0.001, /*min_segment=*/5).empty());
   EXPECT_TRUE(detect_mean_shifts(x, 1.0, /*min_segment=*/5).empty());
+}
+
+// ---------- minimum-segment feasibility ----------
+// When min_segment exceeds n/2 no interior split admits two valid segments;
+// pelt() must report "no change points" (not crash, not fabricate a split,
+// not leave infinities visible). Regression for the silent `best == kInf`
+// path: f[t] may legitimately stay unset while every candidate is younger
+// than min_segment, and the backtrack must still terminate cleanly.
+
+TEST(PeltFeasibility, MinSegmentOverHalfLengthFindsNothing) {
+  std::vector<double> x;
+  for (int i = 0; i < 40; ++i) x.push_back(i < 20 ? 1.0 : 9.0);  // blatant step
+  CostL2 cost;
+  cost.fit(x);
+  EXPECT_TRUE(pelt(cost, 0.001, /*min_segment=*/21).empty());
+  EXPECT_TRUE(pelt(cost, 0.001, /*min_segment=*/40).empty());
+  EXPECT_TRUE(pelt(cost, 0.001, /*min_segment=*/1000).empty());
+}
+
+TEST(PeltFeasibility, MinSegmentExactlyHalfAllowsOnlyTheMidpoint) {
+  std::vector<double> x;
+  for (int i = 0; i < 40; ++i) x.push_back(i < 20 ? 1.0 : 9.0);
+  CostL2 cost;
+  cost.fit(x);
+  const auto cps = pelt(cost, 0.001, /*min_segment=*/20);
+  ASSERT_EQ(cps.size(), 1u);
+  EXPECT_EQ(cps[0], 20u);
+}
+
+// ---------- golden outputs ----------
+// Exact change-point indices pinned on fixed synthetic signals BEFORE the
+// kernel optimizations (devirtualized search, fused minimize+prune,
+// workspace reuse) so a rewrite cannot silently change results. The
+// optimized kernels evaluate cost(s, t) once per step in the same FP order
+// as the seed code, so these must stay bit-for-bit identical.
+
+std::vector<double> golden_step() {
+  Rng rng{101};
+  std::vector<double> x;
+  for (int i = 0; i < 120; ++i) x.push_back((i < 60 ? 10.0 : 16.0) + rng.normal(0.0, 0.5));
+  return x;
+}
+
+std::vector<double> golden_ramp() {
+  Rng rng{202};
+  std::vector<double> x;
+  for (int i = 0; i < 150; ++i)
+    x.push_back(5.0 + 0.1 * static_cast<double>(i) + rng.normal(0.0, 0.4));
+  return x;
+}
+
+std::vector<double> golden_noise() {
+  Rng rng{303};
+  std::vector<double> x;
+  for (int i = 0; i < 200; ++i) x.push_back(20.0 + rng.normal(0.0, 1.0));
+  return x;
+}
+
+std::vector<double> golden_varshift() {
+  Rng rng{404};
+  std::vector<double> x;
+  for (int i = 0; i < 100; ++i) x.push_back(8.0 + rng.normal(0.0, 0.2));
+  for (int i = 0; i < 100; ++i) x.push_back(8.0 + rng.normal(0.0, 2.5));
+  return x;
+}
+
+using Cps = std::vector<std::size_t>;
+
+TEST(Golden, StepSignal) {
+  const auto x = golden_step();
+  CostL2 cost;
+  cost.fit(x);
+  const double pen = bic_penalty(x.size(), 0.5);
+  EXPECT_EQ(pelt(cost, pen), (Cps{60}));
+  EXPECT_EQ(binary_segmentation(cost, pen), (Cps{60}));
+  EXPECT_EQ(sliding_window(cost, 15, pen), (Cps{60}));
+  EXPECT_EQ(detect_mean_shifts(x), (Cps{60}));
+}
+
+TEST(Golden, RampSignal) {
+  // A ramp has no true step; the searches tile it into quasi-stationary
+  // pieces. The exact tiling is what we pin.
+  const auto x = golden_ramp();
+  CostL2 cost;
+  cost.fit(x);
+  const double pen = bic_penalty(x.size(), 0.4);
+  EXPECT_EQ(pelt(cost, pen, /*min_segment=*/10),
+            (Cps{10, 22, 36, 48, 58, 68, 81, 92, 103, 115, 126, 137}));
+  EXPECT_EQ(binary_segmentation(cost, pen, /*max_changes=*/8),
+            (Cps{10, 22, 36, 48, 58, 68, 76, 81, 92, 103, 115, 123, 133, 146}));
+  EXPECT_EQ(sliding_window(cost, 20, pen), (Cps{22, 58, 81, 103, 126}));
+}
+
+TEST(Golden, StationaryNoise) {
+  const auto x = golden_noise();
+  CostL2 cost;
+  cost.fit(x);
+  const double pen = bic_penalty(x.size(), estimate_noise_sigma(x));
+  EXPECT_EQ(pelt(cost, pen), Cps{});
+  EXPECT_EQ(binary_segmentation(cost, pen), Cps{});
+  EXPECT_EQ(sliding_window(cost, 20, pen), Cps{});
+}
+
+TEST(Golden, VarianceShift) {
+  // Same mean both halves; only CostNormal can see the boundary.
+  const auto x = golden_varshift();
+  CostNormal cost;
+  cost.fit(x);
+  const double pen = 2.0 * std::log(200.0);
+  EXPECT_EQ(pelt(cost, pen), (Cps{101}));
+  EXPECT_EQ(binary_segmentation(cost, pen), (Cps{101}));
+  EXPECT_EQ(sliding_window(cost, 25, pen), (Cps{100}));
+}
+
+// ---------- packed kernel / workspace equivalence ----------
+
+/// A SegmentCost the dispatcher cannot recognize: forwards to CostL2 through
+/// the virtual interface, so the search runs the generic (unpacked) kernel.
+/// Comparing against plain CostL2 pins packed == generic exactly.
+class OpaqueL2 : public SegmentCost {
+ public:
+  void fit(std::span<const double> signal) override {
+    inner_.fit(signal);
+    n_ = signal.size();
+  }
+  [[nodiscard]] double cost(std::size_t i, std::size_t j) const override {
+    return inner_.cost(i, j);
+  }
+  [[nodiscard]] std::size_t min_size() const override { return inner_.min_size(); }
+
+ private:
+  CostL2 inner_;
+};
+
+TEST(WorkspaceEquivalence, PackedPeltMatchesGenericKernel) {
+  for (const auto& x : {golden_step(), golden_ramp(), golden_noise(), golden_varshift()}) {
+    const double sigma = std::max(estimate_noise_sigma(x), 1e-6);
+    const double pen = bic_penalty(x.size(), sigma);
+    CostL2 packed;
+    packed.fit(x);
+    OpaqueL2 generic;
+    generic.fit(x);
+    for (const std::size_t min_seg : {1u, 3u, 10u}) {
+      EXPECT_EQ(pelt(packed, pen, min_seg), pelt(generic, pen, min_seg))
+          << "n=" << x.size() << " min_seg=" << min_seg;
+    }
+  }
+}
+
+TEST(WorkspaceEquivalence, DetectMeanShiftsIntoIdenticalWithDirtyWorkspace) {
+  // One workspace reused across signals of different lengths and shapes must
+  // reproduce the fresh-allocation results exactly.
+  ChangepointWorkspace ws;
+  for (const auto& x : {golden_ramp(), golden_step(), golden_noise(), golden_varshift()}) {
+    const auto fresh = detect_mean_shifts(x, 1.0, 3);
+    detect_mean_shifts_into(x, 1.0, 3, ws, ws.cps);
+    EXPECT_EQ(fresh, ws.cps) << "n=" << x.size();
+  }
+}
+
+TEST(WorkspaceEquivalence, SlidingWindowIntoIdenticalWithDirtyWorkspace) {
+  ChangepointWorkspace ws;
+  std::vector<std::size_t> out;
+  for (const auto& x : {golden_step(), golden_ramp()}) {
+    CostL2 cost;
+    cost.fit(x);
+    const double pen = bic_penalty(x.size(), std::max(estimate_noise_sigma(x), 1e-6));
+    sliding_window_into(cost, 20, pen, ws, out);
+    EXPECT_EQ(sliding_window(cost, 20, pen), out) << "n=" << x.size();
+  }
 }
 
 }  // namespace

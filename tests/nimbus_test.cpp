@@ -311,5 +311,21 @@ TEST(NimbusCca, RtoResetsToFloorRate) {
   EXPECT_DOUBLE_EQ(cc.base_rate().to_bps(), cfg.min_rate.to_bps());
 }
 
+TEST(ElasticityMetric, WorkspaceOverloadIdenticalEvenWhenDirty) {
+  // The per-window workspace path must produce the same bits as a fresh
+  // computation, even when the workspace was last used on a different
+  // window length (every scratch buffer resized and overwritten).
+  Rng rng{9};
+  SpectrumWorkspace ws;
+  ElasticityConfig cfg;
+  cfg.reference_amplitude = 2.0;  // exercise the significance-scaling branch
+  for (const std::size_t len : {500u, 128u, 500u, 2000u}) {
+    const auto z = tone_plus_noise(5.0, 3.0, 0.8, len, rng);
+    const double fresh = elasticity_metric(z, kFs, cfg);
+    const double reused = elasticity_metric(z, kFs, cfg, ws);
+    EXPECT_EQ(fresh, reused) << "len=" << len;
+  }
+}
+
 }  // namespace
 }  // namespace ccc::nimbus
