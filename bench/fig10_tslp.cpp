@@ -94,7 +94,9 @@ Verdicts run_case(bool contention) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+/// The bench body; main() below routes uncaught errors through the shared
+/// guarded_main error boundary (structured message + exit-code contract).
+int run_bench(int argc, char** argv) {
   using namespace ccc;
   auto cli = bench::Cli::parse(argc, argv, "fig10_tslp");
   std::ostream& os = cli.output();
@@ -136,4 +138,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   return reproduced ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  return ccc::bench::guarded_main("fig10_tslp", [&] { return run_bench(argc, argv); });
 }

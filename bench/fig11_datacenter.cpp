@@ -90,7 +90,9 @@ DcOutcome run_case(const std::string& cca, bool fq, ByteCount ecn_threshold) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+/// The bench body; main() below routes uncaught errors through the shared
+/// guarded_main error boundary (structured message + exit-code contract).
+int run_bench(int argc, char** argv) {
   using namespace ccc;
   auto cli = bench::Cli::parse(argc, argv, "fig11_datacenter");
   std::ostream& os = cli.output();
@@ -128,4 +130,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ccc::bench::guarded_main("fig11_datacenter", [&] { return run_bench(argc, argv); });
 }

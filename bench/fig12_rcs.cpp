@@ -39,7 +39,9 @@ struct Service {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+/// The bench body; main() below routes uncaught errors through the shared
+/// guarded_main error boundary (structured message + exit-code contract).
+int run_bench(int argc, char** argv) {
   using namespace ccc;
   auto cli = bench::Cli::parse(argc, argv, "fig12_rcs");
   std::ostream& os = cli.output();
@@ -120,4 +122,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   return ok ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  return ccc::bench::guarded_main("fig12_rcs", [&] { return run_bench(argc, argv); });
 }

@@ -43,7 +43,9 @@ const double kWeights[3] = {4.0, 2.0, 1.0};
 
 }  // namespace
 
-int main(int argc, char** argv) {
+/// The bench body; main() below routes uncaught errors through the shared
+/// guarded_main error boundary (structured message + exit-code contract).
+int run_bench(int argc, char** argv) {
   using namespace ccc;
   auto cli = bench::Cli::parse(argc, argv, "fig13_bwe");
   std::ostream& os = cli.output();
@@ -153,4 +155,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ccc::bench::guarded_main("fig13_bwe", [&] { return run_bench(argc, argv); });
 }

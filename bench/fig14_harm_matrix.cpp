@@ -76,7 +76,9 @@ struct Scenario {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+/// The bench body; main() below routes uncaught errors through the shared
+/// guarded_main error boundary (structured message + exit-code contract).
+int run_bench(int argc, char** argv) {
   using namespace ccc;
   auto cli = bench::Cli::parse(argc, argv, "fig14_harm_matrix");
   std::ostream& os = cli.output();
@@ -143,4 +145,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ccc::bench::guarded_main("fig14_harm_matrix", [&] { return run_bench(argc, argv); });
 }

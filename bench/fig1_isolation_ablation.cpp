@@ -84,7 +84,9 @@ Outcome run_with(const QdiscFactory& make_qdisc) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+/// The bench body; main() below routes uncaught errors through the shared
+/// guarded_main error boundary (structured message + exit-code contract).
+int run_bench(int argc, char** argv) {
   using namespace ccc;
   auto cli = bench::Cli::parse(argc, argv, "fig1_isolation_ablation");
   std::ostream& os = cli.output();
@@ -148,4 +150,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ccc::bench::guarded_main("fig1_isolation_ablation", [&] { return run_bench(argc, argv); });
 }

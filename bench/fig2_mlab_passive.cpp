@@ -19,10 +19,14 @@
 //                    pipeline at --jobs parallelism
 //   --input PATH     analyze an existing dataset: *.ccfs (zero-copy mmap)
 //                    or *.csv (converted to a temporary ccfs store first)
+//   --strict         fail fast on the first corrupt shard/record instead of
+//                    the default skip-count-and-continue degradation
 //
 // The default invocation (neither flag) runs the legacy in-memory study and
 // its output is byte-identical to the pre-store version of this bench.
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -35,8 +39,10 @@
 #include "bench/progress.hpp"
 #include "mlab/synthetic.hpp"
 #include "pipeline/pipeline.hpp"
+#include "pipeline/shard_set.hpp"
 #include "store/convert.hpp"
 #include "store/flow_store.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/run_report.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -49,6 +55,7 @@ using namespace ccc;
 struct Fig2Options {
   std::string input;     ///< *.csv or *.ccfs dataset; "" = synthetic
   std::size_t scale{0};  ///< multiply the paper's 9,984 flows; 0 = off
+  bool strict{false};    ///< fail fast on corrupt shards/records
 };
 
 bool ends_with(const std::string& s, std::string_view suffix) {
@@ -56,11 +63,40 @@ bool ends_with(const std::string& s, std::string_view suffix) {
                                                 suffix.size(), suffix) == 0;
 }
 
-/// Parses --input/--scale out of the args bench::Cli didn't recognize.
-/// Exits 2 on anything else (a typo'd flag silently ignored would silently
-/// analyze the wrong dataset).
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::cerr << "fig2_mlab_passive: " << msg
+            << "\n  extra flags: --scale N | --input PATH.{csv,ccfs} | --strict\n";
+  std::exit(2);
+}
+
+/// Strict --scale parse per the bench::Cli contract: a malformed or
+/// over-range value ("abc", "1e99", "-3", 21-digit numbers) prints an error
+/// and exits 2 — it must never escape as an uncaught std::stoull exception,
+/// and must never be silently clamped or wrapped.
+std::size_t parse_scale(const std::string& v) {
+  static constexpr unsigned long long kMaxScale = 1'000'000;  // ~10^10 flows
+  if (v.empty()) usage_error("--scale needs a value");
+  if (v.front() == '-') usage_error("invalid --scale value '" + v + "' (want an integer >= 1)");
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || end == v.c_str()) {
+    usage_error("invalid --scale value '" + v + "' (want an integer >= 1)");
+  }
+  if (errno == ERANGE || x > kMaxScale) {
+    usage_error("--scale value '" + v + "' out of range (max " +
+                std::to_string(kMaxScale) + ")");
+  }
+  if (x == 0) usage_error("--scale must be >= 1");
+  return static_cast<std::size_t>(x);
+}
+
+/// Parses --input/--scale/--strict out of the args bench::Cli didn't
+/// recognize. Exits 2 on anything else (a typo'd flag silently ignored
+/// would silently analyze the wrong dataset).
 Fig2Options parse_extra_flags(const std::vector<std::string>& rest) {
   Fig2Options opt;
+  bool saw_scale = false;
   for (std::size_t i = 0; i < rest.size(); ++i) {
     const std::string& a = rest[i];
     auto value_of = [&](std::string_view flag) -> std::string {
@@ -71,21 +107,28 @@ Fig2Options parse_extra_flags(const std::vector<std::string>& rest) {
       if (a == flag && i + 1 < rest.size()) return rest[++i];
       return {};
     };
-    if (a.rfind("--input", 0) == 0) {
+    if (a == "--strict") {
+      opt.strict = true;
+    } else if (a == "--input" || a.rfind("--input=", 0) == 0) {
       opt.input = value_of("--input");
-      if (!opt.input.empty()) continue;
-    } else if (a.rfind("--scale", 0) == 0) {
-      const std::string v = value_of("--scale");
-      opt.scale = v.empty() ? 0 : static_cast<std::size_t>(std::stoull(v));
-      if (opt.scale > 0) continue;
+      if (opt.input.empty()) usage_error("--input needs a path");
+      if (!ends_with(opt.input, ".csv") && !ends_with(opt.input, ".ccfs")) {
+        usage_error("--input path '" + opt.input + "' must end in .csv or .ccfs");
+      }
+      // Probe readability now: "file not found" should be a clean usage
+      // error before any work starts, not a mid-run exception.
+      if (std::ifstream probe{opt.input}; !probe) {
+        usage_error("cannot open --input file '" + opt.input + "'");
+      }
+    } else if (a == "--scale" || a.rfind("--scale=", 0) == 0) {
+      opt.scale = parse_scale(value_of("--scale"));
+      saw_scale = true;
+    } else {
+      usage_error("unrecognized or incomplete argument '" + a + "'");
     }
-    std::cerr << "fig2_mlab_passive: unrecognized or incomplete argument '" << a
-              << "'\n  extra flags: --scale N | --input PATH.{csv,ccfs}\n";
-    std::exit(2);
   }
-  if (!opt.input.empty() && opt.scale > 0) {
-    std::cerr << "fig2_mlab_passive: --input and --scale are mutually exclusive\n";
-    std::exit(2);
+  if (!opt.input.empty() && saw_scale) {
+    usage_error("--input and --scale are mutually exclusive");
   }
   return opt;
 }
@@ -247,22 +290,36 @@ int run_at_scale(bench::Cli& cli, std::uint64_t seed, const Fig2Options& opt) {
     scratch.paths = store_paths;
   }
 
-  std::vector<store::FlowStoreReader> readers;
-  pipeline::StoreSource source;
-  readers.reserve(store_paths.size());
-  for (const auto& p : store_paths) {
-    readers.emplace_back(p);
-    source.add(readers.back());
+  // Stage 0.5: open the shards under the run's degradation policy. In the
+  // default degrade mode a torn/corrupt/unreadable shard is skipped and
+  // counted; --strict rethrows the first ccc::Error (guarded_main turns it
+  // into a diagnostic + exit 1).
+  telemetry::MetricRegistry io_metrics;
+  pipeline::ShardOpenOptions sopts;
+  sopts.strict = opt.strict;
+  const auto shards = pipeline::ShardSet::open(store_paths, sopts, &io_metrics);
+  for (const auto& f : shards.failures()) {
+    std::cerr << "fig2_mlab_passive: skipping unreadable shard: " << f.detail << "\n";
+  }
+  if (shards.shards_opened() == 0) {
+    std::cerr << "fig2_mlab_passive: no readable shards in " << dataset_desc << "\n";
+    return 1;
+  }
+  if (shards.flows() == 0) {
+    std::cerr << "fig2_mlab_passive: dataset " << dataset_desc << " has no flows\n";
+    return 1;
   }
 
-  print_banner(os, "Figure 2 / §3.1 at scale: " + std::to_string(source.size()) +
+  print_banner(os, "Figure 2 / §3.1 at scale: " + std::to_string(shards.flows()) +
                        " flows (" + dataset_desc + ", " +
-                       std::to_string(store_paths.size()) + " ccfs shards)");
+                       std::to_string(shards.shards_opened()) + " ccfs shards)");
 
   pipeline::PipelineConfig pcfg;
   pcfg.jobs = cli.serial ? 1 : cli.jobs;
+  pcfg.strict = opt.strict;
   pcfg.on_progress = bench::stderr_progress("fig2_mlab_passive: shards");
-  const auto res = pipeline::run_pipeline(source, pcfg);
+  auto res = pipeline::run_pipeline(shards.source(), pcfg);
+  res.metrics.merge_from(io_metrics);  // shards_failed / shards_opened
   const auto total = static_cast<double>(res.flows);
 
   TextTable verdicts{{"pipeline verdict", "flows", "fraction"}};
@@ -346,9 +403,11 @@ int run_at_scale(bench::Cli& cli, std::uint64_t seed, const Fig2Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto cli = bench::Cli::parse(argc, argv, "fig2_mlab_passive");
-  const Fig2Options opt = parse_extra_flags(cli.rest);
-  const std::uint64_t seed = cli.seed_or(20230601);  // June 2023, in spirit
-  if (opt.input.empty() && opt.scale == 0) return run_paper_scale(cli, seed);
-  return run_at_scale(cli, seed, opt);
+  return bench::guarded_main("fig2_mlab_passive", [&] {
+    auto cli = bench::Cli::parse(argc, argv, "fig2_mlab_passive");
+    const Fig2Options opt = parse_extra_flags(cli.rest);
+    const std::uint64_t seed = cli.seed_or(20230601);  // June 2023, in spirit
+    if (opt.input.empty() && opt.scale == 0) return run_paper_scale(cli, seed);
+    return run_at_scale(cli, seed, opt);
+  });
 }

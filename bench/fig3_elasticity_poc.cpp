@@ -18,7 +18,9 @@
 #include "core/elasticity_study.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+/// The bench body; main() below routes uncaught errors through the shared
+/// guarded_main error boundary (structured message + exit-code contract).
+int run_bench(int argc, char** argv) {
   using namespace ccc;
 
   auto cli = bench::Cli::parse(argc, argv, "fig3_elasticity_poc");
@@ -73,4 +75,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   return min_elastic > max_inelastic ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  return ccc::bench::guarded_main("fig3_elasticity_poc", [&] { return run_bench(argc, argv); });
 }

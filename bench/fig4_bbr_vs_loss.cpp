@@ -48,7 +48,9 @@ double bbr_share(int n_cubic, double buffer_bdp, bool fq) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+/// The bench body; main() below routes uncaught errors through the shared
+/// guarded_main error boundary (structured message + exit-code contract).
+int run_bench(int argc, char** argv) {
   using namespace ccc;
   auto cli = bench::Cli::parse(argc, argv, "fig4_bbr_vs_loss");
   std::ostream& os = cli.output();
@@ -82,4 +84,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ccc::bench::guarded_main("fig4_bbr_vs_loss", [&] { return run_bench(argc, argv); });
 }

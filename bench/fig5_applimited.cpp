@@ -34,7 +34,9 @@ core::DumbbellConfig access_link() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+/// The bench body; main() below routes uncaught errors through the shared
+/// guarded_main error boundary (structured message + exit-code contract).
+int run_bench(int argc, char** argv) {
   using namespace ccc;
   auto cli = bench::Cli::parse(argc, argv, "fig5_applimited");
   std::ostream& os = cli.output();
@@ -92,4 +94,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ccc::bench::guarded_main("fig5_applimited", [&] { return run_bench(argc, argv); });
 }

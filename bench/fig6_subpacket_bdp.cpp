@@ -66,7 +66,9 @@ WindowStats run_case(double bdp_packets, int n_flows) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+/// The bench body; main() below routes uncaught errors through the shared
+/// guarded_main error boundary (structured message + exit-code contract).
+int run_bench(int argc, char** argv) {
   using namespace ccc;
   auto cli = bench::Cli::parse(argc, argv, "fig6_subpacket_bdp");
   std::ostream& os = cli.output();
@@ -98,4 +100,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ccc::bench::guarded_main("fig6_subpacket_bdp", [&] { return run_bench(argc, argv); });
 }

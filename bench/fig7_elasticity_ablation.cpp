@@ -79,7 +79,9 @@ struct Point {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+/// The bench body; main() below routes uncaught errors through the shared
+/// guarded_main error boundary (structured message + exit-code contract).
+int run_bench(int argc, char** argv) {
   using namespace ccc;
   auto cli = bench::Cli::parse(argc, argv, "fig7_elasticity_ablation");
   std::ostream& os = cli.output();
@@ -138,4 +140,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ccc::bench::guarded_main("fig7_elasticity_ablation", [&] { return run_bench(argc, argv); });
 }

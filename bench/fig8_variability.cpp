@@ -101,7 +101,9 @@ Outcome run_cca(const std::string& name, bool random_walk) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+/// The bench body; main() below routes uncaught errors through the shared
+/// guarded_main error boundary (structured message + exit-code contract).
+int run_bench(int argc, char** argv) {
   using namespace ccc;
   auto cli = bench::Cli::parse(argc, argv, "fig8_variability");
   std::ostream& os = cli.output();
@@ -147,4 +149,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ccc::bench::guarded_main("fig8_variability", [&] { return run_bench(argc, argv); });
 }

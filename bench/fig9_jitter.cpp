@@ -92,7 +92,9 @@ JitterOutcome run_case(std::unique_ptr<sim::Qdisc> qdisc) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+/// The bench body; main() below routes uncaught errors through the shared
+/// guarded_main error boundary (structured message + exit-code contract).
+int run_bench(int argc, char** argv) {
   using namespace ccc;
   auto cli = bench::Cli::parse(argc, argv, "fig9_jitter");
   std::ostream& os = cli.output();
@@ -133,4 +135,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ccc::bench::guarded_main("fig9_jitter", [&] { return run_bench(argc, argv); });
 }

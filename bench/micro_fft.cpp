@@ -142,7 +142,9 @@ void report_fft_rates(std::ostream& os, telemetry::RunReport& report) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+/// The bench body; main() below routes uncaught errors through the shared
+/// guarded_main error boundary (structured message + exit-code contract).
+int run_bench(int argc, char** argv) {
   auto cli = ccc::bench::Cli::parse(argc, argv, "micro_fft");
   std::vector<char*> bench_argv{argv[0]};
   for (auto& a : cli.rest) bench_argv.push_back(a.data());
@@ -160,4 +162,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ccc::bench::guarded_main("micro_fft", [&] { return run_bench(argc, argv); });
 }

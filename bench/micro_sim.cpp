@@ -139,7 +139,9 @@ void report_events_per_sec(const char* name, bool churn, std::ostream& os,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+/// The bench body; main() below routes uncaught errors through the shared
+/// guarded_main error boundary (structured message + exit-code contract).
+int run_bench(int argc, char** argv) {
   using namespace ccc;
   // Shared bench flags first; anything unrecognized (google-benchmark's
   // --benchmark_* family) passes through via cli.rest.
@@ -161,4 +163,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ccc::bench::guarded_main("micro_sim", [&] { return run_bench(argc, argv); });
 }

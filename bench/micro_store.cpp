@@ -193,7 +193,9 @@ void report_write_rate(std::ostream& os, telemetry::RunReport& report) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+/// The bench body; main() below routes uncaught errors through the shared
+/// guarded_main error boundary (structured message + exit-code contract).
+int run_bench(int argc, char** argv) {
   using namespace ccc;
   auto cli = bench::Cli::parse(argc, argv, "micro_store");
   std::vector<char*> bench_argv{argv[0]};
@@ -215,4 +217,8 @@ int main(int argc, char** argv) {
   std::error_code ec;
   fs::remove(fixture_path(), ec);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ccc::bench::guarded_main("micro_store", [&] { return run_bench(argc, argv); });
 }

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Builds and runs the two sanitizer jobs the repo's labels are cut for:
+#
+#   tsan   -DCCC_SANITIZE=thread             ctest -L sanitize
+#          (the concurrency tests: runner pool, telemetry merge, the
+#          jobs-1-vs-jobs-8 pipeline determinism pin)
+#
+#   asan   -DCCC_SANITIZE=address,undefined  ctest -L "robustness|store|pipeline"
+#          (the corrupt-input suites: the corruption matrix, faultfs drills,
+#          and the store/pipeline tests — where a validation bug shows up as
+#          an OOB read/write or UB before it shows up as a wrong answer)
+#
+# Usage: scripts/run_sanitizers.sh [tsan|asan|all]   (default: all)
+# Build trees land in build-tsan/ and build-asan/ next to build/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+which=${1:-all}
+
+run_job() {
+  local name=$1 sanitize=$2 label=$3
+  local dir="build-${name}"
+  echo "=== ${name}: CCC_SANITIZE=${sanitize}, ctest -L '${label}' ==="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCCC_SANITIZE="${sanitize}"
+  cmake --build "${dir}" -j "${jobs}"
+  ctest --test-dir "${dir}" -L "${label}" --output-on-failure -j "${jobs}"
+}
+
+case "${which}" in
+  tsan) run_job tsan thread sanitize ;;
+  asan) run_job asan address,undefined "robustness|store|pipeline" ;;
+  all)
+    run_job tsan thread sanitize
+    run_job asan address,undefined "robustness|store|pipeline"
+    ;;
+  *)
+    echo "usage: $0 [tsan|asan|all]" >&2
+    exit 2
+    ;;
+esac

@@ -1,27 +1,43 @@
 #include "bench/cli.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <iostream>
+#include <limits>
+
+#include "util/error.hpp"
 
 namespace ccc::bench {
 
 namespace {
 
-/// Strictly positive integer, or 0 on malformed input.
+/// Strictly positive integer, or 0 on malformed input. Overflow counts as
+/// malformed: strtol saturates at LONG_MAX with ERANGE, and truncating that
+/// into an unsigned would silently accept "--jobs 99999999999999999999" as
+/// some huge-but-bogus worker count.
 unsigned parse_positive(const char* s) {
   if (s == nullptr || *s == '\0') return 0;
   char* end = nullptr;
+  errno = 0;
   const long v = std::strtol(s, &end, 10);
-  if (end == nullptr || *end != '\0' || v <= 0) return 0;
+  if (end == nullptr || *end != '\0' || v <= 0 || errno == ERANGE ||
+      v > static_cast<long>(std::numeric_limits<unsigned>::max())) {
+    return 0;
+  }
   return static_cast<unsigned>(v);
 }
 
 bool parse_u64(const char* s, std::uint64_t& out) {
   if (s == nullptr || *s == '\0') return false;
   char* end = nullptr;
+  errno = 0;
   const unsigned long long v = std::strtoull(s, &end, 0);  // 0: accept 0x...
-  if (end == nullptr || *end != '\0') return false;
+  // ERANGE: strtoull saturates at ULLONG_MAX — an over-range seed must be
+  // rejected, not silently clamped. strtoull also wraps "-1" to 2^64-1
+  // without an error; a leading '-' is not a seed.
+  if (end == nullptr || *end != '\0' || errno == ERANGE || *s == '-') return false;
   out = v;
   return true;
 }
@@ -42,6 +58,18 @@ bool parse_seconds(const char* s, double& out) {
 }
 
 }  // namespace
+
+int guarded_main(std::string_view bench_name, const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const ccc::Error& e) {
+    std::cerr << bench_name << ": error: " << e.what() << "\n";
+    return e.category() == ErrorCategory::kConfig ? 2 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << bench_name << ": error: " << e.what() << "\n";
+    return 1;
+  }
+}
 
 std::string Cli::usage(std::string_view bench_name) {
   std::string u;

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -31,6 +32,23 @@
 #include "util/units.hpp"
 
 namespace ccc::bench {
+
+/// The error boundary every bench main runs inside. PRs 1-4 let a corrupt
+/// input escape main() as an uncaught exception (std::terminate, core dump,
+/// no usable message); guarded_main converts that into the bench exit-code
+/// contract instead:
+///
+///   return value of `body`  passed through (0 ok / 1 shape-check fail /
+///                           2 usage error, as before)
+///   uncaught ccc::Error     "<bench>: error: [<category>] ..." on stderr;
+///                           exit 2 for kConfig (usage territory), 1 for
+///                           io/format/corruption (the run failed)
+///   other std::exception    "<bench>: error: ..." on stderr; exit 1
+///
+/// Usage: int main(int argc, char** argv) {
+///          return ccc::bench::guarded_main("fig7_...", [&] { ... });
+///        }
+[[nodiscard]] int guarded_main(std::string_view bench_name, const std::function<int()>& body);
 
 class Cli {
  public:

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "telemetry/metrics.hpp"
+#include "util/error.hpp"
 
 namespace ccc::mlab {
 
@@ -55,15 +56,20 @@ bool split_csv_line(const std::string& line, std::vector<std::string>& cells) {
   }
 }
 
-/// Strict double parse: the whole cell must be consumed.
+/// Strict double parse: the whole cell must be consumed. Throws
+/// std::invalid_argument / std::out_of_range (e.g. a 400-digit field) like
+/// the std helpers; the caller's catch turns any of it into a skipped row.
 double parse_double(const std::string& s) {
   std::size_t pos = 0;
-  const double v = std::stod(s, &pos);  // throws invalid_argument / out_of_range
+  const double v = std::stod(s, &pos);
   if (pos != s.size()) throw std::invalid_argument{"trailing characters"};
   return v;
 }
 
 std::uint64_t parse_u64(const std::string& s) {
+  // stoull happily wraps "-1" to 2^64-1 with no exception — a sign bit in
+  // an id column must be a malformed row, not a silently huge id.
+  if (!s.empty() && s.front() == '-') throw std::invalid_argument{"negative id"};
   std::size_t pos = 0;
   const std::uint64_t v = std::stoull(s, &pos);
   if (pos != s.size()) throw std::invalid_argument{"trailing characters"};
@@ -105,7 +111,7 @@ FlowArchetype archetype_from_string(std::string_view s) {
   for (auto a : all) {
     if (to_string(a) == s) return a;
   }
-  throw std::runtime_error{"unknown archetype: " + std::string{s}};
+  throw Error::format("", "unknown archetype: " + std::string{s});
 }
 
 AccessType access_from_string(std::string_view s) {
@@ -114,7 +120,7 @@ AccessType access_from_string(std::string_view s) {
   for (auto a : all) {
     if (to_string(a) == s) return a;
   }
-  throw std::runtime_error{"unknown access type: " + std::string{s}};
+  throw Error::format("", "unknown access type: " + std::string{s});
 }
 
 void write_csv_record(std::ostream& os, const NdtRecord& r) {
@@ -139,7 +145,7 @@ void for_each_csv_record(std::istream& is, const std::function<void(NdtRecord&&)
   std::string line;
   if (!std::getline(is, line)) return;  // empty input: no header, no rows
   if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF export
-  if (line != kHeader) throw std::runtime_error{"csv: unexpected header"};
+  if (line != kHeader) throw Error::format("", "csv: unexpected header", 0);
 
   CsvParseStats local;
   std::vector<std::string> cells;
@@ -154,11 +160,12 @@ void for_each_csv_record(std::istream& is, const std::function<void(NdtRecord&&)
     if (ok) {
       try {
         rec = parse_row(cells);
-      } catch (const std::invalid_argument&) {
-        ok = false;
-      } catch (const std::out_of_range&) {
-        ok = false;
-      } catch (const std::runtime_error&) {  // unknown enum value
+      } catch (const std::exception&) {
+        // Any malformed cell — invalid_argument (garbage), out_of_range (a
+        // 400-digit field), runtime_error (unknown enum) — is the same
+        // outcome: this row is skipped and counted, the load continues. An
+        // enumerated catch list here once missed classes of parse failure;
+        // one handler cannot.
         ok = false;
       }
     }

@@ -39,8 +39,12 @@ void write_csv_record(std::ostream& os, const NdtRecord& rec);
 
 /// Streaming parse: invokes `fn` once per well-formed data row, in file
 /// order, without materializing the dataset (the ccfs ingest path at
-/// millions of flows). Malformed rows are tallied in `stats` (optional) and
-/// skipped. Throws std::runtime_error only if the header row is wrong.
+/// millions of flows). Malformed rows — bad shape, garbage or over-range
+/// numerics (a 400-digit field), unknown enums — are tallied in `stats`
+/// (optional) and skipped; no parse failure aborts the load. Throws
+/// ccc::Error{kFormat} only if the header row is wrong (that is a
+/// different-file problem, not a bad-row problem). Exceptions from `fn`
+/// itself always propagate.
 void for_each_csv_record(std::istream& is, const std::function<void(NdtRecord&&)>& fn,
                          CsvParseStats* stats = nullptr);
 

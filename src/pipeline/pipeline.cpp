@@ -1,12 +1,33 @@
 #include "pipeline/pipeline.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iterator>
 #include <string>
+
+#include "util/error.hpp"
 
 namespace ccc::pipeline {
 
 namespace {
+
+/// Gatekeeper for cfg.validate_records: is this FlowView safe to hand to
+/// the stages? Two classes of damage get through the shard-level checks
+/// (CRC off, an in-memory source fed by a hostile CSV): non-finite scalars
+/// that would poison every mean downstream, and out-of-range enum bytes —
+/// `truth` indexes the confusion matrix, so an unchecked byte of 200 is an
+/// out-of-bounds write, not just a wrong answer.
+bool record_is_sane(const store::FlowView& f) {
+  if (static_cast<std::uint8_t>(f.access) > static_cast<std::uint8_t>(mlab::AccessType::kSatellite))
+    return false;
+  if (static_cast<std::uint8_t>(f.truth) > static_cast<std::uint8_t>(mlab::FlowArchetype::kPoliced))
+    return false;
+  if (!std::isfinite(f.duration_sec) || f.duration_sec < 0.0) return false;
+  if (!std::isfinite(f.app_limited_sec) || !std::isfinite(f.rwnd_limited_sec)) return false;
+  if (!std::isfinite(f.mean_throughput_mbps) || !std::isfinite(f.min_rtt_ms)) return false;
+  if (!std::isfinite(f.snapshot_interval_sec) || f.snapshot_interval_sec <= 0.0) return false;
+  return true;
+}
 
 /// Bounds for the shift-magnitude histogram. Fixed at registration (and
 /// identical across shards) so shard merges are exact and two runs always
@@ -29,6 +50,7 @@ struct ShardSink {
   std::uint64_t changepoints{0};
   std::uint64_t early_exits{0};
   std::uint64_t samples_scanned{0};
+  std::uint64_t records_corrupt{0};
   std::vector<double> magnitudes;  // flushed into the histogram at shard end
   std::vector<FlowFinding> findings;
 
@@ -69,6 +91,7 @@ void export_metrics(const ShardSink& sink, std::uint64_t shard_flows,
   reg.counter("pipeline.changepoints").inc(sink.changepoints);
   reg.counter("pipeline.early_exits").inc(sink.early_exits);
   reg.counter("pipeline.samples_scanned").inc(sink.samples_scanned);
+  reg.counter("store.records_corrupt").inc(sink.records_corrupt);
   auto& hist = reg.histogram("pipeline.shift_magnitude", magnitude_bounds());
   for (const double m : sink.magnitudes) hist.observe(m);
 }
@@ -120,7 +143,16 @@ PipelineResult run_pipeline(const FlowSource& src, const PipelineConfig& cfg) {
     // then reused allocation-free. Shards share nothing, so no locking.
     changepoint::ChangepointWorkspace ws;
     for (std::size_t i = begin; i < end; ++i) {
-      const store::FlowView flow = src.flow(i);                    // Source
+      const store::FlowView flow = src.flow(i);  // Source
+      if (cfg.validate_records && !record_is_sane(flow)) {
+        if (cfg.strict) {
+          throw Error::corruption(
+              "", "pipeline: corrupt record at flow index " + std::to_string(i) +
+                      " (id " + std::to_string(flow.id) + ")");
+        }
+        ++r.sink.records_corrupt;
+        continue;
+      }
       const Verdict filter = classify_filters(flow, cfg.classify);  // Classify
       FlowFinding f;
       if (filter != Verdict::kNoLevelShift) {
@@ -156,6 +188,7 @@ PipelineResult run_pipeline(const FlowSource& src, const PipelineConfig& cfg) {
     out.changepoints_total += s.changepoints;
     out.early_exits += s.early_exits;
     out.samples_scanned += s.samples_scanned;
+    out.records_corrupt += s.records_corrupt;
     std::move(s.findings.begin(), s.findings.end(), std::back_inserter(out.findings));
     if (cfg.enable_telemetry) out.metrics.merge_from(r.metrics);
   }

@@ -36,6 +36,17 @@ struct PipelineConfig {
   bool keep_findings{false};
   /// Per-shard MetricRegistry instrumentation, merged into the result.
   bool enable_telemetry{true};
+  /// Sanity-check every record before the stages see it (finite scalars,
+  /// in-range enums — see record_is_sane in pipeline.cpp). A record that
+  /// fails is counted ("store.records_corrupt") and skipped — it must not
+  /// poison aggregates or index the confusion matrix out of bounds. The
+  /// check is a handful of compares per flow, noise next to the stages.
+  bool validate_records{true};
+  /// Fail fast instead of degrading: a corrupt record throws
+  /// ccc::Error{kCorruption} rather than being counted and skipped. (Shard
+  /// -level strictness lives in ShardOpenOptions — by the time flows reach
+  /// the pipeline the shards are already open.)
+  bool strict{false};
   /// Invoked (serialized) after each *shard* completes: (done, total).
   runner::ProgressFn on_progress{};
 };
@@ -59,6 +70,8 @@ struct PipelineResult {
   std::uint64_t changepoints_total{0};  ///< accepted shifts across all flows
   std::uint64_t early_exits{0};
   std::uint64_t samples_scanned{0};  ///< series samples the changepoint stage read
+  /// Records dropped by validate_records (not in verdicts/confusion).
+  std::uint64_t records_corrupt{0};
 
   /// Per-flow findings in dataset order; empty unless cfg.keep_findings.
   std::vector<FlowFinding> findings;

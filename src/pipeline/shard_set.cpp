@@ -1,0 +1,25 @@
+#include "pipeline/shard_set.hpp"
+
+#include <utility>
+
+namespace ccc::pipeline {
+
+ShardSet ShardSet::open(const std::vector<std::string>& paths, const ShardOpenOptions& opts,
+                        telemetry::MetricRegistry* metrics) {
+  ShardSet set;
+  for (const auto& path : paths) {
+    try {
+      set.readers_.emplace_back(path, opts.verify_crc);
+    } catch (const Error& e) {
+      if (opts.strict) throw;
+      set.failures_.push_back({path, e.category(), e.what()});
+      if (metrics != nullptr) metrics->counter("pipeline.shards_failed").inc();
+      continue;
+    }
+    set.source_.add(set.readers_.back());
+    if (metrics != nullptr) metrics->counter("store.shards_opened").inc();
+  }
+  return set;
+}
+
+}  // namespace ccc::pipeline

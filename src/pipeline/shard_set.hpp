@@ -1,0 +1,79 @@
+// ShardSet — the pipeline's fault-tolerant shard-opening stage.
+//
+// A million-flow run reads dozens of ccfs shards, and at M-Lab scale some
+// of them WILL be bad: torn by a crashed ingest, bit-flipped by storage, or
+// plain unreadable. Before this layer, the first bad shard's exception
+// killed the whole run. ShardSet opens every path and applies the run's
+// degradation policy:
+//
+//   degrade (default)  a shard that fails to open or validate is skipped;
+//                      the failure is recorded (path, category, detail),
+//                      counted in the registry ("pipeline.shards_failed"),
+//                      and the run proceeds on the surviving shards
+//   strict             the first failure rethrows its ccc::Error — the
+//                      fail-fast behaviour batch jobs with a human watching
+//                      want (`--strict` in the benches)
+//
+// Either way "store.shards_opened" counts the healthy shards, so a report
+// always states how much of the dataset was actually analyzed — a degraded
+// run is distinguishable from a complete one.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "pipeline/source.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/error.hpp"
+
+namespace ccc::pipeline {
+
+/// One shard the set could not open, reduced to report-friendly fields.
+struct ShardFailure {
+  std::string path;
+  ErrorCategory category{ErrorCategory::kIo};
+  std::string detail;  ///< the Error's rendered what() text
+};
+
+struct ShardOpenOptions {
+  /// Rethrow the first shard's ccc::Error instead of skipping it.
+  bool strict{false};
+  /// Verify each shard's footer CRC at open (the corruption gate; turning
+  /// it off is only sane for stores freshly written by this process).
+  bool verify_crc{true};
+};
+
+/// Owns the readers for a list of ccfs shard paths and presents the healthy
+/// subset as one concatenated FlowSource. Move-only; the source() reference
+/// is valid for the lifetime of the set.
+class ShardSet {
+ public:
+  /// Opens every path under `opts`. In degrade mode failures are collected
+  /// in failures() instead of thrown. When `metrics` is non-null, bumps
+  /// "store.shards_opened" per healthy shard and "pipeline.shards_failed"
+  /// per skipped one.
+  [[nodiscard]] static ShardSet open(const std::vector<std::string>& paths,
+                                     const ShardOpenOptions& opts = {},
+                                     telemetry::MetricRegistry* metrics = nullptr);
+
+  ShardSet() = default;
+  ShardSet(ShardSet&&) = default;
+  ShardSet& operator=(ShardSet&&) = default;
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  [[nodiscard]] const FlowSource& source() const { return source_; }
+  [[nodiscard]] std::size_t shards_opened() const { return readers_.size(); }
+  [[nodiscard]] std::size_t flows() const { return source_.size(); }
+  [[nodiscard]] const std::vector<ShardFailure>& failures() const { return failures_; }
+
+ private:
+  // std::deque: FlowStoreReader addresses must stay stable because
+  // StoreSource holds pointers into the container.
+  std::deque<store::FlowStoreReader> readers_;
+  StoreSource source_;
+  std::vector<ShardFailure> failures_;
+};
+
+}  // namespace ccc::pipeline

@@ -55,6 +55,9 @@ class ExperimentRunner {
   /// finished. Every task runs even if some throw; the exception from the
   /// lowest-indexed failing task is rethrown afterwards (deterministic
   /// regardless of completion order — and identical to jobs=1 behaviour).
+  /// Rethrow preserves the dynamic type (std::exception_ptr), so a typed
+  /// ccc::Error from a worker — category, path, byte offset intact —
+  /// crosses the pool boundary and reaches the bench's guarded_main.
   void run_all(const std::vector<std::function<void()>>& tasks);
 
   /// Maps `fn` over indices [0, n), returning results in index order.

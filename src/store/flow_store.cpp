@@ -1,15 +1,17 @@
 #include "store/flow_store.hpp"
 
-#include <fcntl.h>
 #include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
 
 #include <array>
+#include <atomic>
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
-#include <stdexcept>
+#include <exception>
 #include <string_view>
+
+#include "telemetry/metrics.hpp"
+#include "util/error.hpp"
 
 namespace ccc::store {
 
@@ -32,6 +34,8 @@ const std::array<std::uint32_t, 256>& crc_table() {
   return table;
 }
 
+std::atomic<std::uint64_t> g_finish_errors_suppressed{0};
+
 }  // namespace
 
 void Crc32::update(const void* data, std::size_t len) {
@@ -48,27 +52,46 @@ std::uint32_t crc32(const void* data, std::size_t len) {
   return c.value();
 }
 
+std::uint64_t finish_errors_suppressed() noexcept {
+  return g_finish_errors_suppressed.load(std::memory_order_relaxed);
+}
+
 // ---------------------------------------------------------------- writer
 
 FlowStoreWriter::FlowStoreWriter(std::string path)
-    : path_{std::move(path)}, out_{path_, std::ios::binary | std::ios::trunc} {
-  if (!out_) throw std::runtime_error{"ccfs: cannot open for writing: " + path_};
+    : path_{std::move(path)}, file_{faultfs::File::open_trunc(path_)} {
   Header hdr{};
   std::memcpy(hdr.magic, kHeaderMagic, sizeof hdr.magic);
   hdr.version = kFormatVersion;
-  out_.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
+  file_.write(&hdr, sizeof hdr);
   pos_ = sizeof hdr;  // header excluded from the CRC (patched at finish)
 }
 
 FlowStoreWriter::~FlowStoreWriter() {
+  // The destructor must not throw, so finish() errors here have nowhere to
+  // go as exceptions — that is silent data loss unless it leaves a trace.
+  // Callers that need the error call finish() themselves.
   try {
     finish();
-  } catch (...) {  // destructor must not throw; callers wanting errors call finish()
+  } catch (const std::exception& e) {
+    g_finish_errors_suppressed.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr) metrics_->counter("store.finish_errors_suppressed").inc();
+    std::fprintf(stderr,
+                 "ccfs: WARNING: finish() failed in ~FlowStoreWriter and the error was "
+                 "suppressed (call finish() explicitly to observe it): %s\n",
+                 e.what());
+  } catch (...) {
+    g_finish_errors_suppressed.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr) metrics_->counter("store.finish_errors_suppressed").inc();
+    std::fprintf(stderr,
+                 "ccfs: WARNING: finish() failed in ~FlowStoreWriter with an unknown "
+                 "error, suppressed (call finish() explicitly to observe it): %s\n",
+                 path_.c_str());
   }
 }
 
 void FlowStoreWriter::write_crc(const void* data, std::size_t len) {
-  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+  file_.write(data, len);
   crc_.update(data, len);
   pos_ += len;
 }
@@ -80,7 +103,7 @@ void FlowStoreWriter::pad_to_alignment() {
 }
 
 void FlowStoreWriter::append(const FlowView& flow) {
-  if (finished_) throw std::runtime_error{"ccfs: append after finish: " + path_};
+  if (finished_) throw Error::config(path_, "ccfs: append after finish");
   // The series streams to disk immediately; only scalars are buffered.
   if (!flow.throughput_mbps.empty()) {
     write_crc(flow.throughput_mbps.data(), flow.throughput_mbps.size_bytes());
@@ -137,7 +160,7 @@ void FlowStoreWriter::finish() {
   footer.sample_count = sample_count_;
   footer.crc32 = crc_.value();
   footer.magic = kFooterMagic;
-  out_.write(reinterpret_cast<const char*>(&footer), sizeof footer);
+  file_.write(&footer, sizeof footer);
 
   // Patch the header counts (outside the CRC range by construction).
   Header hdr{};
@@ -146,11 +169,8 @@ void FlowStoreWriter::finish() {
   hdr.flow_count = n;
   hdr.sample_count = sample_count_;
   hdr.directory_offset = directory_offset;
-  out_.seekp(0);
-  out_.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
-  out_.flush();
-  if (!out_) throw std::runtime_error{"ccfs: write failed: " + path_};
-  out_.close();
+  file_.write_at(0, &hdr, sizeof hdr);
+  file_.close_checked();
 }
 
 // ------------------------------------------------------- sharded writer
@@ -159,7 +179,7 @@ ShardedFlowStoreWriter::ShardedFlowStoreWriter(std::string base_path,
                                                std::uint64_t flows_per_shard)
     : base_path_{std::move(base_path)}, flows_per_shard_{flows_per_shard} {
   if (flows_per_shard_ == 0) {
-    throw std::runtime_error{"ccfs: flows_per_shard must be positive"};
+    throw Error::config(base_path_, "ccfs: flows_per_shard must be positive");
   }
 }
 
@@ -196,16 +216,13 @@ std::vector<std::string> ShardedFlowStoreWriter::finish() {
 
 // ---------------------------------------------------------------- reader
 
-namespace {
-
-[[noreturn]] void fail(const std::string& path, const std::string& why) {
-  throw std::runtime_error{"ccfs: " + path + ": " + why};
-}
-
-}  // namespace
-
 FlowStoreReader::FlowStoreReader(const std::string& path, bool verify_crc) : path_{path} {
-  open_and_validate(path, verify_crc);
+  try {
+    open_and_validate(path, verify_crc);
+  } catch (...) {
+    unmap();  // a throwing constructor runs no destructor: release the mapping
+    throw;
+  }
 }
 
 FlowStoreReader::~FlowStoreReader() { unmap(); }
@@ -251,63 +268,67 @@ void FlowStoreReader::unmap() noexcept {
 const std::uint8_t* FlowStoreReader::section(SectionId id, std::uint64_t expect_bytes) const {
   for (const auto& e : directory_) {
     if (e.id != static_cast<std::uint32_t>(id)) continue;
-    if (e.bytes != expect_bytes) fail(path_, "section size mismatch");
-    if (e.offset % kSectionAlign != 0) fail(path_, "misaligned section");
-    if (e.offset + e.bytes > file_bytes_) fail(path_, "section out of bounds");
+    if (e.bytes != expect_bytes) {
+      throw Error::format(path_, "ccfs: section size mismatch", e.offset);
+    }
+    if (e.offset % kSectionAlign != 0) {
+      throw Error::format(path_, "ccfs: misaligned section", e.offset);
+    }
+    if (e.offset + e.bytes > file_bytes_) {
+      throw Error::format(path_, "ccfs: section out of bounds", e.offset);
+    }
     return base_ + e.offset;
   }
-  fail(path_, "missing section");
+  throw Error::format(path_, "ccfs: missing section");
 }
 
 void FlowStoreReader::open_and_validate(const std::string& path, bool verify_crc) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) fail(path, "cannot open");
-  struct stat st{};
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
-    fail(path, "fstat failed");
-  }
-  file_bytes_ = static_cast<std::size_t>(st.st_size);
+  faultfs::File file = faultfs::File::open_read(path);  // throws Error{kIo}
+  file_bytes_ = file.size();
   if (file_bytes_ < sizeof(Header) + sizeof(Footer)) {
-    ::close(fd);
-    fail(path, "truncated (shorter than header + footer)");
+    throw Error::corruption(path, "ccfs: truncated (shorter than header + footer)",
+                            file_bytes_);
   }
 
-  void* map = ::mmap(nullptr, file_bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+  // mmap is the fast path, but mapped page reads cannot be intercepted, so
+  // faultfs vetoes it when a read-fault plan targets this path — the pread
+  // fallback below then exercises the injected faults.
+  void* map = MAP_FAILED;
+  if (faultfs::mmap_allowed(path)) {
+    map = ::mmap(nullptr, file_bytes_, PROT_READ, MAP_PRIVATE, file.fd(), 0);
+  }
   if (map != MAP_FAILED) {
     base_ = static_cast<const std::uint8_t*>(map);
     mapped_ = true;
-    ::close(fd);
   } else {
     // Fallback: read the whole file onto the heap (same validation path).
     heap_copy_.resize(file_bytes_);
-    std::size_t got = 0;
-    while (got < file_bytes_) {
-      const ssize_t r = ::pread(fd, heap_copy_.data() + got, file_bytes_ - got,
-                                static_cast<off_t>(got));
-      if (r <= 0) {
-        ::close(fd);
-        fail(path, "read failed");
-      }
-      got += static_cast<std::size_t>(r);
-    }
-    ::close(fd);
+    file.read_exact_at(0, heap_copy_.data(), file_bytes_);
     base_ = heap_copy_.data();
   }
 
   Header hdr{};
   std::memcpy(&hdr, base_, sizeof hdr);
-  if (std::memcmp(hdr.magic, kHeaderMagic, sizeof hdr.magic) != 0) fail(path, "bad magic");
-  if (hdr.version != kFormatVersion) fail(path, "unsupported version");
+  if (std::memcmp(hdr.magic, kHeaderMagic, sizeof hdr.magic) != 0) {
+    throw Error::format(path, "ccfs: bad magic", 0);
+  }
+  if (hdr.version != kFormatVersion) {
+    throw Error::format(path,
+                        "ccfs: unsupported version " + std::to_string(hdr.version),
+                        offsetof(Header, version));
+  }
 
+  const std::uint64_t footer_off = file_bytes_ - sizeof(Footer);
   Footer footer{};
-  std::memcpy(&footer, base_ + file_bytes_ - sizeof footer, sizeof footer);
-  if (footer.magic != kFooterMagic) fail(path, "bad footer magic (torn write?)");
+  std::memcpy(&footer, base_ + footer_off, sizeof footer);
+  if (footer.magic != kFooterMagic) {
+    throw Error::corruption(path, "ccfs: bad footer magic (torn write?)", footer_off);
+  }
   flow_count_ = footer.flow_count;
   sample_count_ = footer.sample_count;
   const std::uint64_t dir_off = footer.directory_offset;
   if (dir_off < sizeof(Header) || dir_off + sizeof(std::uint32_t) > file_bytes_) {
-    fail(path, "directory offset out of bounds");
+    throw Error::format(path, "ccfs: directory offset out of bounds", footer_off);
   }
 
   std::uint32_t dir_count = 0;
@@ -315,7 +336,7 @@ void FlowStoreReader::open_and_validate(const std::string& path, bool verify_crc
   const std::uint64_t dir_bytes =
       sizeof(std::uint32_t) + std::uint64_t{dir_count} * sizeof(DirectoryEntry);
   if (dir_count != kSectionCount || dir_off + dir_bytes + sizeof(Footer) != file_bytes_) {
-    fail(path, "directory shape mismatch");
+    throw Error::format(path, "ccfs: directory shape mismatch", dir_off);
   }
   directory_.resize(dir_count);
   std::memcpy(directory_.data(), base_ + dir_off + sizeof dir_count,
@@ -324,7 +345,9 @@ void FlowStoreReader::open_and_validate(const std::string& path, bool verify_crc
   if (verify_crc) {
     const std::uint32_t got = crc32(base_ + sizeof(Header),
                                     dir_off + dir_bytes - sizeof(Header));
-    if (got != footer.crc32) fail(path, "CRC mismatch (corrupt file)");
+    if (got != footer.crc32) {
+      throw Error::corruption(path, "ccfs: CRC mismatch (corrupt file)", sizeof(Header));
+    }
   }
 
   const std::uint64_t n = flow_count_;
@@ -352,11 +375,13 @@ void FlowStoreReader::open_and_validate(const std::string& path, bool verify_crc
       n + 1};
 
   if (ts_offsets_.front() != 0 || ts_offsets_.back() != sample_count_) {
-    fail(path, "ts_offsets endpoints inconsistent");
+    throw Error::corruption(path, "ccfs: ts_offsets endpoints inconsistent");
   }
   if (verify_crc) {
     for (std::size_t i = 0; i + 1 < ts_offsets_.size(); ++i) {
-      if (ts_offsets_[i] > ts_offsets_[i + 1]) fail(path, "ts_offsets not monotone");
+      if (ts_offsets_[i] > ts_offsets_[i + 1]) {
+        throw Error::corruption(path, "ccfs: ts_offsets not monotone");
+      }
     }
   }
 }

@@ -15,7 +15,6 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <memory>
 #include <span>
 #include <string>
@@ -23,8 +22,19 @@
 
 #include "mlab/ndt_record.hpp"
 #include "store/format.hpp"
+#include "util/faultfs.hpp"
+
+namespace ccc::telemetry {
+class MetricRegistry;
+}
 
 namespace ccc::store {
+
+/// Process-wide count of finish() errors swallowed by ~FlowStoreWriter.
+/// Nonzero means data was (possibly) lost with no exception to show for it;
+/// the destructor also warns on stderr and bumps the writer's bound
+/// registry ("store.finish_errors_suppressed") when one was set.
+[[nodiscard]] std::uint64_t finish_errors_suppressed() noexcept;
 
 /// A zero-copy view of one stored flow: scalar fields by value (they are
 /// copied out of the columns at access time — cheap), the series as a span
@@ -72,7 +82,8 @@ struct FlowView {
 };
 
 /// Append-only single-file writer. Not thread-safe; one writer per file.
-/// Throws std::runtime_error on I/O failure.
+/// Throws ccc::Error (category kIo / kConfig) on failure; all file
+/// operations route through faultfs for deterministic fault injection.
 class FlowStoreWriter {
  public:
   explicit FlowStoreWriter(std::string path);
@@ -85,9 +96,16 @@ class FlowStoreWriter {
   void append(const FlowView& flow);
 
   /// Writes columns, directory, and footer, then patches the header.
-  /// Idempotent; called by the destructor if the caller forgot (destructor
-  /// swallows errors — call finish() explicitly to see them).
+  /// Idempotent. The destructor calls it if the caller forgot — but the
+  /// destructor MUST NOT throw, so any finish() error there is reduced to a
+  /// stderr warning plus the finish_errors_suppressed() counter (and the
+  /// bound registry's "store.finish_errors_suppressed"). Callers that care
+  /// whether their data actually landed call finish() explicitly.
   void finish();
+
+  /// Optional registry for the destructor's suppressed-error counter. The
+  /// registry must outlive the writer.
+  void set_metrics(telemetry::MetricRegistry* reg) { metrics_ = reg; }
 
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] std::uint64_t flows() const { return ids_.size(); }
@@ -98,7 +116,8 @@ class FlowStoreWriter {
   void pad_to_alignment();
 
   std::string path_;
-  std::ofstream out_;
+  faultfs::File file_;
+  telemetry::MetricRegistry* metrics_{nullptr};
   bool finished_{false};
   Crc32 crc_;
   std::uint64_t pos_{0};  // current file offset (mirror of tellp)
@@ -151,7 +170,10 @@ class ShardedFlowStoreWriter {
 /// concurrent reads from any number of threads.
 class FlowStoreReader {
  public:
-  /// Throws std::runtime_error with a diagnostic on any validation failure.
+  /// Throws ccc::Error on any failure: kIo when the OS refuses the file,
+  /// kFormat when the structure is not a ccfs document, kCorruption when a
+  /// once-valid file is provably damaged (CRC mismatch, torn footer,
+  /// truncation, non-monotone offsets) — with the byte offset where known.
   explicit FlowStoreReader(const std::string& path, bool verify_crc = true);
   ~FlowStoreReader();
 

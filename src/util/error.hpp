@@ -1,0 +1,112 @@
+// ccc::Error — the structured error type every input/IO path throws.
+//
+// A bare std::runtime_error with a prose message forces callers into
+// substring matching when they need to decide "retryable IO hiccup or
+// corrupt data?" — and at M-Lab scale that decision is the difference
+// between one skipped shard and a dead million-flow run. Error carries the
+// machine-readable triple callers actually branch on:
+//
+//   category      io | format | corruption | config (see ErrorCategory)
+//   path          the file (or flag) the error is about, "" when unknown
+//   byte_offset   where in the file, kNoOffset when not meaningful
+//
+// plus the human-readable detail. what() renders all of it, so an Error
+// that does escape to a terminal is still a useful diagnostic. Deriving
+// from std::runtime_error keeps every existing `catch (std::runtime_error)`
+// and EXPECT_THROW site working unchanged.
+//
+// Category semantics (the corruption-matrix tests pin these):
+//   kIo          the OS said no: open/read/write/stat failed. The data may
+//                be fine; the operation was not. Often transient.
+//   kFormat      the bytes are readable but not a valid document: bad
+//                magic, unsupported version, impossible section table.
+//   kCorruption  the document was once valid and is now provably damaged:
+//                CRC mismatch, torn footer, truncation, non-monotone
+//                offsets. Retrying will not help; skipping the shard might.
+//   kConfig      the caller asked for something unsatisfiable: bad flag
+//                value, API misuse (append after finish). Exit code 2
+//                territory in bench mains.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ccc {
+
+enum class ErrorCategory : std::uint8_t { kIo, kFormat, kCorruption, kConfig };
+
+[[nodiscard]] constexpr std::string_view to_string(ErrorCategory c) {
+  switch (c) {
+    case ErrorCategory::kIo: return "io";
+    case ErrorCategory::kFormat: return "format";
+    case ErrorCategory::kCorruption: return "corruption";
+    case ErrorCategory::kConfig: return "config";
+  }
+  return "unknown";
+}
+
+class Error : public std::runtime_error {
+ public:
+  /// byte_offset value meaning "no offset applies" (config errors, opens).
+  static constexpr std::uint64_t kNoOffset = ~std::uint64_t{0};
+
+  Error(ErrorCategory category, std::string path, std::string detail,
+        std::uint64_t byte_offset = kNoOffset)
+      : std::runtime_error{render(category, path, detail, byte_offset)},
+        category_{category},
+        path_{std::move(path)},
+        detail_{std::move(detail)},
+        byte_offset_{byte_offset} {}
+
+  [[nodiscard]] ErrorCategory category() const noexcept { return category_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// The undecorated message (what() is the rendered composite).
+  [[nodiscard]] const std::string& detail() const noexcept { return detail_; }
+  [[nodiscard]] std::uint64_t byte_offset() const noexcept { return byte_offset_; }
+  [[nodiscard]] bool has_byte_offset() const noexcept { return byte_offset_ != kNoOffset; }
+
+  // Factories, so throw sites read as what went wrong, not how it is spelled.
+  [[nodiscard]] static Error io(std::string path, std::string detail,
+                                std::uint64_t offset = kNoOffset) {
+    return Error{ErrorCategory::kIo, std::move(path), std::move(detail), offset};
+  }
+  [[nodiscard]] static Error format(std::string path, std::string detail,
+                                    std::uint64_t offset = kNoOffset) {
+    return Error{ErrorCategory::kFormat, std::move(path), std::move(detail), offset};
+  }
+  [[nodiscard]] static Error corruption(std::string path, std::string detail,
+                                        std::uint64_t offset = kNoOffset) {
+    return Error{ErrorCategory::kCorruption, std::move(path), std::move(detail), offset};
+  }
+  [[nodiscard]] static Error config(std::string path, std::string detail) {
+    return Error{ErrorCategory::kConfig, std::move(path), std::move(detail)};
+  }
+
+ private:
+  [[nodiscard]] static std::string render(ErrorCategory category, const std::string& path,
+                                          const std::string& detail, std::uint64_t offset) {
+    std::string out{"["};
+    out += to_string(category);
+    out += "] ";
+    if (!path.empty()) {
+      out += path;
+      out += ": ";
+    }
+    out += detail;
+    if (offset != kNoOffset) {
+      out += " (byte offset ";
+      out += std::to_string(offset);
+      out += ")";
+    }
+    return out;
+  }
+
+  ErrorCategory category_;
+  std::string path_;
+  std::string detail_;
+  std::uint64_t byte_offset_;
+};
+
+}  // namespace ccc

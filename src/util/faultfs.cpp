@@ -1,0 +1,296 @@
+#include "util/faultfs.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ccc::faultfs {
+
+namespace {
+
+// Plan state. `active` is the fast-path gate (relaxed load per op); the
+// mutex serializes the slow path only (plan inspection + op counting).
+std::atomic<bool> g_active{false};
+std::atomic<std::uint64_t> g_injected{0};
+std::mutex g_mu;
+FaultPlan g_plan;          // guarded by g_mu
+std::uint64_t g_ops = 0;   // guarded by g_mu: matching ops seen so far
+std::once_flag g_env_once;
+
+/// Operation classes for "does this fault target this op?".
+enum class OpClass : std::uint8_t { kOpen, kRead, kWrite };
+
+bool kind_targets(FaultKind kind, OpClass op) {
+  switch (kind) {
+    case FaultKind::kNone: return false;
+    case FaultKind::kFailOpen: return op == OpClass::kOpen;
+    case FaultKind::kShortRead:
+    case FaultKind::kFlipByte: return op == OpClass::kRead;
+    case FaultKind::kFailWrite:
+    case FaultKind::kTornWrite: return op == OpClass::kWrite;
+    case FaultKind::kEintr: return op == OpClass::kRead || op == OpClass::kWrite;
+  }
+  return false;
+}
+
+FaultKind kind_from_string(std::string_view s) {
+  if (s == "fail_open") return FaultKind::kFailOpen;
+  if (s == "eintr") return FaultKind::kEintr;
+  if (s == "short_read") return FaultKind::kShortRead;
+  if (s == "flip_byte") return FaultKind::kFlipByte;
+  if (s == "fail_write") return FaultKind::kFailWrite;
+  if (s == "torn_write") return FaultKind::kTornWrite;
+  return FaultKind::kNone;
+}
+
+/// Lazily installs a plan from CCC_FAULTFS ("kind@N" / "kind@N@substr").
+/// A malformed value warns and is ignored — a corrupt env var must not be
+/// able to change behaviour silently or kill the run.
+void load_env_plan() {
+  const char* env = std::getenv("CCC_FAULTFS");
+  if (env == nullptr || *env == '\0') return;
+  const std::string spec{env};
+  const std::size_t a = spec.find('@');
+  FaultPlan plan;
+  bool ok = a != std::string::npos;
+  if (ok) {
+    plan.kind = kind_from_string(spec.substr(0, a));
+    ok = plan.kind != FaultKind::kNone;
+  }
+  if (ok) {
+    const std::size_t b = spec.find('@', a + 1);
+    const std::string n = spec.substr(a + 1, b == std::string::npos ? b : b - a - 1);
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(n.c_str(), &end, 10);
+    ok = !n.empty() && end != nullptr && *end == '\0' && errno == 0;
+    plan.at_op = v;
+    if (b != std::string::npos) plan.path_substr = spec.substr(b + 1);
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "faultfs: ignoring malformed CCC_FAULTFS='%s' "
+                 "(want kind@N or kind@N@path-substring)\n",
+                 spec.c_str());
+    return;
+  }
+  set_plan(plan);
+}
+
+void ensure_env_loaded() { std::call_once(g_env_once, load_env_plan); }
+
+/// Consults the plan for one operation. Returns the fault to apply now
+/// (kNone almost always). Counts matching ops; records actual injections.
+FaultKind consult(OpClass op, const std::string& path) {
+  ensure_env_loaded();
+  if (!g_active.load(std::memory_order_relaxed)) return FaultKind::kNone;
+  std::lock_guard lk{g_mu};
+  if (!kind_targets(g_plan.kind, op)) return FaultKind::kNone;
+  if (!g_plan.path_substr.empty() && path.find(g_plan.path_substr) == std::string::npos) {
+    return FaultKind::kNone;
+  }
+  if (g_ops++ != g_plan.at_op) return FaultKind::kNone;
+  g_injected.fetch_add(1, std::memory_order_relaxed);
+  return g_plan.kind;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kFailOpen: return "fail_open";
+    case FaultKind::kEintr: return "eintr";
+    case FaultKind::kShortRead: return "short_read";
+    case FaultKind::kFlipByte: return "flip_byte";
+    case FaultKind::kFailWrite: return "fail_write";
+    case FaultKind::kTornWrite: return "torn_write";
+  }
+  return "unknown";
+}
+
+void set_plan(const FaultPlan& plan) {
+  std::lock_guard lk{g_mu};
+  g_plan = plan;
+  g_ops = 0;
+  g_injected.store(0, std::memory_order_relaxed);
+  g_active.store(plan.kind != FaultKind::kNone, std::memory_order_relaxed);
+}
+
+void clear_plan() { set_plan(FaultPlan{}); }
+
+bool plan_active() {
+  ensure_env_loaded();
+  return g_active.load(std::memory_order_relaxed);
+}
+
+std::uint64_t faults_injected() { return g_injected.load(std::memory_order_relaxed); }
+
+bool mmap_allowed(const std::string& path) {
+  ensure_env_loaded();
+  if (!g_active.load(std::memory_order_relaxed)) return true;
+  std::lock_guard lk{g_mu};
+  const bool read_fault = kind_targets(g_plan.kind, OpClass::kRead);
+  if (!read_fault) return true;
+  return !g_plan.path_substr.empty() && path.find(g_plan.path_substr) == std::string::npos;
+}
+
+// ------------------------------------------------------------------ File
+
+File::~File() { close_quiet(); }
+
+File::File(File&& other) noexcept { *this = std::move(other); }
+
+File& File::operator=(File&& other) noexcept {
+  if (this == &other) return *this;
+  close_quiet();
+  fd_ = std::exchange(other.fd_, -1);
+  path_ = std::move(other.path_);
+  append_off_ = other.append_off_;
+  torn_ = other.torn_;
+  return *this;
+}
+
+void File::close_quiet() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+File File::open_read(const std::string& path) {
+  if (consult(OpClass::kOpen, path) == FaultKind::kFailOpen) {
+    throw Error::io(path, "cannot open for reading: injected EACCES");
+  }
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    throw Error::io(path, std::string{"cannot open for reading: "} + std::strerror(errno));
+  }
+  return File{fd, path};
+}
+
+File File::open_trunc(const std::string& path) {
+  if (consult(OpClass::kOpen, path) == FaultKind::kFailOpen) {
+    throw Error::io(path, "cannot open for writing: injected EACCES");
+  }
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    throw Error::io(path, std::string{"cannot open for writing: "} + std::strerror(errno));
+  }
+  return File{fd, path};
+}
+
+std::uint64_t File::size() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    throw Error::io(path_, std::string{"fstat failed: "} + std::strerror(errno));
+  }
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void File::write(const void* data, std::size_t len) {
+  write_at(append_off_, data, len);
+  append_off_ += len;
+}
+
+void File::write_at(std::uint64_t offset, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t done = 0;
+  bool simulate_eintr = false;
+  switch (consult(OpClass::kWrite, path_)) {
+    case FaultKind::kFailWrite:
+      throw Error::io(path_, "write failed: injected ENOSPC", offset);
+    case FaultKind::kTornWrite:
+      // Persist a prefix, then behave as if the machine lost power: every
+      // later write on this file silently evaporates. close still succeeds.
+      len = len / 2;
+      torn_ = true;
+      break;
+    case FaultKind::kEintr:
+      simulate_eintr = true;
+      break;
+    default:
+      if (torn_) return;  // post-tear: drop silently
+      break;
+  }
+  while (done < len) {
+    if (simulate_eintr) {  // one synthetic EINTR, then carry on normally
+      simulate_eintr = false;
+      continue;
+    }
+    const ssize_t w = ::pwrite(fd_, p + done, len - done, static_cast<off_t>(offset + done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw Error::io(path_, std::string{"write failed: "} + std::strerror(errno),
+                      offset + done);
+    }
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+void File::read_exact_at(std::uint64_t offset, void* data, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  FaultKind fault = consult(OpClass::kRead, path_);
+  while (got < len) {
+    std::size_t ask = len - got;
+    bool skip_syscall = false;
+    switch (fault) {
+      case FaultKind::kShortRead:
+        ask = std::max<std::size_t>(1, ask / 2);  // kernel returned less: loop resumes
+        break;
+      case FaultKind::kEintr:
+        skip_syscall = true;  // one synthetic EINTR, then retry for real
+        break;
+      default:
+        break;
+    }
+    if (skip_syscall) {
+      fault = FaultKind::kNone;
+      continue;
+    }
+    const ssize_t r = ::pread(fd_, p + got, ask, static_cast<off_t>(offset + got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw Error::io(path_, std::string{"read failed: "} + std::strerror(errno), offset + got);
+    }
+    if (r == 0) {
+      throw Error::io(path_, "read failed: unexpected end of file", offset + got);
+    }
+    got += static_cast<std::size_t>(r);
+    if (fault == FaultKind::kFlipByte) {
+      p[got - 1] ^= 0x40;  // corrupt the last byte delivered
+    }
+    fault = FaultKind::kNone;  // single-shot per operation
+  }
+}
+
+void File::close_checked() {
+  if (fd_ < 0) return;
+  // fsync is deliberately not issued (benches write scratch stores; the
+  // format's torn-write detection covers the crash window). close() errors
+  // still matter: on NFS they are where ENOSPC surfaces.
+  int rc = 0;
+  do {
+    rc = ::close(fd_);
+  } while (rc != 0 && errno == EINTR);
+  fd_ = -1;
+  if (rc != 0) {
+    throw Error::io(path_, std::string{"close failed: "} + std::strerror(errno));
+  }
+}
+
+}  // namespace ccc::faultfs

@@ -1,0 +1,130 @@
+// faultfs — the IO layer under the flow store, with deterministic fault
+// injection for robustness tests.
+//
+// Every file operation the ccfs writer/reader performs goes through
+// faultfs::File (open, read, pread, write, patch-at-offset, close). In
+// production the wrapper is a thin RAII fd with correct EINTR/short-
+// read/short-write retry loops and ccc::Error diagnostics. Under test, a
+// FaultPlan makes the *Nth* matching operation misbehave in a chosen way,
+// so "what does a short read at exactly the directory load do?" is a unit
+// test instead of a production incident.
+//
+// Faults and what they exercise:
+//   kFailOpen    open() fails (EACCES)    -> structured kIo error surfaces
+//   kEintr       one EINTR on the Nth read/write -> retry loop absorbs it;
+//                the operation must still succeed (transparent)
+//   kShortRead   the Nth pread returns half the bytes -> read loop resumes
+//                (transparent)
+//   kFlipByte    the Nth pread succeeds but one byte is flipped -> CRC /
+//                structure validation must catch it (kCorruption)
+//   kFailWrite   the Nth write fails (ENOSPC) -> writer throws kIo
+//   kTornWrite   the Nth write persists only a prefix and every later
+//                write (and the header patch) is silently dropped — a
+//                crash/power-cut simulation; the reader must reject the
+//                torn file at open
+//
+// Activation: programmatic via set_plan()/clear_plan() (tests), or the
+// CCC_FAULTFS env var ("kind@N" or "kind@N@path-substring", e.g.
+// CCC_FAULTFS=flip_byte@3@shard.00002) for whole-binary fault drills. The
+// op counter is global and counts only operations of the kind the fault
+// targets, on files matching the path substring. When any read-fault plan
+// targets a path, the store reader bypasses mmap for it so reads actually
+// route through pread (mmap'd page access cannot be intercepted).
+//
+// Inactive cost: one relaxed atomic load per operation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ccc::faultfs {
+
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kFailOpen,
+  kEintr,
+  kShortRead,
+  kFlipByte,
+  kFailWrite,
+  kTornWrite,
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind k);
+
+struct FaultPlan {
+  FaultKind kind{FaultKind::kNone};
+  /// Inject at the Nth matching operation (0-based).
+  std::uint64_t at_op{0};
+  /// Only operations on paths containing this substring; "" = every file.
+  std::string path_substr{};
+};
+
+/// Installs `plan` and resets the op / injection counters. Thread-safe.
+void set_plan(const FaultPlan& plan);
+
+/// Deactivates injection (the state tests must restore). Thread-safe.
+void clear_plan();
+
+/// True when a plan is installed (after env-var lazy load).
+[[nodiscard]] bool plan_active();
+
+/// How many faults have actually fired since set_plan(). Tests assert this
+/// is nonzero so a refactor that routes IO around the shim cannot pass
+/// vacuously.
+[[nodiscard]] std::uint64_t faults_injected();
+
+/// True when `path` may be mmap'd: no active read-fault plan targets it.
+[[nodiscard]] bool mmap_allowed(const std::string& path);
+
+/// RAII fd wrapper; all methods throw ccc::Error (category kIo) on real or
+/// injected failure. Move-only.
+class File {
+ public:
+  File() = default;
+  ~File();
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Opens for reading / creates-truncates for writing.
+  [[nodiscard]] static File open_read(const std::string& path);
+  [[nodiscard]] static File open_trunc(const std::string& path);
+
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// File size via fstat.
+  [[nodiscard]] std::uint64_t size() const;
+
+  /// Appends exactly `len` bytes at the current write offset (EINTR and
+  /// short writes retried; torn-write injection may silently drop — that is
+  /// the point).
+  void write(const void* data, std::size_t len);
+
+  /// Overwrites `len` bytes at absolute `offset` (the header patch). Does
+  /// not move the append offset.
+  void write_at(std::uint64_t offset, const void* data, std::size_t len);
+
+  /// Reads exactly `len` bytes at absolute `offset`; throws on EOF-short
+  /// files as well as on errors.
+  void read_exact_at(std::uint64_t offset, void* data, std::size_t len);
+
+  /// Flushes to the OS and closes, reporting errors (unlike ~File, which
+  /// closes silently). Idempotent.
+  void close_checked();
+
+ private:
+  explicit File(int fd, std::string path) : fd_{fd}, path_{std::move(path)} {}
+  void close_quiet() noexcept;
+
+  int fd_{-1};
+  std::string path_;
+  std::uint64_t append_off_{0};
+  bool torn_{false};  ///< torn-write fired: drop every subsequent write
+};
+
+}  // namespace ccc::faultfs

@@ -76,6 +76,44 @@ TEST(BenchCli, HelpIsRecordedNotActedOnInLibraryMode) {
   EXPECT_TRUE(parse({"-h"}).help);
 }
 
+TEST(BenchCli, DuplicateFlagsLastOneWins) {
+  EXPECT_EQ(parse({"--jobs", "2", "--jobs", "6"}).jobs, 6u);
+  EXPECT_EQ(parse({"-j4", "--jobs=9"}).jobs, 9u);
+  const Cli cli = parse({"--seed", "1", "--seed=17"});
+  EXPECT_TRUE(cli.has_seed);
+  EXPECT_EQ(cli.seed, 17u);
+  EXPECT_EQ(parse({"--out", "a.txt", "--out=b.txt"}).out, "b.txt");
+}
+
+TEST(BenchCli, JobsGarbageInEverySpellingIsAbsent) {
+  // Glued and spaced forms must agree on what is garbage.
+  EXPECT_EQ(parse({"-jbogus"}).jobs, 0u);
+  EXPECT_EQ(parse({"-j", "bogus"}).jobs, 0u);
+  EXPECT_EQ(parse({"--jobs=bogus"}).jobs, 0u);
+  EXPECT_EQ(parse({"-j0"}).jobs, 0u);
+  EXPECT_EQ(parse({"-j", "-4"}).jobs, 0u);
+  EXPECT_EQ(parse({"--jobs=4x"}).jobs, 0u);
+}
+
+TEST(BenchCli, JobsOverflowIsMalformedNotTruncated) {
+  // strtol saturates with ERANGE; truncating LONG_MAX into unsigned used to
+  // accept this as a huge bogus worker count.
+  EXPECT_EQ(parse({"--jobs", "99999999999999999999"}).jobs, 0u);
+  EXPECT_EQ(parse({"-j99999999999999999999"}).jobs, 0u);
+  EXPECT_EQ(parse({"--jobs", "4294967296"}).jobs, 0u);  // UINT_MAX + 1
+}
+
+TEST(BenchCli, SeedOverflowAndNegativeAreMalformed) {
+  // strtoull saturates over-range values and silently wraps "-1" to
+  // 2^64-1; both must read as "no seed given", not a garbage seed.
+  EXPECT_FALSE(parse({"--seed", "99999999999999999999999"}).has_seed);
+  EXPECT_FALSE(parse({"--seed=-1"}).has_seed);
+  // The full range itself stays valid.
+  const Cli max = parse({"--seed", "18446744073709551615"});
+  EXPECT_TRUE(max.has_seed);
+  EXPECT_EQ(max.seed, ~std::uint64_t{0});
+}
+
 TEST(BenchCli, UsageMentionsEveryFlag) {
   const std::string u = Cli::usage("fig0");
   for (const char* flag :

@@ -8,6 +8,7 @@
 
 #include "mlab/synthetic.hpp"
 #include "telemetry/metrics.hpp"
+#include "util/error.hpp"
 #include "util/stats.hpp"
 
 namespace ccc::mlab {
@@ -159,6 +160,52 @@ TEST(CsvIo, RoundTripPreservesRecords) {
 TEST(CsvIo, RejectsWrongHeader) {
   std::stringstream ss{"not,a,valid,header\n1,cable\n"};
   EXPECT_THROW((void)read_csv(ss), std::runtime_error);
+  // ... and the throw is typed: a wrong header is a different-file problem
+  // (kFormat at byte 0), distinct from the skip-and-count bad-row path.
+  std::stringstream again{"not,a,valid,header\n1,cable\n"};
+  try {
+    (void)read_csv(again);
+    FAIL() << "wrong header was accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kFormat);
+    EXPECT_EQ(e.byte_offset(), 0u);
+  }
+}
+
+TEST(CsvIo, OverRangeNumericFieldIsSkippedAndCounted) {
+  // A 400-digit field makes std::stod/stoull throw std::out_of_range — a
+  // class of parse failure that once escaped the enumerated catch list and
+  // killed the load. It must go through the same skip-and-count path as
+  // garbage text.
+  std::stringstream out;
+  write_csv(out, std::vector<NdtRecord>{});
+  const std::string huge(400, '9');
+  std::stringstream in{out.str() +
+                       "1,cable,policed,10,0,0,5,20,0.1,1;2;3\n" +
+                       huge + ",cable,policed,10,0,0,5,20,0.1,1;2;3\n" +  // u64 overflow
+                       "3,cable,policed," + huge + ",0,0,5,20,0.1,1;2;3\n" +  // double overflow
+                       "4,cable,policed,10,0,0,5,20,0.1,1;" + huge + ";3\n"};  // series overflow
+  CsvParseStats stats;
+  const auto rows = read_csv(in, &stats);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].id, 1u);
+  EXPECT_EQ(stats.rows_seen, 4u);
+  EXPECT_EQ(stats.rows_skipped, 3u);
+}
+
+TEST(CsvIo, NegativeIdIsSkippedNotWrapped) {
+  // std::stoull silently wraps "-1" to 2^64-1; an id column with a sign bit
+  // must read as a malformed row, never as a silently huge id.
+  std::stringstream out;
+  write_csv(out, std::vector<NdtRecord>{});
+  std::stringstream in{out.str() +
+                       "-1,cable,policed,10,0,0,5,20,0.1,1;2;3\n"
+                       "7,cable,policed,10,0,0,5,20,0.1,1;2;3\n"};
+  CsvParseStats stats;
+  const auto rows = read_csv(in, &stats);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].id, 7u);
+  EXPECT_EQ(stats.rows_skipped, 1u);
 }
 
 TEST(CsvIo, MalformedRowsAreCountedAndSkippedNotFatal) {

@@ -14,6 +14,7 @@
 #include "core/dumbbell.hpp"
 #include "runner/experiment_runner.hpp"
 #include "runner/thread_pool.hpp"
+#include "util/error.hpp"
 
 namespace ccc::runner {
 namespace {
@@ -126,6 +127,30 @@ TEST(ExperimentRunner, ExceptionPropagatesWithoutDeadlock) {
   // The runner stays usable afterwards.
   const auto ok = runner.map<int>(4, [](std::size_t i) { return static_cast<int>(i); });
   EXPECT_EQ(ok, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ExperimentRunner, TypedErrorCrossesThePoolIntact) {
+  // The rethrow goes through std::exception_ptr, so a worker's ccc::Error
+  // reaches the caller with its dynamic type — category, path, and byte
+  // offset intact — not sliced down to std::runtime_error. The pipeline's
+  // strict mode and guarded_main's exit-code mapping both depend on this.
+  for (const unsigned jobs : {1u, 4u}) {
+    ExperimentRunner runner{{.jobs = jobs}};
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t i = 0; i < 4; ++i) {
+      tasks.push_back([i] {
+        if (i == 1) throw Error::corruption("/data/shard.ccfs", "crc mismatch", 64);
+      });
+    }
+    try {
+      runner.run_all(tasks);
+      FAIL() << "expected a rethrow (jobs=" << jobs << ")";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.category(), ErrorCategory::kCorruption) << "jobs=" << jobs;
+      EXPECT_EQ(e.path(), "/data/shard.ccfs");
+      EXPECT_EQ(e.byte_offset(), 64u);
+    }
+  }
 }
 
 TEST(ExperimentRunner, LowestIndexExceptionWinsDeterministically) {

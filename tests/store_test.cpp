@@ -10,6 +10,7 @@
 #include "mlab/synthetic.hpp"
 #include "store/convert.hpp"
 #include "store/flow_store.hpp"
+#include "util/error.hpp"
 
 namespace ccc::store {
 namespace {
@@ -110,7 +111,15 @@ TEST(FlowStore, CorruptionIsDetectedByCrc) {
     b = static_cast<char>(b ^ 0x40);
     f.write(&b, 1);
   }
-  EXPECT_THROW((FlowStoreReader{p.str()}), std::runtime_error);
+  // The throw is a typed ccc::Error naming what happened and where
+  // (category kCorruption: the file was valid and is now provably damaged).
+  try {
+    FlowStoreReader r{p.str()};
+    FAIL() << "reader accepted a corrupt file";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kCorruption);
+    EXPECT_EQ(e.path(), p.str());
+  }
   // Opting out of verification must still parse the structure.
   EXPECT_NO_THROW((FlowStoreReader{p.str(), /*verify_crc=*/false}));
 }
@@ -120,13 +129,26 @@ TEST(FlowStore, TruncatedFileIsRejected) {
   TempPath p{"store_trunc.ccfs"};
   write_store(p.str(), dataset);
   fs::resize_file(p.str(), fs::file_size(p.str()) - 16);
-  EXPECT_THROW((FlowStoreReader{p.str()}), std::runtime_error);
+  try {
+    FlowStoreReader r{p.str()};
+    FAIL() << "reader accepted a truncated file";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kCorruption);
+  }
 }
 
 TEST(FlowStore, GarbageFileIsRejected) {
   TempPath p{"store_garbage.ccfs"};
   std::ofstream{p.str(), std::ios::binary} << std::string(4096, 'x');
-  EXPECT_THROW((FlowStoreReader{p.str()}), std::runtime_error);
+  // Not-a-ccfs-document is a format error (bad magic, byte offset 0), not
+  // corruption — nothing suggests it was ever valid.
+  try {
+    FlowStoreReader r{p.str()};
+    FAIL() << "reader accepted garbage";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kFormat);
+    EXPECT_EQ(e.byte_offset(), 0u);
+  }
 }
 
 TEST(FlowStore, AppendAfterFinishThrows) {
