@@ -56,6 +56,7 @@ struct Fig2Options {
   std::string input;     ///< *.csv or *.ccfs dataset; "" = synthetic
   std::size_t scale{0};  ///< multiply the paper's 9,984 flows; 0 = off
   bool strict{false};    ///< fail fast on corrupt shards/records
+  std::size_t readahead{0};  ///< store readahead window in flows; 0 = off
 };
 
 bool ends_with(const std::string& s, std::string_view suffix) {
@@ -65,7 +66,8 @@ bool ends_with(const std::string& s, std::string_view suffix) {
 
 [[noreturn]] void usage_error(const std::string& msg) {
   std::cerr << "fig2_mlab_passive: " << msg
-            << "\n  extra flags: --scale N | --input PATH.{csv,ccfs} | --strict\n";
+            << "\n  extra flags: --scale N | --input PATH.{csv,ccfs} | --strict | "
+               "--readahead N\n";
   std::exit(2);
 }
 
@@ -88,6 +90,28 @@ std::size_t parse_scale(const std::string& v) {
                 std::to_string(kMaxScale) + ")");
   }
   if (x == 0) usage_error("--scale must be >= 1");
+  return static_cast<std::size_t>(x);
+}
+
+/// Strict --readahead parse, same contract as parse_scale: the window is a
+/// plain flow count ("8192"); garbage, negatives, or absurd values exit 2.
+/// 0 is accepted and means "no readahead" (the default).
+std::size_t parse_readahead(const std::string& v) {
+  static constexpr unsigned long long kMaxWindow = 100'000'000;
+  if (v.empty()) usage_error("--readahead needs a value");
+  if (v.front() == '-') {
+    usage_error("invalid --readahead value '" + v + "' (want an integer >= 0)");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || end == v.c_str()) {
+    usage_error("invalid --readahead value '" + v + "' (want an integer >= 0)");
+  }
+  if (errno == ERANGE || x > kMaxWindow) {
+    usage_error("--readahead value '" + v + "' out of range (max " +
+                std::to_string(kMaxWindow) + ")");
+  }
   return static_cast<std::size_t>(x);
 }
 
@@ -123,6 +147,8 @@ Fig2Options parse_extra_flags(const std::vector<std::string>& rest) {
     } else if (a == "--scale" || a.rfind("--scale=", 0) == 0) {
       opt.scale = parse_scale(value_of("--scale"));
       saw_scale = true;
+    } else if (a == "--readahead" || a.rfind("--readahead=", 0) == 0) {
+      opt.readahead = parse_readahead(value_of("--readahead"));
     } else {
       usage_error("unrecognized or incomplete argument '" + a + "'");
     }
@@ -297,6 +323,7 @@ int run_at_scale(bench::Cli& cli, std::uint64_t seed, const Fig2Options& opt) {
   telemetry::MetricRegistry io_metrics;
   pipeline::ShardOpenOptions sopts;
   sopts.strict = opt.strict;
+  sopts.sequential = opt.readahead > 0;
   const auto shards = pipeline::ShardSet::open(store_paths, sopts, &io_metrics);
   for (const auto& f : shards.failures()) {
     std::cerr << "fig2_mlab_passive: skipping unreadable shard: " << f.detail << "\n";
@@ -317,6 +344,7 @@ int run_at_scale(bench::Cli& cli, std::uint64_t seed, const Fig2Options& opt) {
   pipeline::PipelineConfig pcfg;
   pcfg.jobs = cli.serial ? 1 : cli.jobs;
   pcfg.strict = opt.strict;
+  pcfg.readahead_flows = opt.readahead;
   pcfg.on_progress = bench::stderr_progress("fig2_mlab_passive: shards");
   auto res = pipeline::run_pipeline(shards.source(), pcfg);
   res.metrics.merge_from(io_metrics);  // shards_failed / shards_opened

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -105,6 +106,118 @@ void BM_SchedulerTimerChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerTimerChurn);
 
+// ----------------------------------------------------------------------
+// Typed-event per-shape scopes. Three canonical hot-path shapes, expressed
+// through the typed API (schedule_member_fire / schedule_call / deliver)
+// exactly as the simulator's own components use it, so these numbers move
+// when the engine moves:
+//   sim_delivery     packet delivery chain — arena handles, no closures
+//   sim_timer_churn  RTO pattern: every tick cancels + re-arms a far timer
+//   sim_mixed_chain  both at once plus a 10 ms in-flight delivery window
+//                    (the shape that punishes a heap-only scheduler)
+
+constexpr int kShapeEvents = 2'000'000;
+
+struct ShapeCountSink : sim::PacketSink {
+  std::uint64_t n{0};
+  void deliver(const sim::Packet&) override { ++n; }
+};
+
+/// Delivery-only: a relay sink that re-schedules the packet +1us.
+struct ShapeRelay : sim::PacketSink {
+  sim::Scheduler& sched;
+  int count{0};
+  explicit ShapeRelay(sim::Scheduler& s) : sched{s} {}
+  void deliver(const sim::Packet& p) override {
+    if (++count < kShapeEvents) sched.schedule_deliver_after(Time::us(1), *this, p);
+  }
+};
+
+double run_sim_delivery(std::uint64_t& events) {
+  sim::Scheduler sched;
+  ShapeRelay relay{sched};
+  sim::Packet proto;
+  proto.size_bytes = 1500;
+  proto.payload_bytes = 1460;
+  const auto t0 = std::chrono::steady_clock::now();
+  sched.schedule_deliver_at(Time::zero(), relay, proto);
+  sched.run_until(Time::sec(10.0));
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - t0;
+  events = sched.events_executed();
+  return wall.count();
+}
+
+struct ShapeChurnDriver {
+  sim::Scheduler& sched;
+  int count{0};
+  sim::EventId rto{0};
+  void tick() {
+    sched.cancel(rto);  // "ACK arrived": disarm the previous timer
+    rto = sched.schedule_call_after(Time::ms(200), [](void*, std::uint64_t) {}, nullptr);
+    if (++count < kShapeEvents) {
+      sched.schedule_member_fire_after<&ShapeChurnDriver::tick>(Time::us(1), this);
+    }
+  }
+};
+
+double run_sim_timer_churn(std::uint64_t& events) {
+  sim::Scheduler sched;
+  ShapeChurnDriver d{sched};
+  const auto t0 = std::chrono::steady_clock::now();
+  sched.schedule_member_fire_at<&ShapeChurnDriver::tick>(Time::zero(), &d);
+  sched.run_until(Time::sec(10.0));
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - t0;
+  events = sched.events_executed();
+  return wall.count();
+}
+
+struct ShapeMixedDriver {
+  sim::Scheduler& sched;
+  ShapeCountSink sink;
+  sim::Packet proto;
+  int count{0};
+  sim::EventId rto{0};
+  void tick() {
+    sched.cancel(rto);
+    rto = sched.schedule_call_after(Time::ms(200), [](void*, std::uint64_t) {}, nullptr);
+    // A 10 ms flight time at one departure/us keeps ~10,000 deliveries in
+    // the air — the load that the timer wheel + ready batch absorb.
+    sched.schedule_deliver_after(Time::ms(10), sink, proto);
+    if (++count < kShapeEvents) {
+      sched.schedule_member_fire_after<&ShapeMixedDriver::tick>(Time::us(1), this);
+    }
+  }
+};
+
+double run_sim_mixed_chain(std::uint64_t& events) {
+  sim::Scheduler sched;
+  ShapeMixedDriver d{sched};
+  d.proto.size_bytes = 1500;
+  d.proto.payload_bytes = 1460;
+  const auto t0 = std::chrono::steady_clock::now();
+  sched.schedule_member_fire_at<&ShapeMixedDriver::tick>(Time::zero(), &d);
+  sched.run_until(Time::sec(30.0));
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - t0;
+  events = sched.events_executed();
+  return wall.count();
+}
+
+void report_shape(const char* name, double (*run)(std::uint64_t&), std::ostream& os,
+                  telemetry::RunReport& report) {
+  std::uint64_t events = 0;
+  const double wall = run(events);
+  const double eps = static_cast<double>(events) / wall;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "{\"bench\": \"%s\", \"events\": %llu, \"wall_sec\": %.4f, "
+                "\"events_per_sec\": %.0f}\n",
+                name, static_cast<unsigned long long>(events), wall, eps);
+  os << line;
+  report.add_scalar(name, "events", static_cast<double>(events));
+  report.add_scalar(name, "wall_sec", wall);
+  report.add_scalar(name, "events_per_sec", eps);
+}
+
 /// Wall-clock events/sec on the raw dispatch path, printed as JSON and
 /// mirrored into the machine-readable RunReport (--report).
 void report_events_per_sec(const char* name, bool churn, std::ostream& os,
@@ -158,6 +271,9 @@ int run_bench(int argc, char** argv) {
   telemetry::RunReport report{"micro_sim", 0};
   report_events_per_sec("scheduler_chain", /*churn=*/false, os, report);
   report_events_per_sec("scheduler_timer_churn", /*churn=*/true, os, report);
+  report_shape("sim_delivery", run_sim_delivery, os, report);
+  report_shape("sim_timer_churn", run_sim_timer_churn, os, report);
+  report_shape("sim_mixed_chain", run_sim_mixed_chain, os, report);
   if (!report.emit(cli.report)) {
     std::cerr << "micro_sim: cannot write --report file '" << cli.report << "'\n";
     return 2;

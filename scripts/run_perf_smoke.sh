@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Perf smoke: re-runs the headline micro benches (micro_sim, micro_store)
+# and fails if any committed *_per_sec baseline regresses by more than 20%.
+#
+# Baselines are the repo-root BENCH_sim.json / BENCH_store.json report files
+# (ccc.report.v1 JSONL). Scopes prefixed "pre." are historical pre-change
+# records kept for the speedup table in EXPERIMENTS.md; they are not gates.
+#
+# Usage: scripts/run_perf_smoke.sh [build-dir]     (default: build)
+#   CCC_PERF_THRESHOLD=0.80   pass ratio (current/baseline) below which we fail
+#   CCC_PERF_RUNS=3           runs per bench; the best run is compared, so a
+#                             one-off scheduling hiccup does not flake CI
+#
+# Exit codes: 0 ok, 1 regression, 2 usage/build problem.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build=${1:-build}
+thresh=${CCC_PERF_THRESHOLD:-0.80}
+runs=${CCC_PERF_RUNS:-3}
+tmp=$(mktemp -d)
+trap 'rm -rf "${tmp}"' EXIT
+
+for bin in micro_sim micro_store; do
+  [ -x "${build}/bench/${bin}" ] || {
+    echo "run_perf_smoke: ${build}/bench/${bin} not built (cmake --build ${build})" >&2
+    exit 2
+  }
+done
+
+# check <bench> <baseline.json> <current.jsonl...>: compare every
+# "*_per_sec" scalar present in the baseline against the best current run.
+check() {
+  local bench=$1 base=$2
+  shift 2
+  awk -v thresh="${thresh}" -v bench="${bench}" -v base_file="${base}" '
+    function field(line, key,   s) {
+      if (!match(line, "\"" key "\":\"?")) return ""
+      s = substr(line, RSTART + RLENGTH)
+      sub(/[",}].*/, "", s)
+      return s
+    }
+    {
+      scope = field($0, "scope"); name = field($0, "name")
+      if (scope == "" || name !~ /_per_sec$/) next
+      v = field($0, "value") + 0
+      if (FILENAME == base_file) {
+        if (scope !~ /^pre\./) base[scope] = v
+      } else if (v > cur[scope]) {
+        cur[scope] = v
+      }
+    }
+    END {
+      fail = 0
+      for (s in base) {
+        if (!(s in cur)) { printf "FAIL %s/%s: missing from current run\n", bench, s; fail = 1; continue }
+        ratio = cur[s] / base[s]
+        printf "%-11s %-22s %14.0f -> %14.0f   %.2fx\n", bench, s, base[s], cur[s], ratio
+        if (ratio < thresh) {
+          printf "FAIL %s/%s regressed: %.2fx < %.2fx floor\n", bench, s, ratio, thresh
+          fail = 1
+        }
+      }
+      exit fail
+    }' "${base}" "$@"
+}
+
+status=0
+for bench in micro_sim micro_store; do
+  reports=()
+  for ((i = 1; i <= runs; ++i)); do
+    "${build}/bench/${bench}" --benchmark_filter='^$' \
+      --report "${tmp}/${bench}_${i}.jsonl" >/dev/null
+    reports+=("${tmp}/${bench}_${i}.jsonl")
+  done
+  base="BENCH_${bench#micro_}.json"
+  check "${bench}" "${base}" "${reports[@]}" || status=1
+done
+
+if [ "${status}" -ne 0 ]; then
+  echo "run_perf_smoke: regression beyond $(awk -v t="${thresh}" 'BEGIN{printf "%.0f", (1-t)*100}')% detected" >&2
+else
+  echo "run_perf_smoke: all headline rates within ${thresh}x of committed baselines"
+fi
+exit "${status}"

@@ -8,7 +8,7 @@ TslpProber::TslpProber(sim::Scheduler& sched, TslpConfig cfg, sim::PacketSink& o
                        sim::FlowDemux& demux)
     : sched_{sched}, cfg_{cfg}, out_{out} {
   demux.register_flow(cfg_.flow_id, *this);
-  sched_.schedule_at(cfg_.start, [this] { emit(); });
+  sched_.schedule_member_fire_at<&TslpProber::emit>(cfg_.start, this);
 }
 
 void TslpProber::emit() {
@@ -21,7 +21,7 @@ void TslpProber::emit() {
   probe.sent_at = now;
   ++sent_;
   out_.deliver(probe);
-  sched_.schedule_after(cfg_.interval, [this] { emit(); });
+  sched_.schedule_member_fire_after<&TslpProber::emit>(cfg_.interval, this);
 }
 
 void TslpProber::deliver(const sim::Packet& pkt) {

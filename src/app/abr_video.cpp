@@ -61,7 +61,7 @@ void AbrVideoApp::maybe_request_chunk(Time now) {
   if (buffer_sec_ + cfg_.chunk_duration.to_sec() > cfg_.max_buffer.to_sec()) {
     // Buffer full: idle (this is precisely the app-limited "off" period),
     // retry when one chunk's worth of playback has drained.
-    sched_.schedule_after(cfg_.chunk_duration, [this] { maybe_request_chunk(sched_.now()); });
+    sched_.schedule_member_fire_after<&AbrVideoApp::on_buffer_retry>(cfg_.chunk_duration, this);
     return;
   }
   pick_bitrate();
@@ -76,6 +76,8 @@ void AbrVideoApp::maybe_request_chunk(Time now) {
   notify_data_ready();
 }
 
+void AbrVideoApp::on_buffer_retry() { maybe_request_chunk(sched_.now()); }
+
 ByteCount AbrVideoApp::bytes_available(Time now) {
   if (cfg_.supply_rate_multiple <= 0.0) return pending_;
   // Server-paced supply: release chunk bytes at bitrate x multiple.
@@ -89,12 +91,14 @@ ByteCount AbrVideoApp::bytes_available(Time now) {
 
 void AbrVideoApp::arm_supply_notifier() {
   supply_notifier_armed_ = true;
-  sched_.schedule_after(Time::ms(10), [this] {
-    supply_notifier_armed_ = false;
-    if (!chunk_in_flight_) return;
-    notify_data_ready();
-    arm_supply_notifier();
-  });
+  sched_.schedule_member_fire_after<&AbrVideoApp::on_supply_fire>(Time::ms(10), this);
+}
+
+void AbrVideoApp::on_supply_fire() {
+  supply_notifier_armed_ = false;
+  if (!chunk_in_flight_) return;
+  notify_data_ready();
+  arm_supply_notifier();
 }
 
 void AbrVideoApp::consume(ByteCount n, Time /*now*/) {

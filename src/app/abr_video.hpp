@@ -60,9 +60,11 @@ class AbrVideoApp : public App {
 
  private:
   void maybe_request_chunk(Time now);
+  void on_buffer_retry();
   void pick_bitrate();
   void drain_playback(Time now) const;
   void arm_supply_notifier();
+  void on_supply_fire();
 
   sim::Scheduler& sched_;
   AbrConfig cfg_;

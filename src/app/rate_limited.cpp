@@ -20,11 +20,13 @@ void RateLimitedApp::on_start(Time now) {
 void RateLimitedApp::arm_notify() {
   // Periodically poke the sender: data accrues continuously but the sender
   // only polls on events.
-  sched_.schedule_after(notify_period_, [this] {
-    if (finished(sched_.now())) return;
-    notify_data_ready();
-    arm_notify();
-  });
+  sched_.schedule_member_fire_after<&RateLimitedApp::on_notify_fire>(notify_period_, this);
+}
+
+void RateLimitedApp::on_notify_fire() {
+  if (finished(sched_.now())) return;
+  notify_data_ready();
+  arm_notify();
 }
 
 void RateLimitedApp::accrue(Time now) {

@@ -31,6 +31,7 @@ class RateLimitedApp : public App {
  private:
   void accrue(Time now);
   void arm_notify();
+  void on_notify_fire();
 
   sim::Scheduler& sched_;
   Rate rate_;

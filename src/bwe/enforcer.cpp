@@ -25,10 +25,12 @@ void Enforcer::run_round() {
 }
 
 void Enforcer::start(Time at) {
-  sched_.schedule_at(at, [this] {
-    run_round();
-    start(sched_.now() + period_);
-  });
+  sched_.schedule_member_fire_at<&Enforcer::on_round_fire>(at, this);
+}
+
+void Enforcer::on_round_fire() {
+  run_round();
+  start(sched_.now() + period_);
 }
 
 }  // namespace ccc::bwe

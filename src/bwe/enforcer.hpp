@@ -43,6 +43,8 @@ class Enforcer {
   [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
 
  private:
+  void on_round_fire();
+
   struct Binding {
     EntityId leaf;
     CappedCca* cca;

@@ -16,17 +16,19 @@ ShortFlowWorkload::ShortFlowWorkload(sim::Scheduler& sched, Rng& rng, ShortFlowC
       forward_{forward},
       demux_{demux},
       next_id_{cfg.first_flow_id} {
-  sched_.schedule_at(cfg_.start_at, [this] { schedule_next_arrival(); });
+  sched_.schedule_member_fire_at<&ShortFlowWorkload::schedule_next_arrival>(cfg_.start_at, this);
 }
 
 void ShortFlowWorkload::schedule_next_arrival() {
   if (sched_.now() >= cfg_.stop_at) return;
   const Time gap = Time::sec(rng_.exponential(cfg_.mean_interarrival.to_sec()));
-  sched_.schedule_after(gap, [this] {
-    if (sched_.now() >= cfg_.stop_at) return;
-    spawn_flow();
-    schedule_next_arrival();
-  });
+  sched_.schedule_member_fire_after<&ShortFlowWorkload::on_arrival>(gap, this);
+}
+
+void ShortFlowWorkload::on_arrival() {
+  if (sched_.now() >= cfg_.stop_at) return;
+  spawn_flow();
+  schedule_next_arrival();
 }
 
 ByteCount ShortFlowWorkload::bytes_delivered() const {

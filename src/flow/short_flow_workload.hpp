@@ -51,6 +51,7 @@ class ShortFlowWorkload {
 
  private:
   void schedule_next_arrival();
+  void on_arrival();
   void spawn_flow();
 
   sim::Scheduler& sched_;

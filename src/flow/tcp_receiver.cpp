@@ -59,11 +59,14 @@ void TcpReceiver::arm_delayed_ack(const sim::Packet& data) {
   }
   if (!delayed_armed_) {
     delayed_armed_ = true;
-    delayed_event_ = sched_.schedule_after(cfg_.delayed_ack, [this] {
-      delayed_armed_ = false;
-      if (unacked_data_packets_ > 0) emit_ack(pending_echo_);
-    });
+    delayed_event_ =
+        sched_.schedule_member_after<&TcpReceiver::on_delayed_ack_fire>(cfg_.delayed_ack, this);
   }
+}
+
+void TcpReceiver::on_delayed_ack_fire() {
+  delayed_armed_ = false;
+  if (unacked_data_packets_ > 0) emit_ack(pending_echo_);
 }
 
 void TcpReceiver::emit_ack(const sim::Packet& data) {

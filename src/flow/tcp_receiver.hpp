@@ -44,6 +44,7 @@ class TcpReceiver : public sim::PacketSink {
  private:
   void emit_ack(const sim::Packet& data);
   void arm_delayed_ack(const sim::Packet& data);
+  void on_delayed_ack_fire();
 
   sim::Scheduler& sched_;
   ReceiverConfig cfg_;

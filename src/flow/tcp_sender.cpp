@@ -53,11 +53,13 @@ void TcpSender::export_metrics(telemetry::MetricRegistry& reg) const {
 
 void TcpSender::start(Time at) {
   assert(!started_);
-  sched_.schedule_at(at, [this] {
-    started_ = true;
-    app_.on_start(sched_.now());
-    try_send();
-  });
+  sched_.schedule_member_fire_at<&TcpSender::on_start_fire>(at, this);
+}
+
+void TcpSender::on_start_fire() {
+  started_ = true;
+  app_.on_start(sched_.now());
+  try_send();
 }
 
 ByteCount TcpSender::send_window() const { return std::min(cc_->cwnd_bytes(), rwnd_); }
@@ -100,10 +102,8 @@ void TcpSender::try_send() {
     if (!pace.is_zero() && now < next_send_time_) {
       if (!pacing_wake_armed_) {
         pacing_wake_armed_ = true;
-        pacing_event_ = sched_.schedule_at(next_send_time_, [this] {
-          pacing_wake_armed_ = false;
-          try_send();
-        });
+        pacing_event_ =
+            sched_.schedule_member_at<&TcpSender::on_pacing_fire>(next_send_time_, this);
       }
       limit_ = SendLimit::kNone;  // limited only by pacing spacing
       return;
@@ -398,7 +398,12 @@ void TcpSender::arm_rto() {
   sched_.cancel(rto_event_);
   Time timeout = rto_;
   for (int i = 0; i < rto_backoff_; ++i) timeout = std::min(timeout * 2, cfg_.max_rto);
-  rto_event_ = sched_.schedule_after(timeout, [this] { on_rto_fire(); });
+  rto_event_ = sched_.schedule_member_after<&TcpSender::on_rto_fire>(timeout, this);
+}
+
+void TcpSender::on_pacing_fire() {
+  pacing_wake_armed_ = false;
+  try_send();
 }
 
 void TcpSender::on_rto_fire() {

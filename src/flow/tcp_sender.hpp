@@ -121,6 +121,8 @@ class TcpSender : public sim::PacketSink {
   };
 
   void try_send();
+  void on_start_fire();
+  void on_pacing_fire();
   void transmit(Segment& seg, bool is_retx);
   void retransmit_head();
   /// Marks segments covered by the ACK's SACK blocks. Returns bytes newly

@@ -16,7 +16,7 @@ UdpCbrSource::UdpCbrSource(sim::Scheduler& sched, sim::FlowId flow, sim::UserId 
       interval_{rate.transmit_time(packet_bytes)} {
   assert(rate.to_bps() > 0.0);
   assert(start_at < stop_at);
-  sched_.schedule_at(start_at, [this] { emit(); });
+  sched_.schedule_member_fire_at<&UdpCbrSource::emit>(start_at, this);
 }
 
 void UdpCbrSource::emit() {
@@ -32,7 +32,7 @@ void UdpCbrSource::emit() {
   next_seq_ += pkt.payload_bytes;
   ++packets_;
   out_.deliver(pkt);
-  sched_.schedule_after(interval_, [this] { emit(); });
+  sched_.schedule_member_fire_after<&UdpCbrSource::emit>(interval_, this);
 }
 
 }  // namespace ccc::flow

@@ -142,7 +142,15 @@ PipelineResult run_pipeline(const FlowSource& src, const PipelineConfig& cfg) {
     // cost prefixes, PELT state) grows to the shard's longest flow and is
     // then reused allocation-free. Shards share nothing, so no locking.
     changepoint::ChangepointWorkspace ws;
+    // Stage the first window up front, then keep exactly one window of
+    // readahead in flight: at every window boundary, hint the next one
+    // while this one is being analyzed.
+    const std::size_t window = cfg.readahead_flows;
+    if (window > 0) src.prefetch(begin, std::min(end, begin + window));
     for (std::size_t i = begin; i < end; ++i) {
+      if (window > 0 && (i - begin) % window == 0 && i + window < end) {
+        src.prefetch(i + window, std::min(end, i + 2 * window));
+      }
       const store::FlowView flow = src.flow(i);  // Source
       if (cfg.validate_records && !record_is_sane(flow)) {
         if (cfg.strict) {

@@ -9,7 +9,8 @@ ShardSet ShardSet::open(const std::vector<std::string>& paths, const ShardOpenOp
   ShardSet set;
   for (const auto& path : paths) {
     try {
-      set.readers_.emplace_back(path, opts.verify_crc);
+      set.readers_.emplace_back(path,
+                                store::ReaderOptions{opts.verify_crc, opts.sequential});
     } catch (const Error& e) {
       if (opts.strict) throw;
       set.failures_.push_back({path, e.category(), e.what()});

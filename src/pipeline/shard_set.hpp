@@ -42,6 +42,10 @@ struct ShardOpenOptions {
   /// Verify each shard's footer CRC at open (the corruption gate; turning
   /// it off is only sane for stores freshly written by this process).
   bool verify_crc{true};
+  /// Advise the kernel each shard will be scanned front to back (see
+  /// store::ReaderOptions::sequential). Set by scan-everything consumers
+  /// like the passive pipeline with readahead enabled.
+  bool sequential{false};
 };
 
 /// Owns the readers for a list of ccfs shard paths and presents the healthy

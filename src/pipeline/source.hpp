@@ -21,6 +21,14 @@ class FlowSource {
   [[nodiscard]] virtual std::size_t size() const = 0;
   /// Precondition: i < size(). Must be thread-safe (const, no caching).
   [[nodiscard]] virtual store::FlowView flow(std::size_t i) const = 0;
+  /// Hint that flows [begin, end) will be read soon, so a backing store can
+  /// stage their pages ahead of the faults (see FlowStoreReader::willneed).
+  /// Thread-safe like flow(); the default is a no-op (in-memory sources are
+  /// already resident). Out-of-range indices are clamped, not errors.
+  virtual void prefetch(std::size_t begin, std::size_t end) const {
+    (void)begin;
+    (void)end;
+  }
 };
 
 /// The in-memory path: wraps an existing std::vector<NdtRecord> dataset
@@ -58,6 +66,18 @@ class StoreSource final : public FlowSource {
     const auto it = std::upper_bound(prefix_.begin() + 1, prefix_.end(), i);
     const auto shard = static_cast<std::size_t>(it - prefix_.begin() - 1);
     return readers_[shard]->at(i - prefix_[shard]);
+  }
+  void prefetch(std::size_t begin, std::size_t end) const override {
+    end = std::min(end, prefix_.back());
+    while (begin < end) {
+      // Forward each shard its slice of the global [begin, end) range.
+      const auto it = std::upper_bound(prefix_.begin() + 1, prefix_.end(), begin);
+      const auto shard = static_cast<std::size_t>(it - prefix_.begin() - 1);
+      const std::size_t local = begin - prefix_[shard];
+      const std::size_t take = std::min(end, prefix_[shard + 1]) - begin;
+      readers_[shard]->willneed(local, take);
+      begin += take;
+    }
   }
 
  private:

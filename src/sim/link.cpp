@@ -71,7 +71,7 @@ void Link::maybe_start_tx() {
     // Shaper holding bytes: wake up when the head packet becomes eligible.
     // Re-arm only if the new wake time is sooner than a pending one.
     sched_.cancel(wake_event_);
-    wake_event_ = sched_.schedule_at(ready, [this] { maybe_start_tx(); });
+    wake_event_ = sched_.schedule_member_at<&Link::maybe_start_tx>(ready, this);
     return;
   }
 
@@ -85,17 +85,27 @@ void Link::maybe_start_tx() {
   busy_ = true;
   const Time tx_time = rate_.transmit_time(pkt->size_bytes);
   stats_.busy_time += tx_time;
-  sched_.schedule_after(tx_time, [this, p = *pkt] { on_tx_complete(p); });
+  // The serializing packet lives in the scheduler's arena, not a closure
+  // capture; its 4-byte handle rides through the typed event's arg.
+  const PacketPool::Handle h = sched_.packets().acquire(*pkt);
+  sched_.schedule_fire_after(
+      tx_time,
+      [](void* ctx, std::uint64_t arg) {
+        static_cast<Link*>(ctx)->on_tx_complete(static_cast<PacketPool::Handle>(arg));
+      },
+      this, h);
 }
 
-void Link::on_tx_complete(Packet pkt) {
+void Link::on_tx_complete(PacketPool::Handle h) {
   busy_ = false;
+  const Packet& pkt = sched_.packets().get(h);
   ++stats_.packets_sent;
   stats_.bytes_sent += pkt.size_bytes;
   if (tx_tap_) tx_tap_(pkt, sched_.now());
 
   // Propagation: the packet arrives at the destination prop_delay later.
-  sched_.schedule_after(prop_delay_, [this, pkt] { dst_.deliver(pkt); });
+  // Ownership of the arena slot moves to the deliver event — no copy.
+  sched_.schedule_deliver_handle_after(prop_delay_, dst_, h);
 
   maybe_start_tx();
 }

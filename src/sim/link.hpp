@@ -77,7 +77,7 @@ class Link {
 
  private:
   void maybe_start_tx();
-  void on_tx_complete(Packet pkt);
+  void on_tx_complete(PacketPool::Handle h);
 
   Scheduler& sched_;
   Rate rate_;
@@ -102,7 +102,18 @@ class DelayLine : public PacketSink {
       : sched_{sched}, delay_{delay}, dst_{&dst} {}
 
   void deliver(const Packet& pkt) override {
-    sched_.schedule_after(delay_, [this, pkt] { dst_->deliver(pkt); });
+    // Typed event, not a closure: the packet rides in the scheduler's arena
+    // instead of being copied into a heap-allocated capture. The trampoline
+    // re-reads dst_ at fire time, preserving set_dst() rebinding semantics.
+    sched_.schedule_fire_after(
+        delay_,
+        [](void* ctx, std::uint64_t arg) {
+          auto* self = static_cast<DelayLine*>(ctx);
+          const auto h = static_cast<PacketPool::Handle>(arg);
+          self->dst_->deliver(self->sched_.packets().get(h));
+          self->sched_.packets().release(h);
+        },
+        this, sched_.packets().acquire(pkt));
   }
 
   /// Re-points the downstream sink (used when wiring scenarios).

@@ -1,0 +1,71 @@
+// PacketPool — an arena for packets that are "on the wire".
+//
+// The event engine's delivery path (Link serialization, propagation,
+// DelayLine pipes) used to round-trip every packet through std::function
+// closures: each hop copied the ~170-byte Packet into a heap-allocated
+// capture, then copied it again into the next hop's capture. The pool
+// replaces that with one slab-resident copy per wire traversal: the sender
+// acquires a handle, the typed deliver event carries the 4-byte handle, and
+// the scheduler hands sinks a reference into the slab.
+//
+// Storage is a std::deque so slots never move: a sink reading the delivered
+// packet may itself acquire new handles (an ACK turned around into a reverse
+// link) without invalidating the reference it was handed. Freed slots go on
+// an intrusive free list and are reused LIFO, so steady-state simulations
+// allocate nothing — the deque grows to the high-water mark of in-flight
+// packets (roughly the sum of BDPs) and stays there.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/packet.hpp"
+
+namespace ccc::sim {
+
+/// Slab of reusable Packet slots addressed by 4-byte handles. Single
+/// threaded, like the scheduler that owns it.
+class PacketPool {
+ public:
+  using Handle = std::uint32_t;
+
+  /// Copies `pkt` into a slot (reusing a freed one if possible) and returns
+  /// its handle. The slot stays valid until release().
+  Handle acquire(const Packet& pkt) {
+    Handle h;
+    if (!free_.empty()) {
+      h = free_.back();
+      free_.pop_back();
+      slots_[h] = pkt;
+    } else {
+      h = static_cast<Handle>(slots_.size());
+      slots_.push_back(pkt);
+    }
+    ++live_;
+    return h;
+  }
+
+  /// The packet behind `h`. References stay valid across acquire() — deque
+  /// storage never relocates — but not across release() of the same handle.
+  [[nodiscard]] const Packet& get(Handle h) const { return slots_[h]; }
+  [[nodiscard]] Packet& get(Handle h) { return slots_[h]; }
+
+  /// Returns the slot to the free list. `h` must be live.
+  void release(Handle h) {
+    free_.push_back(h);
+    --live_;
+  }
+
+  /// Currently-acquired slots (in-flight packets).
+  [[nodiscard]] std::size_t live() const { return live_; }
+  /// High-water mark: total slots ever created.
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::deque<Packet> slots_;
+  std::vector<Handle> free_;
+  std::size_t live_{0};
+};
+
+}  // namespace ccc::sim

@@ -1,6 +1,7 @@
 #include "sim/rate_trace.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace ccc::sim {
@@ -8,7 +9,14 @@ namespace ccc::sim {
 void apply_rate_trace(Scheduler& sched, Link& link, const std::vector<RatePoint>& trace) {
   for (const auto& pt : trace) {
     if (pt.at < sched.now()) continue;
-    sched.schedule_at(pt.at, [&link, r = pt.rate] { link.set_rate(r); });
+    // Typed event: the rate rides through the 8-byte arg (a bit_cast
+    // double), so a long trace schedules no closures at all.
+    sched.schedule_fire_at(
+        pt.at,
+        [](void* ctx, std::uint64_t arg) {
+          static_cast<Link*>(ctx)->set_rate(Rate::bps(std::bit_cast<double>(arg)));
+        },
+        &link, std::bit_cast<std::uint64_t>(pt.rate.to_bps()));
   }
 }
 

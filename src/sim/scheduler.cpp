@@ -1,13 +1,24 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <utility>
 
 namespace ccc::sim {
 
-EventId Scheduler::schedule_at(Time at, std::function<void()> fn) {
-  assert(at >= now_ && "cannot schedule into the past");
+namespace {
+/// Wheel level whose span covers `delta` ticks.
+/// Precondition: kMinWheelTicks <= delta < kMaxWheelTicks.
+int level_for(std::uint64_t delta) {
+  if (delta < 64) return 0;
+  if (delta < 64 * 64) return 1;
+  if (delta < 64 * 64 * 64) return 2;
+  return 3;
+}
+}  // namespace
+
+std::uint32_t Scheduler::acquire_slot() {
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -16,24 +27,106 @@ EventId Scheduler::schedule_at(Time at, std::function<void()> fn) {
     slot = static_cast<std::uint32_t>(slots_.size());
     slots_.emplace_back();
   }
-  Slot& s = slots_[slot];
-  s.fn = std::move(fn);
-  s.armed = true;
-  heap_.push_back(Entry{at, next_seq_++, slot, s.gen});
-  std::push_heap(heap_.begin(), heap_.end(), later);
+  slots_[slot].armed = true;
   ++live_;
-  return make_id(slot, s.gen);
+  return slot;
 }
 
 std::function<void()> Scheduler::release_slot(std::uint32_t slot) {
   Slot& s = slots_[slot];
-  auto fn = std::move(s.fn);
-  s.fn = nullptr;  // drop any moved-from shell so captures are destroyed
+  std::function<void()> fn;
+  if (s.fn) {  // kCall slots never set fn; skip the type-erased move for them
+    fn = std::move(s.fn);
+    s.fn = nullptr;  // drop the moved-from shell so captures are destroyed
+  }
   s.armed = false;
   ++s.gen;
   free_slots_.push_back(slot);
   --live_;
   return fn;
+}
+
+void Scheduler::push_heap_entry(const Entry& e) {
+  if (e.slot != kNoSlot) slots_[e.slot].loc = kLocHeap;
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+void Scheduler::place(const Entry& e) {
+  // Every far-enough event goes through a bucket: cancellable events because
+  // a cancelled bucket entry dies in place without touching the heap, and
+  // deliveries (slot == kNoSlot) because parking a bandwidth-delay window of
+  // in-flight packets in buckets keeps the binary heap down to the current
+  // tick's worth of events — the difference between O(log 10k) and O(log 100)
+  // per operation in a busy dumbbell.
+  const std::uint64_t tick = tick_of(e.at);
+  const std::uint64_t delta = tick - wheel_tick_;  // at >= now implies tick >= cursor - 1
+  if (delta >= kMinWheelTicks && delta < kMaxWheelTicks &&
+      static_cast<std::int64_t>(delta) > 0) {
+    const int level = level_for(delta);
+    const std::uint64_t bucket = (tick >> (kSlotBits * level)) & kSlotMask;
+    wheel_[level][bucket].push_back(e);
+    occupied_[level] |= 1ull << bucket;
+    if (e.slot != kNoSlot) slots_[e.slot].loc = wheel_loc(level, bucket);
+    ++wheel_size_;
+    return;
+  }
+  push_heap_entry(e);
+}
+
+EventId Scheduler::schedule_at(Time at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  Entry e;
+  e.at = at;
+  e.seq = next_seq_++;
+  e.slot = slot;
+  e.gen = s.gen;
+  e.kind = Kind::kClosure;
+  place(e);
+  return make_id(slot, s.gen);
+}
+
+EventId Scheduler::schedule_call_at(Time at, RawCallback fn, void* ctx, std::uint64_t arg) {
+  assert(at >= now_ && "cannot schedule into the past");
+  const std::uint32_t slot = acquire_slot();
+  Entry e;
+  e.at = at;
+  e.seq = next_seq_++;
+  e.slot = slot;
+  e.gen = slots_[slot].gen;
+  e.kind = Kind::kCall;
+  e.u.call = {fn, ctx, arg};
+  place(e);
+  return make_id(slot, e.gen);
+}
+
+void Scheduler::schedule_fire_at(Time at, RawCallback fn, void* ctx, std::uint64_t arg) {
+  assert(at >= now_ && "cannot schedule into the past");
+  Entry e;
+  e.at = at;
+  e.seq = next_seq_++;
+  e.slot = kNoSlot;
+  e.gen = 0;
+  e.kind = Kind::kCall;
+  e.u.call = {fn, ctx, arg};
+  ++live_;
+  place(e);
+}
+
+void Scheduler::schedule_deliver_handle_at(Time at, PacketSink& sink, PacketPool::Handle h) {
+  assert(at >= now_ && "cannot schedule into the past");
+  Entry e;
+  e.at = at;
+  e.seq = next_seq_++;
+  e.slot = kNoSlot;
+  e.gen = 0;
+  e.kind = Kind::kDeliver;
+  e.u.deliver = {&sink, h};
+  ++live_;
+  place(e);
 }
 
 void Scheduler::cancel(EventId id) {
@@ -42,11 +135,19 @@ void Scheduler::cancel(EventId id) {
   if (slot >= slots_.size()) return;
   Slot& s = slots_[slot];
   if (!s.armed || s.gen != gen) return;  // already fired/cancelled, or reused
+  const std::uint16_t loc = s.loc;
   release_slot(slot);
-  // The heap still holds this event's entry; it is now stale and will be
-  // dropped lazily when popped — unless stale entries start to dominate, in
-  // which case we rebuild the heap so disarmed timers cannot grow it forever.
-  if (++stale_ >= 64 && stale_ > heap_.size() / 2) compact();
+  // The heap or a wheel bucket still holds this event's entry; it is now
+  // stale and will be dropped lazily when popped or cascaded — unless stale
+  // entries start to dominate, in which case we compact in place so
+  // disarmed timers cannot grow either structure forever.
+  if (loc == kLocHeap) {
+    if (++stale_ >= 64 && stale_ > heap_.size() / 2) compact();
+  } else if (loc == kLocReady) {
+    ++ready_stale_;  // the batch drains within its tick; dropped at pop
+  } else {
+    if (++wheel_stale_ >= 64 && wheel_stale_ * 2 > wheel_size_) sweep_wheel();
+  }
 }
 
 void Scheduler::compact() {
@@ -55,41 +156,209 @@ void Scheduler::compact() {
   stale_ = 0;
 }
 
+void Scheduler::sweep_wheel() {
+  for (int l = 0; l < kLevels; ++l) {
+    std::uint64_t occ = occupied_[l];
+    while (occ != 0) {
+      const int b = std::countr_zero(occ);
+      occ &= occ - 1;
+      auto& bucket = wheel_[l][b];
+      wheel_size_ -= std::erase_if(bucket, [this](const Entry& e) { return !is_live(e); });
+      if (bucket.empty()) occupied_[l] &= ~(1ull << b);
+    }
+  }
+  wheel_stale_ = 0;
+}
+
+std::uint64_t Scheduler::next_wheel_tick(std::uint64_t limit) const {
+  std::uint64_t best = limit;
+  // Level 0 buckets spill at their own tick.
+  if (occupied_[0] != 0) {
+    const unsigned cur = static_cast<unsigned>(wheel_tick_ & kSlotMask);
+    const std::uint64_t rot = std::rotr(occupied_[0], static_cast<int>(cur));
+    best = std::min(best, wheel_tick_ + static_cast<std::uint64_t>(std::countr_zero(rot)));
+  }
+  // Level l>=1 buckets cascade when the cursor enters their block (a
+  // multiple of 64^l). Distance 0 is ambiguous: with the cursor exactly at
+  // the block start the entering cascade is still pending (the bucket holds
+  // current-wrap entries), while a cursor strictly inside the block has
+  // already cascaded it — anything left there is a full wrap away.
+  for (int l = 1; l < kLevels; ++l) {
+    if (occupied_[l] == 0) continue;
+    const int shift = kSlotBits * l;
+    const std::uint64_t block = wheel_tick_ >> shift;
+    const unsigned cur = static_cast<unsigned>(block & kSlotMask);
+    const std::uint64_t rot = std::rotr(occupied_[l], static_cast<int>(cur));
+    std::uint64_t d = static_cast<std::uint64_t>(std::countr_zero(rot));
+    if (d == 0 && wheel_tick_ != (block << shift)) d = kSlotsPerLevel;
+    best = std::min(best, (block + d) << shift);
+  }
+  return best;
+}
+
+void Scheduler::cascade(int level, std::uint64_t bucket) {
+  auto& b = wheel_[level][bucket];
+  occupied_[level] &= ~(1ull << bucket);
+  if (b.empty()) return;
+  wheel_size_ -= b.size();
+  cascade_scratch_.clear();
+  cascade_scratch_.swap(b);  // entries may re-place into this same bucket
+  for (const Entry& e : cascade_scratch_) {
+    if (!is_live(e)) {
+      --wheel_stale_;
+      continue;
+    }
+    place(e);
+  }
+}
+
+void Scheduler::process_tick(std::uint64_t t) {
+  // Entering a new block at any level cascades that level's bucket first
+  // (highest level first so entries can fall several levels in one tick).
+  for (int l = kLevels - 1; l >= 1; --l) {
+    const int shift = kSlotBits * l;
+    if ((t & ((1ull << shift) - 1)) == 0) cascade(l, (t >> shift) & kSlotMask);
+  }
+  // Spill the level-0 bucket due at this tick into the ready batch: sort it
+  // once by (time, seq) and consume from the front in O(1), instead of
+  // paying a heap push *and* pop per entry. Batches append in tick order and
+  // each batch's times lie within its tick, so the whole batch stays
+  // globally sorted; events scheduled after the spill land in the heap and
+  // pop_next() merges the two fronts by the same (time, seq) key — the
+  // firing order (and the FIFO tie-break) is exactly the heap-only order.
+  auto& b = wheel_[0][t & kSlotMask];
+  occupied_[0] &= ~(1ull << (t & kSlotMask));
+  if (b.empty()) return;
+  wheel_size_ -= b.size();
+  const auto batch_start = static_cast<std::ptrdiff_t>(ready_.size());
+  for (const Entry& e : b) {
+    if (!is_live(e)) {
+      --wheel_stale_;
+      continue;
+    }
+    if (e.slot != kNoSlot) slots_[e.slot].loc = kLocReady;
+    ready_.push_back(e);
+  }
+  b.clear();
+  std::sort(ready_.begin() + batch_start, ready_.end(), earlier);
+}
+
+void Scheduler::catch_up_wheel(std::uint64_t target) {
+  while (wheel_tick_ < target) {
+    if (wheel_size_ == 0) {
+      wheel_tick_ = target;
+      return;
+    }
+    const std::uint64_t next = next_wheel_tick(target);
+    if (next >= target) {
+      wheel_tick_ = target;
+      return;
+    }
+    wheel_tick_ = next;  // placements during process_tick see the new cursor
+    process_tick(next);
+    wheel_tick_ = next + 1;
+  }
+}
+
+bool Scheduler::pop_next(Entry& out, Time limit) {
+  for (;;) {
+    // Drop stale (cancelled) entries at either front without executing.
+    while (!heap_.empty() && !is_live(heap_.front())) {
+      pop_front();
+      --stale_;
+    }
+    while (ready_pos_ < ready_.size() && !is_live(ready_[ready_pos_])) {
+      ++ready_pos_;
+      --ready_stale_;
+    }
+    if (ready_pos_ != 0 && ready_pos_ == ready_.size()) {
+      ready_.clear();  // keeps capacity for the next spill
+      ready_pos_ = 0;
+    }
+    // Anything in the wheel due before the earliest known event (or the
+    // limit) must spill first, or we would fire out of order.
+    if (wheel_size_ > 0) {
+      Time horizon = limit;
+      if (!heap_.empty() && heap_.front().at < horizon) horizon = heap_.front().at;
+      if (ready_pos_ < ready_.size() && ready_[ready_pos_].at < horizon) {
+        horizon = ready_[ready_pos_].at;
+      }
+      std::uint64_t target = tick_of(horizon) + 1;
+      if (target > wheel_tick_) {
+        // A bare limit (nothing queued near-term) can lie far past the next
+        // wheel event; stepping the cursor straight there would strand it in
+        // the future and divert every later timer to the heap. Stop just
+        // past the first tick where the wheel actually does work, then
+        // re-evaluate with the fresh fronts.
+        target = std::min(target, next_wheel_tick(target) + 1);
+        if (target > wheel_tick_) {
+          catch_up_wheel(target);
+          continue;  // spilled entries may now be the earliest
+        }
+      }
+    }
+    const bool have_ready = ready_pos_ < ready_.size();
+    const bool have_heap = !heap_.empty();
+    if (!have_ready && !have_heap) return false;
+    const bool take_ready =
+        have_ready && (!have_heap || earlier(ready_[ready_pos_], heap_.front()));
+    const Entry& front = take_ready ? ready_[ready_pos_] : heap_.front();
+    if (front.at > limit) return false;
+    out = front;
+    if (take_ready) {
+      ++ready_pos_;
+    } else {
+      pop_front();
+    }
+    return true;
+  }
+}
+
 void Scheduler::pop_front() {
   std::pop_heap(heap_.begin(), heap_.end(), later);
   heap_.pop_back();
 }
 
-bool Scheduler::run_one() {
-  while (!heap_.empty()) {
-    const Entry top = heap_.front();
-    pop_front();
-    if (!is_live(top)) {
-      --stale_;
-      continue;
+void Scheduler::dispatch(const Entry& e) {
+  now_ = e.at;
+  ++executed_;
+  switch (e.kind) {
+    case Kind::kDeliver: {
+      --live_;
+      const PacketPool::Handle h = e.u.deliver.handle;
+      // The deque-backed pool keeps this reference valid even if the sink
+      // acquires new handles (e.g. an ACK turned around into a send).
+      e.u.deliver.sink->deliver(pool_.get(h));
+      pool_.release(h);
+      break;
     }
-    auto fn = release_slot(top.slot);  // the callback may reschedule itself
-    now_ = top.at;
-    ++executed_;
-    fn();
-    return true;
+    case Kind::kCall:
+      if (e.slot != kNoSlot) {
+        release_slot(e.slot);  // before the call: it may re-arm the same timer
+      } else {
+        --live_;  // fire-and-forget: no slot to release
+      }
+      e.u.call.fn(e.u.call.ctx, e.u.call.arg);
+      break;
+    case Kind::kClosure: {
+      auto fn = release_slot(e.slot);  // the callback may reschedule itself
+      fn();
+      break;
+    }
   }
-  return false;
+}
+
+bool Scheduler::run_one() {
+  Entry e;
+  if (!pop_next(e, Time::never())) return false;
+  dispatch(e);
+  return true;
 }
 
 void Scheduler::run_until(Time end) {
   assert(end >= now_);
-  while (!heap_.empty()) {
-    // Peek past stale (cancelled) entries without executing.
-    const Entry& top = heap_.front();
-    if (!is_live(top)) {
-      pop_front();
-      --stale_;
-      continue;
-    }
-    if (top.at > end) break;
-    run_one();
-  }
+  Entry e;
+  while (pop_next(e, end)) dispatch(e);
   now_ = end;
 }
 

@@ -4,20 +4,41 @@
 // Components schedule callbacks at absolute times; ties are broken by
 // insertion order so runs are fully deterministic.
 //
-// Hot-path design: callbacks live in a slab (a vector of reusable slots with
-// an intrusive free list) instead of a hash map, and the time-ordered heap
-// stores plain {time, seq, slot, gen} records. Scheduling, cancelling and
-// firing therefore cost O(log n) heap work plus O(1) slab indexing — no hash
-// lookups and no per-event node allocation. Cancelled events are lazily
-// dropped when popped; if too many accumulate (long-lived retransmission
-// timers that ACKs keep disarming), the heap is compacted in place so it
-// cannot grow unboundedly.
+// Event engine v2 (see DESIGN.md "Event engine v2" for the full argument):
+//
+//  * Typed event records. The time-ordered entries carry their payload
+//    inline as a small tagged union — a raw function pointer + context for
+//    timer/wake events (kCall), a sink pointer + PacketPool handle for
+//    packet deliveries (kDeliver), and a slab-resident std::function only as
+//    the generic fallback (kClosure). The common paths (link delivery,
+//    RTO/pacing timers) therefore allocate nothing and dispatch through a
+//    switch, not type erasure.
+//
+//  * A hierarchical timer wheel (4 levels x 64 slots, ~1 ms ticks) sits in
+//    front of the binary heap and absorbs the cancellation-heavy timers:
+//    an RTO that is re-armed on every ACK is pushed into a bucket in O(1)
+//    and, once cancelled, is dropped in place — it never touches the heap.
+//    Entries the cursor reaches spill into the heap *before* their due time,
+//    so all firing still goes through the single (time, seq) heap order and
+//    the FIFO tie-break — and with it bit-identical experiment output — is
+//    preserved exactly.
+//
+//  * Cancellation still works through the slab: cancellable events hold a
+//    generation-counted slot; a stale id never aliases a newer event.
+//    Fire-and-forget deliveries skip the slab entirely (slot == kNoSlot).
+//
+// Cancelled events are lazily dropped when popped or cascaded; if too many
+// accumulate (long-lived retransmission timers that ACKs keep disarming),
+// the heap — or the wheel — is compacted in place so neither grows
+// unboundedly.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "sim/packet.hpp"
+#include "sim/packet_pool.hpp"
 #include "util/units.hpp"
 
 namespace ccc::sim {
@@ -29,6 +50,11 @@ namespace ccc::sim {
 /// event scheduled into the same slot.
 using EventId = std::uint64_t;
 
+/// Payload of a typed (kCall) event: called as fn(ctx, arg). The common
+/// timer shape is fn = a captureless-lambda trampoline, ctx = the component,
+/// arg = optional small payload (a PacketPool handle, a bit_cast double).
+using RawCallback = void (*)(void* ctx, std::uint64_t arg);
+
 /// A time-ordered event queue with cancellation.
 ///
 /// Events at equal times fire in the order they were scheduled (FIFO), which
@@ -38,13 +64,79 @@ class Scheduler {
   /// Current simulated time. Starts at zero.
   [[nodiscard]] Time now() const { return now_; }
 
-  /// Schedules `fn` to run at absolute time `at`.
+  /// The packet arena used by typed deliver events (and by Link for the
+  /// packet currently serializing).
+  [[nodiscard]] PacketPool& packets() { return pool_; }
+  [[nodiscard]] const PacketPool& packets() const { return pool_; }
+
+  /// Schedules `fn` to run at absolute time `at` (generic-closure fallback;
+  /// prefer the typed schedule_call/schedule_member forms on hot paths).
   /// Precondition: at >= now() (the past cannot be scheduled).
   EventId schedule_at(Time at, std::function<void()> fn);
 
   /// Schedules `fn` to run `delay` after now.
   EventId schedule_after(Time delay, std::function<void()> fn) {
     return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Typed, allocation-free form: schedules fn(ctx, arg) at `at`.
+  /// Cancellable like any closure event. Precondition: at >= now().
+  EventId schedule_call_at(Time at, RawCallback fn, void* ctx, std::uint64_t arg = 0);
+  EventId schedule_call_after(Time delay, RawCallback fn, void* ctx, std::uint64_t arg = 0) {
+    return schedule_call_at(now_ + delay, fn, ctx, arg);
+  }
+
+  /// Sugar for the dominant timer shape: a nullary member function on a
+  /// component, e.g. schedule_member_at<&TcpSender::on_rto_fire>(t, this).
+  /// Compiles to a captureless trampoline — no allocation, no type erasure.
+  template <auto MemFn, class T>
+  EventId schedule_member_at(Time at, T* obj) {
+    return schedule_call_at(
+        at, [](void* ctx, std::uint64_t) { (static_cast<T*>(ctx)->*MemFn)(); }, obj);
+  }
+  template <auto MemFn, class T>
+  EventId schedule_member_after(Time delay, T* obj) {
+    return schedule_member_at<MemFn>(now_ + delay, obj);
+  }
+
+  /// Fire-and-forget typed event: like schedule_call_at but not cancellable,
+  /// so it skips the cancellation slab entirely (no slot, no generation, no
+  /// EventId). The cheapest way to run a callback later; use it for the many
+  /// timers whose ids are discarded — transmit completions, delay lines,
+  /// periodic self-rescheduling ticks.
+  void schedule_fire_at(Time at, RawCallback fn, void* ctx, std::uint64_t arg = 0);
+  void schedule_fire_after(Time delay, RawCallback fn, void* ctx, std::uint64_t arg = 0) {
+    schedule_fire_at(now_ + delay, fn, ctx, arg);
+  }
+
+  /// Member-function sugar for schedule_fire_at (not cancellable).
+  template <auto MemFn, class T>
+  void schedule_member_fire_at(Time at, T* obj) {
+    schedule_fire_at(
+        at, [](void* ctx, std::uint64_t) { (static_cast<T*>(ctx)->*MemFn)(); }, obj);
+  }
+  template <auto MemFn, class T>
+  void schedule_member_fire_after(Time delay, T* obj) {
+    schedule_member_fire_at<MemFn>(now_ + delay, obj);
+  }
+
+  /// Fire-and-forget packet delivery: copies `pkt` into the arena and hands
+  /// `sink` a reference to that copy at time `at`. Not cancellable (nothing
+  /// in the simulator cancels an in-flight packet), which is what lets it
+  /// skip the cancellation slab entirely.
+  void schedule_deliver_at(Time at, PacketSink& sink, const Packet& pkt) {
+    schedule_deliver_handle_at(at, sink, pool_.acquire(pkt));
+  }
+  void schedule_deliver_after(Time delay, PacketSink& sink, const Packet& pkt) {
+    schedule_deliver_at(now_ + delay, sink, pkt);
+  }
+
+  /// As above but transfers ownership of an already-acquired handle — the
+  /// scheduler releases it after delivery. Used by Link to move the packet
+  /// it serialized straight into propagation without another copy.
+  void schedule_deliver_handle_at(Time at, PacketSink& sink, PacketPool::Handle h);
+  void schedule_deliver_handle_after(Time delay, PacketSink& sink, PacketPool::Handle h) {
+    schedule_deliver_handle_at(now_ + delay, sink, h);
   }
 
   /// Cancels a pending event. Cancelling an already-fired, already-cancelled
@@ -63,26 +155,57 @@ class Scheduler {
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   /// Number of live (non-cancelled) pending events.
   [[nodiscard]] std::size_t pending() const { return live_; }
-  /// Heap records including not-yet-collected cancelled ones (tests use this
-  /// to verify compaction keeps the heap bounded under cancel churn).
-  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
+  /// Heap records including not-yet-collected cancelled ones and the
+  /// unconsumed part of the spilled ready batch (tests use this to verify
+  /// compaction keeps near-term storage bounded under cancel churn).
+  [[nodiscard]] std::size_t heap_entries() const {
+    return heap_.size() + (ready_.size() - ready_pos_);
+  }
+  /// Wheel-resident records, including not-yet-swept cancelled ones (tests
+  /// use this to verify cancel churn stays bounded without touching the
+  /// heap).
+  [[nodiscard]] std::size_t wheel_entries() const { return wheel_size_; }
 
  private:
-  /// A slab slot holding one event's callback. `gen` counts how many times
-  /// the slot has been released; an EventId or heap entry carrying an older
-  /// generation is stale. (Wrap after 2^32 releases of a single slot is
-  /// beyond any simulation we run.)
+  enum class Kind : std::uint8_t { kClosure, kCall, kDeliver };
+
+  /// Sentinel slot for fire-and-forget entries that carry no cancellation
+  /// state (kDeliver). Such entries are always live.
+  static constexpr std::uint32_t kNoSlot = 0xffff'ffffu;
+
+  /// A slab slot holding one cancellable event's identity (and, for kClosure
+  /// events, its callback). `gen` counts how many times the slot has been
+  /// released; an EventId or queue entry carrying an older generation is
+  /// stale. (Wrap after 2^32 releases of a single slot is beyond any
+  /// simulation we run.) `loc` remembers where the entry currently sits —
+  /// kLocHeap, kLocReady, or (level << 8 | bucket) — so cancel() knows which
+  /// structure accumulated the stale record.
   struct Slot {
     std::function<void()> fn;
     std::uint32_t gen{1};
+    std::uint16_t loc{kLocHeap};
     bool armed{false};
   };
+  static constexpr std::uint16_t kLocHeap = 0xffff;
+  static constexpr std::uint16_t kLocReady = 0xfffe;
 
   struct Entry {
     Time at;
     std::uint64_t seq;   // global schedule order: FIFO tie-break at equal times
-    std::uint32_t slot;
+    std::uint32_t slot;  // kNoSlot for fire-and-forget deliveries
     std::uint32_t gen;
+    union {
+      struct {
+        RawCallback fn;
+        void* ctx;
+        std::uint64_t arg;
+      } call;  // kCall
+      struct {
+        PacketSink* sink;
+        PacketPool::Handle handle;
+      } deliver;  // kDeliver
+    } u{};
+    Kind kind{Kind::kClosure};
   };
   // std::push_heap/pop_heap build a max-heap w.r.t. the comparator, so
   // "later" as less-than puts the earliest (and lowest-seq) entry at front.
@@ -90,31 +213,106 @@ class Scheduler {
     if (a.at != b.at) return a.at > b.at;
     return a.seq > b.seq;
   }
+  // Ascending (time, seq): the ready batch's sort order and the merge order
+  // between the batch front and the heap front. seq is unique, so this is a
+  // strict total order identical to the firing order.
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  // ---- timer wheel geometry ----
+  // Ticks are 2^20 ns (~1.05 ms): RTTs, RTOs and pacing gaps all span many
+  // ticks, while same-tick events (sub-ms chains) go straight to the heap.
+  // 4 levels x 64 slots cover [2, 64^4) ticks ≈ 4.9 simulated hours; longer
+  // timers overflow to the heap.
+  static constexpr int kTickBits = 20;
+  static constexpr int kSlotBits = 6;
+  static constexpr int kLevels = 4;
+  static constexpr std::uint64_t kSlotsPerLevel = 1ull << kSlotBits;
+  static constexpr std::uint64_t kSlotMask = kSlotsPerLevel - 1;
+  static constexpr std::uint64_t kMinWheelTicks = 2;  // below: heap (due "now")
+  static constexpr std::uint64_t kMaxWheelTicks = 1ull << (kSlotBits * kLevels);
+
+  [[nodiscard]] static std::uint64_t tick_of(Time t) {
+    return static_cast<std::uint64_t>(t.count_ns()) >> kTickBits;
+  }
+  [[nodiscard]] static std::uint16_t wheel_loc(int level, std::uint64_t bucket) {
+    return static_cast<std::uint16_t>((static_cast<unsigned>(level) << 8) | bucket);
+  }
 
   [[nodiscard]] static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
     return (static_cast<EventId>(gen) << 32) | slot;
   }
   [[nodiscard]] bool is_live(const Entry& e) const {
+    if (e.slot == kNoSlot) return true;
     const Slot& s = slots_[e.slot];
     return s.armed && s.gen == e.gen;
   }
 
+  /// Allocates a slab slot for a cancellable event and returns its index.
+  std::uint32_t acquire_slot();
   /// Moves the callback out of a live slot and returns the slot to the free
   /// list (bumping its generation so stale ids/entries cannot alias it).
   std::function<void()> release_slot(std::uint32_t slot);
+
+  /// Routes an entry to the wheel (cancellable, far enough out) or the heap.
+  void place(const Entry& e);
+  /// Pushes an entry onto the heap and records its location.
+  void push_heap_entry(const Entry& e);
+  /// Ensures every wheel entry with tick < target has been spilled into the
+  /// heap, advancing the cursor to target.
+  void catch_up_wheel(std::uint64_t target);
+  /// Smallest tick >= the cursor at which a bucket must spill or cascade;
+  /// `limit` if none below it. Precondition: wheel_size_ > 0.
+  [[nodiscard]] std::uint64_t next_wheel_tick(std::uint64_t limit) const;
+  /// Spills/cascades every bucket due exactly at tick t (cursor == t).
+  void process_tick(std::uint64_t t);
+  /// Re-places a level>=1 bucket's entries one level down (or into the heap).
+  void cascade(int level, std::uint64_t bucket);
+  /// Drops cancelled entries from every bucket (wheel analogue of compact()).
+  void sweep_wheel();
+
+  /// Pops the globally-earliest live event (ready batch, heap and wheel all
+  /// considered) into `out`. Returns false if there is none at or before
+  /// `limit`.
+  bool pop_next(Entry& out, Time limit);
   /// Pops the front heap entry (the earliest).
   void pop_front();
   /// Rebuilds the heap without stale (cancelled) entries.
   void compact();
+  /// Executes one entry: advances the clock and dispatches on kind.
+  void dispatch(const Entry& e);
 
   Time now_{Time::zero()};
   std::uint64_t next_seq_{1};
   std::uint64_t executed_{0};
-  std::size_t live_{0};   // armed slots == live heap entries
+  std::size_t live_{0};   // armed slots + pending fire-and-forget entries
   std::size_t stale_{0};  // cancelled entries still sitting in the heap
   std::vector<Entry> heap_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
+  PacketPool pool_;
+
+  // Wheel state. wheel_tick_ is the cursor: every bucket entry has
+  // tick(at) >= wheel_tick_, and all spills/cascades for earlier ticks have
+  // happened. occupied_[l] is a bitmask of non-empty buckets at level l.
+  std::uint64_t wheel_tick_{0};
+  std::size_t wheel_size_{0};
+  std::size_t wheel_stale_{0};  // cancelled entries still sitting in buckets
+  std::uint64_t occupied_[kLevels]{};
+  std::vector<Entry> wheel_[kLevels][kSlotsPerLevel];
+  std::vector<Entry> cascade_scratch_;
+
+  // The ready batch: a spilled level-0 bucket, sorted ascending by
+  // (time, seq) and consumed from the front in O(1) — the calendar-queue
+  // move that keeps a 10k-packet in-flight window out of the binary heap.
+  // Entries scheduled after the spill (same-tick arrivals) land in the heap
+  // and are merged in by comparing actual (time, seq) keys, so the firing
+  // order is exactly the heap-only order.
+  std::vector<Entry> ready_;
+  std::size_t ready_pos_{0};
+  std::size_t ready_stale_{0};  // cancelled entries still in the batch
 };
 
 }  // namespace ccc::sim

@@ -1,7 +1,10 @@
 #include "store/flow_store.hpp"
 
+#include <fcntl.h>
 #include <sys/mman.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstddef>
@@ -216,9 +219,10 @@ std::vector<std::string> ShardedFlowStoreWriter::finish() {
 
 // ---------------------------------------------------------------- reader
 
-FlowStoreReader::FlowStoreReader(const std::string& path, bool verify_crc) : path_{path} {
+FlowStoreReader::FlowStoreReader(const std::string& path, const ReaderOptions& opts)
+    : path_{path} {
   try {
-    open_and_validate(path, verify_crc);
+    open_and_validate(path, opts);
   } catch (...) {
     unmap();  // a throwing constructor runs no destructor: release the mapping
     throw;
@@ -257,6 +261,24 @@ FlowStoreReader& FlowStoreReader::operator=(FlowStoreReader&& other) noexcept {
   return *this;
 }
 
+void FlowStoreReader::willneed(std::size_t first, std::size_t n) const {
+  if (!mapped_ || n == 0 || first >= flow_count_) return;
+  const std::size_t last = std::min(first + n, flow_count_);
+  // The columns are tiny and touched for every flow anyway; the series pool
+  // is the bulk of the file and the part a filtered scan skips around in —
+  // so that is the range worth staging.
+  const std::uint64_t begin_bytes = ts_offsets_[first] * sizeof(double);
+  const std::uint64_t end_bytes = ts_offsets_[last] * sizeof(double);
+  if (begin_bytes == end_bytes) return;  // all-empty series
+  const auto* pool = reinterpret_cast<const std::uint8_t*>(ts_pool_.data());
+  const auto addr = reinterpret_cast<std::uintptr_t>(pool + begin_bytes);
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const auto mask = static_cast<std::uintptr_t>(page > 0 ? page : 4096) - 1;
+  const std::uintptr_t aligned = addr & ~mask;  // madvise wants a page start
+  const std::size_t len = (end_bytes - begin_bytes) + (addr - aligned);
+  (void)::madvise(reinterpret_cast<void*>(aligned), len, MADV_WILLNEED);
+}
+
 void FlowStoreReader::unmap() noexcept {
   if (mapped_ && base_ != nullptr) {
     ::munmap(const_cast<std::uint8_t*>(base_), file_bytes_);
@@ -282,12 +304,17 @@ const std::uint8_t* FlowStoreReader::section(SectionId id, std::uint64_t expect_
   throw Error::format(path_, "ccfs: missing section");
 }
 
-void FlowStoreReader::open_and_validate(const std::string& path, bool verify_crc) {
+void FlowStoreReader::open_and_validate(const std::string& path, const ReaderOptions& opts) {
   faultfs::File file = faultfs::File::open_read(path);  // throws Error{kIo}
   file_bytes_ = file.size();
   if (file_bytes_ < sizeof(Header) + sizeof(Footer)) {
     throw Error::corruption(path, "ccfs: truncated (shorter than header + footer)",
                             file_bytes_);
+  }
+  if (opts.sequential) {
+    // Widen the kernel's readahead window for the front-to-back scan we are
+    // about to do. A hint: ignore refusal (e.g. on filesystems without it).
+    (void)::posix_fadvise(file.fd(), 0, 0, POSIX_FADV_SEQUENTIAL);
   }
 
   // mmap is the fast path, but mapped page reads cannot be intercepted, so
@@ -300,6 +327,7 @@ void FlowStoreReader::open_and_validate(const std::string& path, bool verify_crc
   if (map != MAP_FAILED) {
     base_ = static_cast<const std::uint8_t*>(map);
     mapped_ = true;
+    if (opts.sequential) (void)::madvise(map, file_bytes_, MADV_SEQUENTIAL);
   } else {
     // Fallback: read the whole file onto the heap (same validation path).
     heap_copy_.resize(file_bytes_);
@@ -342,7 +370,7 @@ void FlowStoreReader::open_and_validate(const std::string& path, bool verify_crc
   std::memcpy(directory_.data(), base_ + dir_off + sizeof dir_count,
               dir_count * sizeof(DirectoryEntry));
 
-  if (verify_crc) {
+  if (opts.verify_crc) {
     const std::uint32_t got = crc32(base_ + sizeof(Header),
                                     dir_off + dir_bytes - sizeof(Header));
     if (got != footer.crc32) {
@@ -377,7 +405,7 @@ void FlowStoreReader::open_and_validate(const std::string& path, bool verify_crc
   if (ts_offsets_.front() != 0 || ts_offsets_.back() != sample_count_) {
     throw Error::corruption(path, "ccfs: ts_offsets endpoints inconsistent");
   }
-  if (verify_crc) {
+  if (opts.verify_crc) {
     for (std::size_t i = 0; i + 1 < ts_offsets_.size(); ++i) {
       if (ts_offsets_[i] > ts_offsets_[i + 1]) {
         throw Error::corruption(path, "ccfs: ts_offsets not monotone");

@@ -163,6 +163,16 @@ class ShardedFlowStoreWriter {
   std::unique_ptr<FlowStoreWriter> current_;
 };
 
+/// Open-time knobs for FlowStoreReader beyond the ctor's CRC flag.
+struct ReaderOptions {
+  /// Verify the footer CRC at open (the corruption gate).
+  bool verify_crc{true};
+  /// Tell the kernel the file will be scanned front to back
+  /// (posix_fadvise/madvise SEQUENTIAL), which widens its readahead window.
+  /// Purely a hint: refusal is silent and harmless.
+  bool sequential{false};
+};
+
 /// Read-only, zero-copy view of one ccfs file. The whole file is mapped
 /// (falling back to a heap read when mmap is unavailable) and validated:
 /// magics, version, directory shape, section bounds, and — unless the
@@ -174,7 +184,9 @@ class FlowStoreReader {
   /// kFormat when the structure is not a ccfs document, kCorruption when a
   /// once-valid file is provably damaged (CRC mismatch, torn footer,
   /// truncation, non-monotone offsets) — with the byte offset where known.
-  explicit FlowStoreReader(const std::string& path, bool verify_crc = true);
+  explicit FlowStoreReader(const std::string& path, bool verify_crc = true)
+      : FlowStoreReader{path, ReaderOptions{verify_crc, false}} {}
+  FlowStoreReader(const std::string& path, const ReaderOptions& opts);
   ~FlowStoreReader();
 
   FlowStoreReader(FlowStoreReader&& other) noexcept;
@@ -220,8 +232,15 @@ class FlowStoreReader {
   /// Materializes flow i as an owning NdtRecord (compat with the CSV path).
   [[nodiscard]] mlab::NdtRecord record(std::size_t i) const { return at(i).to_record(); }
 
+  /// Asks the kernel to stage the series-pool pages of flows
+  /// [first, first + n) (madvise WILLNEED over the page-aligned range), so
+  /// a scan's page faults overlap with the batch it is currently crunching
+  /// instead of stalling it one 4 KiB fault at a time. A hint only: no-op
+  /// on the heap fallback, for empty ranges, and when the kernel declines.
+  void willneed(std::size_t first, std::size_t n) const;
+
  private:
-  void open_and_validate(const std::string& path, bool verify_crc);
+  void open_and_validate(const std::string& path, const ReaderOptions& opts);
   [[nodiscard]] const std::uint8_t* section(SectionId id, std::uint64_t expect_bytes) const;
   void unmap() noexcept;
 

@@ -9,14 +9,14 @@ PeriodicSampler::PeriodicSampler(sim::Scheduler& sched, Time interval, Time star
     : sched_{sched}, interval_{interval}, stop_{stop}, fn_{std::move(fn)} {
   assert(interval_ > Time::zero());
   assert(fn_ != nullptr);
-  sched_.schedule_at(start, [this] { tick(); });
+  sched_.schedule_member_fire_at<&PeriodicSampler::tick>(start, this);
 }
 
 void PeriodicSampler::tick() {
   const Time now = sched_.now();
   if (now >= stop_) return;
   fn_(now);
-  sched_.schedule_after(interval_, [this] { tick(); });
+  sched_.schedule_member_fire_after<&PeriodicSampler::tick>(interval_, this);
 }
 
 double TimeSeries::mean_in(double from_sec, double to_sec) const {

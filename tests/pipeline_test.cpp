@@ -141,6 +141,41 @@ TEST(Pipeline, StoreBackedRunMatchesMemoryBackedRun) {
   for (const auto& p : paths) fs::remove(p, ec);
 }
 
+// Readahead is madvise advice only: any window (off, small, larger than a
+// shard) must leave every aggregate and the merged telemetry registry
+// byte-identical. Runs against a real mmapped store so the willneed path
+// (page-aligned advice over the shard-mapped sample pool) is exercised.
+TEST(Pipeline, ReadaheadWindowDoesNotChangeResults) {
+  const auto dataset = make_dataset(4000, 77);
+  const auto tmp = (fs::temp_directory_path() /
+                    ("pipeline_readahead." + std::to_string(::getpid()) + ".ccfs"))
+                       .string();
+  store::ShardedFlowStoreWriter writer{tmp, 1500};
+  for (const auto& r : dataset) writer.append(r);
+  const auto paths = writer.finish();
+
+  std::vector<store::FlowStoreReader> readers;
+  StoreSource src;
+  readers.reserve(paths.size());
+  for (const auto& p : paths) {
+    readers.emplace_back(p, store::ReaderOptions{true, true});
+    src.add(readers.back());
+  }
+
+  PipelineConfig cfg;
+  cfg.jobs = 4;
+  cfg.shard_flows = 512;
+  const auto baseline = run_pipeline(src, cfg);
+  for (const std::size_t window : {std::size_t{1}, std::size_t{64}, std::size_t{100'000}}) {
+    cfg.readahead_flows = window;
+    const auto res = run_pipeline(src, cfg);
+    EXPECT_EQ(fingerprint(res), fingerprint(baseline)) << "window " << window;
+  }
+
+  std::error_code ec;
+  for (const auto& p : paths) fs::remove(p, ec);
+}
+
 TEST(Pipeline, EmptySourceYieldsEmptyResult) {
   MemorySource src{std::span<const mlab::NdtRecord>{}};
   const auto res = run_pipeline(src, {});
