@@ -37,6 +37,7 @@
 #include "analysis/passive_study.hpp"
 #include "bench/cli.hpp"
 #include "bench/progress.hpp"
+#include "ingest/report.hpp"
 #include "mlab/synthetic.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/shard_set.hpp"
@@ -65,95 +66,36 @@ bool ends_with(const std::string& s, std::string_view suffix) {
 }
 
 [[noreturn]] void usage_error(const std::string& msg) {
-  std::cerr << "fig2_mlab_passive: " << msg
-            << "\n  extra flags: --scale N | --input PATH.{csv,ccfs} | --strict | "
-               "--readahead N\n";
+  std::cerr << "fig2_mlab_passive: " << msg << "\n"
+            << bench::Cli::usage("fig2_mlab_passive");
   std::exit(2);
 }
 
-/// Strict --scale parse per the bench::Cli contract: a malformed or
-/// over-range value ("abc", "1e99", "-3", 21-digit numbers) prints an error
-/// and exits 2 — it must never escape as an uncaught std::stoull exception,
-/// and must never be silently clamped or wrapped.
-std::size_t parse_scale(const std::string& v) {
-  static constexpr unsigned long long kMaxScale = 1'000'000;  // ~10^10 flows
-  if (v.empty()) usage_error("--scale needs a value");
-  if (v.front() == '-') usage_error("invalid --scale value '" + v + "' (want an integer >= 1)");
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || end == v.c_str()) {
-    usage_error("invalid --scale value '" + v + "' (want an integer >= 1)");
+/// The flag values themselves are parsed (strictly: garbage/overflow exit 2)
+/// by bench::Cli since PR 7; what stays here is fig2's semantic validation —
+/// dataset suffix, readability, --input/--scale exclusivity — plus the
+/// rejection of anything Cli didn't recognize (a typo'd flag silently
+/// ignored would silently analyze the wrong dataset).
+Fig2Options validate_flags(const bench::Cli& cli) {
+  if (!cli.rest.empty()) {
+    usage_error("unrecognized or incomplete argument '" + cli.rest.front() + "'");
   }
-  if (errno == ERANGE || x > kMaxScale) {
-    usage_error("--scale value '" + v + "' out of range (max " +
-                std::to_string(kMaxScale) + ")");
-  }
-  if (x == 0) usage_error("--scale must be >= 1");
-  return static_cast<std::size_t>(x);
-}
-
-/// Strict --readahead parse, same contract as parse_scale: the window is a
-/// plain flow count ("8192"); garbage, negatives, or absurd values exit 2.
-/// 0 is accepted and means "no readahead" (the default).
-std::size_t parse_readahead(const std::string& v) {
-  static constexpr unsigned long long kMaxWindow = 100'000'000;
-  if (v.empty()) usage_error("--readahead needs a value");
-  if (v.front() == '-') {
-    usage_error("invalid --readahead value '" + v + "' (want an integer >= 0)");
-  }
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || end == v.c_str()) {
-    usage_error("invalid --readahead value '" + v + "' (want an integer >= 0)");
-  }
-  if (errno == ERANGE || x > kMaxWindow) {
-    usage_error("--readahead value '" + v + "' out of range (max " +
-                std::to_string(kMaxWindow) + ")");
-  }
-  return static_cast<std::size_t>(x);
-}
-
-/// Parses --input/--scale/--strict out of the args bench::Cli didn't
-/// recognize. Exits 2 on anything else (a typo'd flag silently ignored
-/// would silently analyze the wrong dataset).
-Fig2Options parse_extra_flags(const std::vector<std::string>& rest) {
   Fig2Options opt;
-  bool saw_scale = false;
-  for (std::size_t i = 0; i < rest.size(); ++i) {
-    const std::string& a = rest[i];
-    auto value_of = [&](std::string_view flag) -> std::string {
-      if (a.size() > flag.size() && a.compare(0, flag.size(), flag) == 0 &&
-          a[flag.size()] == '=') {
-        return a.substr(flag.size() + 1);
-      }
-      if (a == flag && i + 1 < rest.size()) return rest[++i];
-      return {};
-    };
-    if (a == "--strict") {
-      opt.strict = true;
-    } else if (a == "--input" || a.rfind("--input=", 0) == 0) {
-      opt.input = value_of("--input");
-      if (opt.input.empty()) usage_error("--input needs a path");
-      if (!ends_with(opt.input, ".csv") && !ends_with(opt.input, ".ccfs")) {
-        usage_error("--input path '" + opt.input + "' must end in .csv or .ccfs");
-      }
-      // Probe readability now: "file not found" should be a clean usage
-      // error before any work starts, not a mid-run exception.
-      if (std::ifstream probe{opt.input}; !probe) {
-        usage_error("cannot open --input file '" + opt.input + "'");
-      }
-    } else if (a == "--scale" || a.rfind("--scale=", 0) == 0) {
-      opt.scale = parse_scale(value_of("--scale"));
-      saw_scale = true;
-    } else if (a == "--readahead" || a.rfind("--readahead=", 0) == 0) {
-      opt.readahead = parse_readahead(value_of("--readahead"));
-    } else {
-      usage_error("unrecognized or incomplete argument '" + a + "'");
+  opt.strict = cli.strict;
+  opt.readahead = cli.readahead;
+  if (cli.has_scale) opt.scale = cli.scale;
+  if (!cli.input.empty()) {
+    opt.input = cli.input;
+    if (!ends_with(opt.input, ".csv") && !ends_with(opt.input, ".ccfs")) {
+      usage_error("--input path '" + opt.input + "' must end in .csv or .ccfs");
+    }
+    // Probe readability now: "file not found" should be a clean usage
+    // error before any work starts, not a mid-run exception.
+    if (std::ifstream probe{opt.input}; !probe) {
+      usage_error("cannot open --input file '" + opt.input + "'");
     }
   }
-  if (!opt.input.empty() && saw_scale) {
+  if (!opt.input.empty() && cli.has_scale) {
     usage_error("--input and --scale are mutually exclusive");
   }
   return opt;
@@ -348,84 +290,20 @@ int run_at_scale(bench::Cli& cli, std::uint64_t seed, const Fig2Options& opt) {
   pcfg.on_progress = bench::stderr_progress("fig2_mlab_passive: shards");
   auto res = pipeline::run_pipeline(shards.source(), pcfg);
   res.metrics.merge_from(io_metrics);  // shards_failed / shards_opened
-  const auto total = static_cast<double>(res.flows);
 
-  TextTable verdicts{{"pipeline verdict", "flows", "fraction"}};
-  for (const auto& [v, c] : res.verdict_map()) {
-    verdicts.add_row({std::string{pipeline::to_string(v)}, std::to_string(c),
-                      TextTable::num(static_cast<double>(c) / total, 3)});
-  }
-  verdicts.print(os);
-
-  os << "\nfiltered before change-point stage: "
-     << TextTable::num(res.filtered_fraction() * 100, 1) << "%\n";
-
-  print_banner(os, "Ground-truth breakdown (synthetic labels)");
-  TextTable conf{{"truth", "flows", "filtered", "no-shift", "contention-suspect"}};
-  for (std::size_t a = 0; a < res.confusion.size(); ++a) {
-    const auto& row = res.confusion[a];
-    std::uint64_t flows = 0;
-    std::uint64_t filtered = 0;
-    for (std::size_t v = 0; v < pipeline::kVerdictCount; ++v) {
-      flows += row[v];
-      if (v < static_cast<std::size_t>(pipeline::Verdict::kNoLevelShift)) filtered += row[v];
-    }
-    if (flows == 0) continue;  // CSV inputs may lack some archetypes
-    conf.add_row(
-        {std::string{mlab::to_string(static_cast<mlab::FlowArchetype>(a))},
-         std::to_string(flows), std::to_string(filtered),
-         std::to_string(row[static_cast<std::size_t>(pipeline::Verdict::kNoLevelShift)]),
-         std::to_string(row[static_cast<std::size_t>(pipeline::Verdict::kContentionSuspect)])});
-  }
-  conf.print(os);
-
-  print_banner(os, "Pipeline scoring (impossible with real M-Lab data)");
-  os << "precision of 'contention-suspect': " << TextTable::num(res.precision(), 3)
-     << "\nrecall of true contention:          " << TextTable::num(res.recall(), 3)
-     << "\nfalse positives (mostly policing/ABR aliasing): " << res.false_positives << "\n";
-
-  // CDF of detected shift magnitudes, from the merged shard histogram (the
-  // at-scale path never keeps per-flow findings).
-  const auto hist_it = res.metrics.histograms().find("pipeline.shift_magnitude");
-  if (hist_it != res.metrics.histograms().end() && hist_it->second.count() > 0) {
-    print_banner(os, "CDF of detected level-shift magnitudes");
-    TextTable cdf{{"shift fraction", "cumulative fraction"}};
-    const auto& h = hist_it->second;
-    std::uint64_t cum = 0;
-    for (std::size_t b = 0; b < h.bounds().size(); ++b) {
-      cum += h.counts()[b];
-      cdf.add_row({TextTable::num(h.bounds()[b], 2),
-                   TextTable::num(static_cast<double>(cum) / static_cast<double>(h.count()), 2)});
-    }
-    cdf.print(os);
-  }
-
-  const auto suspects =
-      static_cast<double>(
-          res.verdicts[static_cast<std::size_t>(pipeline::Verdict::kContentionSuspect)]) /
-      total;
-  os << "\nshape check: filtered=" << TextTable::num(res.filtered_fraction(), 2)
-     << " suspect=" << TextTable::num(suspects, 3) << " -> "
-     << (res.filtered_fraction() > 0.5 && suspects < 0.2 ? "REPRODUCED" : "NOT reproduced")
-     << "\n";
+  // The whole aggregate block — verdict table through shape check — is the
+  // shared ingest printer, so the daemon replaying this corpus produces a
+  // byte-identical table by construction.
+  const auto summary = ingest::print_passive_aggregates(os, res);
 
   telemetry::RunReport run_report{"fig2_mlab_passive", seed};
-  for (const auto& [v, c] : res.verdict_map()) {
-    run_report.add_scalar("verdicts", std::string{pipeline::to_string(v)},
-                          static_cast<double>(c));
-  }
-  run_report.add_scalar("pipeline", "filtered_fraction", res.filtered_fraction());
-  run_report.add_scalar("pipeline", "precision", res.precision());
-  run_report.add_scalar("pipeline", "recall", res.recall());
-  run_report.add_scalar("pipeline", "false_positives",
-                        static_cast<double>(res.false_positives));
-  run_report.add_scalar("pipeline", "suspect_fraction", suspects);
+  ingest::add_passive_scalars(run_report, res, summary.suspect_fraction);
   run_report.add_registry("pipeline", res.metrics, Time::zero());
   if (!run_report.emit(cli.report)) {
     std::cerr << "fig2_mlab_passive: cannot write --report file '" << cli.report << "'\n";
     return 2;
   }
-  return res.filtered_fraction() > 0.5 && suspects < 0.2 ? 0 : 1;
+  return summary.reproduced ? 0 : 1;
 }
 
 }  // namespace
@@ -433,7 +311,7 @@ int run_at_scale(bench::Cli& cli, std::uint64_t seed, const Fig2Options& opt) {
 int main(int argc, char** argv) {
   return bench::guarded_main("fig2_mlab_passive", [&] {
     auto cli = bench::Cli::parse(argc, argv, "fig2_mlab_passive");
-    const Fig2Options opt = parse_extra_flags(cli.rest);
+    const Fig2Options opt = validate_flags(cli);
     const std::uint64_t seed = cli.seed_or(20230601);  // June 2023, in spirit
     if (opt.input.empty() && opt.scale == 0) return run_paper_scale(cli, seed);
     return run_at_scale(cli, seed, opt);

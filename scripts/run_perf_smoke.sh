@@ -21,7 +21,7 @@ runs=${CCC_PERF_RUNS:-3}
 tmp=$(mktemp -d)
 trap 'rm -rf "${tmp}"' EXIT
 
-for bin in micro_sim micro_store; do
+for bin in micro_sim micro_store micro_ingest; do
   [ -x "${build}/bench/${bin}" ] || {
     echo "run_perf_smoke: ${build}/bench/${bin} not built (cmake --build ${build})" >&2
     exit 2
@@ -66,7 +66,7 @@ check() {
 }
 
 status=0
-for bench in micro_sim micro_store; do
+for bench in micro_sim micro_store micro_ingest; do
   reports=()
   for ((i = 1; i <= runs; ++i)); do
     "${build}/bench/${bench}" --benchmark_filter='^$' \

@@ -5,7 +5,7 @@
 #          (the concurrency tests: runner pool, telemetry merge, the
 #          jobs-1-vs-jobs-8 pipeline determinism pin)
 #
-#   asan   -DCCC_SANITIZE=address,undefined  ctest -L "robustness|store|pipeline"
+#   asan   -DCCC_SANITIZE=address,undefined  ctest -L "robustness|store|pipeline|ingest"
 #          (the corrupt-input suites: the corruption matrix, faultfs drills,
 #          and the store/pipeline tests — where a validation bug shows up as
 #          an OOB read/write or UB before it shows up as a wrong answer)
@@ -29,10 +29,10 @@ run_job() {
 
 case "${which}" in
   tsan) run_job tsan thread sanitize ;;
-  asan) run_job asan address,undefined "robustness|store|pipeline" ;;
+  asan) run_job asan address,undefined "robustness|store|pipeline|ingest" ;;
   all)
     run_job tsan thread sanitize
-    run_job asan address,undefined "robustness|store|pipeline"
+    run_job asan address,undefined "robustness|store|pipeline|ingest"
     ;;
   *)
     echo "usage: $0 [tsan|asan|all]" >&2

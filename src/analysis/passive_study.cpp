@@ -1,6 +1,6 @@
 #include "analysis/passive_study.hpp"
 
-#include "pipeline/pipeline.hpp"
+#include "pipeline/stage.hpp"
 
 namespace ccc::analysis {
 
@@ -25,22 +25,31 @@ double StudyReport::filtered_fraction() const {
 
 StudyReport run_passive_study(std::span<const mlab::NdtRecord> dataset,
                               const PassiveConfig& cfg) {
-  pipeline::MemorySource src{dataset};
-  pipeline::PipelineConfig pcfg;
-  pcfg.classify = cfg;
-  pcfg.jobs = 1;  // the compat path stays serial; results don't depend on it
-  pcfg.shard_flows = dataset.empty() ? 1 : dataset.size();
-  pcfg.keep_findings = true;
-  pcfg.enable_telemetry = false;
-  auto res = pipeline::run_pipeline(src, pcfg);
+  // A direct stage-API client: the whole dataset drained serially through
+  // one AnalyzeStage. Same per-record sequence as the sharded pipeline at
+  // shard_flows = n, so results (and the seed fig2 output) are unchanged —
+  // this used to duplicate the per-flow loop, then wrap run_pipeline; now
+  // it is the minimal client of the one analysis API.
+  pipeline::StageOptions opts;
+  opts.classify = cfg;
+  opts.keep_findings = true;
+  opts.enable_telemetry = false;
+  pipeline::AnalyzeStage stage{std::move(opts)};
+  stage.reserve_findings(dataset.size());
+  const pipeline::MemorySource src{dataset};
+  pipeline::RangePull pull{src, 0, dataset.size(), 0};
+  pipeline::drain(pull, stage);
 
+  pipeline::AnalysisTallies& t = stage.tallies();
   StudyReport report;
-  report.findings = std::move(res.findings);
-  for (const auto& [v, c] : res.verdict_map()) report.verdict_counts[v] = c;
-  report.true_positives = static_cast<std::size_t>(res.true_positives);
-  report.false_positives = static_cast<std::size_t>(res.false_positives);
-  report.false_negatives = static_cast<std::size_t>(res.false_negatives);
-  report.true_negatives = static_cast<std::size_t>(res.true_negatives);
+  report.findings = std::move(t.findings);
+  for (std::size_t v = 0; v < pipeline::kVerdictCount; ++v) {
+    if (t.verdicts[v] > 0) report.verdict_counts[static_cast<Verdict>(v)] = t.verdicts[v];
+  }
+  report.true_positives = static_cast<std::size_t>(t.tp);
+  report.false_positives = static_cast<std::size_t>(t.fp);
+  report.false_negatives = static_cast<std::size_t>(t.fn);
+  report.true_negatives = static_cast<std::size_t>(t.tn);
   return report;
 }
 

@@ -17,9 +17,12 @@
 // This header is now a thin compatibility facade: the per-flow decision
 // tree and change-point stages live in src/pipeline/ (which also shards
 // them over a thread pool for the millions-of-flows path; see
-// pipeline::run_pipeline). run_passive_study() here wraps a single-shard,
-// in-memory, findings-preserving pipeline run, so its results — and the
-// seed fig2 output — are unchanged.
+// pipeline::run_pipeline). run_passive_study() here is a serial, in-memory,
+// findings-preserving client of the stage API (pipeline/stage.hpp) — the
+// same AnalyzeStage the sharded pipeline and the ingest daemon drive — so
+// its results, and the seed fig2 output, are unchanged. The duplicated
+// direct-call loop this file once carried is gone; deprecation notes live
+// in DESIGN.md ("Streaming ingest").
 #pragma once
 
 #include <cstdint>

@@ -57,6 +57,43 @@ bool parse_seconds(const char* s, double& out) {
   std::exit(2);
 }
 
+/// Bounded flow/scale count, the strict contract fig2 pioneered: garbage
+/// ("abc", "12x"), negatives ("-3" — strtoull would silently wrap it),
+/// overflow, and anything past `max` are rejected, never clamped. Returns
+/// false with `err` set to the complaint (the caller decides whether that
+/// dies or is treated as absent).
+bool parse_count(const std::string& flag, const char* s, std::uint64_t max, std::uint64_t min,
+                 std::uint64_t& out, std::string& err) {
+  const std::string v = s == nullptr ? "" : s;
+  const std::string want =
+      " (want an integer >= " + std::to_string(min) + ")";
+  if (v.empty()) {
+    err = flag + " needs a value";
+    return false;
+  }
+  if (v.front() == '-') {
+    err = "invalid " + flag + " value '" + v + "'" + want;
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || end == v.c_str()) {
+    err = "invalid " + flag + " value '" + v + "'" + want;
+    return false;
+  }
+  if (errno == ERANGE || x > max) {
+    err = flag + " value '" + v + "' out of range (max " + std::to_string(max) + ")";
+    return false;
+  }
+  if (x < min) {
+    err = flag + " must be >= " + std::to_string(min);
+    return false;
+  }
+  out = static_cast<std::uint64_t>(x);
+  return true;
+}
+
 }  // namespace
 
 int guarded_main(std::string_view bench_name, const std::function<int()>& body) {
@@ -85,6 +122,14 @@ std::string Cli::usage(std::string_view bench_name) {
       "  --report PATH     write a machine-readable RunReport; JSONL, or CSV\n"
       "                    when PATH ends in .csv\n"
       "  --serial          force the serial (jobs=1) code path\n"
+      "  --input PATH      analyze an existing dataset instead of generating\n"
+      "                    one (formats are bench-specific; fig2/ingestd take\n"
+      "                    .csv or .ccfs)\n"
+      "  --scale N         dataset scale multiplier, 1..1000000\n"
+      "  --readahead N     store readahead window in flows (0 = off,\n"
+      "                    max 100000000); purely a performance hint\n"
+      "  --strict          fail fast on the first corrupt shard/record\n"
+      "                    instead of the default skip-count-and-continue\n"
       "  --help, -h        this text\n";
   return u;
 }
@@ -129,6 +174,32 @@ Cli Cli::parse(int argc, char** argv, std::string_view bench_name) {
       cli.report = v;
     } else if (arg == "--serial") {
       cli.serial = true;
+    } else if (const char* v = value_of("--input"); v != nullptr || arg == "--input") {
+      // "--input" with no following value must not be silently dropped.
+      if (v == nullptr || *v == '\0') {
+        if (strict) die(bench_name, "--input needs a path");
+      } else {
+        cli.input = v;
+      }
+    } else if (const char* v = value_of("--scale"); v != nullptr || arg == "--scale") {
+      std::uint64_t x = 0;
+      std::string err;
+      if (parse_count("--scale", v, kMaxScale, 1, x, err)) {
+        cli.scale = static_cast<std::size_t>(x);
+        cli.has_scale = true;
+      } else if (strict) {
+        die(bench_name, err);
+      }
+    } else if (const char* v = value_of("--readahead"); v != nullptr || arg == "--readahead") {
+      std::uint64_t x = 0;
+      std::string err;
+      if (parse_count("--readahead", v, kMaxReadahead, 0, x, err)) {
+        cli.readahead = static_cast<std::size_t>(x);
+      } else if (strict) {
+        die(bench_name, err);
+      }
+    } else if (arg == "--strict") {
+      cli.strict = true;
     } else {
       cli.rest.push_back(arg);
     }

@@ -11,7 +11,18 @@
 //   --report PATH                      machine-readable RunReport (JSONL, or
 //                                      CSV when PATH ends in .csv)
 //   --serial                           force the serial (jobs=1) code path
+//   --input PATH                       input dataset path (bench-specific
+//                                      formats; parse() only records it)
+//   --scale N                          dataset scale multiplier, >= 1
+//   --readahead N                      store readahead window in flows
+//   --strict                           fail fast on corrupt input instead of
+//                                      skip-count-and-continue
 //   --help | -h                        print usage and exit
+//
+// (--input/--scale/--readahead/--strict were hand-parsed by fig2 alone
+// until PR 7; the ingest daemon needed the same surface, so they moved into
+// the shared contract — every bench now gets the same strict value parsing,
+// range checks, and --help text for them.)
 //
 // Unrecognized arguments are retained in `rest` so wrappers (notably
 // google-benchmark's own flag parser in micro benches) still see them.
@@ -73,7 +84,17 @@ class Cli {
   std::string report;  ///< "" = no machine-readable report
   bool serial{false};
   bool help{false};
+  std::string input;  ///< input dataset path; "" = bench default (synthetic)
+  bool has_scale{false};
+  std::size_t scale{0};  ///< dataset scale multiplier; valid values are >= 1
+  std::size_t readahead{0};  ///< store readahead window in flows; 0 = off
+  bool strict{false};  ///< fail fast on corrupt input instead of degrading
   std::vector<std::string> rest;  ///< unrecognized argv entries, in order
+
+  /// Range caps for the shared count flags (enforced by parse; public so
+  /// benches can echo them in their own diagnostics).
+  static constexpr std::uint64_t kMaxScale = 1'000'000;       // ~10^10 flows
+  static constexpr std::uint64_t kMaxReadahead = 100'000'000;
 
   [[nodiscard]] std::uint64_t seed_or(std::uint64_t fallback) const {
     return has_seed ? seed : fallback;

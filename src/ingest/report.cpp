@@ -1,0 +1,87 @@
+#include "ingest/report.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace ccc::ingest {
+
+PassiveSummary print_passive_aggregates(std::ostream& os, const pipeline::PipelineResult& res) {
+  const auto total = static_cast<double>(res.flows);
+
+  TextTable verdicts{{"pipeline verdict", "flows", "fraction"}};
+  for (const auto& [v, c] : res.verdict_map()) {
+    verdicts.add_row({std::string{pipeline::to_string(v)}, std::to_string(c),
+                      TextTable::num(static_cast<double>(c) / total, 3)});
+  }
+  verdicts.print(os);
+
+  os << "\nfiltered before change-point stage: "
+     << TextTable::num(res.filtered_fraction() * 100, 1) << "%\n";
+
+  print_banner(os, "Ground-truth breakdown (synthetic labels)");
+  TextTable conf{{"truth", "flows", "filtered", "no-shift", "contention-suspect"}};
+  for (std::size_t a = 0; a < res.confusion.size(); ++a) {
+    const auto& row = res.confusion[a];
+    std::uint64_t flows = 0;
+    std::uint64_t filtered = 0;
+    for (std::size_t v = 0; v < pipeline::kVerdictCount; ++v) {
+      flows += row[v];
+      if (v < static_cast<std::size_t>(pipeline::Verdict::kNoLevelShift)) filtered += row[v];
+    }
+    if (flows == 0) continue;  // CSV inputs may lack some archetypes
+    conf.add_row(
+        {std::string{mlab::to_string(static_cast<mlab::FlowArchetype>(a))},
+         std::to_string(flows), std::to_string(filtered),
+         std::to_string(row[static_cast<std::size_t>(pipeline::Verdict::kNoLevelShift)]),
+         std::to_string(row[static_cast<std::size_t>(pipeline::Verdict::kContentionSuspect)])});
+  }
+  conf.print(os);
+
+  print_banner(os, "Pipeline scoring (impossible with real M-Lab data)");
+  os << "precision of 'contention-suspect': " << TextTable::num(res.precision(), 3)
+     << "\nrecall of true contention:          " << TextTable::num(res.recall(), 3)
+     << "\nfalse positives (mostly policing/ABR aliasing): " << res.false_positives << "\n";
+
+  // CDF of detected shift magnitudes, from the merged shard histogram (the
+  // at-scale paths never keep per-flow findings).
+  const auto hist_it = res.metrics.histograms().find("pipeline.shift_magnitude");
+  if (hist_it != res.metrics.histograms().end() && hist_it->second.count() > 0) {
+    print_banner(os, "CDF of detected level-shift magnitudes");
+    TextTable cdf{{"shift fraction", "cumulative fraction"}};
+    const auto& h = hist_it->second;
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+      cum += h.counts()[b];
+      cdf.add_row({TextTable::num(h.bounds()[b], 2),
+                   TextTable::num(static_cast<double>(cum) / static_cast<double>(h.count()), 2)});
+    }
+    cdf.print(os);
+  }
+
+  PassiveSummary s;
+  s.suspect_fraction =
+      static_cast<double>(
+          res.verdicts[static_cast<std::size_t>(pipeline::Verdict::kContentionSuspect)]) /
+      total;
+  s.reproduced = res.filtered_fraction() > 0.5 && s.suspect_fraction < 0.2;
+  os << "\nshape check: filtered=" << TextTable::num(res.filtered_fraction(), 2)
+     << " suspect=" << TextTable::num(s.suspect_fraction, 3) << " -> "
+     << (s.reproduced ? "REPRODUCED" : "NOT reproduced") << "\n";
+  return s;
+}
+
+void add_passive_scalars(telemetry::RunReport& rr, const pipeline::PipelineResult& res,
+                         double suspect_fraction) {
+  for (const auto& [v, c] : res.verdict_map()) {
+    rr.add_scalar("verdicts", std::string{pipeline::to_string(v)}, static_cast<double>(c));
+  }
+  rr.add_scalar("pipeline", "filtered_fraction", res.filtered_fraction());
+  rr.add_scalar("pipeline", "precision", res.precision());
+  rr.add_scalar("pipeline", "recall", res.recall());
+  rr.add_scalar("pipeline", "false_positives", static_cast<double>(res.false_positives));
+  rr.add_scalar("pipeline", "suspect_fraction", suspect_fraction);
+}
+
+}  // namespace ccc::ingest

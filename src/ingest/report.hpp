@@ -1,0 +1,38 @@
+// The Figure-2 aggregate block — verdict table, ground-truth confusion,
+// precision/recall scoring, shift-magnitude CDF, shape check — as one
+// shared printer.
+//
+// Both presentation paths of the §3.1 analysis end in this exact block:
+// fig2_mlab_passive's at-scale run prints it after run_pipeline, and
+// ccc_ingestd prints it when a replay finishes. Byte-identity between
+// "offline fig2 over a corpus" and "the daemon replaying the same corpus"
+// is an acceptance criterion of the streaming-ingest work, and sharing the
+// printer makes it structural: if the aggregates match, the text matches.
+#pragma once
+
+#include <iosfwd>
+
+#include "pipeline/pipeline.hpp"
+#include "telemetry/run_report.hpp"
+
+namespace ccc::ingest {
+
+struct PassiveSummary {
+  double suspect_fraction{0.0};
+  /// The paper-shape check: most flows filtered, suspects a small minority.
+  bool reproduced{false};
+};
+
+/// Prints the aggregate block (everything between the dataset banner and
+/// the RunReport emission in fig2's original at-scale path) and returns the
+/// shape-check summary. Uses only aggregate state — verdict counts,
+/// confusion matrix, scoring, and the merged shift-magnitude histogram —
+/// never per-flow findings, so bounded-memory producers can call it too.
+PassiveSummary print_passive_aggregates(std::ostream& os, const pipeline::PipelineResult& res);
+
+/// The matching machine-readable scalars ("verdicts.*", "pipeline.*"),
+/// exactly as fig2 at scale has always emitted them.
+void add_passive_scalars(telemetry::RunReport& rr, const pipeline::PipelineResult& res,
+                         double suspect_fraction);
+
+}  // namespace ccc::ingest

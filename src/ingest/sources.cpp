@@ -1,0 +1,272 @@
+#include "ingest/sources.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <istream>
+#include <string_view>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "mlab/csv_io.hpp"
+#include "util/error.hpp"
+
+namespace ccc::ingest {
+
+namespace fs = std::filesystem;
+
+// ---------- SpoolSource ----------
+
+SpoolSource::SpoolSource(std::string dir, SpoolOptions opts)
+    : dir_{std::move(dir)}, opts_{opts} {
+  if (opts_.replay == 0) opts_.replay = 1;
+}
+
+void SpoolSource::scan() {
+  std::vector<std::string> fresh;
+  std::error_code ec;
+  for (fs::directory_iterator it{dir_, ec}, end; !ec && it != end; it.increment(ec)) {
+    const auto& p = it->path();
+    if (p.extension() != ".ccfs") continue;
+    auto s = p.string();
+    if (enqueued_.insert(s).second) fresh.push_back(std::move(s));
+  }
+  if (ec) throw Error::io(dir_, "spool: cannot scan directory: " + ec.message(), errno);
+  // New arrivals sort among themselves; already-queued shards keep their
+  // position (a sweep in progress must not reshuffle under the cursor).
+  std::sort(fresh.begin(), fresh.end());
+  queue_.insert(queue_.end(), fresh.begin(), fresh.end());
+  scanned_ = true;
+}
+
+SpoolSource::Advance SpoolSource::advance() {
+  reader_.reset();  // drop the finished shard's mapping before opening more
+  if (!scanned_) scan();
+  for (;;) {
+    if (queue_index_ < queue_.size()) {
+      const std::string& path = queue_[queue_index_];
+      try {
+        store::ReaderOptions ropts;
+        ropts.sequential = opts_.readahead_flows > 0;
+        auto r = std::make_unique<store::FlowStoreReader>(path, ropts);
+        reader_ = std::move(r);
+        pos_ = 0;
+        ++queue_index_;
+        ++stats_.shards_opened;
+        if (opts_.readahead_flows > 0) reader_->willneed(0, opts_.readahead_flows);
+        return Advance::kOpened;
+      } catch (const Error&) {
+        if (opts_.follow) {
+          // Probably a collector mid-write: leave the cursor on it and let
+          // a later pull retry once the shard is sealed.
+          return Advance::kBlocked;
+        }
+        if (opts_.strict) throw;
+        ++stats_.shards_skipped;
+        ++queue_index_;
+        continue;
+      }
+    }
+    if (opts_.follow) {
+      const std::size_t before = queue_.size();
+      scan();
+      if (queue_.size() > before) continue;
+      return Advance::kBlocked;
+    }
+    if (stats_.passes_done + 1 < opts_.replay) {
+      ++stats_.passes_done;
+      queue_index_ = 0;  // replay the same sweep list
+      continue;
+    }
+    ++stats_.passes_done;
+    return Advance::kEnd;
+  }
+}
+
+pipeline::PullResult SpoolSource::pull(std::vector<store::FlowView>& out, std::size_t max) {
+  std::size_t produced = 0;
+  while (produced < max) {
+    if (!reader_ || pos_ >= reader_->size()) {
+      if (produced > 0 && reader_ && pos_ >= reader_->size()) {
+        // Views into this shard are already in `out`; keep its mapping
+        // alive until the next pull and advance then.
+        return {produced, pipeline::StreamState::kReady};
+      }
+      switch (advance()) {
+        case Advance::kOpened:
+          break;
+        case Advance::kBlocked:
+          return {produced,
+                  produced > 0 ? pipeline::StreamState::kReady : pipeline::StreamState::kBlocked};
+        case Advance::kEnd:
+          return {produced, pipeline::StreamState::kEnd};
+      }
+    }
+    const std::size_t take = std::min(max - produced, reader_->size() - pos_);
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::size_t ra = opts_.readahead_flows;
+      if (ra > 0 && pos_ % ra == 0 && pos_ + ra < reader_->size()) {
+        reader_->willneed(pos_ + ra, ra);
+      }
+      out.push_back(reader_->at(pos_++));
+    }
+    produced += take;
+  }
+  return {produced, pipeline::StreamState::kReady};
+}
+
+// ---------- CsvStreamSource ----------
+
+namespace {
+
+/// Normalizes one wire line in place (strip CRLF tail) and classifies it:
+/// returns true if it should be parsed as a data row, false for the lines a
+/// stream legitimately carries that aren't rows (blank, the CSV header).
+bool is_data_line(std::string& line, bool allow_header) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line.empty()) return false;
+  if (allow_header && line == mlab::csv_header()) return false;
+  return true;
+}
+
+}  // namespace
+
+pipeline::PullResult CsvStreamSource::pull(std::vector<store::FlowView>& out, std::size_t max) {
+  batch_.clear();
+  std::string line;
+  bool eof = false;
+  while (batch_.size() < max) {
+    if (!std::getline(in_, line)) {
+      eof = true;
+      break;
+    }
+    const bool first = first_line_;
+    first_line_ = false;
+    if (!is_data_line(line, first)) continue;
+    mlab::NdtRecord rec;
+    if (mlab::parse_csv_row(line, rec)) {
+      ++stats_.rows_parsed;
+      batch_.push_back(std::move(rec));
+    } else {
+      ++stats_.rows_malformed;
+    }
+  }
+  for (const auto& rec : batch_) out.push_back(store::FlowView::from_record(rec));
+  return {batch_.size(),
+          eof ? pipeline::StreamState::kEnd : pipeline::StreamState::kReady};
+}
+
+// ---------- SocketSource ----------
+
+namespace {
+
+void set_nonblocking(int fd, const std::string& path) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw Error::io(path, std::string{"socket: fcntl O_NONBLOCK: "} + std::strerror(errno),
+                    errno);
+  }
+}
+
+}  // namespace
+
+SocketSource::SocketSource(std::string path) : path_{std::move(path)} {
+  sockaddr_un addr{};
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    throw Error::io(path_, "socket: path too long for sockaddr_un");
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw Error::io(path_, std::string{"socket: socket(): "} + std::strerror(errno), errno);
+  }
+  ::unlink(path_.c_str());  // replace a stale socket file from a dead daemon
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error::io(path_, std::string{"socket: bind/listen: "} + std::strerror(err), err);
+  }
+  set_nonblocking(listen_fd_, path_);
+}
+
+SocketSource::~SocketSource() {
+  for (const auto& c : clients_) ::close(c.fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+void SocketSource::ingest_line(std::string line, std::size_t max) {
+  // Every connection may lead with the header line, so `cat file.csv | nc
+  // -U` works per producer, not just for the first.
+  if (!is_data_line(line, /*allow_header=*/true)) return;
+  mlab::NdtRecord rec;
+  if (mlab::parse_csv_row(line, rec)) {
+    ++stats_.rows_parsed;
+    if (batch_.size() < max) batch_.push_back(std::move(rec));
+    // A full batch drops nothing: lines are only extracted from a client's
+    // buffer while the batch has room (see pull), so this branch is belt
+    // and suspenders for the final flush of a closing client.
+  } else {
+    ++stats_.rows_malformed;
+  }
+}
+
+pipeline::PullResult SocketSource::pull(std::vector<store::FlowView>& out, std::size_t max) {
+  batch_.clear();
+
+  // Admit any producers waiting on the listen queue.
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // EAGAIN (or a transient error — retried next pull)
+    set_nonblocking(fd, path_);
+    clients_.push_back(Client{fd, {}});
+    ++stats_.connections;
+  }
+
+  // Drain each client: buffered complete lines first, then whatever the
+  // kernel has pending. Stop reading once the batch is full — unread bytes
+  // stay in the socket buffer, which is the backpressure path all the way
+  // back to the producer's write().
+  for (auto& c : clients_) {
+    while (batch_.size() < max) {
+      const auto nl = c.buf.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = c.buf.substr(0, nl);
+        c.buf.erase(0, nl + 1);
+        ingest_line(std::move(line), max);
+        continue;
+      }
+      char tmp[4096];
+      const ssize_t n = ::read(c.fd, tmp, sizeof tmp);
+      if (n > 0) {
+        c.buf.append(tmp, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {  // producer closed; an unterminated tail is still a row
+        if (!c.buf.empty()) ingest_line(std::exchange(c.buf, {}), max);
+        ::close(c.fd);
+        c.fd = -1;
+      }
+      break;  // EOF handled, or EAGAIN: nothing more right now
+    }
+  }
+  clients_.erase(
+      std::remove_if(clients_.begin(), clients_.end(), [](const Client& c) { return c.fd < 0; }),
+      clients_.end());
+
+  for (const auto& rec : batch_) out.push_back(store::FlowView::from_record(rec));
+  return {batch_.size(), batch_.empty() ? pipeline::StreamState::kBlocked
+                                        : pipeline::StreamState::kReady};
+}
+
+}  // namespace ccc::ingest

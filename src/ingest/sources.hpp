@@ -1,0 +1,155 @@
+// Unbounded PullSource implementations for the ingest daemon: where a
+// long-running service's flows actually come from.
+//
+// The offline pipeline's RangePull walks a finite index space. A service
+// has three different input shapes, none of which has a size():
+//
+//   SpoolSource      a watched directory of ccfs shards — the handoff
+//                    convention between a collector that seals shards and
+//                    an analyzer that consumes them. One reader open at a
+//                    time, so RSS is bounded by the largest single shard,
+//                    never by the corpus.
+//   CsvStreamSource  newline-delimited NDT CSV rows on an istream (stdin) —
+//                    `bq extract | ccc_ingestd --stdin` territory.
+//   SocketSource     the same row protocol over a unix domain socket, for
+//                    local producers that outlive any one pipe.
+//
+// All three return views that stay valid until the next pull on the same
+// source (spans into the open shard's mapping, or into records the source
+// owns until it refills), which is exactly the lifetime pipeline::drain
+// needs to push a batch through a stage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "mlab/ndt_record.hpp"
+#include "pipeline/stage.hpp"
+#include "store/flow_store.hpp"
+
+namespace ccc::ingest {
+
+struct SpoolOptions {
+  /// Keep watching for shards that appear after the initial scan. A shard
+  /// that fails to open in follow mode is retried on later pulls (it is
+  /// usually a collector mid-write, not damage); the source reports
+  /// kBlocked in the meantime and never kEnd.
+  bool follow{false};
+  /// Sweep the (oneshot) shard list this many times — the replay multiplier
+  /// the bounded-RSS soak test uses to run 10x the corpus through the
+  /// daemon without 10x the disk.
+  std::size_t replay{1};
+  /// Oneshot mode only: throw on an unreadable shard instead of the default
+  /// skip-count-and-continue.
+  bool strict{false};
+  /// Per-shard readahead window in flows (FlowStoreReader::willneed), same
+  /// semantics as the pipeline's --readahead. 0 = off.
+  std::size_t readahead_flows{0};
+};
+
+struct SpoolStats {
+  std::uint64_t shards_opened{0};
+  std::uint64_t shards_skipped{0};  ///< unreadable, oneshot degrade mode
+  std::uint64_t passes_done{0};     ///< completed sweeps of the shard list
+};
+
+/// Presents a spool directory of sealed ccfs shards (lexicographic filename
+/// order — writers name them base.00000.ccfs, base.00001.ccfs, ...) as one
+/// unbounded flow stream. Exactly one FlowStoreReader is open at any time;
+/// a shard's mapping is dropped before the next one is opened, so memory is
+/// O(largest shard), not O(corpus).
+class SpoolSource final : public pipeline::PullSource {
+ public:
+  SpoolSource(std::string dir, SpoolOptions opts = {});
+
+  pipeline::PullResult pull(std::vector<store::FlowView>& out, std::size_t max) override;
+
+  [[nodiscard]] const SpoolStats& stats() const { return stats_; }
+
+ private:
+  enum class Advance : std::uint8_t { kOpened, kBlocked, kEnd };
+  /// Closes the current reader and opens the next shard (rescanning the
+  /// directory in follow mode, restarting the sweep in replay mode).
+  Advance advance();
+  void scan();
+
+  std::string dir_;
+  SpoolOptions opts_;
+  SpoolStats stats_;
+  std::vector<std::string> queue_;            // shard paths, sorted
+  std::unordered_set<std::string> enqueued_;  // ever queued (follow rescans)
+  std::size_t queue_index_{0};
+  bool scanned_{false};
+  std::unique_ptr<store::FlowStoreReader> reader_;
+  std::size_t pos_{0};  // next flow index within reader_
+};
+
+struct StreamStats {
+  std::uint64_t rows_parsed{0};
+  std::uint64_t rows_malformed{0};  ///< counted and dropped, never pushed
+};
+
+/// Newline-delimited NDT CSV rows from an istream. A leading header row
+/// (exactly mlab::csv_header()) is skipped, so piping a write_csv file works
+/// unchanged; blank lines are ignored; malformed rows are counted and
+/// dropped (the same judgment as the batch CSV loader). Pulls block on the
+/// underlying stream — this is the stdin mode, where blocking in read IS
+/// the idle wait.
+class CsvStreamSource final : public pipeline::PullSource {
+ public:
+  explicit CsvStreamSource(std::istream& in) : in_{in} {}
+
+  pipeline::PullResult pull(std::vector<store::FlowView>& out, std::size_t max) override;
+
+  [[nodiscard]] const StreamStats& stats() const { return stats_; }
+
+ private:
+  std::istream& in_;
+  bool first_line_{true};
+  StreamStats stats_;
+  std::vector<mlab::NdtRecord> batch_;  // owns the records behind the views
+};
+
+struct SocketStats : StreamStats {
+  std::uint64_t connections{0};
+};
+
+/// The CSV row protocol over a unix domain stream socket: the source
+/// listens, producers connect and write rows (optionally starting with the
+/// header line), and close when done. Non-blocking throughout — a pull with
+/// no pending data returns kBlocked immediately, and the daemon owns the
+/// idle wait. The stream never reports kEnd (a socket has no natural end);
+/// services stop via their own flow limit or stop hook.
+class SocketSource final : public pipeline::PullSource {
+ public:
+  /// Binds and listens on `path` (an existing socket file is replaced).
+  /// Throws ccc::Error{kIo} if the socket cannot be set up.
+  explicit SocketSource(std::string path);
+  ~SocketSource();
+
+  SocketSource(const SocketSource&) = delete;
+  SocketSource& operator=(const SocketSource&) = delete;
+
+  pipeline::PullResult pull(std::vector<store::FlowView>& out, std::size_t max) override;
+
+  [[nodiscard]] const SocketStats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  struct Client {
+    int fd{-1};
+    std::string buf;  // bytes received but not yet newline-terminated
+  };
+  void ingest_line(std::string line, std::size_t max);
+
+  std::string path_;
+  int listen_fd_{-1};
+  std::vector<Client> clients_;
+  SocketStats stats_;
+  std::vector<mlab::NdtRecord> batch_;
+};
+
+}  // namespace ccc::ingest

@@ -102,6 +102,24 @@ NdtRecord parse_row(const std::vector<std::string>& cells) {
 
 }  // namespace
 
+std::string_view csv_header() { return kHeader; }
+
+bool parse_csv_row(const std::string& line, NdtRecord& out) {
+  if (line.empty()) return false;
+  std::vector<std::string> cells;
+  if (!split_csv_line(line, cells)) return false;
+  if (cells.size() == 9) cells.emplace_back();  // empty series field
+  if (cells.size() != 10) return false;
+  try {
+    out = parse_row(cells);
+  } catch (const std::exception&) {
+    // Same single-handler judgment as for_each_csv_record: any malformed
+    // cell (garbage, over-range numeric, unknown enum) skips the row.
+    return false;
+  }
+  return true;
+}
+
 FlowArchetype archetype_from_string(std::string_view s) {
   static constexpr std::array all = {
       FlowArchetype::kAppLimitedStreaming, FlowArchetype::kAppLimitedConstant,

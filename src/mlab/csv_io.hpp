@@ -59,6 +59,17 @@ void for_each_csv_record(std::istream& is, const std::function<void(NdtRecord&&)
 [[nodiscard]] std::vector<NdtRecord> read_csv(std::istream& is,
                                               telemetry::MetricRegistry& reg);
 
+/// The exact header row write_csv emits and the stream parsers demand.
+[[nodiscard]] std::string_view csv_header();
+
+/// Parses one data row (header excluded) into `out`; returns false on a
+/// malformed row — same accept/skip judgment as for_each_csv_record, but
+/// row-granular. This is the building block for line-at-a-time stream
+/// sources (the ingest daemon's stdin/socket inputs), which see one record
+/// per network read rather than a whole istream. Blank lines are malformed
+/// here: stream sources have no trailing-blank-line convention to honor.
+[[nodiscard]] bool parse_csv_row(const std::string& line, NdtRecord& out);
+
 /// Enum parsing helpers (exposed for tests).
 [[nodiscard]] FlowArchetype archetype_from_string(std::string_view s);
 [[nodiscard]] AccessType access_from_string(std::string_view s);

@@ -1,100 +1,19 @@
 #include "pipeline/pipeline.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <iterator>
-#include <string>
+#include <utility>
 
-#include "util/error.hpp"
+#include "pipeline/stage.hpp"
 
 namespace ccc::pipeline {
 
 namespace {
 
-/// Gatekeeper for cfg.validate_records: is this FlowView safe to hand to
-/// the stages? Two classes of damage get through the shard-level checks
-/// (CRC off, an in-memory source fed by a hostile CSV): non-finite scalars
-/// that would poison every mean downstream, and out-of-range enum bytes —
-/// `truth` indexes the confusion matrix, so an unchecked byte of 200 is an
-/// out-of-bounds write, not just a wrong answer.
-bool record_is_sane(const store::FlowView& f) {
-  if (static_cast<std::uint8_t>(f.access) > static_cast<std::uint8_t>(mlab::AccessType::kSatellite))
-    return false;
-  if (static_cast<std::uint8_t>(f.truth) > static_cast<std::uint8_t>(mlab::FlowArchetype::kPoliced))
-    return false;
-  if (!std::isfinite(f.duration_sec) || f.duration_sec < 0.0) return false;
-  if (!std::isfinite(f.app_limited_sec) || !std::isfinite(f.rwnd_limited_sec)) return false;
-  if (!std::isfinite(f.mean_throughput_mbps) || !std::isfinite(f.min_rtt_ms)) return false;
-  if (!std::isfinite(f.snapshot_interval_sec) || f.snapshot_interval_sec <= 0.0) return false;
-  return true;
-}
-
-/// Bounds for the shift-magnitude histogram. Fixed at registration (and
-/// identical across shards) so shard merges are exact and two runs always
-/// bucket identically. Magnitudes live in (min_shift_fraction, 1].
-const std::vector<double>& magnitude_bounds() {
-  static const std::vector<double> bounds = {0.25, 0.35, 0.45, 0.55, 0.65,
-                                             0.75, 0.85, 0.95, 1.0};
-  return bounds;
-}
-
-/// The Sink stage: everything one shard accumulates. Workers share nothing;
-/// the merge below folds these in shard index order.
-struct ShardSink {
-  std::array<std::uint64_t, kVerdictCount> verdicts{};
-  std::array<std::array<std::uint64_t, kVerdictCount>, 7> confusion{};
-  std::uint64_t tp{0};
-  std::uint64_t fp{0};
-  std::uint64_t fn{0};
-  std::uint64_t tn{0};
-  std::uint64_t changepoints{0};
-  std::uint64_t early_exits{0};
-  std::uint64_t samples_scanned{0};
-  std::uint64_t records_corrupt{0};
-  std::vector<double> magnitudes;  // flushed into the histogram at shard end
-  std::vector<FlowFinding> findings;
-
-  void accumulate(FlowFinding&& f, bool truly_contended, bool keep) {
-    const auto v = static_cast<std::size_t>(f.verdict);
-    ++verdicts[v];
-    ++confusion[static_cast<std::size_t>(f.truth)][v];
-    const bool flagged = f.verdict == Verdict::kContentionSuspect;
-    tp += static_cast<std::uint64_t>(flagged && truly_contended);
-    fp += static_cast<std::uint64_t>(flagged && !truly_contended);
-    fn += static_cast<std::uint64_t>(!flagged && truly_contended);
-    tn += static_cast<std::uint64_t>(!flagged && !truly_contended);
-    changepoints += f.shift_times_sec.size();
-    early_exits += static_cast<std::uint64_t>(f.early_exited);
-    samples_scanned += f.samples_scanned;
-    magnitudes.insert(magnitudes.end(), f.shift_magnitudes.begin(), f.shift_magnitudes.end());
-    if (keep) findings.push_back(std::move(f));
-  }
-};
-
 struct ShardResult {
-  ShardSink sink;
+  AnalysisTallies tallies;
   telemetry::MetricRegistry metrics;
 };
-
-/// Flushes a shard's tallies into its registry once, at shard end — the
-/// per-flow hot loop stays plain integer adds, no map lookups.
-void export_metrics(const ShardSink& sink, std::uint64_t shard_flows,
-                    telemetry::MetricRegistry& reg) {
-  reg.counter("pipeline.flows").inc(shard_flows);
-  for (std::size_t v = 0; v < kVerdictCount; ++v) {
-    reg.counter(std::string{"pipeline.verdict."} + std::string{to_string(static_cast<Verdict>(v))})
-        .inc(sink.verdicts[v]);
-  }
-  const std::uint64_t residual = sink.verdicts[static_cast<std::size_t>(Verdict::kNoLevelShift)] +
-                                 sink.verdicts[static_cast<std::size_t>(Verdict::kContentionSuspect)];
-  reg.counter("pipeline.residual_flows").inc(residual);
-  reg.counter("pipeline.changepoints").inc(sink.changepoints);
-  reg.counter("pipeline.early_exits").inc(sink.early_exits);
-  reg.counter("pipeline.samples_scanned").inc(sink.samples_scanned);
-  reg.counter("store.records_corrupt").inc(sink.records_corrupt);
-  auto& hist = reg.histogram("pipeline.shift_magnitude", magnitude_bounds());
-  for (const double m : sink.magnitudes) hist.observe(m);
-}
 
 }  // namespace
 
@@ -131,50 +50,28 @@ PipelineResult run_pipeline(const FlowSource& src, const PipelineConfig& cfg) {
 
   runner::ExperimentRunner runner{{cfg.jobs, cfg.on_progress}};
 
-  // One task per shard: Source -> Classify -> Changepoint -> Sink, all
-  // inside the worker; nothing is shared until the ordered merge below.
+  // One task per shard, each a self-contained stage-API client: a RangePull
+  // over the shard's index slice drained through one AnalyzeStage (which
+  // owns the shard's ChangepointWorkspace — scratch reused allocation-free
+  // across the shard's flows). Workers share nothing; one flush at shard
+  // end settles the shard's MetricRegistry, exactly the old per-shard
+  // export. Nothing is shared until the ordered merge below.
   auto shard_results = runner.map<ShardResult>(n_shards, [&](std::size_t s) {
     const std::size_t begin = s * shard_flows;
     const std::size_t end = std::min(n, begin + shard_flows);
-    ShardResult r;
-    if (cfg.keep_findings) r.sink.findings.reserve(end - begin);
-    // One workspace per shard: the changepoint stage's scratch (log series,
-    // cost prefixes, PELT state) grows to the shard's longest flow and is
-    // then reused allocation-free. Shards share nothing, so no locking.
-    changepoint::ChangepointWorkspace ws;
-    // Stage the first window up front, then keep exactly one window of
-    // readahead in flight: at every window boundary, hint the next one
-    // while this one is being analyzed.
-    const std::size_t window = cfg.readahead_flows;
-    if (window > 0) src.prefetch(begin, std::min(end, begin + window));
-    for (std::size_t i = begin; i < end; ++i) {
-      if (window > 0 && (i - begin) % window == 0 && i + window < end) {
-        src.prefetch(i + window, std::min(end, i + 2 * window));
-      }
-      const store::FlowView flow = src.flow(i);  // Source
-      if (cfg.validate_records && !record_is_sane(flow)) {
-        if (cfg.strict) {
-          throw Error::corruption(
-              "", "pipeline: corrupt record at flow index " + std::to_string(i) +
-                      " (id " + std::to_string(flow.id) + ")");
-        }
-        ++r.sink.records_corrupt;
-        continue;
-      }
-      const Verdict filter = classify_filters(flow, cfg.classify);  // Classify
-      FlowFinding f;
-      if (filter != Verdict::kNoLevelShift) {
-        f.id = flow.id;
-        f.truth = flow.truth;
-        f.verdict = filter;
-      } else {
-        f = detect_changepoints(flow, cfg.classify, ws);  // Changepoint
-      }
-      const bool truly = flow.truth == mlab::FlowArchetype::kBulkContended;
-      r.sink.accumulate(std::move(f), truly, cfg.keep_findings);  // Sink
-    }
-    if (cfg.enable_telemetry) export_metrics(r.sink, end - begin, r.metrics);
-    return r;
+    StageOptions opts;
+    opts.classify = cfg.classify;
+    opts.keep_findings = cfg.keep_findings;
+    opts.enable_telemetry = cfg.enable_telemetry;
+    opts.validate_records = cfg.validate_records;
+    opts.strict = cfg.strict;
+    opts.index_offset = begin;
+    AnalyzeStage stage{std::move(opts)};
+    if (cfg.keep_findings) stage.reserve_findings(end - begin);
+    RangePull pull{src, begin, end, cfg.readahead_flows};
+    drain(pull, stage);
+    stage.flush(s);
+    return ShardResult{std::move(stage.tallies()), std::move(stage.metrics())};
   });
 
   // Ordered reduction: shard index order, independent of completion order.
@@ -184,7 +81,7 @@ PipelineResult run_pipeline(const FlowSource& src, const PipelineConfig& cfg) {
   out.jobs = runner.jobs();
   if (cfg.keep_findings) out.findings.reserve(n);
   for (auto& r : shard_results) {
-    ShardSink& s = r.sink;
+    AnalysisTallies& s = r.tallies;
     for (std::size_t v = 0; v < kVerdictCount; ++v) out.verdicts[v] += s.verdicts[v];
     for (std::size_t a = 0; a < out.confusion.size(); ++a) {
       for (std::size_t v = 0; v < kVerdictCount; ++v) out.confusion[a][v] += s.confusion[a][v];

@@ -124,6 +124,16 @@ void FlowStoreWriter::append(const FlowView& flow) {
   ts_offsets_.push_back(sample_count_);
 }
 
+void FlowStoreWriter::abandon() {
+  if (finished_) return;
+  finished_ = true;  // suppress the destructor's auto-finish: no footer
+  try {
+    file_.close_checked();
+  } catch (...) {
+    // A close error is moot — the file is already known-invalid by design.
+  }
+}
+
 void FlowStoreWriter::finish() {
   if (finished_) return;
   finished_ = true;
@@ -200,7 +210,10 @@ std::string ShardedFlowStoreWriter::shard_path(std::size_t index) const {
 }
 
 void ShardedFlowStoreWriter::roll() {
-  if (current_) current_->finish();
+  if (current_) {
+    current_->finish();
+    sealed_.push_back(current_->path());
+  }
   paths_.push_back(shard_path(paths_.size()));
   current_ = std::make_unique<FlowStoreWriter>(paths_.back());
 }
@@ -211,10 +224,32 @@ void ShardedFlowStoreWriter::append(const FlowView& flow) {
   ++total_flows_;
 }
 
-std::vector<std::string> ShardedFlowStoreWriter::finish() {
-  if (!current_) roll();  // zero appends still produce one (empty) shard
+std::optional<std::string> ShardedFlowStoreWriter::rotate() {
+  if (!current_) return std::nullopt;
   current_->finish();
+  sealed_.push_back(current_->path());
+  current_.reset();
+  return sealed_.back();
+}
+
+std::vector<std::string> ShardedFlowStoreWriter::finish() {
+  if (!current_) {
+    // After rotate() everything is already sealed — do not fabricate an
+    // empty tail shard. Only a zero-append lifetime rolls one so that
+    // finish() always has at least one shard to hand back.
+    if (!paths_.empty()) return paths_;
+    roll();
+  }
+  current_->finish();
+  if (sealed_.empty() || sealed_.back() != current_->path()) {
+    sealed_.push_back(current_->path());  // finish() stays idempotent
+  }
   return paths_;
+}
+
+void ShardedFlowStoreWriter::abandon() {
+  if (current_) current_->abandon();
+  current_.reset();
 }
 
 // ---------------------------------------------------------------- reader

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -103,6 +104,13 @@ class FlowStoreWriter {
   /// whether their data actually landed call finish() explicitly.
   void finish();
 
+  /// Walks away from the file without sealing it: closes the fd, writes no
+  /// directory/footer, suppresses the destructor's auto-finish. What's on
+  /// disk is whatever the streamed appends already wrote — a torn shard a
+  /// reader must reject. This is the in-process stand-in for SIGKILL, used
+  /// by the crash-recovery tests; a daemon never calls it on purpose.
+  void abandon();
+
   /// Optional registry for the destructor's suppressed-error counter. The
   /// registry must outlive the writer.
   void set_metrics(telemetry::MetricRegistry* reg) { metrics_ = reg; }
@@ -147,10 +155,31 @@ class ShardedFlowStoreWriter {
   void append(const mlab::NdtRecord& rec) { append(FlowView::from_record(rec)); }
   void append(const FlowView& flow);
 
-  /// Finishes the open shard and returns all shard paths, in append order.
+  /// Seals the open shard *now* — footer written, CRC valid, safe to hand to
+  /// readers — and returns its path; the next append opens a fresh shard.
+  /// Returns std::nullopt (and does nothing) when no shard is open. This is
+  /// the log-structured rotation point a long-running daemon drives at epoch
+  /// boundaries: after rotate() returns, a crash can only tear the *next*
+  /// shard, never this one. (PR 3's writer only sealed shards implicitly at
+  /// size-triggered rollover or in finish() — unusable from a service that
+  /// must bound data-at-risk by time, not just by flow count.)
+  std::optional<std::string> rotate();
+
+  /// Finishes the open shard (if any) and returns all shard paths, in
+  /// append order. Zero lifetime appends still produce one empty shard, but
+  /// finish() directly after rotate() does NOT add a spurious empty tail.
   [[nodiscard]] std::vector<std::string> finish();
 
+  /// Abandons the open shard un-sealed (see FlowStoreWriter::abandon) —
+  /// crash simulation for tests. Already-rotated shards are unaffected.
+  void abandon();
+
   [[nodiscard]] std::uint64_t flows() const { return total_flows_; }
+  /// Flows appended to the current, not-yet-sealed shard (0 if none open) —
+  /// what a rotation policy consults to skip empty-epoch rotations.
+  [[nodiscard]] std::uint64_t open_flows() const { return current_ ? current_->flows() : 0; }
+  /// Shards sealed so far (rotate() or rollover), excluding the open one.
+  [[nodiscard]] const std::vector<std::string>& sealed_paths() const { return sealed_; }
 
  private:
   [[nodiscard]] std::string shard_path(std::size_t index) const;
@@ -159,7 +188,8 @@ class ShardedFlowStoreWriter {
   std::string base_path_;
   std::uint64_t flows_per_shard_;
   std::uint64_t total_flows_{0};
-  std::vector<std::string> paths_;
+  std::vector<std::string> paths_;   // every shard ever created, append order
+  std::vector<std::string> sealed_;  // the finished prefix of paths_
   std::unique_ptr<FlowStoreWriter> current_;
 };
 

@@ -116,11 +116,79 @@ TEST(BenchCli, SeedOverflowAndNegativeAreMalformed) {
 
 TEST(BenchCli, UsageMentionsEveryFlag) {
   const std::string u = Cli::usage("fig0");
-  for (const char* flag :
-       {"--jobs", "--seed", "--duration", "--out", "--report", "--serial", "--help"}) {
+  for (const char* flag : {"--jobs", "--seed", "--duration", "--out", "--report", "--serial",
+                           "--input", "--scale", "--readahead", "--strict", "--help"}) {
     EXPECT_NE(u.find(flag), std::string::npos) << flag;
   }
   EXPECT_NE(u.find("fig0"), std::string::npos);
+}
+
+// ---------- the shared dataset flags (--input/--scale/--readahead/--strict) ----------
+
+TEST(BenchCli, DatasetFlagsBothSpellings) {
+  const Cli spaced = parse({"--input", "d.ccfs", "--scale", "3", "--readahead", "4096"});
+  EXPECT_EQ(spaced.input, "d.ccfs");
+  EXPECT_TRUE(spaced.has_scale);
+  EXPECT_EQ(spaced.scale, 3u);
+  EXPECT_EQ(spaced.readahead, 4096u);
+  EXPECT_FALSE(spaced.strict);
+
+  const Cli glued = parse({"--input=d.csv", "--scale=2", "--readahead=128", "--strict"});
+  EXPECT_EQ(glued.input, "d.csv");
+  EXPECT_TRUE(glued.has_scale);
+  EXPECT_EQ(glued.scale, 2u);
+  EXPECT_EQ(glued.readahead, 128u);
+  EXPECT_TRUE(glued.strict);
+
+  const Cli absent = parse({});
+  EXPECT_TRUE(absent.input.empty());
+  EXPECT_FALSE(absent.has_scale);
+  EXPECT_EQ(absent.readahead, 0u);
+  EXPECT_FALSE(absent.strict);
+}
+
+TEST(BenchCli, DatasetFlagsDuplicateLastOneWins) {
+  const Cli cli = parse({"--scale", "2", "--scale=5", "--input", "a.csv", "--input=b.ccfs",
+                         "--readahead=64", "--readahead", "256"});
+  EXPECT_EQ(cli.scale, 5u);
+  EXPECT_EQ(cli.input, "b.ccfs");
+  EXPECT_EQ(cli.readahead, 256u);
+}
+
+TEST(BenchCli, ScaleGarbageZeroAndOverflowAreAbsentInLibraryMode) {
+  EXPECT_FALSE(parse({"--scale", "abc"}).has_scale);
+  EXPECT_FALSE(parse({"--scale=4x"}).has_scale);
+  EXPECT_FALSE(parse({"--scale", "-2"}).has_scale);
+  EXPECT_FALSE(parse({"--scale", "0"}).has_scale);  // valid values are >= 1
+  // Over the documented cap and over uint64 range both read as absent.
+  EXPECT_FALSE(parse({"--scale", "1000001"}).has_scale);
+  EXPECT_FALSE(parse({"--scale", "99999999999999999999999"}).has_scale);
+  // The cap itself is valid.
+  const Cli max = parse({"--scale", "1000000"});
+  EXPECT_TRUE(max.has_scale);
+  EXPECT_EQ(max.scale, Cli::kMaxScale);
+}
+
+TEST(BenchCli, ReadaheadGarbageAndOverflowAreAbsentInLibraryMode) {
+  EXPECT_EQ(parse({"--readahead", "lots"}).readahead, 0u);
+  EXPECT_EQ(parse({"--readahead=-1"}).readahead, 0u);
+  EXPECT_EQ(parse({"--readahead", "100000001"}).readahead, 0u);  // over cap
+  EXPECT_EQ(parse({"--readahead", "99999999999999999999999"}).readahead, 0u);
+  EXPECT_EQ(parse({"--readahead", "100000000"}).readahead, Cli::kMaxReadahead);
+  EXPECT_EQ(parse({"--readahead", "0"}).readahead, 0u);  // 0 = off is valid
+}
+
+TEST(BenchCli, DanglingDatasetFlagsAreAbsentNotCrashes) {
+  // A flag at argv's end with no value: absent in library mode (bench-main
+  // mode exits 2; fig2's CLI smoke covers that path end to end).
+  EXPECT_TRUE(parse({"--input"}).input.empty());
+  EXPECT_FALSE(parse({"--scale"}).has_scale);
+  EXPECT_EQ(parse({"--readahead"}).readahead, 0u);
+}
+
+TEST(BenchCli, DatasetFlagsDoNotLeakIntoRest) {
+  const Cli cli = parse({"--strict", "--scale", "2", "keepme", "--input=x.csv", "--bogus"});
+  EXPECT_EQ(cli.rest, (std::vector<std::string>{"keepme", "--bogus"}));
 }
 
 }  // namespace

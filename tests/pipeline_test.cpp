@@ -231,7 +231,7 @@ TEST(Pipeline, ProgressCallbackReportsEveryShardOnce) {
 
 TEST(EarlyExit, OffByDefaultAndResultsUnchanged) {
   ClassifyConfig cfg;
-  EXPECT_FALSE(cfg.early_exit);
+  EXPECT_EQ(cfg.early_exit, EarlyExitPolicy::kOff);
   const auto dataset = make_dataset(2000, 5);
   MemorySource src{dataset};
   PipelineConfig with_default;
@@ -252,7 +252,7 @@ TEST(EarlyExit, SkipsFlatFlowsAndStillCatchesEarlyShifts) {
   stepped.access = mlab::AccessType::kCable;
 
   ClassifyConfig cfg;
-  cfg.early_exit = true;
+  cfg.early_exit = EarlyExitPolicy::kFixed;
   const auto f_flat = classify_flow(flat, cfg);
   EXPECT_TRUE(f_flat.early_exited);
   EXPECT_EQ(f_flat.verdict, Verdict::kNoLevelShift);
@@ -275,7 +275,7 @@ TEST(EarlyExit, ReducesSamplesScannedAtScale) {
   PipelineConfig full;
   full.jobs = 2;
   PipelineConfig screened = full;
-  screened.classify.early_exit = true;
+  screened.classify.early_exit = EarlyExitPolicy::kFixed;
   const auto a = run_pipeline(src, full);
   const auto b = run_pipeline(src, screened);
   EXPECT_GT(b.early_exits, 0u);
