@@ -21,7 +21,7 @@
 #include "core/dumbbell.hpp"
 #include "nimbus/nimbus.hpp"
 #include "runner/experiment_runner.hpp"
-#include "sim/rate_trace.hpp"
+#include "sim/variable_rate_link.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/sampler.hpp"
 #include "util/stats.hpp"
@@ -46,16 +46,18 @@ Outcome run_cca(const std::string& name, bool random_walk) {
   cfg.buffer_bdp_multiple = 2.0;
   core::DumbbellScenario net{cfg};
 
+  // Capacity variation through the shared VariableRateLink presets (the
+  // same generators + schedule the ad-hoc apply_rate_trace calls produced,
+  // so the figure output is pinned byte-identical).
   const Time end = Time::sec(60.0);
-  std::vector<sim::RatePoint> trace;
   if (random_walk) {
     Rng rng{77};
-    trace = sim::random_walk_trace(rng, Rate::mbps(30), Rate::mbps(8), Rate::mbps(48), 0.25,
-                                   Time::ms(500), end);
+    sim::VariableRateLink::random_walk(net.scheduler(), net.bottleneck(), rng, Rate::mbps(30),
+                                       Rate::mbps(8), Rate::mbps(48), 0.25, Time::ms(500), end);
   } else {
-    trace = sim::square_wave_trace(Rate::mbps(12), Rate::mbps(48), Time::sec(2.0), end);
+    sim::VariableRateLink::square_wave(net.scheduler(), net.bottleneck(), Rate::mbps(12),
+                                       Rate::mbps(48), Time::sec(2.0), end);
   }
-  apply_rate_trace(net.scheduler(), net.bottleneck(), trace);
 
   std::unique_ptr<cca::CongestionControl> cc;
   if (name == "nimbus") {

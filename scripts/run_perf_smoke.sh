@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Perf smoke: re-runs the headline micro benches (micro_sim, micro_store)
+# Perf smoke: re-runs the headline micro benches (micro_sim, micro_store, ...)
 # and fails if any committed *_per_sec baseline regresses by more than 20%.
 #
 # Baselines are the repo-root BENCH_sim.json / BENCH_store.json report files
@@ -21,7 +21,7 @@ runs=${CCC_PERF_RUNS:-3}
 tmp=$(mktemp -d)
 trap 'rm -rf "${tmp}"' EXIT
 
-for bin in micro_sim micro_store micro_ingest; do
+for bin in micro_sim micro_store micro_ingest micro_sweep; do
   [ -x "${build}/bench/${bin}" ] || {
     echo "run_perf_smoke: ${build}/bench/${bin} not built (cmake --build ${build})" >&2
     exit 2
@@ -66,7 +66,7 @@ check() {
 }
 
 status=0
-for bench in micro_sim micro_store micro_ingest; do
+for bench in micro_sim micro_store micro_ingest micro_sweep; do
   reports=()
   for ((i = 1; i <= runs; ++i)); do
     "${build}/bench/${bench}" --benchmark_filter='^$' \

@@ -5,10 +5,11 @@
 #          (the concurrency tests: runner pool, telemetry merge, the
 #          jobs-1-vs-jobs-8 pipeline determinism pin)
 #
-#   asan   -DCCC_SANITIZE=address,undefined  ctest -L "robustness|store|pipeline|ingest"
+#   asan   -DCCC_SANITIZE=address,undefined  ctest -L "robustness|store|pipeline|ingest|sweep"
 #          (the corrupt-input suites: the corruption matrix, faultfs drills,
-#          and the store/pipeline tests — where a validation bug shows up as
-#          an OOB read/write or UB before it shows up as a wrong answer)
+#          the store/pipeline tests, and the sweep checkpoint/journal suite —
+#          where a validation bug shows up as an OOB read/write or UB before
+#          it shows up as a wrong answer)
 #
 # Usage: scripts/run_sanitizers.sh [tsan|asan|all]   (default: all)
 # Build trees land in build-tsan/ and build-asan/ next to build/.
@@ -29,10 +30,10 @@ run_job() {
 
 case "${which}" in
   tsan) run_job tsan thread sanitize ;;
-  asan) run_job asan address,undefined "robustness|store|pipeline|ingest" ;;
+  asan) run_job asan address,undefined "robustness|store|pipeline|ingest|sweep" ;;
   all)
     run_job tsan thread sanitize
-    run_job asan address,undefined "robustness|store|pipeline|ingest"
+    run_job asan address,undefined "robustness|store|pipeline|ingest|sweep"
     ;;
   *)
     echo "usage: $0 [tsan|asan|all]" >&2

@@ -130,6 +130,10 @@ std::string Cli::usage(std::string_view bench_name) {
       "                    max 100000000); purely a performance hint\n"
       "  --strict          fail fast on the first corrupt shard/record\n"
       "                    instead of the default skip-count-and-continue\n"
+      "  --grid SPEC       scenario-grid override for sweep benches, e.g.\n"
+      "                    \"cca=reno,cubic;qdisc=droptail,fq_codel;buf=0.5,2\"\n"
+      "  --checkpoint PATH journal completed cells to PATH (crash-safe)\n"
+      "  --resume          skip cells already recorded in --checkpoint\n"
       "  --help, -h        this text\n";
   return u;
 }
@@ -200,6 +204,23 @@ Cli Cli::parse(int argc, char** argv, std::string_view bench_name) {
       }
     } else if (arg == "--strict") {
       cli.strict = true;
+    } else if (const char* v = value_of("--grid"); v != nullptr || arg == "--grid") {
+      // Like --input: a present-but-valueless flag must not vanish
+      // silently. The spec's content is validated by the bench's grid
+      // parser (exit 2 via guarded_main on a malformed axis), not here.
+      if (v == nullptr || *v == '\0') {
+        if (strict) die(bench_name, "--grid needs a value");
+      } else {
+        cli.grid = v;
+      }
+    } else if (const char* v = value_of("--checkpoint"); v != nullptr || arg == "--checkpoint") {
+      if (v == nullptr || *v == '\0') {
+        if (strict) die(bench_name, "--checkpoint needs a path");
+      } else {
+        cli.checkpoint = v;
+      }
+    } else if (arg == "--resume") {
+      cli.resume = true;
     } else {
       cli.rest.push_back(arg);
     }

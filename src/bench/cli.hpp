@@ -17,6 +17,10 @@
 //   --readahead N                      store readahead window in flows
 //   --strict                           fail fast on corrupt input instead of
 //                                      skip-count-and-continue
+//   --grid SPEC                        scenario-grid override (sweep benches;
+//                                      parse() only records the string)
+//   --checkpoint PATH                  cell-completion journal path
+//   --resume                           skip cells already in the journal
 //   --help | -h                        print usage and exit
 //
 // (--input/--scale/--readahead/--strict were hand-parsed by fig2 alone
@@ -89,6 +93,9 @@ class Cli {
   std::size_t scale{0};  ///< dataset scale multiplier; valid values are >= 1
   std::size_t readahead{0};  ///< store readahead window in flows; 0 = off
   bool strict{false};  ///< fail fast on corrupt input instead of degrading
+  std::string grid;        ///< scenario-grid spec; "" = the bench's default grid
+  std::string checkpoint;  ///< cell journal path; "" = no checkpointing
+  bool resume{false};      ///< load the journal and skip completed cells
   std::vector<std::string> rest;  ///< unrecognized argv entries, in order
 
   /// Range caps for the shared count flags (enforced by parse; public so

@@ -1,0 +1,93 @@
+#include "sim/variable_rate_link.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccc::sim {
+
+VariableRateLink::VariableRateLink(Scheduler& sched, Link& link, VariableRateLinkConfig cfg)
+    : sched_{sched}, link_{link}, cfg_{cfg}, rng_{cfg.seed} {
+  assert(cfg_.markov.good.to_bps() > 0.0 && cfg_.markov.bad.to_bps() > 0.0);
+  assert(cfg_.markov.mean_good > Time::zero() && cfg_.markov.mean_bad > Time::zero());
+  if (cfg_.aggregation.enabled) {
+    assert(cfg_.aggregation.txop > Time::zero() && cfg_.aggregation.gap > Time::zero());
+    assert(cfg_.aggregation.stall_rate.to_bps() > 0.0);
+  }
+}
+
+Time VariableRateLink::dwell(Time mean) {
+  // Exponential dwell, floored at 1 ms so a tiny draw cannot flood the
+  // scheduler with transitions.
+  const double sec = std::max(0.001, rng_.exponential(mean.to_sec()));
+  return Time::sec(sec);
+}
+
+void VariableRateLink::apply_rate() {
+  const Rate state_rate = good_ ? cfg_.markov.good : cfg_.markov.bad;
+  if (cfg_.aggregation.enabled && !burst_) {
+    link_.set_rate(cfg_.aggregation.stall_rate);
+  } else {
+    link_.set_rate(state_rate);
+  }
+}
+
+void VariableRateLink::start(Time until) {
+  until_ = until;
+  good_ = true;
+  burst_ = true;
+  apply_rate();
+  const Time first = sched_.now() + dwell(cfg_.markov.mean_good);
+  if (first < until_) {
+    sched_.schedule_fire_at(
+        first, [](void* ctx, std::uint64_t) { static_cast<VariableRateLink*>(ctx)->on_transition(); },
+        this);
+  }
+  if (cfg_.aggregation.enabled) {
+    const Time toggle = sched_.now() + cfg_.aggregation.txop;
+    if (toggle < until_) {
+      sched_.schedule_fire_at(
+          toggle, [](void* ctx, std::uint64_t) { static_cast<VariableRateLink*>(ctx)->on_toggle(); },
+          this);
+    }
+  }
+}
+
+void VariableRateLink::on_transition() {
+  good_ = !good_;
+  ++transitions_;
+  apply_rate();
+  const Time next =
+      sched_.now() + dwell(good_ ? cfg_.markov.mean_good : cfg_.markov.mean_bad);
+  if (next < until_) {
+    sched_.schedule_fire_at(
+        next, [](void* ctx, std::uint64_t) { static_cast<VariableRateLink*>(ctx)->on_transition(); },
+        this);
+  }
+}
+
+void VariableRateLink::on_toggle() {
+  burst_ = !burst_;
+  apply_rate();
+  const Time next = sched_.now() + (burst_ ? cfg_.aggregation.txop : cfg_.aggregation.gap);
+  if (next < until_) {
+    sched_.schedule_fire_at(
+        next, [](void* ctx, std::uint64_t) { static_cast<VariableRateLink*>(ctx)->on_toggle(); },
+        this);
+  }
+}
+
+void VariableRateLink::replay(Scheduler& sched, Link& link, const std::vector<RatePoint>& trace) {
+  apply_rate_trace(sched, link, trace);
+}
+
+void VariableRateLink::square_wave(Scheduler& sched, Link& link, Rate lo, Rate hi,
+                                   Time half_period, Time end) {
+  apply_rate_trace(sched, link, square_wave_trace(lo, hi, half_period, end));
+}
+
+void VariableRateLink::random_walk(Scheduler& sched, Link& link, Rng& rng, Rate start, Rate lo,
+                                   Rate hi, double sigma, Time step, Time end) {
+  apply_rate_trace(sched, link, random_walk_trace(rng, start, lo, hi, sigma, step, end));
+}
+
+}  // namespace ccc::sim

@@ -1,0 +1,101 @@
+// VariableRateLink: wireless-style capacity variation for a Link.
+//
+// The paper's links are clean wired bottlenecks; its §2 operator argument,
+// though, has to survive the links people actually sit behind. This driver
+// gives a Link a time-varying service rate from one of three models:
+//
+//   - trace replay: a piecewise-constant RatePoint schedule (Mahimahi-style;
+//     the square-wave / random-walk presets the variability bench uses);
+//   - a two-state Markov channel: good/bad rates with exponentially
+//     distributed dwell times, the classic Gilbert-Elliott abstraction of
+//     rate adaptation + interference on an 802.11 link;
+//   - "wifi": the Markov channel plus MAC frame-aggregation gating — within
+//     a dwell the link alternates a full-rate TXOP burst (an A-MPDU worth of
+//     airtime) with a near-stalled contention gap, which is what produces
+//     the bursty, jittery arrivals AQMs on WiFi have to cope with.
+//
+// Everything is scheduled as deterministic simulator events from a per-link
+// seed: equal seeds give byte-identical runs at any thread count, the
+// invariant every sweep and figure pins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/link.hpp"
+#include "sim/rate_trace.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace ccc::sim {
+
+/// Two-state Markov (Gilbert-Elliott) channel-rate model.
+struct MarkovRateModel {
+  Rate good{Rate::mbps(48)};
+  Rate bad{Rate::mbps(12)};
+  Time mean_good{Time::ms(800)};  ///< mean dwell in the good state
+  Time mean_bad{Time::ms(200)};   ///< mean dwell in the bad state
+};
+
+/// MAC-style frame-aggregation gating layered on the Markov rates.
+struct FrameAggregation {
+  bool enabled{false};
+  Time txop{Time::ms(3)};           ///< burst: link serves at the state rate
+  Time gap{Time::ms(1)};            ///< contention stall between bursts
+  Rate stall_rate{Rate::kbps(64)};  ///< residual rate during the gap (>0:
+                                    ///< Link forbids a zero service rate)
+};
+
+struct VariableRateLinkConfig {
+  MarkovRateModel markov;
+  FrameAggregation aggregation;
+  std::uint64_t seed{0x11aa5eedULL};
+};
+
+/// Drives Link::set_rate() with the configured model until `until`, then
+/// goes quiet (the link keeps its last rate). The link must outlive this
+/// object, and this object must outlive the simulation run.
+class VariableRateLink {
+ public:
+  VariableRateLink(Scheduler& sched, Link& link, VariableRateLinkConfig cfg);
+
+  VariableRateLink(const VariableRateLink&) = delete;
+  VariableRateLink& operator=(const VariableRateLink&) = delete;
+
+  /// Starts the model at the scheduler's current time. Call once.
+  void start(Time until);
+
+  /// Markov state transitions taken so far (tests / telemetry).
+  [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
+  /// Whether the channel is currently in the good state.
+  [[nodiscard]] bool in_good_state() const { return good_; }
+
+  // --- trace presets (the rate_trace generators, routed through one API) ---
+
+  /// Replays an explicit schedule (sorted by time) onto the link.
+  static void replay(Scheduler& sched, Link& link, const std::vector<RatePoint>& trace);
+  /// Square wave between lo and hi, toggling every half_period until end.
+  static void square_wave(Scheduler& sched, Link& link, Rate lo, Rate hi, Time half_period,
+                          Time end);
+  /// Bounded multiplicative random walk (see rate_trace.hpp) from `rng`.
+  static void random_walk(Scheduler& sched, Link& link, Rng& rng, Rate start, Rate lo, Rate hi,
+                          double sigma, Time step, Time end);
+
+ private:
+  void on_transition();  ///< Markov dwell expiry
+  void on_toggle();      ///< aggregation burst/gap boundary
+  void apply_rate();
+  [[nodiscard]] Time dwell(Time mean);
+
+  Scheduler& sched_;
+  Link& link_;
+  VariableRateLinkConfig cfg_;
+  Rng rng_;
+  Time until_{Time::zero()};
+  bool good_{true};
+  bool burst_{true};  ///< aggregation phase: true = TXOP, false = gap
+  std::uint64_t transitions_{0};
+};
+
+}  // namespace ccc::sim

@@ -1,0 +1,224 @@
+#include "sweep/cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "app/abr_video.hpp"
+#include "app/bulk.hpp"
+#include "core/cca_registry.hpp"
+#include "core/dumbbell.hpp"
+#include "queue/codel.hpp"
+#include "queue/drop_tail.hpp"
+#include "queue/drr_fair_queue.hpp"
+#include "queue/fq_codel.hpp"
+#include "queue/pie.hpp"
+#include "runner/experiment_runner.hpp"
+#include "sim/variable_rate_link.hpp"
+#include "telemetry/sampler.hpp"
+#include "util/stats.hpp"
+
+namespace ccc::sweep {
+
+namespace {
+
+// Sub-seed lanes carved out of the cell seed: each stochastic component
+// gets a decorrelated stream so e.g. adding aggregation to the link cannot
+// shift PIE's drop dice.
+constexpr std::uint64_t kQdiscLane = 1;
+constexpr std::uint64_t kLinkLane = 2;
+
+std::unique_ptr<sim::Qdisc> make_qdisc(const CellSpec& spec, ByteCount capacity,
+                                       std::uint64_t cell_seed) {
+  const std::uint64_t seed = runner::derive_seed(cell_seed, kQdiscLane);
+  switch (spec.qdisc) {
+    case QdiscKind::kDropTail:
+      return std::make_unique<queue::DropTailQueue>(capacity);
+    case QdiscKind::kCoDel:
+      return std::make_unique<queue::CoDelQueue>(capacity);
+    case QdiscKind::kFqCoDel: {
+      queue::FqCoDelConfig qc;
+      qc.capacity_bytes = capacity;
+      qc.hash_seed = seed;
+      return std::make_unique<queue::FqCoDelQueue>(qc);
+    }
+    case QdiscKind::kPie: {
+      queue::PieConfig qc;
+      qc.capacity_bytes = capacity;
+      qc.seed = seed;
+      return std::make_unique<queue::PieQueue>(qc);
+    }
+    case QdiscKind::kFq:
+      return std::make_unique<queue::DrrFairQueue>(capacity, queue::FairnessKey::kPerFlow);
+  }
+  return std::make_unique<queue::DropTailQueue>(capacity);
+}
+
+/// Adds the cell's cross-traffic mix (all user 2), active for the whole
+/// run. The five non-empty mixes mirror the elasticity-PoC phase traffic.
+void add_cross_traffic(core::DumbbellScenario& net, const GridSpec& grid, CrossTraffic cross) {
+  switch (cross) {
+    case CrossTraffic::kNone:
+      break;
+    case CrossTraffic::kRenoBulk:
+      net.add_flow(core::make_cca_factory("reno")(), std::make_unique<app::BulkApp>(),
+                   /*user=*/2);
+      break;
+    case CrossTraffic::kBbrBulk:
+      net.add_flow(core::make_cca_factory("bbr")(), std::make_unique<app::BulkApp>(),
+                   /*user=*/2);
+      break;
+    case CrossTraffic::kAbrVideo: {
+      // HD-topped ladder over Cubic with server-paced chunks, as in the
+      // elasticity study: bounded demand well below the link.
+      app::AbrConfig video;
+      video.ladder = {Rate::mbps(0.35), Rate::mbps(0.75), Rate::mbps(1.75), Rate::mbps(3.0),
+                      Rate::mbps(5.8)};
+      video.supply_rate_multiple = 2.0;
+      net.add_flow(core::make_cca_factory("cubic")(),
+                   std::make_unique<app::AbrVideoApp>(net.scheduler(), video), /*user=*/2);
+      break;
+    }
+    case CrossTraffic::kPoissonShort: {
+      flow::ShortFlowConfig sf;
+      sf.user = 2;
+      sf.stop_at = grid.duration;
+      net.add_short_flows(sf, core::make_cca_factory("cubic"));
+      break;
+    }
+    case CrossTraffic::kCbrUdp:
+      // A quarter of nominal capacity of unresponsive UDP.
+      net.add_cbr(grid.link_rate * 0.25, Time::zero(), grid.duration, /*user=*/2);
+      break;
+  }
+}
+
+struct RunOutcome {
+  std::vector<double> goodputs_mbps;  // long-lived TCP flows, victim first
+  double wire_mbps{0.0};              // bottleneck bytes_sent over the window
+  double mean_queue_ms{0.0};
+  double p95_queue_ms{0.0};
+  double min_rtt_ms{0.0};
+  std::uint64_t drops{0};
+  std::uint64_t ecn_marks{0};
+};
+
+RunOutcome run_one(const GridSpec& grid, const CellSpec& spec, std::uint64_t cell_seed,
+                   bool with_cross) {
+  core::DumbbellConfig cfg;
+  cfg.bottleneck_rate = grid.link_rate;
+  cfg.one_way_delay = grid.one_way_delay;
+  cfg.reverse_delay = grid.one_way_delay;
+  cfg.buffer_bdp_multiple = spec.buffer_bdp;
+  cfg.seed = cell_seed;
+
+  const ByteCount capacity = core::dumbbell_buffer_bytes(cfg);
+  core::DumbbellScenario net{cfg, make_qdisc(spec, capacity, cell_seed)};
+
+  // Victim first (index 0), then the mix — index order is part of the
+  // determinism contract (goodputs_mbps[0] is always the CCA under test).
+  net.add_flow(core::make_cca_factory(spec.cca)(), std::make_unique<app::BulkApp>(),
+               /*user=*/1);
+  if (with_cross) add_cross_traffic(net, grid, spec.cross);
+
+  // The wireless models drive the link for the whole run; the object must
+  // outlive the simulation, hence the optional on the stack.
+  std::unique_ptr<sim::VariableRateLink> vlink;
+  if (spec.link != LinkModel::kWired) {
+    sim::VariableRateLinkConfig vc;
+    vc.markov.good = grid.link_rate;
+    vc.markov.bad = grid.link_rate * 0.25;
+    vc.aggregation.enabled = spec.link == LinkModel::kWifi;
+    vc.seed = runner::derive_seed(cell_seed, kLinkLane);
+    vlink = std::make_unique<sim::VariableRateLink>(net.scheduler(), net.bottleneck(), vc);
+    vlink->start(grid.duration);
+  }
+
+  // Measure after a 20% warmup so slow-start transients and the first
+  // Markov dwell don't dominate short cells.
+  const Time warmup = grid.duration * 0.2;
+  std::vector<double> queue_ms;
+  telemetry::PeriodicSampler sampler{
+      net.scheduler(), Time::ms(100), warmup, grid.duration, [&](Time) {
+        const auto& s = net.flow(0).sender();
+        if (s.min_rtt() != Time::never() && s.srtt() > Time::zero()) {
+          queue_ms.push_back((s.srtt() - s.min_rtt()).to_ms());
+        }
+      }};
+
+  net.run_until(warmup);
+  const auto snap = net.snapshot_delivered();
+  const ByteCount wire_snap = net.bottleneck().stats().bytes_sent;
+  net.run_until(grid.duration);
+
+  RunOutcome out;
+  out.goodputs_mbps = net.goodputs_mbps_since(snap, grid.duration - warmup);
+  // Wire throughput through the bottleneck: the only counter that sees
+  // every cross archetype (CBR and short flows are not long-lived TcpFlows,
+  // so per-flow goodput accounting misses them).
+  out.wire_mbps = static_cast<double>(net.bottleneck().stats().bytes_sent - wire_snap) * 8.0 /
+                  (grid.duration - warmup).to_sec() / 1e6;
+  if (!queue_ms.empty()) {
+    RunningStats st;
+    for (const double q : queue_ms) st.add(q);
+    out.mean_queue_ms = st.mean();
+    out.p95_queue_ms = quantile(queue_ms, 0.95);
+  }
+  const Time mrtt = net.flow(0).sender().min_rtt();
+  out.min_rtt_ms = mrtt == Time::never() ? 0.0 : mrtt.to_ms();
+  out.drops = net.bottleneck().qdisc().stats().dropped_packets;
+  out.ecn_marks = net.bottleneck().qdisc().stats().ecn_marked_packets;
+  return out;
+}
+
+}  // namespace
+
+CellResult run_cell(const GridSpec& grid, const CellSpec& spec, std::uint64_t cell_seed) {
+  const RunOutcome contended = run_one(grid, spec, cell_seed, /*with_cross=*/true);
+
+  CellResult r;
+  r.cell_id = spec.cell_id;
+  r.victim_goodput_mbps = contended.goodputs_mbps.empty() ? 0.0 : contended.goodputs_mbps[0];
+  if (spec.cross == CrossTraffic::kNone) {
+    // Solo: exact by construction (wire throughput would charge the
+    // victim's own headers as phantom cross traffic).
+    r.total_goodput_mbps = r.victim_goodput_mbps;
+    r.share = 1.0;
+  } else {
+    // Cross goodput at the wire: total bottleneck throughput minus the
+    // victim's goodput. This is the one accounting that sees CBR and
+    // Poisson short flows too, at the cost of counting every flow's
+    // headers and retransmits (~4%) as cross bytes.
+    r.total_goodput_mbps = contended.wire_mbps;
+    r.cross_goodput_mbps = std::max(0.0, contended.wire_mbps - r.victim_goodput_mbps);
+    r.share = r.total_goodput_mbps > 0.0 ? r.victim_goodput_mbps / r.total_goodput_mbps : 0.0;
+  }
+  r.jain = jain_fairness_index(contended.goodputs_mbps);
+  // A fully starved cell (every long-lived flow at zero) makes Jain 0/0;
+  // all-equal-at-zero is the degenerate fair split, so pin it to 1 rather
+  // than let one NaN poison every aggregate it touches.
+  if (!std::isfinite(r.jain)) r.jain = 1.0;
+  r.utilization = contended.wire_mbps / grid.link_rate.to_mbps();
+  r.mean_queue_ms = contended.mean_queue_ms;
+  r.p95_queue_ms = contended.p95_queue_ms;
+  r.min_rtt_ms = contended.min_rtt_ms;
+  r.drops = contended.drops;
+  r.ecn_marks = contended.ecn_marks;
+
+  if (spec.cross == CrossTraffic::kNone) {
+    // The contended run *is* the solo run; harm is zero by construction and
+    // a second simulation would reproduce the first bit for bit.
+    r.solo_goodput_mbps = r.victim_goodput_mbps;
+    r.harm_frac = 0.0;
+  } else {
+    const RunOutcome solo = run_one(grid, spec, cell_seed, /*with_cross=*/false);
+    r.solo_goodput_mbps = solo.goodputs_mbps.empty() ? 0.0 : solo.goodputs_mbps[0];
+    r.harm_frac = r.solo_goodput_mbps > 0.0
+                      ? harm(r.solo_goodput_mbps, r.victim_goodput_mbps)
+                      : 0.0;
+  }
+  return r;
+}
+
+}  // namespace ccc::sweep

@@ -1,0 +1,47 @@
+// One sweep cell = one (or two) dumbbell simulations.
+//
+// The contended run puts the CCA under test (the "victim", user 1, one
+// backlogged bulk flow) behind the cell's qdisc/link/buffer with the cell's
+// cross-traffic mix (user 2). When the mix is non-empty a second, solo run
+// of the identical scenario minus the cross traffic provides the baseline
+// for Ware et al.'s harm metric — computed inline so every cell stays an
+// independent, resumable unit of work (no cross-cell data dependencies to
+// order a restart around).
+//
+// Determinism contract: run_cell(grid, spec, seed) is a pure function of
+// its arguments. All randomness (short-flow arrivals, Markov dwells, PIE
+// drop decisions, FQ-CoDel hash salt) derives from `cell_seed`, so equal
+// seeds give bit-identical CellResults at any job count.
+#pragma once
+
+#include <cstdint>
+
+#include "sweep/grid.hpp"
+
+namespace ccc::sweep {
+
+/// The per-cell metric row. POD on purpose: the checkpoint journal
+/// serializes it field by field and the store maps it onto a FlowView.
+struct CellResult {
+  std::uint64_t cell_id{0};
+  double victim_goodput_mbps{0.0};  ///< CCA under test, measure window
+  double cross_goodput_mbps{0.0};   ///< long-lived cross flows only
+  double total_goodput_mbps{0.0};   ///< victim + cross (long-lived flows)
+  double solo_goodput_mbps{0.0};    ///< victim alone on the same scenario
+  double share{0.0};                ///< victim / total
+  double jain{1.0};                 ///< Jain index over long-lived flows
+  double harm_frac{0.0};            ///< harm(solo, contended)
+  double utilization{0.0};          ///< total / nominal link rate
+  double mean_queue_ms{0.0};        ///< victim srtt - min_rtt, mean
+  double p95_queue_ms{0.0};         ///< victim srtt - min_rtt, p95
+  double min_rtt_ms{0.0};           ///< victim's measured min RTT
+  std::uint64_t drops{0};           ///< bottleneck qdisc drops, whole run
+  std::uint64_t ecn_marks{0};       ///< bottleneck qdisc CE marks, whole run
+};
+
+/// Runs cell `spec` of `grid` with all RNG streams derived from
+/// `cell_seed`. Deterministic; thread-safe (no shared state).
+[[nodiscard]] CellResult run_cell(const GridSpec& grid, const CellSpec& spec,
+                                  std::uint64_t cell_seed);
+
+}  // namespace ccc::sweep

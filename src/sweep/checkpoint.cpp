@@ -1,0 +1,199 @@
+#include "sweep/checkpoint.hpp"
+
+#include <cstring>
+
+#include "store/format.hpp"
+#include "util/error.hpp"
+
+namespace ccc::sweep {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'C', 'S', 'W', 'P', 'J', '1', '\n'};
+constexpr std::size_t kMagicLen = sizeof kMagic;
+
+// The CellResult wire image: every field, in declaration order, fixed
+// width. Bumping the record shape means bumping the magic — old journals
+// must not half-parse.
+constexpr std::size_t kPayloadLen = 8 + 11 * 8 + 2 * 8;
+
+void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  buf.insert(buf.end(), {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+                         static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)});
+}
+
+void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& buf, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(buf, bits);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::vector<std::uint8_t> encode(const CellResult& r) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(kPayloadLen);
+  put_u64(buf, r.cell_id);
+  put_f64(buf, r.victim_goodput_mbps);
+  put_f64(buf, r.cross_goodput_mbps);
+  put_f64(buf, r.total_goodput_mbps);
+  put_f64(buf, r.solo_goodput_mbps);
+  put_f64(buf, r.share);
+  put_f64(buf, r.jain);
+  put_f64(buf, r.harm_frac);
+  put_f64(buf, r.utilization);
+  put_f64(buf, r.mean_queue_ms);
+  put_f64(buf, r.p95_queue_ms);
+  put_f64(buf, r.min_rtt_ms);
+  put_u64(buf, r.drops);
+  put_u64(buf, r.ecn_marks);
+  return buf;
+}
+
+CellResult decode(const std::uint8_t* p) {
+  CellResult r;
+  r.cell_id = get_u64(p);
+  p += 8;
+  double* fields[] = {&r.victim_goodput_mbps, &r.cross_goodput_mbps, &r.total_goodput_mbps,
+                      &r.solo_goodput_mbps,   &r.share,              &r.jain,
+                      &r.harm_frac,           &r.utilization,        &r.mean_queue_ms,
+                      &r.p95_queue_ms,        &r.min_rtt_ms};
+  for (double* f : fields) {
+    *f = get_f64(p);
+    p += 8;
+  }
+  r.drops = get_u64(p);
+  r.ecn_marks = get_u64(p + 8);
+  return r;
+}
+
+void write_header(faultfs::File& file, const std::string& signature) {
+  std::vector<std::uint8_t> buf;
+  buf.insert(buf.end(), kMagic, kMagic + kMagicLen);
+  put_u32(buf, static_cast<std::uint32_t>(signature.size()));
+  buf.insert(buf.end(), signature.begin(), signature.end());
+  put_u32(buf, store::crc32(signature.data(), signature.size()));
+  file.write(buf.data(), buf.size());
+}
+
+}  // namespace
+
+CheckpointJournal::Recovered CheckpointJournal::load(const std::string& path,
+                                                     const std::string& signature) {
+  faultfs::File file = faultfs::File::open_read(path);
+  const std::uint64_t file_size = file.size();
+
+  // Header: magic + signature, both fully validated — a bad header is an
+  // error, never a silently-empty journal.
+  std::uint8_t fixed[kMagicLen + 4];
+  if (file_size < sizeof fixed) {
+    throw Error::corruption(path, "checkpoint header truncated");
+  }
+  file.read_exact_at(0, fixed, sizeof fixed);
+  if (std::memcmp(fixed, kMagic, kMagicLen) != 0) {
+    throw Error::format(path, "not a sweep checkpoint (bad magic)");
+  }
+  const std::uint32_t sig_len = get_u32(fixed + kMagicLen);
+  std::uint64_t off = sizeof fixed;
+  if (sig_len > file_size || file_size - off < sig_len + 4) {
+    throw Error::corruption(path, "checkpoint header truncated", off);
+  }
+  std::string sig(sig_len, '\0');
+  file.read_exact_at(off, sig.data(), sig_len);
+  off += sig_len;
+  std::uint8_t crc_buf[4];
+  file.read_exact_at(off, crc_buf, 4);
+  off += 4;
+  if (get_u32(crc_buf) != store::crc32(sig.data(), sig.size())) {
+    throw Error::corruption(path, "checkpoint signature CRC mismatch", off - 4);
+  }
+  if (sig != signature) {
+    throw Error::config(path, "checkpoint was written for a different grid (journal: '" + sig +
+                                  "', this run: '" + signature + "'); delete it or drop --resume");
+  }
+
+  // Records until the bytes run out. Anything that does not parse cleanly —
+  // short length word, short payload, CRC mismatch — is the torn tail of a
+  // killed run: stop, report the valid prefix, re-run those cells.
+  Recovered out;
+  out.valid_bytes = off;
+  while (file_size - off >= 4) {
+    file.read_exact_at(off, crc_buf, 4);
+    const std::uint32_t len = get_u32(crc_buf);
+    if (len != kPayloadLen || file_size - off < 4ull + len + 4) break;
+    std::vector<std::uint8_t> payload(len);
+    file.read_exact_at(off + 4, payload.data(), len);
+    std::uint8_t rec_crc[4];
+    file.read_exact_at(off + 4 + len, rec_crc, 4);
+    if (get_u32(rec_crc) != store::crc32(payload.data(), payload.size())) break;
+    out.cells.push_back(decode(payload.data()));
+    off += 4ull + len + 4;
+    out.valid_bytes = off;
+  }
+  file.close_checked();
+  return out;
+}
+
+CheckpointJournal CheckpointJournal::create(const std::string& path,
+                                            const std::string& signature) {
+  CheckpointJournal j;
+  j.file_ = faultfs::File::open_trunc(path);
+  write_header(j.file_, signature);
+  return j;
+}
+
+CheckpointJournal CheckpointJournal::resume(const std::string& path,
+                                            const std::string& signature,
+                                            const Recovered& recovered) {
+  {
+    faultfs::File probe = faultfs::File::open_append(path);
+    if (probe.size() == recovered.valid_bytes) {
+      // Clean tail: append in place after the surviving records.
+      CheckpointJournal j;
+      j.file_ = std::move(probe);
+      return j;
+    }
+  }
+  // Torn tail: rewrite header + survivors so appends land inside the
+  // loadable prefix. A crash mid-rewrite leaves a shorter-but-valid journal
+  // (truncate-then-append), costing only re-runs, never correctness.
+  CheckpointJournal j = create(path, signature);
+  for (const CellResult& r : recovered.cells) j.append(r);
+  return j;
+}
+
+void CheckpointJournal::append(const CellResult& r) {
+  const std::vector<std::uint8_t> payload = encode(r);
+  std::vector<std::uint8_t> buf;
+  buf.reserve(4 + payload.size() + 4);
+  put_u32(buf, static_cast<std::uint32_t>(payload.size()));
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  put_u32(buf, store::crc32(payload.data(), payload.size()));
+  // One write per record: a kill can tear at most the tail record, which
+  // load() drops.
+  file_.write(buf.data(), buf.size());
+}
+
+void CheckpointJournal::close() { file_.close_checked(); }
+
+}  // namespace ccc::sweep

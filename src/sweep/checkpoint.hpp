@@ -1,0 +1,77 @@
+// Crash-safe checkpoint journal for sweep runs.
+//
+// Layout (all integers little-endian, as the host writes them):
+//
+//   header:  magic "CCSWPJ1\n" | u32 sig_len | sig bytes | u32 crc(sig)
+//   records: u32 payload_len   | payload     | u32 crc(payload)   (repeated)
+//
+// One record per completed cell, appended (under the engine's mutex) the
+// moment the cell finishes, in completion order — which is nondeterministic
+// under a parallel runner and deliberately irrelevant: load() returns the
+// surviving cells, and the engine rebuilds its outputs in cell-id order.
+//
+// Crash model: the process dies (SIGKILL) mid-append. The tail record is
+// then short or CRC-broken; load() treats any such tail as "not completed"
+// and stops there — the resumed sweep simply re-runs that cell. resume()
+// must not append *after* a torn tail (records beyond it would be invisible
+// to the next load), so it reopens at the end of the valid prefix when the
+// file is clean and rewrites header + surviving records when it is not.
+// A header that is short or corrupt, or whose grid signature differs from
+// the resuming run's grid, is an error: replaying a journal against a
+// different grid would silently mislabel every cell.
+//
+// No fsync: the crash being defended against is a process kill, and
+// pwritten bytes survive process death in the page cache. (Power-loss
+// durability would need fdatasync per record; same trade-off note as
+// faultfs::File::close_checked.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/cell.hpp"
+#include "util/faultfs.hpp"
+
+namespace ccc::sweep {
+
+class CheckpointJournal {
+ public:
+  /// What load() salvaged: the completed cells, and how many leading bytes
+  /// of the file they occupy (header included). valid_bytes < file size
+  /// means a torn tail was dropped.
+  struct Recovered {
+    std::vector<CellResult> cells;
+    std::uint64_t valid_bytes{0};
+  };
+
+  /// Reads the completed-cell records of `path`. Throws ccc::Error when the
+  /// file is unreadable, not a journal, or stamped with a different grid
+  /// signature; a torn tail record is silently dropped (see above).
+  [[nodiscard]] static Recovered load(const std::string& path, const std::string& signature);
+
+  /// Creates (truncating) a fresh journal stamped with `signature`.
+  [[nodiscard]] static CheckpointJournal create(const std::string& path,
+                                                const std::string& signature);
+
+  /// Reopens `path` for appending after `recovered` (load()'s result for
+  /// the same path). Clean tail: appends in place. Torn tail: rewrites the
+  /// header and surviving records first, so every future append stays
+  /// inside the loadable prefix.
+  [[nodiscard]] static CheckpointJournal resume(const std::string& path,
+                                                const std::string& signature,
+                                                const Recovered& recovered);
+
+  /// Appends one completed cell. Not thread-safe; callers serialize.
+  void append(const CellResult& r);
+
+  void close();
+
+  [[nodiscard]] const std::string& path() const { return file_.path(); }
+
+ private:
+  CheckpointJournal() = default;
+  faultfs::File file_;
+};
+
+}  // namespace ccc::sweep

@@ -1,0 +1,252 @@
+#include "sweep/grid.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/cca_registry.hpp"
+#include "util/error.hpp"
+
+namespace ccc::sweep {
+
+namespace {
+
+[[noreturn]] void bad_grid(const std::string& detail) {
+  throw Error::config("--grid", detail);
+}
+
+CrossTraffic cross_from(const std::string& s) {
+  if (s == "none") return CrossTraffic::kNone;
+  if (s == "reno-bulk") return CrossTraffic::kRenoBulk;
+  if (s == "bbr-bulk") return CrossTraffic::kBbrBulk;
+  if (s == "abr-video") return CrossTraffic::kAbrVideo;
+  if (s == "poisson-short") return CrossTraffic::kPoissonShort;
+  if (s == "cbr-udp") return CrossTraffic::kCbrUdp;
+  bad_grid("unknown cross-traffic '" + s +
+           "' (want none|reno-bulk|bbr-bulk|abr-video|poisson-short|cbr-udp)");
+}
+
+QdiscKind qdisc_from(const std::string& s) {
+  if (s == "droptail") return QdiscKind::kDropTail;
+  if (s == "codel") return QdiscKind::kCoDel;
+  if (s == "fq_codel") return QdiscKind::kFqCoDel;
+  if (s == "pie") return QdiscKind::kPie;
+  if (s == "fq") return QdiscKind::kFq;
+  bad_grid("unknown qdisc '" + s + "' (want droptail|codel|fq_codel|pie|fq)");
+}
+
+LinkModel link_from(const std::string& s) {
+  if (s == "wired") return LinkModel::kWired;
+  if (s == "markov") return LinkModel::kMarkov;
+  if (s == "wifi") return LinkModel::kWifi;
+  bad_grid("unknown link model '" + s + "' (want wired|markov|wifi)");
+}
+
+/// Strictly parses a positive double ("0.5", "2"); garbage and non-positive
+/// values are rejected, matching the bench::Cli count contract.
+double positive_double(const std::string& axis, const std::string& s) {
+  if (s.empty()) bad_grid(axis + " has an empty value");
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || errno == ERANGE || !(v > 0.0)) {
+    bad_grid("invalid " + axis + " value '" + s + "' (want a number > 0)");
+  }
+  return v;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  std::istringstream is{s};
+  while (std::getline(is, cur, sep)) out.push_back(cur);
+  return out;
+}
+
+/// Formats a double axis value the way signature()/label() need: no
+/// trailing zeros, so "1" and "1.0" in a --grid string mean the same cell.
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string_view to_string(CrossTraffic c) {
+  switch (c) {
+    case CrossTraffic::kNone: return "none";
+    case CrossTraffic::kRenoBulk: return "reno-bulk";
+    case CrossTraffic::kBbrBulk: return "bbr-bulk";
+    case CrossTraffic::kAbrVideo: return "abr-video";
+    case CrossTraffic::kPoissonShort: return "poisson-short";
+    case CrossTraffic::kCbrUdp: return "cbr-udp";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(QdiscKind q) {
+  switch (q) {
+    case QdiscKind::kDropTail: return "droptail";
+    case QdiscKind::kCoDel: return "codel";
+    case QdiscKind::kFqCoDel: return "fq_codel";
+    case QdiscKind::kPie: return "pie";
+    case QdiscKind::kFq: return "fq";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(LinkModel l) {
+  switch (l) {
+    case LinkModel::kWired: return "wired";
+    case LinkModel::kMarkov: return "markov";
+    case LinkModel::kWifi: return "wifi";
+  }
+  return "unknown";
+}
+
+std::string CellSpec::label() const {
+  std::string out = cca;
+  out += '/';
+  out += to_string(cross);
+  out += '/';
+  out += to_string(qdisc);
+  out += '/';
+  out += to_string(link);
+  out += "/x";
+  out += fmt(buffer_bdp);
+  return out;
+}
+
+GridSpec GridSpec::defaults() {
+  GridSpec g;
+  g.ccas = {"reno", "cubic", "bbr", "vegas", "copa"};
+  g.cross = {CrossTraffic::kNone,     CrossTraffic::kRenoBulk,
+             CrossTraffic::kBbrBulk,  CrossTraffic::kAbrVideo,
+             CrossTraffic::kPoissonShort, CrossTraffic::kCbrUdp};
+  g.qdiscs = {QdiscKind::kDropTail, QdiscKind::kCoDel, QdiscKind::kFqCoDel, QdiscKind::kPie,
+              QdiscKind::kFq};
+  g.links = {LinkModel::kWired, LinkModel::kMarkov, LinkModel::kWifi};
+  g.buffers_bdp = {0.5, 1.0, 2.0};
+  return g;
+}
+
+GridSpec GridSpec::parse(const std::string& spec) {
+  GridSpec g = defaults();
+  if (spec.empty()) return g;
+  for (const std::string& clause : split(spec, ';')) {
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      bad_grid("malformed clause '" + clause + "' (want axis=v1,v2,...)");
+    }
+    const std::string axis = clause.substr(0, eq);
+    const std::vector<std::string> vals = split(clause.substr(eq + 1), ',');
+    if (vals.empty()) bad_grid(axis + " has no values");
+    if (axis == "cca") {
+      g.ccas.clear();
+      for (const auto& v : vals) {
+        // Fail at parse time, not mid-sweep: an unknown CCA name would
+        // otherwise surface as a throw from cell 0's factory lookup.
+        try {
+          (void)core::make_cca_factory(v);
+        } catch (const std::invalid_argument&) {
+          bad_grid("unknown cca '" + v + "'");
+        }
+        g.ccas.push_back(v);
+      }
+    } else if (axis == "cross") {
+      g.cross.clear();
+      for (const auto& v : vals) g.cross.push_back(cross_from(v));
+    } else if (axis == "qdisc") {
+      g.qdiscs.clear();
+      for (const auto& v : vals) g.qdiscs.push_back(qdisc_from(v));
+    } else if (axis == "link") {
+      g.links.clear();
+      for (const auto& v : vals) g.links.push_back(link_from(v));
+    } else if (axis == "buf") {
+      g.buffers_bdp.clear();
+      for (const auto& v : vals) g.buffers_bdp.push_back(positive_double("buf", v));
+    } else if (axis == "dur") {
+      if (vals.size() != 1) bad_grid("dur takes one value");
+      g.duration = Time::sec(positive_double("dur", vals[0]));
+    } else if (axis == "rate") {
+      if (vals.size() != 1) bad_grid("rate takes one value");
+      g.link_rate = Rate::mbps(positive_double("rate", vals[0]));
+    } else if (axis == "owd") {
+      if (vals.size() != 1) bad_grid("owd takes one value");
+      g.one_way_delay = Time::ms(positive_double("owd", vals[0]));
+    } else {
+      bad_grid("unknown axis '" + axis + "' (want cca|cross|qdisc|link|buf|dur|rate|owd)");
+    }
+  }
+  g.validate();
+  return g;
+}
+
+void GridSpec::validate() const {
+  if (ccas.empty()) bad_grid("cca axis is empty");
+  if (cross.empty()) bad_grid("cross axis is empty");
+  if (qdiscs.empty()) bad_grid("qdisc axis is empty");
+  if (links.empty()) bad_grid("link axis is empty");
+  if (buffers_bdp.empty()) bad_grid("buf axis is empty");
+  for (const double b : buffers_bdp) {
+    if (!(b > 0.0)) bad_grid("buffer depth must be > 0");
+  }
+  if (!(duration > Time::zero())) bad_grid("duration must be > 0");
+  if (!(link_rate.to_bps() > 0.0)) bad_grid("link rate must be > 0");
+}
+
+std::uint64_t GridSpec::size() const {
+  return static_cast<std::uint64_t>(ccas.size()) * cross.size() * qdiscs.size() * links.size() *
+         buffers_bdp.size();
+}
+
+CellSpec GridSpec::cell(std::uint64_t id) const {
+  CellSpec c;
+  c.cell_id = id;
+  // Row-major decode, fastest axis last (the inverse of
+  //   id = (((cca*C + cross)*Q + qdisc)*L + link)*B + buf).
+  c.buffer_bdp = buffers_bdp[id % buffers_bdp.size()];
+  id /= buffers_bdp.size();
+  c.link = links[id % links.size()];
+  id /= links.size();
+  c.qdisc = qdiscs[id % qdiscs.size()];
+  id /= qdiscs.size();
+  c.cross = cross[id % cross.size()];
+  id /= cross.size();
+  c.cca = ccas[id];
+  return c;
+}
+
+std::string GridSpec::signature() const {
+  std::string s = "ccsweep-grid-v1|cca=";
+  for (std::size_t i = 0; i < ccas.size(); ++i) s += (i ? "," : "") + ccas[i];
+  s += "|cross=";
+  for (std::size_t i = 0; i < cross.size(); ++i) {
+    s += i ? "," : "";
+    s += to_string(cross[i]);
+  }
+  s += "|qdisc=";
+  for (std::size_t i = 0; i < qdiscs.size(); ++i) {
+    s += i ? "," : "";
+    s += to_string(qdiscs[i]);
+  }
+  s += "|link=";
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    s += i ? "," : "";
+    s += to_string(links[i]);
+  }
+  s += "|buf=";
+  for (std::size_t i = 0; i < buffers_bdp.size(); ++i) {
+    s += i ? "," : "";
+    s += fmt(buffers_bdp[i]);
+  }
+  s += "|rate=" + fmt(link_rate.to_bps() / 1e6) + "Mbps";
+  s += "|owd=" + fmt(one_way_delay.to_ms()) + "ms";
+  s += "|dur=" + fmt(duration.to_sec()) + "s";
+  return s;
+}
+
+}  // namespace ccc::sweep

@@ -1,0 +1,116 @@
+// Scenario grid for the grand-matrix sweep (DESIGN.md "Sweep engine &
+// scenario axes").
+//
+// The paper's figures each fix four of the five experimental variables and
+// sweep one; the sweep engine instead enumerates the full cross product
+//
+//   CCA  x  cross-traffic  x  qdisc  x  link model  x  buffer depth
+//
+// as a flat, row-major cell-id space. The id <-> coordinate mapping is the
+// load-bearing contract: checkpoints journal *ids*, the output store is
+// written in *id* order, and a resumed sweep must agree with the original
+// about what cell 731 means. GridSpec::signature() captures the whole grid
+// (axes + scenario constants) as one string, stamped into the checkpoint
+// header so a journal can never be replayed against a different grid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ccc::sweep {
+
+/// Cross-traffic mix sharing the bottleneck with the CCA under test (the
+/// same five archetypes as the elasticity PoC phases, plus "none" for the
+/// solo baseline column).
+enum class CrossTraffic : std::uint8_t {
+  kNone,
+  kRenoBulk,
+  kBbrBulk,
+  kAbrVideo,
+  kPoissonShort,
+  kCbrUdp,
+};
+
+/// Bottleneck queueing discipline (the deployed-AQM spectrum of §2.1).
+enum class QdiscKind : std::uint8_t {
+  kDropTail,
+  kCoDel,
+  kFqCoDel,
+  kPie,
+  kFq,  ///< ideal per-flow DRR (the operator-isolation endpoint)
+};
+
+/// Bottleneck link model (src/sim/variable_rate_link.hpp).
+enum class LinkModel : std::uint8_t {
+  kWired,   ///< fixed-rate link, the paper's Mahimahi baseline
+  kMarkov,  ///< two-state Gilbert-Elliott rate process
+  kWifi,    ///< Markov + MAC frame-aggregation burst/gap gating
+};
+
+[[nodiscard]] std::string_view to_string(CrossTraffic c);
+[[nodiscard]] std::string_view to_string(QdiscKind q);
+[[nodiscard]] std::string_view to_string(LinkModel l);
+
+/// One grid coordinate, fully decoded.
+struct CellSpec {
+  std::uint64_t cell_id{0};
+  std::string cca;
+  CrossTraffic cross{CrossTraffic::kNone};
+  QdiscKind qdisc{QdiscKind::kDropTail};
+  LinkModel link{LinkModel::kWired};
+  double buffer_bdp{1.0};
+
+  /// Human-readable coordinate, e.g. "cubic/bbr-bulk/fq_codel/wifi/x1.0".
+  [[nodiscard]] std::string label() const;
+};
+
+/// The grid: axis value lists plus the scenario constants every cell shares.
+/// Axis order (and hence cell-id layout) is fixed: cca is the slowest-
+/// varying coordinate, buffer the fastest.
+struct GridSpec {
+  std::vector<std::string> ccas;
+  std::vector<CrossTraffic> cross;
+  std::vector<QdiscKind> qdiscs;
+  std::vector<LinkModel> links;
+  std::vector<double> buffers_bdp;
+
+  // Scenario constants (part of the signature: changing them re-keys every
+  // cell).
+  Rate link_rate{Rate::mbps(48)};
+  Time one_way_delay{Time::ms(25)};
+  Time duration{Time::sec(10.0)};
+
+  /// The full default matrix: 5 CCAs x 6 cross mixes x 5 qdiscs x 3 links
+  /// x 3 buffer depths = 1350 cells.
+  [[nodiscard]] static GridSpec defaults();
+
+  /// Parses a grid override string of ';'-separated axes:
+  ///
+  ///   "cca=reno,cubic;cross=none,cbr-udp;qdisc=droptail,fq_codel;
+  ///    link=wired,wifi;buf=0.5,1;dur=4;rate=24"
+  ///
+  /// Omitted axes keep their defaults. Unknown axes, unknown values, empty
+  /// value lists, and malformed numbers throw ccc::Error (kConfig) — the
+  /// bench's guarded_main turns that into exit 2 per the usage contract.
+  [[nodiscard]] static GridSpec parse(const std::string& spec);
+
+  /// Total cell count (product of the axis sizes).
+  [[nodiscard]] std::uint64_t size() const;
+
+  /// Decodes a row-major cell id. Precondition: id < size().
+  [[nodiscard]] CellSpec cell(std::uint64_t id) const;
+
+  /// Canonical one-line description of the whole grid — axes, order, and
+  /// scenario constants. Stamped into checkpoint headers: equal signatures
+  /// mean equal cell-id meaning.
+  [[nodiscard]] std::string signature() const;
+
+  /// Throws ccc::Error (kConfig) when any axis is empty or a value is out
+  /// of range. parse() and the engine call this; defaults() passes.
+  void validate() const;
+};
+
+}  // namespace ccc::sweep

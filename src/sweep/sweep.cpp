@@ -1,0 +1,149 @@
+#include "sweep/sweep.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "sweep/checkpoint.hpp"
+#include "util/error.hpp"
+
+namespace ccc::sweep {
+
+namespace {
+
+/// Does `path` exist as a readable file? (resume of a first run must not
+/// fail on the journal not being there yet).
+bool file_exists(const std::string& path) {
+  try {
+    (void)faultfs::File::open_read(path);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+mlab::AccessType access_of(LinkModel l) {
+  switch (l) {
+    case LinkModel::kWired: return mlab::AccessType::kCable;
+    case LinkModel::kMarkov: return mlab::AccessType::kCellular;
+    case LinkModel::kWifi: return mlab::AccessType::kSatellite;
+  }
+  return mlab::AccessType::kCable;
+}
+
+}  // namespace
+
+store::FlowView cell_flow_view(const GridSpec& grid, const CellResult& r,
+                               std::vector<double>& series_storage) {
+  const CellSpec spec = grid.cell(r.cell_id);
+  // Fixed-layout metric vector in the series slot; the scalar columns carry
+  // the identity. Layout documented in DESIGN.md — consumers index it, so
+  // append-only evolution.
+  series_storage = {r.share,
+                    r.jain,
+                    r.harm_frac,
+                    r.solo_goodput_mbps,
+                    r.victim_goodput_mbps,
+                    r.cross_goodput_mbps,
+                    r.total_goodput_mbps,
+                    r.utilization,
+                    r.mean_queue_ms,
+                    r.p95_queue_ms,
+                    static_cast<double>(r.drops),
+                    static_cast<double>(r.ecn_marks)};
+  store::FlowView v;
+  v.id = r.cell_id;
+  v.access = access_of(spec.link);
+  v.truth = spec.cross == CrossTraffic::kNone ? mlab::FlowArchetype::kBulkClean
+                                              : mlab::FlowArchetype::kBulkContended;
+  v.duration_sec = grid.duration.to_sec();
+  v.mean_throughput_mbps = r.victim_goodput_mbps;
+  v.min_rtt_ms = r.min_rtt_ms;
+  v.snapshot_interval_sec = 1.0;
+  v.throughput_mbps = series_storage;
+  return v;
+}
+
+SweepEngine::SweepEngine(GridSpec grid, SweepOptions opts)
+    : grid_{std::move(grid)}, opts_{std::move(opts)} {
+  grid_.validate();
+}
+
+SweepSummary SweepEngine::run() {
+  const std::uint64_t total = grid_.size();
+  const std::string signature = grid_.signature();
+
+  // Phase 1: recover completed cells from the journal (resume only).
+  std::unordered_map<std::uint64_t, CellResult> done;
+  std::optional<CheckpointJournal> journal;
+  if (!opts_.checkpoint_path.empty()) {
+    if (opts_.resume && file_exists(opts_.checkpoint_path)) {
+      const auto recovered = CheckpointJournal::load(opts_.checkpoint_path, signature);
+      for (const CellResult& r : recovered.cells) {
+        // A journal can outlive a grid shrink only via signature mismatch
+        // (load throws), so ids are always in range; duplicates (a cell
+        // re-run after a torn tail) keep the last record.
+        done[r.cell_id] = r;
+      }
+      journal = CheckpointJournal::resume(opts_.checkpoint_path, signature, recovered);
+    } else {
+      journal = CheckpointJournal::create(opts_.checkpoint_path, signature);
+    }
+  }
+
+  SweepSummary summary;
+  summary.total_cells = total;
+  summary.resumed_cells = done.size();
+
+  // Phase 2: enumerate pending ids and fan out. Each task appends its
+  // record to the journal the moment it finishes (mutex-serialized; the
+  // journal's record order is completion order and deliberately does not
+  // matter).
+  std::vector<std::uint64_t> pending;
+  pending.reserve(total - done.size());
+  for (std::uint64_t id = 0; id < total; ++id) {
+    if (done.find(id) == done.end()) pending.push_back(id);
+  }
+  const bool truncated =
+      opts_.stop_after_cells != 0 && opts_.stop_after_cells < pending.size();
+  if (truncated) pending.resize(opts_.stop_after_cells);
+
+  std::mutex journal_mu;
+  runner::ExperimentRunner pool{{.jobs = opts_.jobs, .on_progress = opts_.on_progress}};
+  const auto results = pool.map<CellResult>(pending.size(), [&](std::size_t i) {
+    const std::uint64_t id = pending[i];
+    const CellResult r =
+        run_cell(grid_, grid_.cell(id), runner::derive_seed(opts_.base_seed, id));
+    if (journal) {
+      const std::lock_guard lk{journal_mu};
+      journal->append(r);
+    }
+    return r;
+  });
+  for (const CellResult& r : results) done[r.cell_id] = r;
+  summary.ran_cells = results.size();
+  if (journal) journal->close();
+
+  summary.complete = done.size() == total;
+  if (!summary.complete) return summary;  // the simulated-crash early exit
+
+  // Phase 3: assemble results in cell-id order and (re)build the output
+  // store from scratch — never append to a previous run's shards. Identical
+  // cell results in identical order give identical bytes, whatever the job
+  // count was and however many resumes it took.
+  summary.results.reserve(total);
+  for (std::uint64_t id = 0; id < total; ++id) summary.results.push_back(done.at(id));
+
+  if (!opts_.out_store_base.empty()) {
+    store::ShardedFlowStoreWriter writer{opts_.out_store_base, opts_.flows_per_shard};
+    std::vector<double> series;
+    for (const CellResult& r : summary.results) {
+      writer.append(cell_flow_view(grid_, r, series));
+    }
+    summary.shard_paths = writer.finish();
+  }
+  return summary;
+}
+
+}  // namespace ccc::sweep

@@ -1,0 +1,74 @@
+// SweepEngine: the resumable, checkpointed scenario-grid runner.
+//
+// run() fans the grid's pending cells out over an ExperimentRunner (per-
+// cell seeds from derive_seed(base, cell_id), so results are bit-identical
+// at any job count), journals each completed cell into the checkpoint the
+// moment it finishes, and — once the grid is complete — rebuilds the ccfs
+// output store from scratch in cell-id order. Rebuilding (rather than
+// appending as cells finish) is what makes the final store byte-identical
+// across --jobs values and across kill-and-resume: the store's bytes depend
+// only on the per-cell results and the grid order, never on which run or
+// thread produced them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/experiment_runner.hpp"
+#include "store/flow_store.hpp"
+#include "sweep/cell.hpp"
+#include "sweep/grid.hpp"
+
+namespace ccc::sweep {
+
+struct SweepOptions {
+  unsigned jobs{0};  ///< 0 = CCC_JOBS / hardware concurrency
+  std::uint64_t base_seed{0x5eed'9f1d};  // "seed grid"
+  /// Journal path; "" disables checkpointing (every run starts cold).
+  std::string checkpoint_path;
+  /// Load the journal and skip its completed cells. Without this an
+  /// existing journal is truncated and the sweep starts over.
+  bool resume{false};
+  /// ccfs output shard base path ("sweep.ccfs" -> sweep.00000.ccfs, ...);
+  /// "" disables store output.
+  std::string out_store_base;
+  std::uint64_t flows_per_shard{512};
+  /// Test hook: run at most this many *pending* cells, journal them, then
+  /// return without writing the store — the in-process stand-in for a
+  /// killed run. 0 = run everything.
+  std::uint64_t stop_after_cells{0};
+  runner::ProgressFn on_progress;
+};
+
+struct SweepSummary {
+  std::uint64_t total_cells{0};
+  std::uint64_t resumed_cells{0};  ///< skipped: already in the journal
+  std::uint64_t ran_cells{0};      ///< simulated by this run
+  bool complete{false};            ///< false only when stop_after_cells cut it short
+  /// Every cell's result, in cell-id order (empty unless complete).
+  std::vector<CellResult> results;
+  /// Sealed output shards, in order (empty when out_store_base is "").
+  std::vector<std::string> shard_paths;
+};
+
+/// Maps a completed cell onto the ccfs FlowView schema (DESIGN.md "Sweep
+/// engine & scenario axes" documents the field mapping). Exposed for tests.
+[[nodiscard]] store::FlowView cell_flow_view(const GridSpec& grid, const CellResult& r,
+                                             std::vector<double>& series_storage);
+
+class SweepEngine {
+ public:
+  /// Validates the grid eagerly (throws ccc::Error kConfig).
+  SweepEngine(GridSpec grid, SweepOptions opts);
+
+  [[nodiscard]] SweepSummary run();
+
+  [[nodiscard]] const GridSpec& grid() const { return grid_; }
+
+ private:
+  GridSpec grid_;
+  SweepOptions opts_;
+};
+
+}  // namespace ccc::sweep

@@ -193,6 +193,22 @@ File File::open_trunc(const std::string& path) {
   return File{fd, path};
 }
 
+File File::open_append(const std::string& path) {
+  if (consult(OpClass::kOpen, path) == FaultKind::kFailOpen) {
+    throw Error::io(path, "cannot open for appending: injected EACCES");
+  }
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    throw Error::io(path, std::string{"cannot open for appending: "} + std::strerror(errno));
+  }
+  File f{fd, path};
+  f.append_off_ = f.size();
+  return f;
+}
+
 std::uint64_t File::size() const {
   struct stat st{};
   if (::fstat(fd_, &st) != 0) {

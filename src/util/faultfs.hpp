@@ -92,6 +92,11 @@ class File {
   /// Opens for reading / creates-truncates for writing.
   [[nodiscard]] static File open_read(const std::string& path);
   [[nodiscard]] static File open_trunc(const std::string& path);
+  /// Opens (creating if absent) for writing with the append offset
+  /// positioned at the current end of file — existing bytes are preserved.
+  /// This is the journal-resume open: a checkpoint file keeps its completed
+  /// records and new ones land after them.
+  [[nodiscard]] static File open_append(const std::string& path);
 
   [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }

@@ -1,0 +1,416 @@
+// Sweep-engine tests: grid decode/parse, the wireless link models, the
+// checkpoint journal's crash recovery, and the engine's two headline
+// invariants — a ≥64-cell shard byte-identical at --jobs 1 vs 8, and
+// byte-identical across a simulated kill-and-resume.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/dumbbell.hpp"
+#include "sim/variable_rate_link.hpp"
+#include "store/flow_store.hpp"
+#include "sweep/cell.hpp"
+#include "sweep/checkpoint.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/sweep.hpp"
+#include "util/error.hpp"
+
+namespace ccc {
+namespace {
+
+namespace fs = std::filesystem;
+using sweep::CellResult;
+using sweep::CellSpec;
+using sweep::CheckpointJournal;
+using sweep::CrossTraffic;
+using sweep::GridSpec;
+using sweep::LinkModel;
+using sweep::QdiscKind;
+
+/// RAII temp dir per test.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() / ("ccc_sweep_test_" + tag);
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.good()) << path;
+  return std::string{std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+}
+
+/// The 64-cell grid every engine test shares: small enough to run in
+/// seconds, wide enough to cover every axis (2 CCAs x 2 mixes x 4 qdiscs x
+/// 2 links x 2 buffers).
+GridSpec test_grid() {
+  return GridSpec::parse(
+      "cca=reno,cubic;cross=none,cbr-udp;qdisc=droptail,codel,fq_codel,pie;"
+      "link=wired,markov;buf=0.5,1;dur=2;rate=12");
+}
+
+// ---------------------------------------------------------------- GridSpec
+
+TEST(SweepGrid, DefaultsExceedThousandCells) {
+  const GridSpec g = GridSpec::defaults();
+  EXPECT_EQ(g.size(), 5u * 6 * 5 * 3 * 3);
+  EXPECT_GE(g.size(), 1000u);
+}
+
+TEST(SweepGrid, CellDecodeRoundTripsEveryId) {
+  const GridSpec g = test_grid();
+  ASSERT_EQ(g.size(), 64u);
+  // Row-major: the buffer axis varies fastest, the CCA axis slowest, and
+  // every (coordinate tuple) appears exactly once.
+  std::vector<std::string> seen;
+  for (std::uint64_t id = 0; id < g.size(); ++id) {
+    const CellSpec c = g.cell(id);
+    EXPECT_EQ(c.cell_id, id);
+    seen.push_back(c.label());
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+  EXPECT_EQ(g.cell(0).cca, "reno");
+  EXPECT_EQ(g.cell(0).buffer_bdp, 0.5);
+  EXPECT_EQ(g.cell(1).buffer_bdp, 1.0);
+  EXPECT_EQ(g.cell(g.size() - 1).cca, "cubic");
+  EXPECT_EQ(g.cell(g.size() - 1).link, LinkModel::kMarkov);
+}
+
+TEST(SweepGrid, ParseOverridesOnlyNamedAxes) {
+  const GridSpec g = GridSpec::parse("qdisc=pie;buf=4");
+  EXPECT_EQ(g.qdiscs, (std::vector<QdiscKind>{QdiscKind::kPie}));
+  EXPECT_EQ(g.buffers_bdp, (std::vector<double>{4.0}));
+  // Untouched axes keep their defaults.
+  EXPECT_EQ(g.ccas.size(), 5u);
+  EXPECT_EQ(g.cross.size(), 6u);
+  EXPECT_EQ(g.links.size(), 3u);
+}
+
+TEST(SweepGrid, ParseRejectsGarbage) {
+  EXPECT_THROW((void)GridSpec::parse("qdisc=red"), Error);          // unknown value
+  EXPECT_THROW((void)GridSpec::parse("color=blue"), Error);         // unknown axis
+  EXPECT_THROW((void)GridSpec::parse("buf=-1"), Error);             // negative
+  EXPECT_THROW((void)GridSpec::parse("buf=fat"), Error);            // garbage number
+  EXPECT_THROW((void)GridSpec::parse("cca=quic"), Error);           // unknown CCA
+  EXPECT_THROW((void)GridSpec::parse("dur=0"), Error);              // non-positive
+  EXPECT_THROW((void)GridSpec::parse("qdisc"), Error);              // no '='
+  try {
+    (void)GridSpec::parse("link=tokenring");
+    FAIL() << "expected ccc::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kConfig);
+  }
+}
+
+TEST(SweepGrid, SignatureKeysOnAxesAndConstants) {
+  const GridSpec a = test_grid();
+  GridSpec b = test_grid();
+  EXPECT_EQ(a.signature(), b.signature());
+  b.duration = Time::sec(3.0);
+  EXPECT_NE(a.signature(), b.signature());
+  GridSpec c = test_grid();
+  c.buffers_bdp.push_back(2.0);
+  EXPECT_NE(a.signature(), c.signature());
+}
+
+// ------------------------------------------------------- VariableRateLink
+
+TEST(VariableRateLink, MarkovIsDeterministicPerSeed) {
+  auto transitions_with = [](std::uint64_t seed) {
+    core::DumbbellScenario net{core::DumbbellConfig{}};
+    sim::VariableRateLinkConfig vc;
+    vc.seed = seed;
+    sim::VariableRateLink v{net.scheduler(), net.bottleneck(), vc};
+    v.start(Time::sec(30.0));
+    net.run_until(Time::sec(30.0));
+    return v.transitions();
+  };
+  const auto a = transitions_with(7);
+  EXPECT_GT(a, 0u);  // 30 s at ~1 s mean dwell: transitions must happen
+  EXPECT_EQ(a, transitions_with(7));
+  EXPECT_NE(a, transitions_with(8));
+}
+
+TEST(VariableRateLink, WifiGatingTogglesBetweenBurstAndStall) {
+  core::DumbbellScenario net{core::DumbbellConfig{}};
+  sim::VariableRateLinkConfig vc;
+  vc.aggregation.enabled = true;
+  sim::VariableRateLink v{net.scheduler(), net.bottleneck(), vc};
+  v.start(Time::sec(2.0));
+  // Sample the link rate across one TXOP+gap cycle: both the stall rate and
+  // a full state rate must be observed.
+  bool saw_stall = false;
+  bool saw_full = false;
+  for (int i = 0; i < 40; ++i) {
+    net.run_until(Time::ms(1 + i));  // 1 ms steps through 3 ms / 1 ms cycles
+    const double bps = net.bottleneck().rate().to_bps();
+    if (bps == vc.aggregation.stall_rate.to_bps()) saw_stall = true;
+    if (bps == vc.markov.good.to_bps() || bps == vc.markov.bad.to_bps()) saw_full = true;
+  }
+  EXPECT_TRUE(saw_stall);
+  EXPECT_TRUE(saw_full);
+}
+
+TEST(VariableRateLink, GoesQuietAfterUntil) {
+  core::DumbbellScenario net{core::DumbbellConfig{}};
+  sim::VariableRateLinkConfig vc;
+  vc.markov.mean_good = Time::ms(50);
+  vc.markov.mean_bad = Time::ms(50);
+  sim::VariableRateLink v{net.scheduler(), net.bottleneck(), vc};
+  v.start(Time::sec(1.0));
+  net.run_until(Time::sec(1.0));
+  const auto at_end = v.transitions();
+  net.run_until(Time::sec(5.0));
+  EXPECT_EQ(v.transitions(), at_end);  // no events scheduled past `until`
+}
+
+// ---------------------------------------------------------------- run_cell
+
+TEST(SweepCell, DeterministicPerSeedAndSensitiveToSeed) {
+  const GridSpec g = test_grid();
+  const CellSpec spec = g.cell(13);  // reno / cbr-udp / codel / markov / x1
+  const CellResult a = run_cell(g, spec, 99);
+  const CellResult b = run_cell(g, spec, 99);
+  EXPECT_EQ(std::memcmp(&a, &b, sizeof a), 0);
+  const CellResult c = run_cell(g, spec, 100);
+  EXPECT_NE(a.victim_goodput_mbps, c.victim_goodput_mbps);
+}
+
+TEST(SweepCell, SoloCellHasZeroHarmAndFullShare) {
+  const GridSpec g = test_grid();
+  const CellSpec spec = g.cell(0);  // reno / none / droptail / wired / x0.5
+  ASSERT_EQ(spec.cross, CrossTraffic::kNone);
+  const CellResult r = run_cell(g, spec, 1);
+  EXPECT_DOUBLE_EQ(r.harm_frac, 0.0);
+  EXPECT_DOUBLE_EQ(r.share, 1.0);
+  EXPECT_DOUBLE_EQ(r.solo_goodput_mbps, r.victim_goodput_mbps);
+  EXPECT_GT(r.victim_goodput_mbps, 0.0);
+  // Reno over a 100 ms RTT gets ~20 RTTs in a 2 s cell: post-loss linear
+  // recovery is slow, so expect real-but-modest utilization, not a full pipe.
+  EXPECT_GT(r.utilization, 0.15);
+}
+
+TEST(SweepCell, CbrCrossTrafficInflictsHarm) {
+  const GridSpec g = test_grid();
+  // reno vs 25% CBR on DropTail, wired, 1 BDP: the victim must lose real
+  // throughput relative to its solo baseline.
+  const CellSpec spec = g.cell(0 * 32 + 1 * 16 + 0 * 4 + 0 * 2 + 1);
+  ASSERT_EQ(spec.cross, CrossTraffic::kCbrUdp);
+  ASSERT_EQ(spec.qdisc, QdiscKind::kDropTail);
+  ASSERT_EQ(spec.link, LinkModel::kWired);
+  const CellResult r = run_cell(g, spec, 5);
+  EXPECT_GT(r.cross_goodput_mbps, 0.0);
+  EXPECT_GT(r.harm_frac, 0.05);
+  EXPECT_LT(r.share, 1.0);
+}
+
+// ------------------------------------------------------ CheckpointJournal
+
+CellResult sample_result(std::uint64_t id) {
+  CellResult r;
+  r.cell_id = id;
+  r.victim_goodput_mbps = 1.5 * static_cast<double>(id);
+  r.share = 0.25;
+  r.jain = 0.75;
+  r.harm_frac = 0.1;
+  r.drops = id * 3;
+  r.ecn_marks = id;
+  return r;
+}
+
+TEST(SweepCheckpoint, RoundTripsRecords) {
+  const TempDir dir{"ckpt_roundtrip"};
+  const std::string path = dir.file("j.ckpt");
+  auto j = CheckpointJournal::create(path, "sig-A");
+  for (std::uint64_t id = 0; id < 10; ++id) j.append(sample_result(id));
+  j.close();
+  const auto rec = CheckpointJournal::load(path, "sig-A");
+  ASSERT_EQ(rec.cells.size(), 10u);
+  for (std::uint64_t id = 0; id < 10; ++id) {
+    const CellResult want = sample_result(id);
+    EXPECT_EQ(std::memcmp(&rec.cells[id], &want, sizeof want), 0) << id;
+  }
+  EXPECT_EQ(rec.valid_bytes, fs::file_size(path));
+}
+
+TEST(SweepCheckpoint, SignatureMismatchThrowsConfig) {
+  const TempDir dir{"ckpt_sig"};
+  const std::string path = dir.file("j.ckpt");
+  CheckpointJournal::create(path, "sig-A").close();
+  try {
+    (void)CheckpointJournal::load(path, "sig-B");
+    FAIL() << "expected ccc::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kConfig);
+  }
+}
+
+TEST(SweepCheckpoint, RejectsForeignFile) {
+  const TempDir dir{"ckpt_magic"};
+  const std::string path = dir.file("not_a_journal");
+  std::ofstream{path, std::ios::binary} << "definitely not a checkpoint journal";
+  EXPECT_THROW((void)CheckpointJournal::load(path, "sig"), Error);
+}
+
+TEST(SweepCheckpoint, TornTailIsDroppedAndResumeRepairsIt) {
+  const TempDir dir{"ckpt_torn"};
+  const std::string path = dir.file("j.ckpt");
+  auto j = CheckpointJournal::create(path, "sig");
+  for (std::uint64_t id = 0; id < 5; ++id) j.append(sample_result(id));
+  j.close();
+
+  // Tear mid-record, as a kill during the 5th append would.
+  const auto full = fs::file_size(path);
+  fs::resize_file(path, full - 7);
+  const auto rec = CheckpointJournal::load(path, "sig");
+  EXPECT_EQ(rec.cells.size(), 4u);
+  EXPECT_LT(rec.valid_bytes, full - 7);
+
+  // resume() must rewrite so the re-run cell and later appends are loadable.
+  auto j2 = CheckpointJournal::resume(path, "sig", rec);
+  j2.append(sample_result(4));
+  j2.append(sample_result(5));
+  j2.close();
+  const auto rec2 = CheckpointJournal::load(path, "sig");
+  EXPECT_EQ(rec2.cells.size(), 6u);
+  EXPECT_EQ(rec2.valid_bytes, fs::file_size(path));
+}
+
+TEST(SweepCheckpoint, CleanResumeAppendsInPlace) {
+  const TempDir dir{"ckpt_clean"};
+  const std::string path = dir.file("j.ckpt");
+  auto j = CheckpointJournal::create(path, "sig");
+  j.append(sample_result(0));
+  j.close();
+  const auto rec = CheckpointJournal::load(path, "sig");
+  auto j2 = CheckpointJournal::resume(path, "sig", rec);
+  j2.append(sample_result(1));
+  j2.close();
+  EXPECT_EQ(CheckpointJournal::load(path, "sig").cells.size(), 2u);
+}
+
+// ------------------------------------------------------------ SweepEngine
+
+/// Runs the shared 64-cell grid into `dir` and returns the shard paths.
+std::vector<std::string> run_grid(const TempDir& dir, unsigned jobs,
+                                  std::uint64_t stop_after = 0, bool resume = false) {
+  sweep::SweepOptions opts;
+  opts.jobs = jobs;
+  opts.checkpoint_path = dir.file("sweep.ckpt");
+  opts.resume = resume;
+  opts.out_store_base = dir.file("cells.ccfs");
+  opts.flows_per_shard = 24;  // forces multiple shards from 64 cells
+  opts.stop_after_cells = stop_after;
+  sweep::SweepEngine engine{test_grid(), opts};
+  return engine.run().shard_paths;
+}
+
+TEST(SweepEngine, StoreIsByteIdenticalAcrossJobCounts) {
+  const TempDir serial{"engine_j1"};
+  const TempDir parallel{"engine_j8"};
+  const auto shards1 = run_grid(serial, 1);
+  const auto shards8 = run_grid(parallel, 8);
+  ASSERT_EQ(shards1.size(), 3u);  // 64 cells / 24 per shard
+  ASSERT_EQ(shards1.size(), shards8.size());
+  for (std::size_t i = 0; i < shards1.size(); ++i) {
+    EXPECT_EQ(slurp(shards1[i]), slurp(shards8[i])) << "shard " << i;
+  }
+}
+
+TEST(SweepEngine, KillAndResumeReproducesTheUninterruptedStore) {
+  const TempDir clean{"engine_clean"};
+  const auto want = run_grid(clean, 8);
+
+  const TempDir crashed{"engine_crashed"};
+  // First run "dies" after 17 cells: no store is written, the journal keeps
+  // the 17. (stop_after_cells is the in-process stand-in for SIGKILL; the
+  // true kill -9 drill is scripted in EXPERIMENTS.md and exercises the same
+  // journal path.)
+  sweep::SweepOptions opts;
+  opts.jobs = 4;
+  opts.checkpoint_path = crashed.file("sweep.ckpt");
+  opts.out_store_base = crashed.file("cells.ccfs");
+  opts.flows_per_shard = 24;
+  opts.stop_after_cells = 17;
+  sweep::SweepEngine first{test_grid(), opts};
+  const auto partial = first.run();
+  EXPECT_FALSE(partial.complete);
+  EXPECT_EQ(partial.ran_cells, 17u);
+  EXPECT_TRUE(partial.shard_paths.empty());
+
+  // Resume at a different job count; the finished store must match the
+  // uninterrupted run byte for byte.
+  const auto got = run_grid(crashed, 2, /*stop_after=*/0, /*resume=*/true);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(slurp(want[i]), slurp(got[i])) << "shard " << i;
+  }
+
+  // And the resumed run actually skipped the journaled cells.
+  sweep::SweepOptions verify = opts;
+  verify.stop_after_cells = 0;
+  verify.resume = true;
+  verify.out_store_base.clear();
+  sweep::SweepEngine third{test_grid(), verify};
+  const auto done = third.run();
+  EXPECT_TRUE(done.complete);
+  EXPECT_EQ(done.resumed_cells, 64u);
+  EXPECT_EQ(done.ran_cells, 0u);
+}
+
+TEST(SweepEngine, ResumeAgainstDifferentGridIsRejected) {
+  const TempDir dir{"engine_regrid"};
+  sweep::SweepOptions opts;
+  opts.jobs = 2;
+  opts.checkpoint_path = dir.file("sweep.ckpt");
+  opts.stop_after_cells = 1;
+  (void)sweep::SweepEngine{test_grid(), opts}.run();
+
+  GridSpec other = test_grid();
+  other.duration = Time::sec(3.0);
+  sweep::SweepOptions resume = opts;
+  resume.resume = true;
+  sweep::SweepEngine engine{other, resume};
+  EXPECT_THROW((void)engine.run(), Error);
+}
+
+TEST(SweepEngine, StoreRowsMapCellsInIdOrder) {
+  const TempDir dir{"engine_rows"};
+  const auto shards = run_grid(dir, 8);
+  const GridSpec g = test_grid();
+  std::uint64_t expect_id = 0;
+  for (const auto& shard : shards) {
+    store::FlowStoreReader reader{shard};
+    for (std::size_t i = 0; i < reader.size(); ++i, ++expect_id) {
+      const auto v = reader.at(i);
+      EXPECT_EQ(v.id, expect_id);
+      const CellSpec spec = g.cell(expect_id);
+      EXPECT_EQ(v.truth == mlab::FlowArchetype::kBulkClean,
+                spec.cross == CrossTraffic::kNone);
+      ASSERT_EQ(v.throughput_mbps.size(), 12u);  // the fixed metric layout
+      const double share = v.throughput_mbps[0];
+      EXPECT_GE(share, 0.0);
+      EXPECT_LE(share, 1.0);
+    }
+  }
+  EXPECT_EQ(expect_id, g.size());
+}
+
+}  // namespace
+}  // namespace ccc
