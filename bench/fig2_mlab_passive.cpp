@@ -39,6 +39,7 @@
 #include "bench/progress.hpp"
 #include "ingest/report.hpp"
 #include "mlab/synthetic.hpp"
+#include "pipeline/forked.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/shard_set.hpp"
 #include "store/convert.hpp"
@@ -256,6 +257,47 @@ int run_at_scale(bench::Cli& cli, std::uint64_t seed, const Fig2Options& opt) {
     }
     store_paths = writer.finish();
     scratch.paths = store_paths;
+  }
+
+  // --procs N: the fork-per-shard runner. The parent opens NOTHING — each
+  // child opens only its own shard (windowed pread when --readahead is
+  // set), so peak RSS is bounded by procs * one shard instead of the whole
+  // dataset, and the merged aggregates are byte-identical for any N (see
+  // pipeline/forked.hpp). Deliberately not the default: the threaded path
+  // is faster when the dataset fits in RAM.
+  if (cli.procs > 0) {
+    pipeline::ShardOpenOptions fsopts;
+    fsopts.strict = opt.strict;
+    fsopts.sequential = opt.readahead > 0;
+    fsopts.readahead_flows = opt.readahead;
+    pipeline::PipelineConfig fcfg;
+    fcfg.strict = opt.strict;
+    fcfg.readahead_flows = opt.readahead;
+    const auto forked =
+        pipeline::run_pipeline_forked(store_paths, fcfg, fsopts, cli.procs);
+    for (const auto& f : forked.failures) {
+      std::cerr << "fig2_mlab_passive: skipping unreadable shard: " << f.detail << "\n";
+    }
+    if (forked.shards_opened == 0) {
+      std::cerr << "fig2_mlab_passive: no readable shards in " << dataset_desc << "\n";
+      return 1;
+    }
+    if (forked.result.flows == 0) {
+      std::cerr << "fig2_mlab_passive: dataset " << dataset_desc << " has no flows\n";
+      return 1;
+    }
+    print_banner(os, "Figure 2 / §3.1 at scale: " + std::to_string(forked.result.flows) +
+                         " flows (" + dataset_desc + ", " +
+                         std::to_string(forked.shards_opened) + " ccfs shards)");
+    const auto summary = ingest::print_passive_aggregates(os, forked.result);
+    telemetry::RunReport run_report{"fig2_mlab_passive", seed};
+    ingest::add_passive_scalars(run_report, forked.result, summary.suspect_fraction);
+    run_report.add_registry("pipeline", forked.result.metrics, Time::zero());
+    if (!run_report.emit(cli.report)) {
+      std::cerr << "fig2_mlab_passive: cannot write --report file '" << cli.report << "'\n";
+      return 2;
+    }
+    return summary.reproduced ? 0 : 1;
   }
 
   // Stage 0.5: open the shards under the run's degradation policy. In the

@@ -134,6 +134,11 @@ std::string Cli::usage(std::string_view bench_name) {
       "                    \"cca=reno,cubic;qdisc=droptail,fq_codel;buf=0.5,2\"\n"
       "  --checkpoint PATH journal completed cells to PATH (crash-safe)\n"
       "  --resume          skip cells already recorded in --checkpoint\n"
+      "  --repeat N        run each measured scope N times, report the best\n"
+      "                    (micro benches; default 3, max 1000)\n"
+      "  --procs N         worker processes for the passive pipeline\n"
+      "                    (fork per shard group; default 1 = in-process,\n"
+      "                    max 256)\n"
       "  --help, -h        this text\n";
   return u;
 }
@@ -221,6 +226,22 @@ Cli Cli::parse(int argc, char** argv, std::string_view bench_name) {
       }
     } else if (arg == "--resume") {
       cli.resume = true;
+    } else if (const char* v = value_of("--repeat"); v != nullptr || arg == "--repeat") {
+      std::uint64_t x = 0;
+      std::string err;
+      if (parse_count("--repeat", v, kMaxRepeat, 1, x, err)) {
+        cli.repeat = static_cast<std::size_t>(x);
+      } else if (strict) {
+        die(bench_name, err);
+      }
+    } else if (const char* v = value_of("--procs"); v != nullptr || arg == "--procs") {
+      std::uint64_t x = 0;
+      std::string err;
+      if (parse_count("--procs", v, kMaxProcs, 1, x, err)) {
+        cli.procs = static_cast<std::size_t>(x);
+      } else if (strict) {
+        die(bench_name, err);
+      }
     } else {
       cli.rest.push_back(arg);
     }

@@ -21,6 +21,12 @@
 //                                      parse() only records the string)
 //   --checkpoint PATH                  cell-completion journal path
 //   --resume                           skip cells already in the journal
+//   --repeat N                         run each measured scope N times and
+//                                      keep the best (micro benches; parse()
+//                                      only records the count)
+//   --procs N                          worker *processes* for the passive
+//                                      pipeline (fork-per-shard-group; 1 =
+//                                      in-process, the default)
 //   --help | -h                        print usage and exit
 //
 // (--input/--scale/--readahead/--strict were hand-parsed by fig2 alone
@@ -96,18 +102,28 @@ class Cli {
   std::string grid;        ///< scenario-grid spec; "" = the bench's default grid
   std::string checkpoint;  ///< cell journal path; "" = no checkpointing
   bool resume{false};      ///< load the journal and skip completed cells
+  std::size_t repeat{0};   ///< best-of-N repetitions; 0 = bench default
+  std::size_t procs{0};    ///< pipeline worker processes; 0 = bench default (1)
   std::vector<std::string> rest;  ///< unrecognized argv entries, in order
 
   /// Range caps for the shared count flags (enforced by parse; public so
   /// benches can echo them in their own diagnostics).
   static constexpr std::uint64_t kMaxScale = 1'000'000;       // ~10^10 flows
   static constexpr std::uint64_t kMaxReadahead = 100'000'000;
+  static constexpr std::uint64_t kMaxRepeat = 1'000;
+  static constexpr std::uint64_t kMaxProcs = 256;
 
   [[nodiscard]] std::uint64_t seed_or(std::uint64_t fallback) const {
     return has_seed ? seed : fallback;
   }
   [[nodiscard]] Time duration_or(Time fallback) const {
     return has_duration ? Time::sec(duration_sec) : fallback;
+  }
+  [[nodiscard]] std::size_t repeat_or(std::size_t fallback) const {
+    return repeat != 0 ? repeat : fallback;
+  }
+  [[nodiscard]] std::size_t procs_or(std::size_t fallback) const {
+    return procs != 0 ? procs : fallback;
   }
 
   /// The stream bench tables should print to: the `--out` file when given

@@ -1,0 +1,250 @@
+#include "pipeline/forked.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "runner/fork_map.hpp"
+#include "util/error.hpp"
+
+namespace ccc::pipeline {
+
+namespace {
+
+// ------------------------------------------------------------- wire form
+//
+// One child result blob = the shard's open bookkeeping + the aggregate
+// PipelineResult (findings-free) + its merged MetricRegistry. Host-endian
+// fixed-width fields: the blob lives for one pipe hop between a parent and
+// its own fork, never touches disk or another machine. Doubles are moved
+// bit-for-bit (memcpy), which is what makes the forked merge byte-identical
+// to the in-process one.
+
+class Writer {
+ public:
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(const std::string& s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& buf) : buf_{buf} {}
+  std::uint64_t u64() {
+    std::uint64_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  double f64() {
+    double v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (n > buf_.size() - pos_) {
+      throw Error::corruption("fork_map", "forked result blob truncated", pos_);
+    }
+    std::string s = buf_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  void raw(void* p, std::size_t n) {
+    if (n > buf_.size() - pos_) {
+      throw Error::corruption("fork_map", "forked result blob truncated", pos_);
+    }
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+  const std::string& buf_;
+  std::size_t pos_{0};
+};
+
+void put_registry(Writer& w, const telemetry::MetricRegistry& reg) {
+  w.u64(reg.counters().size());
+  for (const auto& [name, c] : reg.counters()) {
+    w.str(name);
+    w.u64(c.value());
+  }
+  w.u64(reg.gauges().size());
+  for (const auto& [name, g] : reg.gauges()) {
+    w.str(name);
+    w.f64(g.value());
+  }
+  w.u64(reg.histograms().size());
+  for (const auto& [name, h] : reg.histograms()) {
+    w.str(name);
+    w.u64(h.bounds().size());
+    for (double b : h.bounds()) w.f64(b);
+    for (std::uint64_t c : h.counts()) w.u64(c);  // bounds.size() + 1 entries
+    w.u64(h.count());
+    w.f64(h.sum());
+  }
+  // Traces are deliberately absent: MetricRegistry::merge_from drops them
+  // too, so the pipe carries exactly what the merge can use.
+}
+
+void get_registry(Reader& r, telemetry::MetricRegistry& reg) {
+  const std::uint64_t n_counters = r.u64();
+  for (std::uint64_t i = 0; i < n_counters; ++i) {
+    const std::string name = r.str();
+    reg.counter(name).set(r.u64());
+  }
+  const std::uint64_t n_gauges = r.u64();
+  for (std::uint64_t i = 0; i < n_gauges; ++i) {
+    const std::string name = r.str();
+    reg.gauge(name).set(r.f64());
+  }
+  const std::uint64_t n_hists = r.u64();
+  for (std::uint64_t i = 0; i < n_hists; ++i) {
+    const std::string name = r.str();
+    const std::uint64_t n_bounds = r.u64();
+    std::vector<double> bounds(n_bounds);
+    for (auto& b : bounds) b = r.f64();
+    std::vector<std::uint64_t> counts(n_bounds + 1);
+    for (auto& c : counts) c = r.u64();
+    const std::uint64_t count = r.u64();
+    const double sum = r.f64();
+    auto h = telemetry::Histogram::from_parts(std::move(bounds), std::move(counts), count, sum);
+    reg.histogram(name, h.bounds()).merge(h);
+  }
+}
+
+struct ShardBlob {
+  std::size_t shards_opened{0};
+  std::vector<ShardFailure> failures;
+  PipelineResult result;
+};
+
+std::string serialize(const ShardBlob& b) {
+  Writer w;
+  w.u64(b.shards_opened);
+  w.u64(b.failures.size());
+  for (const auto& f : b.failures) {
+    w.str(f.path);
+    w.u64(static_cast<std::uint64_t>(f.category));
+    w.str(f.detail);
+  }
+  const PipelineResult& res = b.result;
+  w.u64(res.flows);
+  w.u64(res.shards);
+  for (std::uint64_t v : res.verdicts) w.u64(v);
+  for (const auto& row : res.confusion) {
+    for (std::uint64_t v : row) w.u64(v);
+  }
+  w.u64(res.true_positives);
+  w.u64(res.false_positives);
+  w.u64(res.false_negatives);
+  w.u64(res.true_negatives);
+  w.u64(res.changepoints_total);
+  w.u64(res.early_exits);
+  w.u64(res.samples_scanned);
+  w.u64(res.records_corrupt);
+  put_registry(w, res.metrics);
+  return w.take();
+}
+
+ShardBlob deserialize(const std::string& blob) {
+  Reader r{blob};
+  ShardBlob b;
+  b.shards_opened = r.u64();
+  const std::uint64_t n_failures = r.u64();
+  for (std::uint64_t i = 0; i < n_failures; ++i) {
+    ShardFailure f;
+    f.path = r.str();
+    f.category = static_cast<ErrorCategory>(r.u64());
+    f.detail = r.str();
+    b.failures.push_back(std::move(f));
+  }
+  PipelineResult& res = b.result;
+  res.flows = r.u64();
+  res.shards = r.u64();
+  for (auto& v : res.verdicts) v = r.u64();
+  for (auto& row : res.confusion) {
+    for (auto& v : row) v = r.u64();
+  }
+  res.true_positives = r.u64();
+  res.false_positives = r.u64();
+  res.false_negatives = r.u64();
+  res.true_negatives = r.u64();
+  res.changepoints_total = r.u64();
+  res.early_exits = r.u64();
+  res.samples_scanned = r.u64();
+  res.records_corrupt = r.u64();
+  get_registry(r, res.metrics);
+  return b;
+}
+
+}  // namespace
+
+ForkedRunResult run_pipeline_forked(const std::vector<std::string>& shard_paths,
+                                    const PipelineConfig& cfg,
+                                    const ShardOpenOptions& open_opts, std::size_t procs) {
+  if (cfg.keep_findings) {
+    throw Error::config("fork_map",
+                        "pipeline: keep_findings is not supported in forked mode (per-flow "
+                        "findings are the memory cost this runner exists to avoid)");
+  }
+
+  // One task per ccfs shard — the procs-independent decomposition that
+  // makes the merged result identical for any --procs (header comment).
+  const auto blobs = runner::fork_map(
+      shard_paths.size(), procs, [&](std::size_t i) -> std::string {
+        telemetry::MetricRegistry io_metrics;
+        const auto set = ShardSet::open({shard_paths[i]}, open_opts, &io_metrics);
+        ShardBlob b;
+        b.shards_opened = set.shards_opened();
+        b.failures = set.failures();
+        if (set.shards_opened() > 0) {
+          PipelineConfig child_cfg = cfg;
+          child_cfg.jobs = 1;  // the process IS the parallelism unit
+          child_cfg.on_progress = {};
+          b.result = run_pipeline(set.source(), child_cfg);
+        }
+        // Fold open bookkeeping into the shard's metrics, exactly as the
+        // in-process fig2 path folds its io_metrics after run_pipeline.
+        if (cfg.enable_telemetry) b.result.metrics.merge_from(io_metrics);
+        return serialize(b);
+      });
+
+  // Ordered reduction in shard order — the same folds as run_pipeline's.
+  ForkedRunResult out;
+  out.result.jobs = 1;
+  for (const auto& blob : blobs) {
+    ShardBlob b = deserialize(blob);
+    out.shards_opened += b.shards_opened;
+    for (auto& f : b.failures) out.failures.push_back(std::move(f));
+    PipelineResult& res = out.result;
+    const PipelineResult& s = b.result;
+    res.flows += s.flows;
+    res.shards += s.shards;
+    for (std::size_t v = 0; v < kVerdictCount; ++v) res.verdicts[v] += s.verdicts[v];
+    for (std::size_t a = 0; a < res.confusion.size(); ++a) {
+      for (std::size_t v = 0; v < kVerdictCount; ++v) res.confusion[a][v] += s.confusion[a][v];
+    }
+    res.true_positives += s.true_positives;
+    res.false_positives += s.false_positives;
+    res.false_negatives += s.false_negatives;
+    res.true_negatives += s.true_negatives;
+    res.changepoints_total += s.changepoints_total;
+    res.early_exits += s.early_exits;
+    res.samples_scanned += s.samples_scanned;
+    res.records_corrupt += s.records_corrupt;
+    res.metrics.merge_from(s.metrics);
+  }
+  return out;
+}
+
+}  // namespace ccc::pipeline

@@ -1,6 +1,9 @@
 #include "pipeline/shard_set.hpp"
 
+#include <algorithm>
 #include <utility>
+
+#include "pipeline/stage.hpp"
 
 namespace ccc::pipeline {
 
@@ -9,8 +12,16 @@ ShardSet ShardSet::open(const std::vector<std::string>& paths, const ShardOpenOp
   ShardSet set;
   for (const auto& path : paths) {
     try {
-      set.readers_.emplace_back(path,
-                                store::ReaderOptions{opts.verify_crc, opts.sequential});
+      store::ReaderOptions ropts;
+      ropts.verify_crc = opts.verify_crc;
+      ropts.sequential = opts.sequential;
+      // Clamp the window to drain()'s batch: the pipeline holds up to a
+      // batch of FlowViews in flight, and the reader's double-buffered
+      // window only keeps spans valid across one slide. A window at least
+      // one batch wide makes an ascending batch slide at most once.
+      ropts.readahead_flows =
+          opts.readahead_flows == 0 ? 0 : std::max(opts.readahead_flows, kDrainBatchFlows);
+      set.readers_.emplace_back(path, ropts);
     } catch (const Error& e) {
       if (opts.strict) throw;
       set.failures_.push_back({path, e.category(), e.what()});

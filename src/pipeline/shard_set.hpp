@@ -46,6 +46,13 @@ struct ShardOpenOptions {
   /// store::ReaderOptions::sequential). Set by scan-everything consumers
   /// like the passive pipeline with readahead enabled.
   bool sequential{false};
+  /// Nonzero opens each shard in windowed-pread mode (see
+  /// store::ReaderOptions::readahead_flows): the series pool stays on disk
+  /// and is fetched this many flows at a time, bounding per-shard memory
+  /// to the scalar columns plus one window. The mode for past-RAM runs.
+  /// Clamped up to the pipeline's drain batch size (kDrainBatchFlows) so
+  /// a batch of in-flight FlowViews never outlives its window.
+  std::size_t readahead_flows{0};
 };
 
 /// Owns the readers for a list of ccfs shard paths and presents the healthy

@@ -171,12 +171,19 @@ class AnalyzeStage final : public PushStage {
   std::size_t magnitudes_exported_{0};
 };
 
+/// drain()'s default batch size. Exposed because ShardSet clamps a
+/// windowed reader's window to at least this many flows: an ascending
+/// batch no larger than the window slides it at most once, and the
+/// double-buffered window keeps spans alive across exactly one slide —
+/// together that is the whole span-safety argument for windowed scans.
+inline constexpr std::size_t kDrainBatchFlows = 256;
+
 /// Drives a PullSource through a stage until it stops being kReady: pull a
 /// batch, push each flow, repeat. Returns the number of flows pushed this
 /// call. Finite sources run to kEnd; a kBlocked stream returns control to
 /// the caller (which owns the wait/backpressure policy — see IngestDaemon
 /// for the polling client). Flush placement is also the caller's: drain()
 /// never flushes.
-std::size_t drain(PullSource& src, PushStage& stage, std::size_t batch_flows = 256);
+std::size_t drain(PullSource& src, PushStage& stage, std::size_t batch_flows = kDrainBatchFlows);
 
 }  // namespace ccc::pipeline

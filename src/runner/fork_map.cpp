@@ -1,0 +1,208 @@
+#include "runner/fork_map.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+#include "util/error.hpp"
+
+namespace ccc::runner {
+
+namespace {
+
+/// Wire framing on the result pipe. One frame per task, in the order the
+/// worker ran them; a tag-1 frame carries a rendered error instead of a
+/// result and is the last thing the child writes before _exit(1).
+struct FrameHeader {
+  std::uint64_t task;
+  std::uint64_t len;
+  std::uint32_t tag;  ///< 0 = result blob, 1 = error text
+  std::uint32_t pad{0};
+};
+enum : std::uint32_t { kTagResult = 0, kTagError = 1 };
+
+/// write() the whole buffer. Runs only in children; a failure means the
+/// parent is gone (it threw and closed its read end), so there is nobody
+/// left to report to — exit instead of looping on EPIPE.
+void write_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t w = ::write(fd, p, len);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::_exit(3);
+    }
+    p += w;
+    len -= static_cast<std::size_t>(w);
+  }
+}
+
+/// read() the whole buffer; false on EOF or a read error (a dead child).
+bool read_all(int fd, void* data, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t r = ::read(fd, p, len);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;
+    p += r;
+    len -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+[[noreturn]] void child_main(int fd, std::size_t worker, std::size_t n, std::size_t stride,
+                             const std::function<std::string(std::size_t)>& work) {
+  if (const char* kill_env = std::getenv("CCC_FORK_MAP_KILL");
+      kill_env != nullptr && std::strtoul(kill_env, nullptr, 10) == worker) {
+    (void)::raise(SIGKILL);
+  }
+  for (std::size_t i = worker; i < n; i += stride) {
+    FrameHeader hdr{};
+    hdr.task = i;
+    try {
+      const std::string blob = work(i);
+      hdr.len = blob.size();
+      hdr.tag = kTagResult;
+      write_all(fd, &hdr, sizeof hdr);
+      write_all(fd, blob.data(), blob.size());
+    } catch (const std::exception& e) {
+      const std::string msg = e.what();
+      hdr.len = msg.size();
+      hdr.tag = kTagError;
+      write_all(fd, &hdr, sizeof hdr);
+      write_all(fd, msg.data(), msg.size());
+      ::_exit(1);
+    } catch (...) {
+      static constexpr char kMsg[] = "unknown exception in fork_map task";
+      hdr.len = sizeof kMsg - 1;
+      hdr.tag = kTagError;
+      write_all(fd, &hdr, sizeof hdr);
+      write_all(fd, kMsg, sizeof kMsg - 1);
+      ::_exit(1);
+    }
+  }
+  // _exit, not exit: the child must not run the parent's atexit handlers
+  // or flush stdio buffers it inherited half-full.
+  ::_exit(0);
+}
+
+/// Per-child drain outcome, resolved against waitpid status afterwards.
+struct ChildState {
+  pid_t pid{-1};
+  int fd{-1};
+  bool drained{false};       ///< every expected frame arrived intact
+  std::string error;         ///< tag-1 frame text, if any
+  int wait_status{0};
+};
+
+}  // namespace
+
+std::vector<std::string> fork_map(std::size_t n, std::size_t procs,
+                                  const std::function<std::string(std::size_t)>& work) {
+  std::vector<std::string> out(n);
+  if (n == 0) return out;
+  const std::size_t workers = std::min(procs == 0 ? std::size_t{1} : procs, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = work(i);
+    return out;
+  }
+
+  std::vector<ChildState> children(workers);
+  for (std::size_t j = 0; j < workers; ++j) {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      const int err = errno;
+      for (std::size_t k = 0; k < j; ++k) {
+        ::close(children[k].fd);
+        (void)::kill(children[k].pid, SIGKILL);
+        (void)::waitpid(children[k].pid, nullptr, 0);
+      }
+      throw Error::io("fork_map", std::string{"pipe: "} + std::strerror(err));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const int err = errno;
+      ::close(fds[0]);
+      ::close(fds[1]);
+      for (std::size_t k = 0; k < j; ++k) {
+        ::close(children[k].fd);
+        (void)::kill(children[k].pid, SIGKILL);
+        (void)::waitpid(children[k].pid, nullptr, 0);
+      }
+      throw Error::io("fork_map", std::string{"fork: "} + std::strerror(err));
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      for (std::size_t k = 0; k < j; ++k) ::close(children[k].fd);
+      child_main(fds[1], j, n, workers, work);  // never returns
+    }
+    ::close(fds[1]);
+    children[j].pid = pid;
+    children[j].fd = fds[0];
+  }
+
+  // Drain child by child, in worker order. A later child that fills its
+  // 64KB pipe buffer simply blocks until its turn — transfer serializes,
+  // the work does not. Stop draining at the first failure; the reap loop
+  // below still closes and waits on everything.
+  bool any_failed = false;
+  for (std::size_t j = 0; j < workers && !any_failed; ++j) {
+    ChildState& c = children[j];
+    std::size_t expected = 0;
+    for (std::size_t i = j; i < n; i += workers) ++expected;
+    std::size_t got = 0;
+    while (got < expected) {
+      FrameHeader hdr{};
+      if (!read_all(c.fd, &hdr, sizeof hdr)) break;  // EOF: child died early
+      std::string payload(hdr.len, '\0');
+      if (hdr.len > 0 && !read_all(c.fd, payload.data(), payload.size())) break;
+      if (hdr.tag == kTagError) {
+        c.error = std::move(payload);
+        break;
+      }
+      if (hdr.tag != kTagResult || hdr.task >= n) break;  // garbage frame
+      out[hdr.task] = std::move(payload);
+      ++got;
+    }
+    c.drained = got == expected;
+    if (!c.drained) any_failed = true;
+  }
+
+  // Reap everything before reporting: closing an undrained pipe SIGPIPEs a
+  // still-writing child, so no failure path can leave a child wedged.
+  for (auto& c : children) {
+    ::close(c.fd);
+    pid_t r;
+    do {
+      r = ::waitpid(c.pid, &c.wait_status, 0);
+    } while (r < 0 && errno == EINTR);
+  }
+
+  for (std::size_t j = 0; j < workers; ++j) {
+    const ChildState& c = children[j];
+    if (WIFSIGNALED(c.wait_status)) {
+      throw Error::io("fork_map", "child " + std::to_string(j) + " killed by signal " +
+                                      std::to_string(WTERMSIG(c.wait_status)) + " mid-shard");
+    }
+    if (!c.error.empty()) {
+      throw Error::io("fork_map", "child " + std::to_string(j) + " failed: " + c.error);
+    }
+    if (!c.drained) {
+      throw Error::io("fork_map",
+                      "child " + std::to_string(j) + " exited without delivering its results");
+    }
+  }
+  return out;
+}
+
+}  // namespace ccc::runner

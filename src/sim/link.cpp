@@ -8,7 +8,11 @@ namespace ccc::sim {
 
 Link::Link(Scheduler& sched, Rate rate, Time prop_delay, std::unique_ptr<Qdisc> qdisc,
            PacketSink& dst)
-    : sched_{sched}, rate_{rate}, prop_delay_{prop_delay}, qdisc_{std::move(qdisc)}, dst_{dst} {
+    : sched_{sched},
+      rate_{rate},
+      prop_delay_{prop_delay},
+      qdisc_{std::move(qdisc)},
+      batch_{sched.register_delivery_batch(dst)} {
   assert(rate_.to_bps() > 0.0);
   assert(qdisc_ != nullptr);
 }
@@ -104,8 +108,9 @@ void Link::on_tx_complete(PacketPool::Handle h) {
   if (tx_tap_) tx_tap_(pkt, sched_.now());
 
   // Propagation: the packet arrives at the destination prop_delay later.
-  // Ownership of the arena slot moves to the deliver event — no copy.
-  sched_.schedule_deliver_handle_after(prop_delay_, dst_, h);
+  // Ownership of the arena slot moves into the link's delivery batch — no
+  // copy, no per-packet scheduler entry (event engine v3).
+  sched_.schedule_deliver_batch_handle_after(prop_delay_, batch_, h);
 
   maybe_start_tx();
 }

@@ -83,7 +83,9 @@ class Link {
   Rate rate_;
   Time prop_delay_;
   std::unique_ptr<Qdisc> qdisc_;
-  PacketSink& dst_;
+  /// The propagation pipe's SoA in-flight batch (event engine v3): arrival
+  /// times are tx-complete time + a fixed prop_delay_, hence monotonic.
+  Scheduler::BatchId batch_;
   bool busy_{false};
   EventId wake_event_{0};
   LinkStats stats_;
@@ -99,30 +101,29 @@ class Link {
 class DelayLine : public PacketSink {
  public:
   DelayLine(Scheduler& sched, Time delay, PacketSink& dst)
-      : sched_{sched}, delay_{delay}, dst_{&dst} {}
+      : sched_{sched}, delay_{delay}, batch_{sched.register_delivery_batch(dst)} {}
 
   void deliver(const Packet& pkt) override {
-    // Typed event, not a closure: the packet rides in the scheduler's arena
-    // instead of being copied into a heap-allocated capture. The trampoline
-    // re-reads dst_ at fire time, preserving set_dst() rebinding semantics.
-    sched_.schedule_fire_after(
-        delay_,
-        [](void* ctx, std::uint64_t arg) {
-          auto* self = static_cast<DelayLine*>(ctx);
-          const auto h = static_cast<PacketPool::Handle>(arg);
-          self->dst_->deliver(self->sched_.packets().get(h));
-          self->sched_.packets().release(h);
-        },
-        this, sched_.packets().acquire(pkt));
+    // The in-flight record rides in the delay line's SoA batch (event engine
+    // v3): no per-packet scheduler entry, and a same-time arrival run reaches
+    // the destination as one deliver_batch() call. Fixed delay + monotonic
+    // clock keeps the batch's append order time-sorted.
+    sched_.schedule_deliver_batch_after(delay_, batch_, pkt);
   }
 
-  /// Re-points the downstream sink (used when wiring scenarios).
-  void set_dst(PacketSink& dst) { dst_ = &dst; }
+  void deliver_batch(const Packet* const* pkts, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) sched_.schedule_deliver_batch_after(delay_, batch_, *pkts[i]);
+  }
+
+  /// Re-points the downstream sink (used when wiring scenarios). Applies to
+  /// packets still in flight — the same fire-time binding the pre-batch
+  /// trampoline had.
+  void set_dst(PacketSink& dst) { sched_.rebind_delivery_batch(batch_, dst); }
 
  private:
   Scheduler& sched_;
   Time delay_;
-  PacketSink* dst_;
+  Scheduler::BatchId batch_;
 };
 
 /// Adapts a Link into a PacketSink so links can be chained behind

@@ -1,6 +1,7 @@
 // The packet model shared by the simulator, qdiscs, and endpoints.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "util/units.hpp"
@@ -75,6 +76,15 @@ class PacketSink {
  public:
   virtual ~PacketSink() = default;
   virtual void deliver(const Packet& pkt) = 0;
+
+  /// Bulk hook for a same-time delivery run (event engine v3): the scheduler
+  /// hands over every packet a delivery batch has due at one instant in one
+  /// call, in (time, seq) order. The default preserves per-packet semantics
+  /// exactly; sinks on hot paths override it to touch their state once per
+  /// run instead of once per packet.
+  virtual void deliver_batch(const Packet* const* pkts, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) deliver(*pkts[i]);
+  }
 };
 
 }  // namespace ccc::sim

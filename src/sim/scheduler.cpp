@@ -46,6 +46,15 @@ std::function<void()> Scheduler::release_slot(std::uint32_t slot) {
   return fn;
 }
 
+void Scheduler::release_slot_discard(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  if (s.fn) s.fn = nullptr;  // a cancelled closure's captures die here
+  s.armed = false;
+  ++s.gen;
+  free_slots_.push_back(slot);
+  --live_;
+}
+
 void Scheduler::push_heap_entry(const Entry& e) {
   if (e.slot != kNoSlot) slots_[e.slot].loc = kLocHeap;
   heap_.push_back(e);
@@ -69,6 +78,15 @@ void Scheduler::place(const Entry& e) {
     occupied_[level] |= 1ull << bucket;
     if (e.slot != kNoSlot) slots_[e.slot].loc = wheel_loc(level, bucket);
     ++wheel_size_;
+    if (wheel_next_valid_) {
+      // Keep the memoized next-work tick exact: a level-0 entry acts at its
+      // own tick, a higher-level one when the cursor enters its block
+      // (which is strictly ahead of the cursor — delta >= 64^level puts the
+      // target in a later block, so no wrap ambiguity here).
+      const std::uint64_t action =
+          level == 0 ? tick : (tick >> (kSlotBits * level)) << (kSlotBits * level);
+      if (action < wheel_next_) wheel_next_ = action;
+    }
     return;
   }
   push_heap_entry(e);
@@ -129,6 +147,78 @@ void Scheduler::schedule_deliver_handle_at(Time at, PacketSink& sink, PacketPool
   place(e);
 }
 
+Scheduler::BatchId Scheduler::register_delivery_batch(PacketSink& sink) {
+  const auto id = static_cast<BatchId>(batches_.size());
+  batches_.emplace_back();
+  batches_.back().sink = &sink;
+  return id;
+}
+
+void Scheduler::rebind_delivery_batch(BatchId id, PacketSink& sink) {
+  batches_[id].sink = &sink;
+}
+
+void Scheduler::schedule_deliver_batch_handle_at(Time at, BatchId id, PacketPool::Handle h) {
+  assert(at >= now_ && "cannot schedule into the past");
+  DeliveryBatch& q = batches_[id];
+  if (q.head == q.at.size()) {
+    if (q.head != 0) {
+      // Empty again: reset the consumed prefix so a steady-state pipe reuses
+      // the same few slots instead of growing the vectors forever.
+      q.at.clear();
+      q.seq.clear();
+      q.handle.clear();
+      q.head = 0;
+    }
+  } else if (at < q.at.back()) {
+    // Out-of-order append: keep [head, size) a sorted run by routing this
+    // delivery through a regular per-event entry. Note the sink is captured
+    // *now* — a later rebind_delivery_batch() won't redirect it; the
+    // monotonic producers (Link, DelayLine) never take this path.
+    schedule_deliver_handle_at(at, *q.sink, h);
+    return;
+  }
+  const std::uint64_t seq = next_seq_++;
+  const bool was_empty = q.at.empty();
+  q.at.push_back(at);
+  q.seq.push_back(seq);
+  q.handle.push_back(h);
+  ++live_;
+  ++batch_live_;
+  if (was_empty) {
+    // A new front appeared; it displaces the cached minimum only if strictly
+    // earlier (its seq is the newest, so equal times lose the tie-break).
+    // Appends to a non-empty batch never change that batch's front. During a
+    // dispatch_batch drain the cached minimum may point at a batch consumed
+    // empty (it is recomputed when the drain finishes) — treat that as
+    // displaced too, never read its front.
+    if (batch_min_ == kNoBatch) {
+      batch_min_ = id;
+    } else {
+      const DeliveryBatch& m = batches_[batch_min_];
+      if (m.head == m.at.size() || at < m.at[m.head]) batch_min_ = id;
+    }
+  }
+}
+
+void Scheduler::recompute_batch_min() {
+  batch_min_ = kNoBatch;
+  if (batch_live_ == 0) return;
+  Time best = Time::zero();
+  std::uint64_t best_seq = 0;
+  for (std::uint32_t b = 0; b < batches_.size(); ++b) {
+    const DeliveryBatch& q = batches_[b];
+    if (q.head == q.at.size()) continue;
+    const Time qa = q.at[q.head];
+    const std::uint64_t qs = q.seq[q.head];
+    if (batch_min_ == kNoBatch || qa < best || (qa == best && qs < best_seq)) {
+      batch_min_ = b;
+      best = qa;
+      best_seq = qs;
+    }
+  }
+}
+
 void Scheduler::cancel(EventId id) {
   const auto slot = static_cast<std::uint32_t>(id & 0xffff'ffffu);
   const auto gen = static_cast<std::uint32_t>(id >> 32);
@@ -136,11 +226,13 @@ void Scheduler::cancel(EventId id) {
   Slot& s = slots_[slot];
   if (!s.armed || s.gen != gen) return;  // already fired/cancelled, or reused
   const std::uint16_t loc = s.loc;
-  release_slot(slot);
+  release_slot_discard(slot);
   // The heap or a wheel bucket still holds this event's entry; it is now
   // stale and will be dropped lazily when popped or cascaded — unless stale
   // entries start to dominate, in which case we compact in place so
-  // disarmed timers cannot grow either structure forever.
+  // disarmed timers cannot grow either structure forever. (Eager swap-remove
+  // from the wheel bucket was tried and measured slower: the lazy path
+  // touches one hot counter where removal touches the bucket's entry array.)
   if (loc == kLocHeap) {
     if (++stale_ >= 64 && stale_ > heap_.size() / 2) compact();
   } else if (loc == kLocReady) {
@@ -171,7 +263,12 @@ void Scheduler::sweep_wheel() {
 }
 
 std::uint64_t Scheduler::next_wheel_tick(std::uint64_t limit) const {
-  std::uint64_t best = limit;
+  // The scan result is memoized in wheel_next_ (see the member comment):
+  // hot callers — pop_next and the batch drain's bound recompute — hit the
+  // cache, and only a processed tick or a cursor jump past the cached value
+  // forces a rescan.
+  if (wheel_next_valid_ && wheel_next_ >= wheel_tick_) return std::min(limit, wheel_next_);
+  std::uint64_t best = UINT64_MAX;
   // Level 0 buckets spill at their own tick.
   if (occupied_[0] != 0) {
     const unsigned cur = static_cast<unsigned>(wheel_tick_ & kSlotMask);
@@ -193,7 +290,9 @@ std::uint64_t Scheduler::next_wheel_tick(std::uint64_t limit) const {
     if (d == 0 && wheel_tick_ != (block << shift)) d = kSlotsPerLevel;
     best = std::min(best, (block + d) << shift);
   }
-  return best;
+  wheel_next_ = best;
+  wheel_next_valid_ = true;
+  return std::min(limit, best);
 }
 
 void Scheduler::cascade(int level, std::uint64_t bucket) {
@@ -213,6 +312,10 @@ void Scheduler::cascade(int level, std::uint64_t bucket) {
 }
 
 void Scheduler::process_tick(std::uint64_t t) {
+  // This tick's work is being consumed; the memoized next-work tick must be
+  // rediscovered by the next scan (cascades re-place into an invalid hint,
+  // which place() deliberately leaves untouched).
+  wheel_next_valid_ = false;
   // Entering a new block at any level cascades that level's bucket first
   // (highest level first so entries can fall several levels in one tick).
   for (int l = kLevels - 1; l >= 1; --l) {
@@ -283,6 +386,10 @@ bool Scheduler::pop_next(Entry& out, Time limit) {
       if (ready_pos_ < ready_.size() && ready_[ready_pos_].at < horizon) {
         horizon = ready_[ready_pos_].at;
       }
+      if (batch_min_ != kNoBatch) {
+        const DeliveryBatch& q = batches_[batch_min_];
+        if (q.at[q.head] < horizon) horizon = q.at[q.head];
+      }
       std::uint64_t target = tick_of(horizon) + 1;
       if (target > wheel_tick_) {
         // A bare limit (nothing queued near-term) can lie far past the next
@@ -299,12 +406,30 @@ bool Scheduler::pop_next(Entry& out, Time limit) {
     }
     const bool have_ready = ready_pos_ < ready_.size();
     const bool have_heap = !heap_.empty();
-    if (!have_ready && !have_heap) return false;
     const bool take_ready =
         have_ready && (!have_heap || earlier(ready_[ready_pos_], heap_.front()));
-    const Entry& front = take_ready ? ready_[ready_pos_] : heap_.front();
-    if (front.at > limit) return false;
-    out = front;
+    const Entry* front =
+        have_ready || have_heap ? (take_ready ? &ready_[ready_pos_] : &heap_.front()) : nullptr;
+    // Merge the batch minimum's front in by the same (time, seq) key. When it
+    // wins, synthesize a kDeliverBatch dispatch — the queue itself is
+    // consumed by dispatch_batch(), nothing is popped here.
+    if (batch_min_ != kNoBatch) {
+      const DeliveryBatch& q = batches_[batch_min_];
+      const Time qa = q.at[q.head];
+      const std::uint64_t qs = q.seq[q.head];
+      if (front == nullptr || qa < front->at || (qa == front->at && qs < front->seq)) {
+        if (qa > limit) return false;
+        out.at = qa;
+        out.seq = qs;
+        out.slot = kNoSlot;
+        out.gen = 0;
+        out.kind = Kind::kDeliverBatch;
+        out.u.batch.id = batch_min_;
+        return true;
+      }
+    }
+    if (front == nullptr || front->at > limit) return false;
+    out = *front;
     if (take_ready) {
       ++ready_pos_;
     } else {
@@ -319,7 +444,12 @@ void Scheduler::pop_front() {
   heap_.pop_back();
 }
 
-void Scheduler::dispatch(const Entry& e) {
+void Scheduler::dispatch(const Entry& e, Time limit) {
+  if (e.kind == Kind::kDeliverBatch) {
+    // Advances the clock and the executed/live counters per delivery itself.
+    dispatch_batch(e.u.batch.id, limit, /*single_step=*/false);
+    return;
+  }
   now_ = e.at;
   ++executed_;
   switch (e.kind) {
@@ -334,7 +464,7 @@ void Scheduler::dispatch(const Entry& e) {
     }
     case Kind::kCall:
       if (e.slot != kNoSlot) {
-        release_slot(e.slot);  // before the call: it may re-arm the same timer
+        release_slot_discard(e.slot);  // before the call: it may re-arm the same timer
       } else {
         --live_;  // fire-and-forget: no slot to release
       }
@@ -345,20 +475,169 @@ void Scheduler::dispatch(const Entry& e) {
       fn();
       break;
     }
+    case Kind::kDeliverBatch:
+      break;  // handled above
   }
+}
+
+void Scheduler::dispatch_batch(std::uint32_t id, Time limit, bool single_step) {
+  // Which structure owns the current bound. Only a heap-owned bound can be
+  // fused (fired inline below); the others hand control back to pop_next.
+  enum class Src : std::uint8_t { kLimit, kHeap, kReady, kWheel, kBatch };
+  Time bt = limit;
+  std::uint64_t bs = 0;
+  Src src = Src::kLimit;
+  std::uint64_t bound_mark = 0;
+  bool have_bound = false;
+  for (;;) {
+    // Re-fetched every iteration: a sink may register a new batch (growing
+    // batches_) or append to this one (growing the SoA vectors) mid-drain.
+    DeliveryBatch& q = batches_[id];
+    if (q.head == q.at.size()) break;
+    if (q.head >= 1024 && q.head * 2 >= q.at.size()) {
+      // Compact the consumed prefix so a relay chain that keeps a handful of
+      // packets in flight forever doesn't grow the vectors without bound.
+      const auto n = static_cast<std::ptrdiff_t>(q.head);
+      q.at.erase(q.at.begin(), q.at.begin() + n);
+      q.seq.erase(q.seq.begin(), q.seq.begin() + n);
+      q.handle.erase(q.handle.begin(), q.handle.begin() + n);
+      q.head = 0;
+    }
+    // Exclusive bound (bt, bs): the earliest event that is *not* ours. Valid
+    // until a sink callback schedules something — every schedule_* bumps
+    // next_seq_, so an unchanged next_seq_ means an unchanged bound (cancels
+    // don't bump it, but a cancelled front only leaves the bound
+    // conservative — we hand back to pop_next early — never wrong).
+    if (!have_bound || next_seq_ != bound_mark) {
+      bt = limit;
+      bs = UINT64_MAX;
+      src = Src::kLimit;
+      if (!heap_.empty()) {
+        const Entry& e = heap_.front();
+        if (e.at < bt || (e.at == bt && e.seq < bs)) {
+          bt = e.at;
+          bs = e.seq;
+          src = Src::kHeap;
+        }
+      }
+      if (ready_pos_ < ready_.size()) {
+        const Entry& e = ready_[ready_pos_];
+        if (e.at < bt || (e.at == bt && e.seq < bs)) {
+          bt = e.at;
+          bs = e.seq;
+          src = Src::kReady;
+        }
+      }
+      // Nothing in the wheel can fire before the cursor's tick — when that
+      // is already past the bound's tick (the common case: pop_next caught
+      // the wheel up through the batch front's tick before dispatching us),
+      // the whole scan is skipped. Otherwise bound at the next tick the
+      // wheel does work (seq 0 — conservative) and let pop_next spill it.
+      if (wheel_size_ > 0 && wheel_tick_ <= tick_of(bt)) {
+        const std::uint64_t lim_tick = tick_of(bt) + 1;
+        const std::uint64_t wt = next_wheel_tick(lim_tick);
+        if (wt < lim_tick) {
+          const Time wtime = Time::ns(static_cast<std::int64_t>(wt << kTickBits));
+          if (wtime < bt) {
+            bt = wtime;
+            bs = 0;
+            src = Src::kWheel;
+          } else if (wtime == bt) {
+            bs = 0;
+            src = Src::kWheel;
+          }
+        }
+      }
+      for (std::uint32_t b = 0; b < batches_.size(); ++b) {
+        if (b == id) continue;
+        const DeliveryBatch& ob = batches_[b];
+        if (ob.head == ob.at.size()) continue;
+        const Time oa = ob.at[ob.head];
+        if (oa < bt || (oa == bt && ob.seq[ob.head] < bs)) {
+          bt = oa;
+          bs = ob.seq[ob.head];
+          src = Src::kBatch;
+        }
+      }
+      bound_mark = next_seq_;
+      have_bound = true;
+    }
+    const std::size_t begin = q.head;
+    const Time t = q.at[begin];
+    if (!(t < bt || (t == bt && q.seq[begin] < bs))) {
+      // The next event is not ours. When it is the live heap front — in a
+      // busy sim deliveries and timers interleave tightly — fire it inline
+      // and keep draining: bouncing through pop_next costs more than the
+      // event itself. Ready/wheel/other-batch fronts are rarer; hand those
+      // back to pop_next's full merge (and run_one must stop regardless).
+      if (single_step || src != Src::kHeap || heap_.empty()) break;
+      const Entry e = heap_.front();
+      if (e.at != bt || e.seq != bs) {
+        have_bound = false;  // front changed under us (e.g. a compact)
+        continue;
+      }
+      if (!is_live(e)) {
+        pop_front();
+        --stale_;
+        have_bound = false;
+        continue;
+      }
+      pop_front();
+      dispatch(e, limit);  // never kDeliverBatch: those are never stored
+      have_bound = false;  // the callback may have scheduled or consumed
+      continue;
+    }
+    // The whole same-time run is ours: seqs in a batch are increasing, so
+    // once the front beats (bt, bs) every same-time element with smaller seq
+    // than bs does too — and ties at bs are impossible (seq is unique).
+    std::size_t end = begin + 1;
+    if (!single_step) {
+      while (end < q.at.size() && q.at[end] == t && (t < bt || q.seq[end] < bs)) ++end;
+    }
+    const std::size_t run = end - begin;
+    now_ = t;
+    if (wheel_size_ == 0 && tick_of(t) > wheel_tick_) wheel_tick_ = tick_of(t);
+    executed_ += run;
+    live_ -= run;
+    batch_live_ -= run;
+    q.head = end;  // consumed before delivery: sinks observe a popped queue
+    PacketSink* const sink = q.sink;
+    if (run == 1) {
+      const PacketPool::Handle h = q.handle[begin];
+      sink->deliver(pool_.get(h));
+      pool_.release(h);
+    } else {
+      // Copy the run out first: the sink may append to this very batch and
+      // reallocate the SoA vectors mid-callback. Handles stay valid (the
+      // deque-backed pool never moves slots) until released below.
+      drain_handles_.assign(q.handle.begin() + static_cast<std::ptrdiff_t>(begin),
+                            q.handle.begin() + static_cast<std::ptrdiff_t>(end));
+      drain_pkts_.clear();
+      for (const PacketPool::Handle h : drain_handles_) drain_pkts_.push_back(&pool_.get(h));
+      sink->deliver_batch(drain_pkts_.data(), run);
+      for (const PacketPool::Handle h : drain_handles_) pool_.release(h);
+    }
+    if (single_step) break;
+  }
+  recompute_batch_min();
 }
 
 bool Scheduler::run_one() {
   Entry e;
   if (!pop_next(e, Time::never())) return false;
-  dispatch(e);
+  if (e.kind == Kind::kDeliverBatch) {
+    // One event only: deliver exactly the front element, not the whole run.
+    dispatch_batch(e.u.batch.id, Time::never(), /*single_step=*/true);
+    return true;
+  }
+  dispatch(e, Time::never());
   return true;
 }
 
 void Scheduler::run_until(Time end) {
   assert(end >= now_);
   Entry e;
-  while (pop_next(e, end)) dispatch(e);
+  while (pop_next(e, end)) dispatch(e, end);
   now_ = end;
 }
 

@@ -31,6 +31,19 @@
 // accumulate (long-lived retransmission timers that ACKs keep disarming),
 // the heap — or the wheel — is compacted in place so neither grows
 // unboundedly.
+//
+// Event engine v3 adds per-sink delivery batches (see DESIGN.md "Event
+// engine v3"): a component whose arrivals are time-monotonic — a Link's
+// propagation pipe, a DelayLine — registers a batch and appends its
+// in-flight packets to a struct-of-arrays queue (parallel arrival-time /
+// seq / arena-handle vectors) instead of pushing one scheduler entry per
+// packet. The queue *is* a sorted run, so the scheduler merges its front
+// against the heap/ready/wheel fronts in pop_next() and, when the batch is
+// globally earliest, synthesizes one kDeliverBatch dispatch that drains
+// every delivery up to the next non-batch event — same-time runs go to the
+// sink as a single deliver_batch() call. Every delivery keeps its unique
+// (time, seq) key, so the firing order is bit-identical to one-entry-per-
+// packet scheduling; only the bookkeeping is amortized.
 #pragma once
 
 #include <cstdint>
@@ -139,6 +152,44 @@ class Scheduler {
     schedule_deliver_handle_at(now_ + delay, sink, h);
   }
 
+  // ---- delivery batches (event engine v3) ----
+
+  /// Identifies one per-sink in-flight batch (see the header comment).
+  using BatchId = std::uint32_t;
+
+  /// Registers a struct-of-arrays in-flight batch delivering into `sink`.
+  /// One per monotonic producer (a Link's propagation pipe, a DelayLine);
+  /// batches are never unregistered — components live for the whole run.
+  [[nodiscard]] BatchId register_delivery_batch(PacketSink& sink);
+
+  /// Re-points a batch at a different sink. Applies to everything still in
+  /// flight — the batch analogue of DelayLine::set_dst()'s fire-time
+  /// dst-read semantics.
+  void rebind_delivery_batch(BatchId id, PacketSink& sink);
+
+  /// Fire-and-forget packet delivery through a batch: like
+  /// schedule_deliver_at, but the in-flight record lives in the batch's
+  /// parallel arrays instead of a heap/wheel entry. Appends must be
+  /// time-monotonic per batch (true for any fixed-delay pipe fed by a
+  /// monotonic clock); an out-of-order append falls back to a regular
+  /// per-event entry bound to the batch's current sink.
+  void schedule_deliver_batch_at(Time at, BatchId id, const Packet& pkt) {
+    schedule_deliver_batch_handle_at(at, id, pool_.acquire(pkt));
+  }
+  void schedule_deliver_batch_after(Time delay, BatchId id, const Packet& pkt) {
+    schedule_deliver_batch_at(now_ + delay, id, pkt);
+  }
+  void schedule_deliver_batch_handle_at(Time at, BatchId id, PacketPool::Handle h);
+  void schedule_deliver_batch_handle_after(Time delay, BatchId id, PacketPool::Handle h) {
+    schedule_deliver_batch_handle_at(now_ + delay, id, h);
+  }
+
+  /// Deliveries currently queued in batch `id` (tests / introspection).
+  [[nodiscard]] std::size_t batch_in_flight(BatchId id) const {
+    const DeliveryBatch& q = batches_[id];
+    return q.at.size() - q.head;
+  }
+
   /// Cancels a pending event. Cancelling an already-fired, already-cancelled
   /// or unknown id is a harmless no-op (timers race with the events that
   /// disarm them).
@@ -167,7 +218,7 @@ class Scheduler {
   [[nodiscard]] std::size_t wheel_entries() const { return wheel_size_; }
 
  private:
-  enum class Kind : std::uint8_t { kClosure, kCall, kDeliver };
+  enum class Kind : std::uint8_t { kClosure, kCall, kDeliver, kDeliverBatch };
 
   /// Sentinel slot for fire-and-forget entries that carry no cancellation
   /// state (kDeliver). Such entries are always live.
@@ -204,22 +255,33 @@ class Scheduler {
         PacketSink* sink;
         PacketPool::Handle handle;
       } deliver;  // kDeliver
+      struct {
+        std::uint32_t id;
+      } batch;  // kDeliverBatch — synthesized by pop_next, never stored
     } u{};
     Kind kind{Kind::kClosure};
   };
   // std::push_heap/pop_heap build a max-heap w.r.t. the comparator, so
   // "later" as less-than puts the earliest (and lowest-seq) entry at front.
-  static bool later(const Entry& a, const Entry& b) {
-    if (a.at != b.at) return a.at > b.at;
-    return a.seq > b.seq;
-  }
+  // Stateless functors (not free functions): passing a function pointer to
+  // the heap algorithms makes every comparison an indirect call.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  static constexpr Later later{};
   // Ascending (time, seq): the ready batch's sort order and the merge order
   // between the batch front and the heap front. seq is unique, so this is a
   // strict total order identical to the firing order.
-  static bool earlier(const Entry& a, const Entry& b) {
-    if (a.at != b.at) return a.at < b.at;
-    return a.seq < b.seq;
-  }
+  struct Earlier {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at < b.at;
+      return a.seq < b.seq;
+    }
+  };
+  static constexpr Earlier earlier{};
 
   // ---- timer wheel geometry ----
   // Ticks are 2^20 ns (~1.05 ms): RTTs, RTOs and pacing gaps all span many
@@ -255,6 +317,10 @@ class Scheduler {
   /// Moves the callback out of a live slot and returns the slot to the free
   /// list (bumping its generation so stale ids/entries cannot alias it).
   std::function<void()> release_slot(std::uint32_t slot);
+  /// As above but destroys the callback (if any) in place instead of
+  /// returning it — cancel() and the kCall fire path discard it anyway, and
+  /// skipping the std::function round-trip matters at RTO-churn rates.
+  void release_slot_discard(std::uint32_t slot);
 
   /// Routes an entry to the wheel (cancellable, far enough out) or the heap.
   void place(const Entry& e);
@@ -282,7 +348,34 @@ class Scheduler {
   /// Rebuilds the heap without stale (cancelled) entries.
   void compact();
   /// Executes one entry: advances the clock and dispatches on kind.
-  void dispatch(const Entry& e);
+  /// `limit` bounds how far a kDeliverBatch dispatch may drain (run_until's
+  /// end time, or Time::never() from run_one).
+  void dispatch(const Entry& e, Time limit);
+
+  // ---- delivery-batch internals (event engine v3) ----
+
+  /// One per-sink struct-of-arrays in-flight queue. The parallel vectors are
+  /// a sorted-by-(at, seq) run: appends are time-monotonic (enforced at
+  /// schedule time; violators fall back to per-event entries) and seq is
+  /// globally increasing, so [head, size) is always in firing order.
+  struct DeliveryBatch {
+    PacketSink* sink{nullptr};
+    std::vector<Time> at;
+    std::vector<std::uint64_t> seq;
+    std::vector<PacketPool::Handle> handle;
+    std::size_t head{0};
+  };
+  static constexpr std::uint32_t kNoBatch = 0xffff'ffffu;
+
+  /// Recomputes batch_min_ (the id of the batch with the earliest front, by
+  /// (at, seq); kNoBatch when all are empty). O(#batches); called only when
+  /// the current minimum's front changes, not per append.
+  void recompute_batch_min();
+  /// Drains batch `id` up to (exclusive) the earliest non-batch event or
+  /// `limit`, delivering same-time runs through one deliver_batch() call.
+  /// With single_step set, delivers exactly the front run's first element
+  /// (run_one's one-event contract).
+  void dispatch_batch(std::uint32_t id, Time limit, bool single_step);
 
   Time now_{Time::zero()};
   std::uint64_t next_seq_{1};
@@ -303,6 +396,14 @@ class Scheduler {
   std::uint64_t occupied_[kLevels]{};
   std::vector<Entry> wheel_[kLevels][kSlotsPerLevel];
   std::vector<Entry> cascade_scratch_;
+  // Memoized next_wheel_tick(∞): the earliest tick at which the wheel does
+  // any work (level-0 spill or cascade). pop_next and the batch drain's
+  // bound recompute consult the wheel once per event, so the occupied-bitmap
+  // scan is cached here — inserts tighten it (min), processing a tick
+  // invalidates it. Removals may leave it conservatively early, which costs
+  // at most one empty process_tick step and is never wrong.
+  mutable std::uint64_t wheel_next_{0};
+  mutable bool wheel_next_valid_{false};
 
   // The ready batch: a spilled level-0 bucket, sorted ascending by
   // (time, seq) and consumed from the front in O(1) — the calendar-queue
@@ -313,6 +414,18 @@ class Scheduler {
   std::vector<Entry> ready_;
   std::size_t ready_pos_{0};
   std::size_t ready_stale_{0};  // cancelled entries still in the batch
+
+  // Delivery batches. batch_live_ counts queued batch deliveries (they are
+  // part of live_ too); batch_min_ caches which batch currently owns the
+  // earliest front so pop_next pays O(1) on the no-batch/quiet path.
+  std::vector<DeliveryBatch> batches_;
+  std::size_t batch_live_{0};
+  std::uint32_t batch_min_{kNoBatch};
+  // Scratch for dispatch_batch: the run's handles and packet pointers are
+  // copied out before delivery so a sink that appends (and reallocates the
+  // SoA vectors) mid-callback cannot invalidate what we are iterating.
+  std::vector<PacketPool::Handle> drain_handles_;
+  std::vector<const Packet*> drain_pkts_;
 };
 
 }  // namespace ccc::sim

@@ -38,16 +38,12 @@ void VariableRateLink::start(Time until) {
   apply_rate();
   const Time first = sched_.now() + dwell(cfg_.markov.mean_good);
   if (first < until_) {
-    sched_.schedule_fire_at(
-        first, [](void* ctx, std::uint64_t) { static_cast<VariableRateLink*>(ctx)->on_transition(); },
-        this);
+    sched_.schedule_member_fire_at<&VariableRateLink::on_transition>(first, this);
   }
   if (cfg_.aggregation.enabled) {
     const Time toggle = sched_.now() + cfg_.aggregation.txop;
     if (toggle < until_) {
-      sched_.schedule_fire_at(
-          toggle, [](void* ctx, std::uint64_t) { static_cast<VariableRateLink*>(ctx)->on_toggle(); },
-          this);
+      sched_.schedule_member_fire_at<&VariableRateLink::on_toggle>(toggle, this);
     }
   }
 }
@@ -59,9 +55,7 @@ void VariableRateLink::on_transition() {
   const Time next =
       sched_.now() + dwell(good_ ? cfg_.markov.mean_good : cfg_.markov.mean_bad);
   if (next < until_) {
-    sched_.schedule_fire_at(
-        next, [](void* ctx, std::uint64_t) { static_cast<VariableRateLink*>(ctx)->on_transition(); },
-        this);
+    sched_.schedule_member_fire_at<&VariableRateLink::on_transition>(next, this);
   }
 }
 
@@ -70,9 +64,7 @@ void VariableRateLink::on_toggle() {
   apply_rate();
   const Time next = sched_.now() + (burst_ ? cfg_.aggregation.txop : cfg_.aggregation.gap);
   if (next < until_) {
-    sched_.schedule_fire_at(
-        next, [](void* ctx, std::uint64_t) { static_cast<VariableRateLink*>(ctx)->on_toggle(); },
-        this);
+    sched_.schedule_member_fire_at<&VariableRateLink::on_toggle>(next, this);
   }
 }
 

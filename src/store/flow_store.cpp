@@ -290,9 +290,19 @@ FlowStoreReader& FlowStoreReader::operator=(FlowStoreReader&& other) noexcept {
   min_rtt_ = other.min_rtt_;
   snap_interval_ = other.snap_interval_;
   ts_offsets_ = other.ts_offsets_;
+  readahead_flows_ = other.readahead_flows_;
+  base_off_ = other.base_off_;
+  pool_off_ = other.pool_off_;
+  file_ = std::move(other.file_);
+  win_buf_ = std::move(other.win_buf_);
+  win_prev_ = std::move(other.win_prev_);
+  win_first_ = other.win_first_;
+  win_last_ = other.win_last_;
   other.base_ = nullptr;
   other.mapped_ = false;
   other.file_bytes_ = 0;
+  other.readahead_flows_ = 0;
+  other.base_off_ = 0;
   return *this;
 }
 
@@ -334,7 +344,13 @@ const std::uint8_t* FlowStoreReader::section(SectionId id, std::uint64_t expect_
     if (e.offset + e.bytes > file_bytes_) {
       throw Error::format(path_, "ccfs: section out of bounds", e.offset);
     }
-    return base_ + e.offset;
+    // base_off_ is 0 in mapped mode; in windowed mode base_ holds only the
+    // file tail from the first scalar section on (the pool is not resident,
+    // and is never requested through here).
+    if (e.offset < base_off_) {
+      throw Error::format(path_, "ccfs: section not resident", e.offset);
+    }
+    return base_ + (e.offset - base_off_);
   }
   throw Error::format(path_, "ccfs: missing section");
 }
@@ -350,6 +366,10 @@ void FlowStoreReader::open_and_validate(const std::string& path, const ReaderOpt
     // Widen the kernel's readahead window for the front-to-back scan we are
     // about to do. A hint: ignore refusal (e.g. on filesystems without it).
     (void)::posix_fadvise(file.fd(), 0, 0, POSIX_FADV_SEQUENTIAL);
+  }
+  if (opts.readahead_flows != 0) {
+    open_windowed(std::move(file), opts);
+    return;
   }
 
   // mmap is the fast path, but mapped page reads cannot be intercepted, so
@@ -447,6 +467,153 @@ void FlowStoreReader::open_and_validate(const std::string& path, const ReaderOpt
       }
     }
   }
+}
+
+void FlowStoreReader::open_windowed(faultfs::File file, const ReaderOptions& opts) {
+  const std::string& path = path_;
+  readahead_flows_ = opts.readahead_flows;
+
+  Header hdr{};
+  file.read_exact_at(0, &hdr, sizeof hdr);
+  if (std::memcmp(hdr.magic, kHeaderMagic, sizeof hdr.magic) != 0) {
+    throw Error::format(path, "ccfs: bad magic", 0);
+  }
+  if (hdr.version != kFormatVersion) {
+    throw Error::format(path, "ccfs: unsupported version " + std::to_string(hdr.version),
+                        offsetof(Header, version));
+  }
+
+  const std::uint64_t footer_off = file_bytes_ - sizeof(Footer);
+  Footer footer{};
+  file.read_exact_at(footer_off, &footer, sizeof footer);
+  if (footer.magic != kFooterMagic) {
+    throw Error::corruption(path, "ccfs: bad footer magic (torn write?)", footer_off);
+  }
+  flow_count_ = footer.flow_count;
+  sample_count_ = footer.sample_count;
+  const std::uint64_t dir_off = footer.directory_offset;
+  if (dir_off < sizeof(Header) || dir_off + sizeof(std::uint32_t) > file_bytes_) {
+    throw Error::format(path, "ccfs: directory offset out of bounds", footer_off);
+  }
+
+  std::uint32_t dir_count = 0;
+  file.read_exact_at(dir_off, &dir_count, sizeof dir_count);
+  const std::uint64_t dir_bytes =
+      sizeof(std::uint32_t) + std::uint64_t{dir_count} * sizeof(DirectoryEntry);
+  if (dir_count != kSectionCount || dir_off + dir_bytes + sizeof(Footer) != file_bytes_) {
+    throw Error::format(path, "ccfs: directory shape mismatch", dir_off);
+  }
+  directory_.resize(dir_count);
+  file.read_exact_at(dir_off + sizeof dir_count, directory_.data(),
+                     dir_count * sizeof(DirectoryEntry));
+
+  if (opts.verify_crc) {
+    // Streaming CRC: same covered range as the mapped path, fixed memory.
+    Crc32 crc;
+    std::vector<std::uint8_t> chunk(std::size_t{4} << 20);
+    std::uint64_t off = sizeof(Header);
+    const std::uint64_t end = dir_off + dir_bytes;
+    while (off < end) {
+      const auto len = static_cast<std::size_t>(std::min<std::uint64_t>(chunk.size(), end - off));
+      file.read_exact_at(off, chunk.data(), len);
+      crc.update(chunk.data(), len);
+      off += len;
+    }
+    if (crc.value() != footer.crc32) {
+      throw Error::corruption(path, "ccfs: CRC mismatch (corrupt file)", sizeof(Header));
+    }
+  }
+
+  // Locate (and bounds-check) the pool section, which stays on disk; only
+  // the tail from the first scalar section onward is made resident.
+  pool_off_ = 0;
+  bool have_pool = false;
+  std::uint64_t tail_start = dir_off;
+  for (const auto& e : directory_) {
+    if (e.offset % kSectionAlign != 0) {
+      throw Error::format(path, "ccfs: misaligned section", e.offset);
+    }
+    if (e.offset + e.bytes > file_bytes_) {
+      throw Error::format(path, "ccfs: section out of bounds", e.offset);
+    }
+    if (e.id == static_cast<std::uint32_t>(SectionId::kTsPool)) {
+      if (e.bytes != sample_count_ * sizeof(double)) {
+        throw Error::format(path, "ccfs: section size mismatch", e.offset);
+      }
+      pool_off_ = e.offset;
+      have_pool = true;
+    } else {
+      tail_start = std::min(tail_start, e.offset);
+    }
+  }
+  if (!have_pool) throw Error::format(path, "ccfs: missing section");
+
+  base_off_ = tail_start;
+  heap_copy_.resize(static_cast<std::size_t>(file_bytes_ - tail_start));
+  file.read_exact_at(tail_start, heap_copy_.data(), heap_copy_.size());
+  base_ = heap_copy_.data();
+  mapped_ = false;
+  file_ = std::move(file);  // kept open: series() preads through it
+
+  const std::uint64_t n = flow_count_;
+  const auto f64 = [&](SectionId id) {
+    return std::span<const double>{
+        reinterpret_cast<const double*>(section(id, n * sizeof(double))), n};
+  };
+  ids_ = std::span<const std::uint64_t>{
+      reinterpret_cast<const std::uint64_t*>(section(SectionId::kId, n * sizeof(std::uint64_t))),
+      n};
+  access_ = std::span<const std::uint8_t>{section(SectionId::kAccess, n), n};
+  truth_ = std::span<const std::uint8_t>{section(SectionId::kTruth, n), n};
+  duration_ = f64(SectionId::kDuration);
+  app_limited_ = f64(SectionId::kAppLimited);
+  rwnd_limited_ = f64(SectionId::kRwndLimited);
+  mean_tput_ = f64(SectionId::kMeanTput);
+  min_rtt_ = f64(SectionId::kMinRtt);
+  snap_interval_ = f64(SectionId::kSnapInterval);
+  ts_offsets_ = std::span<const std::uint64_t>{
+      reinterpret_cast<const std::uint64_t*>(
+          section(SectionId::kTsOffsets, (n + 1) * sizeof(std::uint64_t))),
+      n + 1};
+
+  if (ts_offsets_.front() != 0 || ts_offsets_.back() != sample_count_) {
+    throw Error::corruption(path, "ccfs: ts_offsets endpoints inconsistent");
+  }
+  // Monotonicity is checked unconditionally here (the mapped path gates it
+  // on verify_crc): window fetch sizes are computed from offset differences,
+  // so a non-monotone pair must fail at open, not as a wild pread later.
+  for (std::size_t i = 0; i + 1 < ts_offsets_.size(); ++i) {
+    if (ts_offsets_[i] > ts_offsets_[i + 1]) {
+      throw Error::corruption(path, "ccfs: ts_offsets not monotone");
+    }
+  }
+}
+
+std::span<const double> FlowStoreReader::windowed_series(std::size_t i) const {
+  const std::uint64_t s0 = ts_offsets_[i];
+  const std::uint64_t s1 = ts_offsets_[i + 1];
+  if (i < win_first_ || i >= win_last_) {
+    // Slide the window to start at flow i. A forward scan re-fetches once
+    // per readahead_flows_ flows; any other access pattern is still
+    // correct, just one pread per excursion.
+    const std::size_t last = std::min(i + readahead_flows_, flow_count_);
+    const std::uint64_t w1 = ts_offsets_[last];
+    // Retire the old window into win_prev_ instead of resizing it in
+    // place: spans handed out from it survive this slide, which is what
+    // lets a pipeline drain batch straddle a window boundary (the
+    // span-validity contract in ReaderOptions).
+    std::swap(win_buf_, win_prev_);
+    win_buf_.resize(static_cast<std::size_t>(w1 - s0));
+    if (w1 > s0) {
+      file_.read_exact_at(pool_off_ + s0 * sizeof(double), win_buf_.data(),
+                          static_cast<std::size_t>(w1 - s0) * sizeof(double));
+    }
+    win_first_ = i;
+    win_last_ = last;
+  }
+  const std::uint64_t w0 = ts_offsets_[win_first_];
+  return std::span<const double>{win_buf_}.subspan(static_cast<std::size_t>(s0 - w0),
+                                                   static_cast<std::size_t>(s1 - s0));
 }
 
 }  // namespace ccc::store

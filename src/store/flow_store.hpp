@@ -201,6 +201,25 @@ struct ReaderOptions {
   /// (posix_fadvise/madvise SEQUENTIAL), which widens its readahead window.
   /// Purely a hint: refusal is silent and harmless.
   bool sequential{false};
+  /// When nonzero, the series pool is never mapped or loaded whole: the
+  /// reader keeps the fd open and serves series() from a sliding pread
+  /// window of this many flows, re-fetched on the first access outside it.
+  /// Scalar columns (a few percent of the file) are still loaded up front,
+  /// and verify_crc streams the CRC in fixed-size chunks — so peak memory
+  /// is bounded by the columns + one window however large the pool is,
+  /// which is what lets a passive run scan datasets bigger than RAM.
+  /// Unlike the mmap reader, a windowed reader is NOT safe for concurrent
+  /// use: series() mutates the window. One thread (or one forked child)
+  /// per reader.
+  ///
+  /// Span validity: a span returned by series() stays alive until the
+  /// SECOND window slide after it (the window is double-buffered, so one
+  /// slide retires the previous buffer, the next one reuses it). An
+  /// ascending scan whose in-flight batch is no larger than the window
+  /// slides at most once per batch, so every span in the batch stays
+  /// valid — ShardSet clamps the window to the pipeline's drain batch
+  /// size to guarantee exactly that.
+  std::size_t readahead_flows{0};
 };
 
 /// Read-only, zero-copy view of one ccfs file. The whole file is mapped
@@ -240,8 +259,12 @@ class FlowStoreReader {
   [[nodiscard]] std::span<const double> snapshot_interval_sec() const { return snap_interval_; }
   [[nodiscard]] std::span<const std::uint64_t> ts_offsets() const { return ts_offsets_; }
 
-  /// Flow i's throughput series, as a span into the mapped pool.
+  /// Flow i's throughput series. Mapped mode: a span into the pool mapping,
+  /// valid for the reader's lifetime. Windowed mode (readahead_flows != 0):
+  /// a span into the sliding window buffer, valid until the second series()
+  /// call that slides the window (see ReaderOptions::readahead_flows).
   [[nodiscard]] std::span<const double> series(std::size_t i) const {
+    if (readahead_flows_ != 0) return windowed_series(i);
     return ts_pool_.subspan(ts_offsets_[i], ts_offsets_[i + 1] - ts_offsets_[i]);
   }
 
@@ -271,14 +294,29 @@ class FlowStoreReader {
 
  private:
   void open_and_validate(const std::string& path, const ReaderOptions& opts);
+  void open_windowed(faultfs::File file, const ReaderOptions& opts);
   [[nodiscard]] const std::uint8_t* section(SectionId id, std::uint64_t expect_bytes) const;
   void unmap() noexcept;
+  /// Windowed-mode series(): slides the pread window to cover flow i if it
+  /// does not already, then returns a span into the window buffer.
+  [[nodiscard]] std::span<const double> windowed_series(std::size_t i) const;
 
   std::string path_;
   const std::uint8_t* base_{nullptr};
   std::size_t file_bytes_{0};
   bool mapped_{false};                   // true: munmap; false: heap buffer
-  std::vector<std::uint8_t> heap_copy_;  // mmap fallback storage
+  std::vector<std::uint8_t> heap_copy_;  // mmap fallback / windowed columns
+  // Windowed (batched-pread) mode state. base_ points into heap_copy_,
+  // which holds only the file tail from the first scalar section on;
+  // base_off_ is that tail's file offset (section offsets are absolute).
+  std::size_t readahead_flows_{0};  // 0 = mapped mode
+  std::uint64_t base_off_{0};
+  std::uint64_t pool_off_{0};  // ts_pool section's file offset
+  mutable faultfs::File file_; // stays open to serve window fetches
+  mutable std::vector<double> win_buf_;
+  mutable std::vector<double> win_prev_;  // retired window; keeps spans alive
+  mutable std::size_t win_first_{0};
+  mutable std::size_t win_last_{0};  // window covers flows [first, last)
   std::size_t flow_count_{0};
   std::uint64_t sample_count_{0};
   std::vector<DirectoryEntry> directory_;

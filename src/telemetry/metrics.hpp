@@ -98,6 +98,20 @@ class Histogram {
     return true;
   }
 
+  /// Rebuilds a histogram from its exported parts — the accessors' inverse,
+  /// for results that crossed a process boundary (runner::fork_map). The
+  /// counts vector must be bounds.size()+1 long (overflow included); a
+  /// wrong length is normalized to empty counts rather than trusted.
+  [[nodiscard]] static Histogram from_parts(std::vector<double> bounds,
+                                            std::vector<std::uint64_t> counts,
+                                            std::uint64_t count, double sum) {
+    Histogram h{std::move(bounds)};
+    if (counts.size() == h.counts_.size()) h.counts_ = std::move(counts);
+    h.count_ = count;
+    h.sum_ = sum;
+    return h;
+  }
+
   /// Geometric bucket bounds: n bounds starting at `first`, each `factor`
   /// apart. The standard latency-histogram shape.
   [[nodiscard]] static std::vector<double> geometric_bounds(double first, double factor, int n) {

@@ -1,9 +1,21 @@
 #include "telemetry/run_report.hpp"
 
+#include <sys/resource.h>
+
 #include <fstream>
 #include <sstream>
 
 namespace ccc::telemetry {
+
+namespace {
+/// Peak resident set of this process, in bytes (Linux reports ru_maxrss in
+/// KiB). 0.0 when the kernel refuses — the row is advisory, never fatal.
+double peak_rss_bytes() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  return static_cast<double>(ru.ru_maxrss) * 1024.0;
+}
+}  // namespace
 
 void RunReport::add_scalar(const std::string& scope, const std::string& name, double value,
                            Time at) {
@@ -54,9 +66,14 @@ std::string RunReport::to_jsonl() const {
 }
 
 bool RunReport::emit(const std::string& path) const {
+  // The peak-RSS row is streamed here, not stored in rows_: emit() is the
+  // only per-run surface, while rows()/to_jsonl() feed byte-identity pins
+  // that must not see a machine-dependent value.
+  const ReportRow rss_row{"process", "peak_rss_bytes", "scalar", 0.0, peak_rss_bytes()};
   if (path.empty()) {
     NullSink sink;
     write(sink);
+    sink.row(rss_row);
     return true;
   }
   std::ofstream os{path};
@@ -64,9 +81,11 @@ bool RunReport::emit(const std::string& path) const {
   if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
     CsvSink sink{os};
     write(sink);
+    sink.row(rss_row);
   } else {
     JsonlSink sink{os};
     write(sink);
+    sink.row(rss_row);
   }
   return os.good();
 }

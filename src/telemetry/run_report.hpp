@@ -53,6 +53,13 @@ class RunReport {
   /// Emits through a sink chosen by `path`: "" -> NullSink (the report code
   /// path always runs), "*.csv" -> CsvSink, anything else -> JsonlSink.
   /// Returns false if the file could not be opened.
+  ///
+  /// Every emitted report ends with one extra machine-environment row,
+  /// scope "process" / name "peak_rss_bytes" (getrusage MAXRSS), so memory
+  /// ceilings show up in the same artifact as the numbers they explain. The
+  /// row is streamed at emit time only — rows() and to_jsonl() never see it,
+  /// keeping the determinism pins (which byte-compare those) intact; report
+  /// consumers that diff runs should filter scope "process".
   bool emit(const std::string& path) const;
 
  private:

@@ -1,0 +1,267 @@
+// Tests for the fork-per-shard multi-process pipeline runner
+// (src/runner/fork_map.*, src/pipeline/forked.*).
+//
+// Two contracts under test. fork_map's transport: results come back in
+// task order for any procs count, a throwing task surfaces as a typed
+// ccc::Error carrying the child's message, and a child that DIES (SIGKILL,
+// standing in for the OOM killer) is a typed Error too — never a hang.
+// run_pipeline_forked's determinism: the merged result is byte-identical
+// to the in-process pipeline's aggregates and identical across --procs,
+// because the unit of work is the ccfs shard (procs-independent) and the
+// merge is the same ordered reduction run_pipeline uses.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "mlab/synthetic.hpp"
+#include "pipeline/forked.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/shard_set.hpp"
+#include "runner/fork_map.hpp"
+#include "store/flow_store.hpp"
+#include "telemetry/run_report.hpp"
+#include "util/error.hpp"
+
+namespace ccc::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A unique scratch stem; removes every file sharing the stem on destruction
+/// (sharded writers produce .NNNNN.ccfs siblings).
+class TempStem {
+ public:
+  explicit TempStem(const std::string& stem) {
+    static int counter = 0;
+    path_ = (fs::temp_directory_path() /
+             (stem + "." + std::to_string(::getpid()) + "." + std::to_string(counter++)))
+                .string();
+  }
+  ~TempStem() {
+    std::error_code ec;
+    for (const auto& e : fs::directory_iterator(fs::path(path_).parent_path(), ec)) {
+      const auto name = e.path().filename().string();
+      if (name.rfind(fs::path(path_).filename().string(), 0) == 0) fs::remove(e.path(), ec);
+    }
+  }
+  [[nodiscard]] const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Writes an n-flow synthetic dataset as ccfs shards of `flows_per_shard`.
+std::vector<std::string> write_shards(const std::string& base, std::size_t n,
+                                      std::uint64_t flows_per_shard, std::uint64_t seed = 77) {
+  mlab::SyntheticConfig cfg;
+  cfg.n_flows = n;
+  Rng rng{seed};
+  store::ShardedFlowStoreWriter writer{base, flows_per_shard};
+  mlab::generate_dataset_stream(cfg, rng,
+                                [&writer](mlab::NdtRecord&& rec) { writer.append(rec); });
+  return writer.finish();
+}
+
+/// Everything the determinism contract covers, as comparable text:
+/// aggregates, scoring, and the merged registry (counters + histograms).
+std::string fingerprint(const PipelineResult& r) {
+  telemetry::RunReport report{"forked_test", 0};
+  report.add_scalar("totals", "flows", static_cast<double>(r.flows));
+  for (const auto& [v, c] : r.verdict_map()) {
+    report.add_scalar("verdicts", std::string{to_string(v)}, static_cast<double>(c));
+  }
+  for (std::size_t a = 0; a < r.confusion.size(); ++a) {
+    for (std::size_t v = 0; v < kVerdictCount; ++v) {
+      if (r.confusion[a][v] > 0) {
+        report.add_scalar("confusion", std::to_string(a) + "." + std::to_string(v),
+                          static_cast<double>(r.confusion[a][v]));
+      }
+    }
+  }
+  report.add_scalar("score", "tp", static_cast<double>(r.true_positives));
+  report.add_scalar("score", "fp", static_cast<double>(r.false_positives));
+  report.add_scalar("score", "fn", static_cast<double>(r.false_negatives));
+  report.add_scalar("score", "tn", static_cast<double>(r.true_negatives));
+  report.add_scalar("totals", "changepoints", static_cast<double>(r.changepoints_total));
+  report.add_scalar("totals", "early_exits", static_cast<double>(r.early_exits));
+  report.add_scalar("totals", "samples_scanned", static_cast<double>(r.samples_scanned));
+  report.add_scalar("totals", "records_corrupt", static_cast<double>(r.records_corrupt));
+  report.add_registry("pipeline", r.metrics, Time::zero());
+  return report.to_jsonl();
+}
+
+/// setenv/unsetenv guard for the CCC_FORK_MAP_KILL test hook.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_{name} {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+// ------------------------------------------------------------- fork_map
+
+TEST(ForkMap, ResultsComeBackInTaskOrderForAnyProcs) {
+  const auto work = [](std::size_t i) { return "task-" + std::to_string(i * i); };
+  for (const std::size_t procs : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                  std::size_t{7}, std::size_t{16}}) {
+    const auto out = runner::fork_map(10, procs, work);
+    ASSERT_EQ(out.size(), 10u) << "procs=" << procs;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], "task-" + std::to_string(i * i)) << "procs=" << procs;
+    }
+  }
+}
+
+TEST(ForkMap, LargeBlobsCrossThePipeIntact) {
+  // Each blob is ~1MB — far past the 64KB pipe buffer, so the transfer
+  // exercises partial writes on the child side and partial reads on ours.
+  const auto work = [](std::size_t i) {
+    return std::string(1 << 20, static_cast<char>('a' + i));
+  };
+  const auto out = runner::fork_map(4, 4, work);
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].size(), std::size_t{1} << 20);
+    EXPECT_EQ(out[i].front(), static_cast<char>('a' + i));
+    EXPECT_EQ(out[i].back(), static_cast<char>('a' + i));
+  }
+}
+
+TEST(ForkMap, ChildExceptionSurfacesAsTypedError) {
+  const auto work = [](std::size_t i) -> std::string {
+    if (i == 4) throw Error::config("forked_test", "task 4 says no");
+    return "ok";
+  };
+  try {
+    (void)runner::fork_map(8, 3, work);
+    FAIL() << "fork_map swallowed a child exception";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kIo);
+    EXPECT_NE(std::string{e.what()}.find("task 4 says no"), std::string::npos);
+  }
+}
+
+TEST(ForkMap, KilledChildIsTypedErrorNotHang) {
+  // Worker 1 raises SIGKILL before producing anything — the OOM-killer
+  // stand-in. The parent must reap it and throw, never block on the pipe.
+  ScopedEnv kill_hook{"CCC_FORK_MAP_KILL", "1"};
+  const auto work = [](std::size_t i) { return std::to_string(i); };
+  try {
+    (void)runner::fork_map(6, 3, work);
+    FAIL() << "fork_map did not notice the dead child";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kIo);
+    EXPECT_NE(std::string{e.what()}.find("killed by signal"), std::string::npos);
+  }
+}
+
+// -------------------------------------------------- run_pipeline_forked
+
+TEST(ForkedPipeline, MatchesInProcessAggregatesAndIsProcsInvariant) {
+  TempStem stem{"forked_match.ccfs"};
+  // 1000 flows across 4 shards of 256/256/256/232 — sizes that are NOT
+  // multiples of the pipeline's internal shard_flows, so the per-ccfs-shard
+  // decomposition genuinely differs from the in-process one.
+  const auto paths = write_shards(stem.str(), 1000, 256);
+  ASSERT_EQ(paths.size(), 4u);
+
+  PipelineConfig cfg;
+  cfg.jobs = 1;
+
+  // In-process reference, with the same io-metrics fold fig2 does.
+  telemetry::MetricRegistry io_metrics;
+  const auto set = ShardSet::open(paths, {}, &io_metrics);
+  ASSERT_EQ(set.shards_opened(), 4u);
+  auto in_process = run_pipeline(set.source(), cfg);
+  in_process.metrics.merge_from(io_metrics);
+
+  const auto forked1 = run_pipeline_forked(paths, cfg, {}, 1);
+  const auto forked3 = run_pipeline_forked(paths, cfg, {}, 3);
+  // procs == shards: every worker gets exactly one shard.
+  const auto forked4 = run_pipeline_forked(paths, cfg, {}, 4);
+
+  EXPECT_EQ(forked1.shards_opened, 4u);
+  EXPECT_TRUE(forked1.failures.empty());
+  const std::string want = fingerprint(in_process);
+  EXPECT_EQ(fingerprint(forked1.result), want);
+  EXPECT_EQ(fingerprint(forked3.result), want);
+  EXPECT_EQ(fingerprint(forked4.result), want);
+  EXPECT_EQ(forked1.result.flows, in_process.flows);
+}
+
+TEST(ForkedPipeline, WindowedReadersInChildrenChangeNothing) {
+  TempStem stem{"forked_windowed.ccfs"};
+  const auto paths = write_shards(stem.str(), 600, 200);
+  PipelineConfig cfg;
+  cfg.jobs = 1;
+  ShardOpenOptions windowed;
+  windowed.sequential = true;
+  windowed.readahead_flows = 13;  // tiny window: many slides per shard
+  const auto plain = run_pipeline_forked(paths, cfg, {}, 2);
+  const auto bounded = run_pipeline_forked(paths, cfg, windowed, 2);
+  EXPECT_EQ(fingerprint(bounded.result), fingerprint(plain.result));
+}
+
+TEST(ForkedPipeline, KeepFindingsIsRejected) {
+  PipelineConfig cfg;
+  cfg.keep_findings = true;
+  try {
+    (void)run_pipeline_forked({"/nonexistent.ccfs"}, cfg, {}, 2);
+    FAIL() << "forked runner accepted keep_findings";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kConfig);
+  }
+}
+
+TEST(ForkedPipeline, DegradeModeSkipsCorruptShardAndReportsIt) {
+  TempStem stem{"forked_degrade.ccfs"};
+  const auto paths = write_shards(stem.str(), 600, 200);
+  ASSERT_EQ(paths.size(), 3u);
+  fs::resize_file(paths[1], fs::file_size(paths[1]) - 16);  // torn shard
+
+  PipelineConfig cfg;
+  cfg.jobs = 1;
+  const auto forked = run_pipeline_forked(paths, cfg, {}, 3);
+  EXPECT_EQ(forked.shards_opened, 2u);
+  ASSERT_EQ(forked.failures.size(), 1u);
+  EXPECT_EQ(forked.failures[0].path, paths[1]);
+  EXPECT_EQ(forked.failures[0].category, ErrorCategory::kCorruption);
+  EXPECT_EQ(forked.result.flows, 400u);
+
+  // strict mode: the child's open failure crosses the pipe as an error.
+  ShardOpenOptions strict;
+  strict.strict = true;
+  try {
+    (void)run_pipeline_forked(paths, cfg, strict, 3);
+    FAIL() << "strict forked run ignored a torn shard";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kIo);  // wrapped child error
+    EXPECT_NE(std::string{e.what()}.find("ccfs"), std::string::npos);
+  }
+}
+
+TEST(ForkedPipeline, KilledChildMidShardIsTypedErrorNotHang) {
+  TempStem stem{"forked_killed.ccfs"};
+  const auto paths = write_shards(stem.str(), 600, 200);
+  ScopedEnv kill_hook{"CCC_FORK_MAP_KILL", "1"};
+  PipelineConfig cfg;
+  cfg.jobs = 1;
+  try {
+    (void)run_pipeline_forked(paths, cfg, {}, 2);
+    FAIL() << "forked runner did not notice the dead child";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kIo);
+    EXPECT_NE(std::string{e.what()}.find("killed by signal"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ccc::pipeline

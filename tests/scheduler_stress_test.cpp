@@ -306,4 +306,163 @@ TEST(SchedulerStress, PacketPoolRecyclesSlots) {
   EXPECT_LE(sched.packets().capacity(), 4u);
 }
 
+/// Golden firing order with kDeliverBatch in the mix. Batch deliveries
+/// live in per-sink SoA queues merged into the schedule as synthesized
+/// fronts (never stored as entries), so the test that matters is exactly
+/// the v2 golden test's: an adversarial interleaving of batch deliveries
+/// with every other kind — equal-time ties across kinds, heavy same-tick
+/// runs within one batch, and a third of the cancellable timers cancelled
+/// mid-run — must fire in the (time, schedule-order) sequence of an
+/// independent model. Runs the workload twice: once through run_until
+/// (bulk drain, fused heap path) and once event-by-event through run_one
+/// (the single_step fallback), which must agree with the model and with
+/// each other.
+TEST(SchedulerStress, GoldenOrderWithBatchDeliveriesMatchesReferenceModel) {
+  constexpr int kEvents = 20'000;
+  struct Ctx {
+    std::vector<int>* log;
+    int label;
+  };
+
+  // Builds the identical workload on a fresh scheduler and returns the
+  // reference model; `fired` receives labels in actual firing order.
+  auto build = [&](Scheduler& sched, std::vector<int>& fired, std::vector<Ctx>& ctxs,
+                   LabelSink& sink_plain, LabelSink& sink_a, LabelSink& sink_b) {
+    sink_plain.log = &fired;
+    sink_a.log = &fired;
+    sink_b.log = &fired;
+    const Scheduler::BatchId batch_a = sched.register_delivery_batch(sink_a);
+    const Scheduler::BatchId batch_b = sched.register_delivery_batch(sink_b);
+
+    std::vector<RefEvent> model;
+    model.reserve(kEvents);
+    std::vector<std::pair<EventId, std::size_t>> cancellable;
+    Mix rng{0xba7c4ull};
+    std::uint64_t order = 0;
+    for (int i = 0; i < kEvents; ++i) {
+      // A small time alphabet on purpose: massive equal-time ties force
+      // long same-tick runs inside each batch queue (the bulk-drain path)
+      // while still interleaving the two batches and the other kinds.
+      Time at;
+      switch (rng.below(4)) {
+        case 0: at = Time::ms(static_cast<std::int64_t>(rng.below(8))); break;
+        case 1: at = Time::us(static_cast<std::int64_t>(100 * rng.below(50))); break;
+        case 2: at = Time::ms(static_cast<std::int64_t>(50 + rng.below(20))); break;
+        default: at = Time::sec(static_cast<double>(1 + rng.below(3))); break;
+      }
+      ctxs[static_cast<std::size_t>(i)] = {&fired, i};
+      switch (rng.below(5)) {
+        case 0: {  // closure (cancellable)
+          auto* log = &fired;
+          const EventId id = sched.schedule_at(at, [log, i] { log->push_back(i); });
+          cancellable.emplace_back(id, model.size());
+          break;
+        }
+        case 1: {  // typed call (cancellable)
+          const EventId id = sched.schedule_call_at(
+              at,
+              [](void* c, std::uint64_t) {
+                auto* ctx = static_cast<Ctx*>(c);
+                ctx->log->push_back(ctx->label);
+              },
+              &ctxs[static_cast<std::size_t>(i)]);
+          cancellable.emplace_back(id, model.size());
+          break;
+        }
+        case 2: {  // plain arena delivery (kDeliver)
+          sim::Packet p;
+          p.flow = static_cast<sim::FlowId>(i);
+          sched.schedule_deliver_at(at, sink_plain, p);
+          break;
+        }
+        case 3: {  // SoA batch delivery, sink A
+          sim::Packet p;
+          p.flow = static_cast<sim::FlowId>(i);
+          sched.schedule_deliver_batch_at(at, batch_a, p);
+          break;
+        }
+        default: {  // SoA batch delivery, sink B
+          sim::Packet p;
+          p.flow = static_cast<sim::FlowId>(i);
+          sched.schedule_deliver_batch_at(at, batch_b, p);
+          break;
+        }
+      }
+      model.push_back({at, order++, i});
+    }
+    for (std::size_t k = 0; k < cancellable.size(); ++k) {
+      if (rng.below(3) == 0) {
+        sched.cancel(cancellable[k].first);
+        model[cancellable[k].second].cancelled = true;
+      }
+    }
+    return model;
+  };
+
+  // Leg 1: bulk run_until.
+  Scheduler bulk;
+  std::vector<int> bulk_fired;
+  bulk_fired.reserve(kEvents);
+  std::vector<Ctx> bulk_ctxs(kEvents);
+  LabelSink bp, ba, bb;
+  const auto model = build(bulk, bulk_fired, bulk_ctxs, bp, ba, bb);
+  bulk.run_until(Time::sec(10));
+
+  // Leg 2: the same workload stepped one event at a time (single_step).
+  Scheduler stepped;
+  std::vector<int> step_fired;
+  step_fired.reserve(kEvents);
+  std::vector<Ctx> step_ctxs(kEvents);
+  LabelSink sp, sa, sb;
+  (void)build(stepped, step_fired, step_ctxs, sp, sa, sb);
+  while (stepped.run_one()) {
+  }
+
+  std::vector<RefEvent> expect;
+  for (const auto& e : model) {
+    if (!e.cancelled) expect.push_back(e);
+  }
+  std::stable_sort(expect.begin(), expect.end(), [](const RefEvent& a, const RefEvent& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.order < b.order;
+  });
+
+  ASSERT_EQ(bulk_fired.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    ASSERT_EQ(bulk_fired[i], expect[i].label) << "bulk divergence at position " << i;
+  }
+  EXPECT_EQ(step_fired, bulk_fired);
+  EXPECT_EQ(bulk.pending(), 0u);
+  EXPECT_EQ(stepped.pending(), 0u);
+}
+
+/// The batch drain returns arena handles as it delivers, not at tick end:
+/// steady-state relay traffic through a registered batch must keep pool
+/// capacity at the in-flight high-water mark (two ping-ponging packets plus
+/// their same-tick reschedules), not grow with the hop count.
+TEST(SchedulerStress, BatchDrainRecyclesArenaSlotsWithinTick) {
+  Scheduler sched;
+  struct BatchRelay : sim::PacketSink {
+    Scheduler* sched{nullptr};
+    Scheduler::BatchId batch{0};
+    int hops{0};
+    void deliver(const sim::Packet& p) override {
+      if (++hops < 50'000) sched->schedule_deliver_batch_after(Time::us(7), batch, p);
+    }
+  } relay;
+  relay.sched = &sched;
+  relay.batch = sched.register_delivery_batch(relay);
+  sim::Packet seed;
+  seed.flow = 9;
+  // Both packets land on the same batch tick every hop, so every drain is
+  // the run-of-2 bulk path: 2 handles held during delivery, 2 acquired by
+  // the reschedules. Capacity beyond 4 means a handle out-lived its drain.
+  sched.schedule_deliver_batch_at(Time::zero(), relay.batch, seed);
+  sched.schedule_deliver_batch_at(Time::zero(), relay.batch, seed);
+  sched.run_until(Time::sec(1));
+  EXPECT_EQ(sched.packets().live(), 0u);
+  EXPECT_EQ(sched.batch_in_flight(relay.batch), 0u);
+  EXPECT_LE(sched.packets().capacity(), 4u);
+}
+
 }  // namespace

@@ -124,6 +124,103 @@ TEST(FlowStore, CorruptionIsDetectedByCrc) {
   EXPECT_NO_THROW((FlowStoreReader{p.str(), /*verify_crc=*/false}));
 }
 
+/// The windowed-pread mode (readahead_flows != 0) must be indistinguishable
+/// from the mmap mode through the public API: identical scalars, identical
+/// series bytes — including across window slides and backward excursions,
+/// the access patterns where a rebasing bug would show.
+TEST(FlowStore, WindowedPreadModeMatchesMmap) {
+  const auto dataset = make_dataset(300);
+  TempPath p{"store_windowed.ccfs"};
+  write_store(p.str(), dataset);
+
+  FlowStoreReader mapped{p.str()};
+  ReaderOptions wopts;
+  wopts.sequential = true;
+  wopts.readahead_flows = 7;  // deliberately tiny and odd: many slides
+  FlowStoreReader windowed{p.str(), wopts};
+
+  ASSERT_EQ(windowed.size(), mapped.size());
+  ASSERT_EQ(windowed.samples(), mapped.samples());
+  auto expect_same = [&](std::size_t i) {
+    const auto a = mapped.at(i);
+    const auto b = windowed.at(i);
+    EXPECT_EQ(b.id, a.id);
+    EXPECT_EQ(b.access, a.access);
+    EXPECT_EQ(b.truth, a.truth);
+    EXPECT_EQ(b.duration_sec, a.duration_sec);
+    EXPECT_EQ(b.app_limited_sec, a.app_limited_sec);
+    EXPECT_EQ(b.rwnd_limited_sec, a.rwnd_limited_sec);
+    EXPECT_EQ(b.mean_throughput_mbps, a.mean_throughput_mbps);
+    EXPECT_EQ(b.min_rtt_ms, a.min_rtt_ms);
+    EXPECT_EQ(b.snapshot_interval_sec, a.snapshot_interval_sec);
+    ASSERT_EQ(b.throughput_mbps.size(), a.throughput_mbps.size());
+    for (std::size_t k = 0; k < a.throughput_mbps.size(); ++k) {
+      ASSERT_EQ(b.throughput_mbps[k], a.throughput_mbps[k]) << "flow " << i << " sample " << k;
+    }
+  };
+  for (std::size_t i = 0; i < mapped.size(); ++i) expect_same(i);
+  // Backward and far-jump excursions re-fetch the window; still exact.
+  expect_same(250);
+  expect_same(3);
+  expect_same(299);
+  expect_same(0);
+}
+
+/// verify_crc in windowed mode streams the CRC through a bounded buffer —
+/// it must still catch a flipped byte, and opting out must still open.
+TEST(FlowStore, WindowedModeVerifiesCrc) {
+  const auto dataset = make_dataset(50);
+  TempPath p{"store_windowed_crc.ccfs"};
+  write_store(p.str(), dataset);
+  {
+    std::fstream f{p.str(), std::ios::in | std::ios::out | std::ios::binary};
+    f.seekp(static_cast<std::streamoff>(fs::file_size(p.str()) / 2));
+    char b = 0;
+    f.read(&b, 1);
+    f.seekp(-1, std::ios::cur);
+    b = static_cast<char>(b ^ 0x40);
+    f.write(&b, 1);
+  }
+  ReaderOptions wopts;
+  wopts.readahead_flows = 16;
+  try {
+    FlowStoreReader r{p.str(), wopts};
+    FAIL() << "windowed reader accepted a corrupt file";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kCorruption);
+    EXPECT_EQ(e.path(), p.str());
+  }
+  wopts.verify_crc = false;
+  EXPECT_NO_THROW((FlowStoreReader{p.str(), wopts}));
+}
+
+/// Structural rejection (truncation, garbage) is mode-independent: the
+/// windowed open runs the same footer/directory checks via pread.
+TEST(FlowStore, WindowedModeRejectsTruncationAndGarbage) {
+  const auto dataset = make_dataset(50);
+  TempPath p{"store_windowed_trunc.ccfs"};
+  write_store(p.str(), dataset);
+  fs::resize_file(p.str(), fs::file_size(p.str()) - 16);
+  ReaderOptions wopts;
+  wopts.readahead_flows = 16;
+  try {
+    FlowStoreReader r{p.str(), wopts};
+    FAIL() << "windowed reader accepted a truncated file";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kCorruption);
+  }
+
+  TempPath g{"store_windowed_garbage.ccfs"};
+  std::ofstream{g.str(), std::ios::binary} << std::string(4096, 'x');
+  try {
+    FlowStoreReader r{g.str(), wopts};
+    FAIL() << "windowed reader accepted garbage";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kFormat);
+    EXPECT_EQ(e.byte_offset(), 0u);
+  }
+}
+
 TEST(FlowStore, TruncatedFileIsRejected) {
   const auto dataset = make_dataset(50);
   TempPath p{"store_trunc.ccfs"};
