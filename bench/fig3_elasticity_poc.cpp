@@ -12,11 +12,55 @@
 // The five phases run as independent single-phase simulations fanned out
 // over an ExperimentRunner (`--jobs N` / CCC_JOBS); pass `--serial` to run
 // the original continuous single-simulation timeline instead.
+//
+// `--service` switches to the streaming-service sweep: the same five
+// cross-traffic archetypes replayed across three path cells (wired/DropTail
+// plus the PR-8 wireless/AQM corners) with every probe z sample mirrored
+// into a src/elastic SessionTable session, scoring the incremental
+// streaming verdict against the offline full-FFT classifier tick by tick.
 #include <iostream>
 
 #include "bench/cli.hpp"
 #include "core/elasticity_study.hpp"
+#include "elastic/study.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// The --service sweep body: agreement table + shape check. Success means
+/// every (phase, cell) scenario's streaming verdict agrees with the offline
+/// classifier on >= 97% of warm ticks.
+int run_service_sweep(ccc::bench::Cli& cli, const ccc::core::ElasticityPocConfig& cfg,
+                      std::ostream& os) {
+  using namespace ccc;
+  constexpr double kMinAgreement = 0.97;
+
+  const auto sweep = elastic::run_service_sweep(cfg, cli.serial ? 1 : cli.jobs);
+
+  TextTable table{{"phase", "cell", "ticks", "agreement", "offline frac>thresh",
+                   "service frac>thresh", "verdict", "confidence"}};
+  for (const auto& s : sweep.scenarios) {
+    table.add_row({s.phase, s.cell, std::to_string(s.ticks), TextTable::num(s.agreement, 3),
+                   TextTable::num(s.offline_frac_elastic, 2),
+                   TextTable::num(s.service_frac_elastic, 2),
+                   std::string{elastic::verdict_name(s.final_verdict)},
+                   TextTable::num(s.final_confidence, 2)});
+  }
+  table.print(os);
+
+  os << "\nshape check: min agreement=" << TextTable::num(sweep.min_agreement, 3)
+     << " (mean " << TextTable::num(sweep.mean_agreement, 3) << ") vs floor "
+     << TextTable::num(kMinAgreement, 2) << " -> "
+     << (sweep.min_agreement >= kMinAgreement ? "REPRODUCED" : "NOT reproduced") << "\n";
+
+  if (!sweep.report.emit(cli.report)) {
+    std::cerr << "fig3_elasticity_poc: cannot write --report file '" << cli.report << "'\n";
+    return 2;
+  }
+  return sweep.min_agreement >= kMinAgreement ? 0 : 1;
+}
+
+}  // namespace
 
 /// The bench body; main() below routes uncaught errors through the shared
 /// guarded_main error boundary (structured message + exit-code contract).
@@ -29,6 +73,14 @@ int run_bench(int argc, char** argv) {
   core::ElasticityPocConfig cfg;  // paper defaults: 48 Mbit/s, 100 ms, 45 s
   cfg.seed = cli.seed_or(cfg.seed);
   cfg.phase_duration = cli.duration_or(cfg.phase_duration);
+
+  if (cli.service) {
+    print_banner(os, "Figure 3 (service): streaming elasticity verdicts vs offline FFT");
+    os << "link " << cfg.link_rate.to_mbps() << " Mbit/s, RTT "
+       << (2 * cfg.one_way_delay).to_ms() << " ms, phases of "
+       << cfg.phase_duration.to_sec() << " s, 3 path cells\n";
+    return run_service_sweep(cli, cfg, os);
+  }
   print_banner(os, "Figure 3: actively measuring elasticity (Nimbus probe)");
   os << "link " << cfg.link_rate.to_mbps() << " Mbit/s, RTT "
      << (2 * cfg.one_way_delay).to_ms() << " ms, phases of "

@@ -24,7 +24,7 @@ runs=${CCC_PERF_RUNS:-3}
 tmp=$(mktemp -d)
 trap 'rm -rf "${tmp}"' EXIT
 
-for bin in micro_sim micro_store micro_ingest micro_sweep; do
+for bin in micro_sim micro_store micro_ingest micro_sweep micro_fft micro_elastic; do
   [ -x "${build}/bench/${bin}" ] || {
     echo "run_perf_smoke: ${build}/bench/${bin} not built (cmake --build ${build})" >&2
     exit 2
@@ -46,11 +46,14 @@ check() {
     {
       scope = field($0, "scope"); name = field($0, "name")
       if (scope == "" || name !~ /_per_sec$/) next
+      # Key on scope/name: a scope may publish several rates (e.g.
+      # elastic_sessions has fleet_updates_per_sec AND sessions_per_sec).
+      key = scope "/" name
       v = field($0, "value") + 0
       if (FILENAME == base_file) {
-        if (scope !~ /^pre\./) base[scope] = v
-      } else if (v > cur[scope]) {
-        cur[scope] = v
+        if (scope !~ /^pre\./) base[key] = v
+      } else if (v > cur[key]) {
+        cur[key] = v
       }
     }
     END {
@@ -58,7 +61,7 @@ check() {
       for (s in base) {
         if (!(s in cur)) { printf "FAIL %s/%s: missing from current run\n", bench, s; fail = 1; continue }
         ratio = cur[s] / base[s]
-        printf "%-11s %-22s %14.0f -> %14.0f   %.2fx\n", bench, s, base[s], cur[s], ratio
+        printf "%-11s %-40s %14.0f -> %14.0f   %.2fx\n", bench, s, base[s], cur[s], ratio
         if (ratio < thresh) {
           printf "FAIL %s/%s regressed: %.2fx < %.2fx floor\n", bench, s, ratio, thresh
           fail = 1
@@ -90,6 +93,39 @@ for bench in micro_sim micro_store micro_ingest micro_sweep; do
   base="BENCH_${bench#micro_}.json"
   check "${bench}" "${base}" "${reports[@]}" || status=1
 done
+
+# micro_fft and micro_elastic share one baseline file (BENCH_fft.json): the
+# elastic service's headline rates are gated next to the full-FFT rates they
+# are quoted against in EXPERIMENTS.md. Both binaries do best-of-N via
+# --repeat; --benchmark_filter=^$ skips the google-benchmark cases so only
+# the headline report loops run.
+spectrum_reports=()
+for bench in micro_fft micro_elastic; do
+  "${build}/bench/${bench}" --repeat "${runs}" --benchmark_filter=^$ \
+    --report "${tmp}/${bench}.jsonl" >/dev/null
+  spectrum_reports+=("${tmp}/${bench}.jsonl")
+done
+check "spectrum" BENCH_fft.json "${spectrum_reports[@]}" || status=1
+
+# The service PR's headline claim, gated absolutely (not vs a baseline):
+# streaming verdict updates must beat the full-FFT 1024-window rate by 10x.
+awk '
+  function field(line, key,   s) {
+    if (!match(line, "\"" key "\":\"?")) return ""
+    s = substr(line, RSTART + RLENGTH)
+    sub(/[",}].*/, "", s)
+    return s
+  }
+  field($0, "scope") == "elastic_incremental" &&
+    field($0, "name") == "verdict_updates_per_sec" { inc = field($0, "value") + 0 }
+  field($0, "scope") == "elastic_fullfft_1024" &&
+    field($0, "name") == "windows_per_sec" { full = field($0, "value") + 0 }
+  END {
+    if (inc <= 0 || full <= 0) { print "FAIL elastic 10x gate: rates missing"; exit 1 }
+    printf "%-11s %-22s %14.0f vs %11.0f   %.1fx (>= 10x required)\n",
+           "elastic", "verdict_updates", inc, full, inc / full
+    if (inc < 10 * full) { printf "FAIL elastic: %.1fx < 10x full-FFT floor\n", inc / full; exit 1 }
+  }' "${tmp}/micro_elastic.jsonl" || status=1
 
 if [ "${status}" -ne 0 ]; then
   echo "run_perf_smoke: regression beyond $(awk -v t="${thresh}" 'BEGIN{printf "%.0f", (1-t)*100}')% detected" >&2

@@ -139,6 +139,9 @@ std::string Cli::usage(std::string_view bench_name) {
       "  --procs N         worker processes for the passive pipeline\n"
       "                    (fork per shard group; default 1 = in-process,\n"
       "                    max 256)\n"
+      "  --service         replay the scenarios through the streaming\n"
+      "                    elasticity service and score verdict agreement\n"
+      "                    against the offline classifier (fig3)\n"
       "  --help, -h        this text\n";
   return u;
 }
@@ -226,6 +229,8 @@ Cli Cli::parse(int argc, char** argv, std::string_view bench_name) {
       }
     } else if (arg == "--resume") {
       cli.resume = true;
+    } else if (arg == "--service") {
+      cli.service = true;
     } else if (const char* v = value_of("--repeat"); v != nullptr || arg == "--repeat") {
       std::uint64_t x = 0;
       std::string err;

@@ -24,6 +24,10 @@
 //   --repeat N                         run each measured scope N times and
 //                                      keep the best (micro benches; parse()
 //                                      only records the count)
+//   --service                          route the bench through the streaming
+//                                      elasticity service instead of the
+//                                      offline classifier (fig3; parse()
+//                                      only records the flag)
 //   --procs N                          worker *processes* for the passive
 //                                      pipeline (fork-per-shard-group; 1 =
 //                                      in-process, the default)
@@ -104,6 +108,7 @@ class Cli {
   bool resume{false};      ///< load the journal and skip completed cells
   std::size_t repeat{0};   ///< best-of-N repetitions; 0 = bench default
   std::size_t procs{0};    ///< pipeline worker processes; 0 = bench default (1)
+  bool service{false};     ///< run the streaming-service variant (fig3)
   std::vector<std::string> rest;  ///< unrecognized argv entries, in order
 
   /// Range caps for the shared count flags (enforced by parse; public so

@@ -17,13 +17,16 @@ namespace ccc::core {
 
 namespace {
 
-constexpr int kPhaseCount = 5;
-constexpr const char* kPhaseNames[kPhaseCount] = {"reno-bulk", "bbr-bulk", "abr-video",
-                                                  "poisson-short", "cbr-udp"};
+constexpr const char* kPhaseNames[kElasticityPhaseCount] = {
+    "reno-bulk", "bbr-bulk", "abr-video", "poisson-short", "cbr-udp"};
+
+}  // namespace
+
+const char* elasticity_phase_name(int phase) { return kPhaseNames[phase]; }
 
 /// Builds the shared dumbbell (link + buffer sizing rationale is identical
 /// for the serial and per-phase variants).
-DumbbellConfig poc_dumbbell(const ElasticityPocConfig& cfg, std::uint64_t seed) {
+DumbbellConfig elasticity_dumbbell(const ElasticityPocConfig& cfg, std::uint64_t seed) {
   DumbbellConfig dc;
   dc.bottleneck_rate = cfg.link_rate;
   dc.one_way_delay = cfg.one_way_delay;
@@ -40,21 +43,9 @@ DumbbellConfig poc_dumbbell(const ElasticityPocConfig& cfg, std::uint64_t seed) 
   return dc;
 }
 
-/// Appends phase `i`'s headline scalars (canonical-timeline windows) to the
-/// report — the shared row layout of the serial and parallel variants.
-void report_phase_scalars(telemetry::RunReport& report, const PhaseSummary& s) {
-  const Time at = Time::sec(s.t_end_sec);
-  report.add_scalar(s.name, "t_begin_sec", s.t_begin_sec, at);
-  report.add_scalar(s.name, "t_end_sec", s.t_end_sec, at);
-  report.add_scalar(s.name, "median_elasticity", s.median_elasticity, at);
-  report.add_scalar(s.name, "p90_elasticity", s.p90_elasticity, at);
-  report.add_scalar(s.name, "frac_elastic", s.frac_elastic, at);
-  report.add_scalar(s.name, "probe_goodput_mbps", s.probe_goodput_mbps, at);
-}
-
 /// Installs the probe flow and returns a handle to it.
-nimbus::NimbusCca* add_probe(DumbbellScenario& net, const ElasticityPocConfig& cfg,
-                             std::size_t* probe_idx) {
+nimbus::NimbusCca* add_elasticity_probe(DumbbellScenario& net, const ElasticityPocConfig& cfg,
+                                        std::size_t* probe_idx) {
   // The paper's testbed emulates a known 48 Mbit/s link, so the probe gets
   // the capacity as a hint (the deployed measurement study would obtain it
   // from a prior speedtest-style estimate). The windowed-max estimator
@@ -70,8 +61,8 @@ nimbus::NimbusCca* add_probe(DumbbellScenario& net, const ElasticityPocConfig& c
 }
 
 /// Adds phase `phase`'s cross traffic (all user 2), active on [begin, end).
-void add_phase_traffic(DumbbellScenario& net, const ElasticityPocConfig& cfg, int phase,
-                       Time begin, Time end) {
+void add_elasticity_phase_traffic(DumbbellScenario& net, const ElasticityPocConfig& cfg,
+                                  int phase, Time begin, Time end) {
   switch (phase) {
     case 0:  // backlogged NewReno
       net.add_flow(
@@ -116,6 +107,20 @@ void add_phase_traffic(DumbbellScenario& net, const ElasticityPocConfig& cfg, in
   }
 }
 
+namespace {
+
+/// Appends phase `i`'s headline scalars (canonical-timeline windows) to the
+/// report — the shared row layout of the serial and parallel variants.
+void report_phase_scalars(telemetry::RunReport& report, const PhaseSummary& s) {
+  const Time at = Time::sec(s.t_end_sec);
+  report.add_scalar(s.name, "t_begin_sec", s.t_begin_sec, at);
+  report.add_scalar(s.name, "t_end_sec", s.t_end_sec, at);
+  report.add_scalar(s.name, "median_elasticity", s.median_elasticity, at);
+  report.add_scalar(s.name, "p90_elasticity", s.p90_elasticity, at);
+  report.add_scalar(s.name, "frac_elastic", s.frac_elastic, at);
+  report.add_scalar(s.name, "probe_goodput_mbps", s.probe_goodput_mbps, at);
+}
+
 /// Summarizes the probe's elasticity samples over a phase window, skipping
 /// the first 20%: there the FFT window still spans what came before the
 /// phase (the previous phase serially, the warmup in per-phase runs).
@@ -145,13 +150,13 @@ struct SinglePhaseResult {
 };
 
 SinglePhaseResult run_single_phase(const ElasticityPocConfig& cfg, int phase) {
-  DumbbellScenario net{poc_dumbbell(cfg, runner::derive_seed(cfg.seed, phase))};
+  DumbbellScenario net{elasticity_dumbbell(cfg, runner::derive_seed(cfg.seed, phase))};
   std::size_t probe_idx = 0;
-  nimbus::NimbusCca* probe = add_probe(net, cfg, &probe_idx);
+  nimbus::NimbusCca* probe = add_elasticity_probe(net, cfg, &probe_idx);
 
   const Time begin = cfg.warmup;
   const Time end = cfg.warmup + cfg.phase_duration;
-  add_phase_traffic(net, cfg, phase, begin, end);
+  add_elasticity_phase_traffic(net, cfg, phase, begin, end);
 
   SinglePhaseResult out;
   out.elasticity.name = "elasticity";
@@ -180,9 +185,9 @@ SinglePhaseResult run_single_phase(const ElasticityPocConfig& cfg, int phase) {
 }  // namespace
 
 ElasticityPocResult run_elasticity_poc(const ElasticityPocConfig& cfg) {
-  DumbbellScenario net{poc_dumbbell(cfg, cfg.seed)};
+  DumbbellScenario net{elasticity_dumbbell(cfg, cfg.seed)};
   std::size_t probe_idx = 0;
-  nimbus::NimbusCca* probe = add_probe(net, cfg, &probe_idx);
+  nimbus::NimbusCca* probe = add_elasticity_probe(net, cfg, &probe_idx);
 
   // --- the five phases, back to back on one timeline ---
   const Time p = cfg.phase_duration;
@@ -192,9 +197,9 @@ ElasticityPocResult run_elasticity_poc(const ElasticityPocConfig& cfg) {
     Time end;
   };
   std::vector<Phase> phases;
-  for (int i = 0; i < kPhaseCount; ++i) {
+  for (int i = 0; i < kElasticityPhaseCount; ++i) {
     phases.push_back({t0 + p * i, t0 + p * (i + 1)});
-    add_phase_traffic(net, cfg, i, phases.back().begin, phases.back().end);
+    add_elasticity_phase_traffic(net, cfg, i, phases.back().begin, phases.back().end);
   }
 
   // --- sampling ---
@@ -210,7 +215,7 @@ ElasticityPocResult run_elasticity_poc(const ElasticityPocConfig& cfg) {
 
   // --- run phase by phase, measuring probe goodput per phase ---
   net.run_until(t0);
-  for (int i = 0; i < kPhaseCount; ++i) {
+  for (int i = 0; i < kElasticityPhaseCount; ++i) {
     const auto& ph = phases[i];
     const auto snap = net.snapshot_delivered();
     net.run_until(ph.end);
@@ -235,7 +240,7 @@ ElasticityPocResult run_elasticity_poc_parallel(const ElasticityPocConfig& cfg,
                                                 unsigned jobs) {
   runner::ExperimentRunner pool{{.jobs = jobs}};
   const auto singles = pool.map<SinglePhaseResult>(
-      kPhaseCount, [&cfg](std::size_t i) { return run_single_phase(cfg, static_cast<int>(i)); });
+      kElasticityPhaseCount, [&cfg](std::size_t i) { return run_single_phase(cfg, static_cast<int>(i)); });
 
   // Stitch the independent phases back onto the canonical timeline: phase i's
   // local window [warmup, warmup+p) maps to [warmup + p*i, warmup + p*(i+1)).
@@ -244,7 +249,7 @@ ElasticityPocResult run_elasticity_poc_parallel(const ElasticityPocConfig& cfg,
   result.probe_rate_mbps.name = "probe_base_rate_mbps";
   const double p = cfg.phase_duration.to_sec();
   const double t0 = cfg.warmup.to_sec();
-  for (int i = 0; i < kPhaseCount; ++i) {
+  for (int i = 0; i < kElasticityPhaseCount; ++i) {
     const auto& single = singles[i];
     const double shift = p * i;
     for (std::size_t k = 0; k < single.elasticity.size(); ++k) {
@@ -267,7 +272,7 @@ ElasticityPocResult run_elasticity_poc_parallel(const ElasticityPocConfig& cfg,
   // report is byte-identical for any `jobs`.
   result.report.set_bench("fig3_elasticity_poc", cfg.seed);
   for (const auto& s : result.phases) report_phase_scalars(result.report, s);
-  for (int i = 0; i < kPhaseCount; ++i) result.report.append(singles[i].fragment);
+  for (int i = 0; i < kElasticityPhaseCount; ++i) result.report.append(singles[i].fragment);
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/dumbbell.hpp"
 #include "nimbus/nimbus.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/sampler.hpp"
@@ -59,6 +60,31 @@ struct ElasticityPocResult {
   /// scope "net".
   telemetry::RunReport report;
 };
+
+// ---- Shared building blocks ----
+// Exposed so other figure-3-derived experiments (notably the elastic
+// service sweep in src/elastic/study.cpp) replay the exact same probe and
+// cross-traffic archetypes instead of re-deriving them.
+
+inline constexpr int kElasticityPhaseCount = 5;
+
+/// Canonical phase name: reno-bulk, bbr-bulk, abr-video, poisson-short,
+/// cbr-udp. Precondition: 0 <= phase < kElasticityPhaseCount.
+[[nodiscard]] const char* elasticity_phase_name(int phase);
+
+/// The study's dumbbell (link, delays, 1.5x-BDP buffer, telemetry on).
+[[nodiscard]] DumbbellConfig elasticity_dumbbell(const ElasticityPocConfig& cfg,
+                                                 std::uint64_t seed);
+
+/// Installs the Nimbus probe flow (capacity hint = link rate unless the
+/// config overrides it) and returns a handle; `probe_idx` (optional)
+/// receives the flow index for goodput accounting.
+nimbus::NimbusCca* add_elasticity_probe(DumbbellScenario& net, const ElasticityPocConfig& cfg,
+                                        std::size_t* probe_idx);
+
+/// Adds phase `phase`'s cross traffic (all user 2), active on [begin, end).
+void add_elasticity_phase_traffic(DumbbellScenario& net, const ElasticityPocConfig& cfg,
+                                  int phase, Time begin, Time end);
 
 /// Runs the full five-phase experiment as ONE continuous simulation (the
 /// paper's literal setup: a single probe watches cross-traffic types take

@@ -1,0 +1,327 @@
+#include "elastic/detector.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ccc::elastic {
+
+namespace {
+
+/// Precomputed constants for one generalized sliding-DFT frequency.
+DetectorGeometry::Freq make_freq(double nu, std::size_t n) {
+  DetectorGeometry::Freq f;
+  f.rot = {std::cos(nu), std::sin(nu)};
+  const double tail_angle = nu * static_cast<double>(n);
+  f.tail = {std::cos(tail_angle), -std::sin(tail_angle)};
+  return f;
+}
+
+/// One slide of S(nu): S' = rot * (S - x_old + x_new * tail). Written in
+/// real arithmetic so the complex multiply cannot route through the
+/// __muldc3 NaN machinery on the hot path.
+inline void slide(std::complex<double>& s, const DetectorGeometry::Freq& f, double x_old,
+                  double x_new) {
+  const double ar = s.real() - x_old + x_new * f.tail.real();
+  const double ai = s.imag() + x_new * f.tail.imag();
+  s = {ar * f.rot.real() - ai * f.rot.imag(), ar * f.rot.imag() + ai * f.rot.real()};
+}
+
+}  // namespace
+
+DetectorGeometry::DetectorGeometry(const DetectorConfig& cfg) : cfg_{cfg} {
+  // The offline metric returns 0 below 16 samples; a detector that can never
+  // produce a meaningful eta is a configuration error, not a session state.
+  if (cfg.window_len < 16) {
+    throw Error::config("elastic.detector",
+                        "window_len " + std::to_string(cfg.window_len) + " < 16");
+  }
+  if (!(cfg.sample_hz > 0.0)) {
+    throw Error::config("elastic.detector", "sample_hz must be > 0");
+  }
+  if (!(cfg.metric.pulse_hz > 0.0)) {
+    throw Error::config("elastic.detector", "metric.pulse_hz must be > 0");
+  }
+  if (cfg.metric.signal_halfwidth_bins < 0) {
+    throw Error::config("elastic.detector", "metric.signal_halfwidth_bins must be >= 0");
+  }
+
+  const std::size_t n = cfg.window_len;
+  padded_n_ = next_pow2(n);
+  const std::size_t size = padded_n_ / 2 + 1;  // one-sided spectrum length
+  bin_hz_ = cfg.sample_hz / static_cast<double>(padded_n_);
+
+  // Bin placement: identical expressions to elasticity_metric / bin_for,
+  // including the clamp and the above-Nyquist harmonic skip.
+  auto bin_for = [&](double hz) {
+    const auto idx = static_cast<std::size_t>(std::llround(hz / bin_hz_));
+    return std::min(idx, size - 1);
+  };
+  const std::size_t fp_bin = bin_for(cfg.metric.pulse_hz);
+  const std::size_t h2_bin = bin_for(2.0 * cfg.metric.pulse_hz);
+  h2_in_range_ = std::llround(2.0 * cfg.metric.pulse_hz / bin_hz_) <
+                 static_cast<long long>(size);
+  const std::size_t floor_bin = std::max<std::size_t>(bin_for(cfg.metric.noise_floor_hz), 1);
+  const auto hw = static_cast<std::size_t>(cfg.metric.signal_halfwidth_bins);
+
+  auto near = [&](std::size_t i, std::size_t center) {
+    return i + hw >= center && i <= center + hw;
+  };
+
+  // Classify every one-sided bin; track the few the metric actually reads.
+  std::vector<char> tracked(size, 0);
+  std::vector<char> in_signal(size, 0);
+  std::vector<char> subtract(size, 0);
+  // Below the drift floor: outside the noise band, so their energy must be
+  // subtracted from the Parseval total.
+  for (std::size_t k = 0; k < floor_bin && k < size; ++k) {
+    tracked[k] = 1;
+    subtract[k] = 1;
+  }
+  // The fp signal window (peak search).
+  for (std::size_t k = fp_bin > hw ? fp_bin - hw : 0; k <= fp_bin + hw && k < size; ++k) {
+    tracked[k] = 1;
+    in_signal[k] = 1;
+  }
+  // Noise-band exclusions around fp and (when representable) 2*fp.
+  noise_count_ = 0;
+  for (std::size_t k = floor_bin; k < size; ++k) {
+    const bool excluded = near(k, fp_bin) || (h2_in_range_ && near(k, h2_bin));
+    if (excluded) {
+      tracked[k] = 1;
+      subtract[k] = 1;
+    } else {
+      ++noise_count_;
+    }
+  }
+  // DC and Nyquist close the Parseval fold regardless of the bands above.
+  tracked[0] = 1;
+  tracked[size - 1] = 1;
+
+  // Hann table (n >= 16, so the symmetric formula's denominator is safe) and
+  // its energy sum.
+  const double n_real = static_cast<double>(n);
+  std::vector<double> hann(n);
+  hann_energy_ = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    hann[i] =
+        0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * static_cast<double>(i) / (n_real - 1.0)));
+    hann_energy_ += hann[i] * hann[i];
+  }
+
+  const double theta = 2.0 * std::numbers::pi / (n_real - 1.0);
+  theta_ = make_freq(theta, n);
+  two_theta_ = make_freq(2.0 * theta, n);
+
+  for (std::size_t k = 0; k < size; ++k) {
+    if (!tracked[k]) continue;
+    Bin b;
+    b.k = static_cast<std::uint32_t>(k);
+    const double omega =
+        2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(padded_n_);
+    b.f0 = make_freq(omega, n);
+    b.fm = make_freq(omega - theta, n);
+    b.fp = make_freq(omega + theta, n);
+    // W_k: the window's own DC response at omega_k, subtracted per eval
+    // scaled by the (moving) window mean.
+    std::complex<double> w{0.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ang = omega * static_cast<double>(i);
+      w += hann[i] * std::complex<double>{std::cos(ang), -std::sin(ang)};
+    }
+    b.hann_dc = w;
+    b.in_signal_window = in_signal[k] != 0;
+    b.subtract_from_noise = subtract[k] != 0;
+    if (k == 0) dc_pos_ = bins_.size();
+    if (k == size - 1) nyq_pos_ = bins_.size();
+    bins_.push_back(b);
+  }
+
+  rebase_interval_ = cfg.rebase_interval > 0 ? cfg.rebase_interval : 4 * n;
+}
+
+IncrementalDetector::IncrementalDetector(std::shared_ptr<const DetectorGeometry> geom)
+    : geom_{std::move(geom)} {
+  assert(geom_ != nullptr);
+  ring_.assign(geom_->window_len(), 0.0);
+  states_.assign(geom_->bins().size(), BinState{});
+}
+
+void IncrementalDetector::reset() {
+  head_ = 0;
+  count_ = 0;
+  filled_ = false;
+  pushes_ = 0;
+  rebases_ = 0;
+  since_rebase_ = 0;
+  std::fill(ring_.begin(), ring_.end(), 0.0);
+  std::fill(states_.begin(), states_.end(), BinState{});
+  p0_ = q0_ = 0.0;
+  p_theta_ = p_2theta_ = q_theta_ = q_2theta_ = {};
+}
+
+void IncrementalDetector::copy_window(std::vector<double>& out) const {
+  out.clear();
+  if (!filled_) {
+    out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(count_));
+    return;
+  }
+  const std::size_t n = ring_.size();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(ring_[(head_ + i) % n]);
+}
+
+void IncrementalDetector::rebuild_states() {
+  const auto& g = *geom_;
+  const std::size_t n = ring_.size();
+
+  // Exact generalized DFT of the window (and its square) at one frequency,
+  // phasor-stepped — a fresh O(n * eps) error, resetting the slide drift.
+  auto dft_at = [&](const DetectorGeometry::Freq& f, bool squared) {
+    std::complex<double> acc{0.0, 0.0};
+    double pr = 1.0;
+    double pi = 0.0;  // e^{-j nu i}, stepped by conj(rot)
+    const double cr = f.rot.real();
+    const double ci = -f.rot.imag();
+    for (std::size_t i = 0; i < n; ++i) {
+      double x = ring_[(head_ + i) % n];
+      if (squared) x *= x;
+      acc += std::complex<double>{x * pr, x * pi};
+      const double npr = pr * cr - pi * ci;
+      pi = pr * ci + pi * cr;
+      pr = npr;
+    }
+    return acc;
+  };
+
+  p0_ = 0.0;
+  q0_ = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = ring_[(head_ + i) % n];
+    p0_ += x;
+    q0_ += x * x;
+  }
+  p_theta_ = dft_at(g.theta(), false);
+  p_2theta_ = dft_at(g.two_theta(), false);
+  q_theta_ = dft_at(g.theta(), true);
+  q_2theta_ = dft_at(g.two_theta(), true);
+  const auto& bins = g.bins();
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    states_[b].s0 = dft_at(bins[b].f0, false);
+    states_[b].sm = dft_at(bins[b].fm, false);
+    states_[b].sp = dft_at(bins[b].fp, false);
+  }
+  since_rebase_ = 0;
+}
+
+void IncrementalDetector::push(double z) {
+  ++pushes_;
+  const std::size_t n = ring_.size();
+  if (!filled_) {
+    ring_[count_++] = z;
+    if (count_ == n) {
+      filled_ = true;
+      head_ = 0;
+      rebuild_states();
+    }
+    return;
+  }
+
+  const double x_old = ring_[head_];
+  ring_[head_] = z;
+  head_ = head_ + 1 == n ? 0 : head_ + 1;
+
+  const auto& g = *geom_;
+  p0_ += z - x_old;
+  q0_ += z * z - x_old * x_old;
+  slide(p_theta_, g.theta(), x_old, z);
+  slide(p_2theta_, g.two_theta(), x_old, z);
+  slide(q_theta_, g.theta(), x_old * x_old, z * z);
+  slide(q_2theta_, g.two_theta(), x_old * x_old, z * z);
+  const auto& bins = g.bins();
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    slide(states_[b].s0, bins[b].f0, x_old, z);
+    slide(states_[b].sm, bins[b].fm, x_old, z);
+    slide(states_[b].sp, bins[b].fp, x_old, z);
+  }
+
+  if (++since_rebase_ >= g.rebase_interval()) {
+    rebuild_states();
+    ++rebases_;
+  }
+}
+
+double IncrementalDetector::eta(double reference_amplitude) const {
+  const auto& g = *geom_;
+  const auto& cfg = g.config();
+
+  if (!filled_) {
+    // Partial window: defer to the offline metric on exactly the samples
+    // absorbed so far — bit-exact with what NimbusCca's full-FFT path would
+    // report at the same point.
+    std::vector<double>& z = warmup_ws_.series;
+    copy_window(z);
+    auto mc = cfg.metric;
+    mc.reference_amplitude = reference_amplitude;
+    return nimbus::elasticity_metric(z, cfg.sample_hz, mc, warmup_ws_);
+  }
+
+  const std::size_t n = g.window_len();
+  const double m = p0_ / static_cast<double>(n);
+
+  // Tracked bins: X_k = 0.5 S(w) - 0.25 S(w-th) - 0.25 S(w+th) - m W_k.
+  double signal = 0.0;
+  double subtracted = 0.0;
+  double dc_sq = 0.0;
+  double nyq_sq = 0.0;
+  const auto& bins = g.bins();
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    const auto& st = states_[b];
+    const auto& bin = bins[b];
+    const double re = 0.5 * st.s0.real() - 0.25 * st.sm.real() - 0.25 * st.sp.real() -
+                      m * bin.hann_dc.real();
+    const double im = 0.5 * st.s0.imag() - 0.25 * st.sm.imag() - 0.25 * st.sp.imag() -
+                      m * bin.hann_dc.imag();
+    const double mag_sq = re * re + im * im;
+    if (b == g.dc_pos()) dc_sq = mag_sq;
+    if (b == g.nyquist_pos()) nyq_sq = mag_sq;
+    if (bin.in_signal_window) signal = std::max(signal, std::sqrt(mag_sq));
+    if (bin.subtract_from_noise) subtracted += mag_sq;
+  }
+
+  // Parseval: windowed time-domain energy -> total one-sided spectral
+  // energy -> noise band by subtraction of the tracked non-noise bins.
+  // h^2 = 0.375 - 0.5 cos(theta i) + 0.125 cos(2 theta i) turns both energy
+  // sums into three-term combinations of the shared sliding DFTs.
+  const double sum_xh2 = 0.375 * p0_ - 0.5 * p_theta_.real() + 0.125 * p_2theta_.real();
+  const double sum_x2h2 = 0.375 * q0_ - 0.5 * q_theta_.real() + 0.125 * q_2theta_.real();
+  const double energy = sum_x2h2 - 2.0 * m * sum_xh2 + m * m * g.hann_energy();
+  const double total =
+      (static_cast<double>(g.padded_n()) * energy + dc_sq + nyq_sq) / 2.0;
+  const double noise_sum_sq = std::max(0.0, total - subtracted);
+
+  if (g.noise_bin_count() == 0) return 0.0;
+  const double noise_rms = std::sqrt(noise_sum_sq / static_cast<double>(g.noise_bin_count()));
+
+  // From here on: the offline metric's branches, verbatim.
+  double eta;
+  if (noise_rms <= 1e-12) {
+    eta = signal <= 1e-12 ? 0.0 : nimbus::kElasticThreshold * 10.0;
+  } else {
+    eta = signal / noise_rms;
+  }
+  if (reference_amplitude > 0.0) {
+    const double full_response = reference_amplitude * static_cast<double>(n) / 4.0;
+    const double significance =
+        std::min(1.0, signal / (cfg.metric.min_signal_fraction * full_response));
+    eta *= significance;
+  }
+  return eta;
+}
+
+}  // namespace ccc::elastic

@@ -1,0 +1,177 @@
+#include "elastic/session_table.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "telemetry/run_report.hpp"
+#include "util/error.hpp"
+
+namespace ccc::elastic {
+
+namespace {
+
+constexpr std::uint64_t kSlotMask = 0xffffffffull;
+
+std::uint32_t slot_index(SessionId id) { return static_cast<std::uint32_t>(id & kSlotMask); }
+std::uint32_t generation(SessionId id) { return static_cast<std::uint32_t>(id >> 32); }
+SessionId make_id(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen) << 32) | slot;
+}
+
+}  // namespace
+
+std::string_view verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kWarming: return "warming";
+    case Verdict::kElastic: return "elastic";
+    case Verdict::kInelastic: return "inelastic";
+    case Verdict::kMixed: return "mixed";
+  }
+  return "unknown";
+}
+
+SessionTable::SessionTable(const SessionTableConfig& cfg, telemetry::MetricRegistry* metrics)
+    : cfg_{cfg},
+      alpha_{cfg.ewma_alpha > 0.0 ? cfg.ewma_alpha
+                                  : 1.0 / static_cast<double>(cfg.detector.window_len)},
+      geometry_{std::make_shared<const DetectorGeometry>(cfg.detector)} {
+  if (!(cfg_.inelastic_frac >= 0.0 && cfg_.inelastic_frac <= cfg_.elastic_frac &&
+        cfg_.elastic_frac <= 1.0)) {
+    throw Error::config("elastic.session_table",
+                        "need 0 <= inelastic_frac <= elastic_frac <= 1");
+  }
+  if (metrics != nullptr && metrics->enabled()) {
+    metrics_ = metrics;
+    sessions_added_ = &metrics->counter("elastic.sessions_added");
+    sessions_removed_ = &metrics->counter("elastic.sessions_removed");
+    verdict_updates_ = &metrics->counter("elastic.verdict_updates");
+  }
+}
+
+SessionTable::Slot& SessionTable::slot_for(SessionId id) {
+  return const_cast<Slot&>(std::as_const(*this).slot_for(id));
+}
+
+const SessionTable::Slot& SessionTable::slot_for(SessionId id) const {
+  const std::uint32_t idx = slot_index(id);
+  if (idx >= slots_.size() || !slots_[idx].live || slots_[idx].generation != generation(id)) {
+    throw Error::config("elastic.session_table",
+                        "stale or unknown session id " + std::to_string(id));
+  }
+  return slots_[idx];
+}
+
+std::uint64_t& SessionTable::count_bucket(Verdict v) {
+  switch (v) {
+    case Verdict::kElastic: return counts_.elastic;
+    case Verdict::kInelastic: return counts_.inelastic;
+    case Verdict::kMixed: return counts_.mixed;
+    case Verdict::kWarming: break;
+  }
+  return counts_.warming;
+}
+
+SessionId SessionTable::add_session() {
+  std::uint32_t idx;
+  if (!free_slots_.empty()) {
+    idx = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[idx].detector.reset();
+    slots_[idx].status = SessionStatus{};
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back(geometry_);
+  }
+  slots_[idx].live = true;
+  ++live_;
+  ++counts_.warming;
+  if (sessions_added_ != nullptr) {
+    sessions_added_->inc();
+    sync_gauges();
+  }
+  return make_id(idx, slots_[idx].generation);
+}
+
+void SessionTable::remove_session(SessionId id) {
+  Slot& s = slot_for(id);
+  s.live = false;
+  ++s.generation;  // invalidate outstanding ids for this slot
+  --live_;
+  --count_bucket(s.status.verdict);
+  free_slots_.push_back(slot_index(id));
+  if (sessions_removed_ != nullptr) {
+    sessions_removed_->inc();
+    sync_gauges();
+  }
+}
+
+std::size_t SessionTable::feed(SessionId id, std::span<const double> z) {
+  Slot& s = slot_for(id);
+  std::size_t evals = 0;
+  for (const double sample : z) {
+    s.detector.push(sample);
+    ++s.status.samples;
+    if (!s.detector.ready()) continue;
+
+    const double eta = s.detector.eta();
+    const double elastic_sample = eta >= nimbus::kElasticThreshold ? 1.0 : 0.0;
+    if (s.status.updates == 0) {
+      // First evaluation seeds the EWMA directly — starting from 0 would
+      // report "confidently inelastic" for a window regardless of the data.
+      s.status.frac_elastic = elastic_sample;
+    } else {
+      s.status.frac_elastic += alpha_ * (elastic_sample - s.status.frac_elastic);
+    }
+    s.status.eta = eta;
+    ++s.status.updates;
+    ++evals;
+
+    Verdict next = Verdict::kMixed;
+    if (s.status.frac_elastic >= cfg_.elastic_frac) {
+      next = Verdict::kElastic;
+    } else if (s.status.frac_elastic <= cfg_.inelastic_frac) {
+      next = Verdict::kInelastic;
+    }
+    if (next != s.status.verdict) {
+      --count_bucket(s.status.verdict);
+      ++count_bucket(next);
+      s.status.verdict = next;
+    }
+    s.status.confidence = 2.0 * std::abs(s.status.frac_elastic - 0.5);
+  }
+  total_updates_ += evals;
+  if (verdict_updates_ != nullptr && evals > 0) {
+    verdict_updates_->inc(evals);
+    sync_gauges();
+  }
+  return evals;
+}
+
+const SessionStatus& SessionTable::status(SessionId id) const { return slot_for(id).status; }
+
+const IncrementalDetector& SessionTable::detector(SessionId id) const {
+  return slot_for(id).detector;
+}
+
+void SessionTable::sync_gauges() {
+  if (metrics_ == nullptr) return;
+  metrics_->gauge("elastic.live_sessions").set(static_cast<double>(live_));
+  metrics_->gauge("elastic.verdict.warming").set(static_cast<double>(counts_.warming));
+  metrics_->gauge("elastic.verdict.elastic").set(static_cast<double>(counts_.elastic));
+  metrics_->gauge("elastic.verdict.inelastic").set(static_cast<double>(counts_.inelastic));
+  metrics_->gauge("elastic.verdict.mixed").set(static_cast<double>(counts_.mixed));
+}
+
+void SessionTable::publish(telemetry::RunReport& report, const std::string& scope,
+                           Time at) const {
+  const VerdictCounts& c = counts_;
+  report.add_scalar(scope, "live_sessions", static_cast<double>(live_), at);
+  report.add_scalar(scope, "verdict_updates", static_cast<double>(total_updates_), at);
+  report.add_scalar(scope, "verdict_warming", static_cast<double>(c.warming), at);
+  report.add_scalar(scope, "verdict_elastic", static_cast<double>(c.elastic), at);
+  report.add_scalar(scope, "verdict_inelastic", static_cast<double>(c.inelastic), at);
+  report.add_scalar(scope, "verdict_mixed", static_cast<double>(c.mixed), at);
+}
+
+}  // namespace ccc::elastic

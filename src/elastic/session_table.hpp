@@ -1,0 +1,135 @@
+// SessionTable: the multiplexing layer of the elasticity service. Thousands
+// of concurrent probe sessions share ONE DetectorGeometry (all the trig
+// tables) and stream z samples through per-session IncrementalDetectors;
+// each session carries a streaming verdict state machine on top of eta.
+//
+// Verdict machine: every post-warmup sample produces an eta evaluation; the
+// boolean (eta >= kElasticThreshold) feeds an EWMA `frac`. The session is
+//   elastic    when frac >= elastic_frac   (default 0.60)
+//   inelastic  when frac <= inelastic_frac (default 0.40)
+//   mixed      in between — genuinely alternating cross traffic
+// and warming until the detector's window first fills. Confidence is the
+// distance from maximal uncertainty: 2 * |frac - 0.5|.
+//
+// Determinism: the table is single-threaded by design (one table per worker,
+// like MetricRegistry); all state advances only on feed(), so identical feed
+// sequences produce identical verdict streams at any --jobs count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "elastic/detector.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/units.hpp"
+
+namespace ccc::telemetry {
+class RunReport;
+}  // namespace ccc::telemetry
+
+namespace ccc::elastic {
+
+enum class Verdict : std::uint8_t { kWarming = 0, kElastic, kInelastic, kMixed };
+
+[[nodiscard]] std::string_view verdict_name(Verdict v);
+
+/// Streaming classification state of one session.
+struct SessionStatus {
+  Verdict verdict{Verdict::kWarming};
+  double eta{0.0};         ///< latest evaluation
+  double frac_elastic{0.0};///< EWMA of (eta >= threshold); 0 until warm
+  double confidence{0.0};  ///< 2 * |frac - 0.5|, in [0, 1]
+  std::uint64_t samples{0};///< z samples absorbed
+  std::uint64_t updates{0};///< verdict evaluations (post-warmup samples)
+};
+
+struct SessionTableConfig {
+  DetectorConfig detector{};
+  double elastic_frac{0.6};
+  double inelastic_frac{0.4};
+  /// EWMA step for frac_elastic. 0 = 1/window_len (one-window memory).
+  double ewma_alpha{0.0};
+};
+
+/// Handle to a session. Slot-reuse safe: a freed slot's generation bumps, so
+/// a stale id held across remove()/add() never aliases the new occupant.
+using SessionId = std::uint64_t;
+
+class SessionTable {
+ public:
+  /// `metrics` is optional; when given, the table maintains
+  /// elastic.sessions_added / elastic.sessions_removed /
+  /// elastic.verdict_updates counters and elastic.live_sessions plus
+  /// per-verdict gauges in it.
+  explicit SessionTable(const SessionTableConfig& cfg,
+                        telemetry::MetricRegistry* metrics = nullptr);
+
+  /// Creates (or revives a freed slot for) a session. O(1) amortized; the
+  /// detector's rings are recycled, not reallocated.
+  SessionId add_session();
+  /// Frees the session's slot for reuse. Throws Error (kConfig) on a stale
+  /// or unknown id.
+  void remove_session(SessionId id);
+
+  /// Streams a batch of z samples through one session, advancing its
+  /// verdict once per post-warmup sample. Returns the number of verdict
+  /// evaluations performed.
+  std::size_t feed(SessionId id, std::span<const double> z);
+
+  [[nodiscard]] const SessionStatus& status(SessionId id) const;
+  [[nodiscard]] const IncrementalDetector& detector(SessionId id) const;
+  [[nodiscard]] std::size_t live_sessions() const { return live_; }
+  [[nodiscard]] std::uint64_t total_updates() const { return total_updates_; }
+  [[nodiscard]] const DetectorGeometry& geometry() const { return *geometry_; }
+  [[nodiscard]] const SessionTableConfig& config() const { return cfg_; }
+
+  /// Number of live sessions currently holding each verdict. Maintained
+  /// incrementally on verdict transitions (O(1) per feed, not per-slot).
+  struct VerdictCounts {
+    std::uint64_t warming{0};
+    std::uint64_t elastic{0};
+    std::uint64_t inelastic{0};
+    std::uint64_t mixed{0};
+  };
+  [[nodiscard]] const VerdictCounts& verdict_counts() const { return counts_; }
+
+  /// Publishes the service snapshot as `<scope>` scalars in a RunReport:
+  /// live_sessions, verdict_updates, and one row per verdict count.
+  void publish(telemetry::RunReport& report, const std::string& scope, Time at) const;
+
+ private:
+  struct Slot {
+    IncrementalDetector detector;
+    SessionStatus status{};
+    std::uint32_t generation{0};
+    bool live{false};
+
+    explicit Slot(std::shared_ptr<const DetectorGeometry> geom)
+        : detector{std::move(geom)} {}
+  };
+
+  [[nodiscard]] Slot& slot_for(SessionId id);
+  [[nodiscard]] const Slot& slot_for(SessionId id) const;
+  [[nodiscard]] std::uint64_t& count_bucket(Verdict v);
+  void sync_gauges();
+
+  SessionTableConfig cfg_;
+  double alpha_;
+  std::shared_ptr<const DetectorGeometry> geometry_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_{0};
+  std::uint64_t total_updates_{0};
+  VerdictCounts counts_;
+
+  telemetry::Counter* sessions_added_{nullptr};
+  telemetry::Counter* sessions_removed_{nullptr};
+  telemetry::Counter* verdict_updates_{nullptr};
+  telemetry::MetricRegistry* metrics_{nullptr};
+};
+
+}  // namespace ccc::elastic

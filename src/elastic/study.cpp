@@ -1,0 +1,169 @@
+#include "elastic/study.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "queue/drop_tail.hpp"
+#include "queue/fq_codel.hpp"
+#include "queue/pie.hpp"
+#include "runner/experiment_runner.hpp"
+#include "sim/variable_rate_link.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace ccc::elastic {
+
+namespace {
+
+// Same sub-seed lanes as the sweep engine (sweep/cell.cpp), so the qdisc's
+// and link's stochastic streams stay decorrelated from the scenario seed.
+constexpr std::uint64_t kQdiscLane = 1;
+constexpr std::uint64_t kLinkLane = 2;
+
+std::unique_ptr<sim::Qdisc> make_cell_qdisc(PathCell cell, ByteCount capacity,
+                                            std::uint64_t seed) {
+  switch (cell) {
+    case PathCell::kWiredDroptail:
+      return std::make_unique<queue::DropTailQueue>(capacity);
+    case PathCell::kMarkovFqCodel: {
+      queue::FqCoDelConfig qc;
+      qc.capacity_bytes = capacity;
+      qc.hash_seed = runner::derive_seed(seed, kQdiscLane);
+      return std::make_unique<queue::FqCoDelQueue>(qc);
+    }
+    case PathCell::kWifiPie: {
+      queue::PieConfig qc;
+      qc.capacity_bytes = capacity;
+      qc.seed = runner::derive_seed(seed, kQdiscLane);
+      return std::make_unique<queue::PieQueue>(qc);
+    }
+  }
+  return std::make_unique<queue::DropTailQueue>(capacity);
+}
+
+}  // namespace
+
+std::string_view path_cell_name(PathCell cell) {
+  switch (cell) {
+    case PathCell::kWiredDroptail: return "wired-droptail";
+    case PathCell::kMarkovFqCodel: return "markov-fqcodel";
+    case PathCell::kWifiPie: return "wifi-pie";
+  }
+  return "unknown";
+}
+
+ServiceScenarioResult run_service_scenario(const core::ElasticityPocConfig& cfg, int phase,
+                                           PathCell cell) {
+  const std::uint64_t seed = runner::derive_seed(
+      cfg.seed, static_cast<std::uint64_t>(phase) * kPathCellCount +
+                    static_cast<std::uint64_t>(cell));
+
+  core::DumbbellConfig dc = core::elasticity_dumbbell(cfg, seed);
+  core::DumbbellScenario net{dc, make_cell_qdisc(cell, core::dumbbell_buffer_bytes(dc), seed)};
+
+  nimbus::NimbusCca* probe = core::add_elasticity_probe(net, cfg, nullptr);
+  const Time begin = cfg.warmup;
+  const Time end = cfg.warmup + cfg.phase_duration;
+  core::add_elasticity_phase_traffic(net, cfg, phase, begin, end);
+
+  // Wireless cells: the Markov rate model (plus WiFi aggregation bursts for
+  // kWifiPie) drives the bottleneck for the whole run.
+  std::unique_ptr<sim::VariableRateLink> vlink;
+  if (cell != PathCell::kWiredDroptail) {
+    sim::VariableRateLinkConfig vc;
+    vc.markov.good = cfg.link_rate;
+    vc.markov.bad = cfg.link_rate * 0.25;
+    vc.aggregation.enabled = cell == PathCell::kWifiPie;
+    vc.seed = runner::derive_seed(seed, kLinkLane);
+    vlink = std::make_unique<sim::VariableRateLink>(net.scheduler(), net.bottleneck(), vc);
+    vlink->start(end + Time::sec(1.0));
+  }
+
+  // The service session mirrors the probe's exact evaluation geometry: same
+  // window, same sample rate, and the same (hint-pinned) reference
+  // amplitude the full-FFT path recomputes per eval.
+  const Rate hint = cfg.nimbus.capacity_hint.is_zero() ? cfg.link_rate : cfg.nimbus.capacity_hint;
+  SessionTableConfig tc;
+  tc.detector.window_len = probe->z_window_bins();
+  tc.detector.sample_hz = 1.0 / cfg.nimbus.sample_bin.to_sec();
+  tc.detector.metric.pulse_hz = cfg.nimbus.pulse_hz;
+  tc.detector.metric.reference_amplitude = cfg.nimbus.pulse_amplitude * hint.to_bps();
+  SessionTable table{tc};
+  const SessionId session = table.add_session();
+
+  // z tap -> batch buffer -> table.feed per tick: the service's real shape
+  // (samples arrive continuously, the service consumes them in batches).
+  std::vector<double> pending;
+  probe->set_z_tap([&pending](double z) { pending.push_back(z); });
+
+  ServiceScenarioResult r;
+  r.phase = core::elasticity_phase_name(phase);
+  r.cell = std::string{path_cell_name(cell)};
+  std::size_t agree = 0;
+  std::size_t offline_elastic_ticks = 0;
+  std::size_t service_elastic_ticks = 0;
+
+  telemetry::PeriodicSampler sampler{
+      net.scheduler(), cfg.sample_interval, Time::sec(1.0), end + Time::sec(1.0),
+      [&](Time) {
+        table.feed(session, pending);
+        pending.clear();
+        const SessionStatus& st = table.status(session);
+        if (st.updates == 0) return;  // service still warming
+        // Both classifiers now hold the identical z window.
+        const bool offline = probe->elasticity() >= nimbus::kElasticThreshold;
+        const bool service = st.eta >= nimbus::kElasticThreshold;
+        ++r.ticks;
+        if (offline == service) ++agree;
+        if (offline) ++offline_elastic_ticks;
+        if (service) ++service_elastic_ticks;
+      }};
+
+  net.run_until(end);
+
+  if (r.ticks > 0) {
+    const auto t = static_cast<double>(r.ticks);
+    r.agreement = static_cast<double>(agree) / t;
+    r.offline_frac_elastic = static_cast<double>(offline_elastic_ticks) / t;
+    r.service_frac_elastic = static_cast<double>(service_elastic_ticks) / t;
+  }
+  const SessionStatus& st = table.status(session);
+  r.final_verdict = st.verdict;
+  r.final_confidence = st.confidence;
+  r.verdict_updates = st.updates;
+  return r;
+}
+
+ServiceSweepResult run_service_sweep(const core::ElasticityPocConfig& cfg, unsigned jobs) {
+  constexpr int kScenarios = core::kElasticityPhaseCount * kPathCellCount;
+  runner::ExperimentRunner pool{{.jobs = jobs}};
+  auto scenarios = pool.map<ServiceScenarioResult>(kScenarios, [&cfg](std::size_t i) {
+    const int phase = static_cast<int>(i) / kPathCellCount;
+    const auto cell = static_cast<PathCell>(i % kPathCellCount);
+    return run_service_scenario(cfg, phase, cell);
+  });
+
+  ServiceSweepResult result;
+  result.report.set_bench("fig3_service_sweep", cfg.seed);
+  const Time at = cfg.warmup + cfg.phase_duration;
+  double sum = 0.0;
+  for (const auto& s : scenarios) {
+    const std::string scope = s.phase + "/" + s.cell;
+    result.report.add_scalar(scope, "agreement", s.agreement, at);
+    result.report.add_scalar(scope, "ticks", static_cast<double>(s.ticks), at);
+    result.report.add_scalar(scope, "offline_frac_elastic", s.offline_frac_elastic, at);
+    result.report.add_scalar(scope, "service_frac_elastic", s.service_frac_elastic, at);
+    result.report.add_scalar(scope, "verdict", static_cast<double>(s.final_verdict), at);
+    result.report.add_scalar(scope, "confidence", s.final_confidence, at);
+    result.report.add_scalar(scope, "verdict_updates", static_cast<double>(s.verdict_updates),
+                             at);
+    result.min_agreement = std::min(result.min_agreement, s.agreement);
+    sum += s.agreement;
+  }
+  result.mean_agreement = scenarios.empty() ? 0.0 : sum / static_cast<double>(scenarios.size());
+  result.report.add_scalar("service", "min_agreement", result.min_agreement, at);
+  result.report.add_scalar("service", "mean_agreement", result.mean_agreement, at);
+  result.scenarios = std::move(scenarios);
+  return result;
+}
+
+}  // namespace ccc::elastic

@@ -1,0 +1,65 @@
+// The elasticity service sweep: Figure 3's five cross-traffic archetypes
+// replayed through the SessionTable across three path cells (wired/DropTail,
+// Markov-wireless/FQ-CoDel, WiFi-burst/PIE — the PR-8 sweep-engine axes),
+// scoring the streaming verdict against the offline full-FFT classifier.
+//
+// Each scenario runs ONE simulation with ONE Nimbus probe. The probe keeps
+// its default full-FFT elasticity path (nothing attached), which *is* the
+// offline classifier; a z tap mirrors every sample into a service session.
+// At every sampler tick both classifiers look at the identical z window, so
+// the agreement score isolates exactly the thing the service changes — the
+// incremental evaluation — from everything it doesn't (traffic, path, probe).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/elasticity_study.hpp"
+#include "elastic/session_table.hpp"
+#include "telemetry/run_report.hpp"
+
+namespace ccc::elastic {
+
+/// Path cells: the qdisc x link-model corners the PR-8 grand matrix showed
+/// to be the interesting edge cases for rate estimation.
+enum class PathCell : std::uint8_t { kWiredDroptail = 0, kMarkovFqCodel, kWifiPie };
+inline constexpr int kPathCellCount = 3;
+
+[[nodiscard]] std::string_view path_cell_name(PathCell cell);
+
+/// One (cross-traffic phase, path cell) scenario's score.
+struct ServiceScenarioResult {
+  std::string phase;   ///< cross-traffic archetype (elasticity_phase_name)
+  std::string cell;    ///< path cell (path_cell_name)
+  std::size_t ticks{0};              ///< agreement samples (service warm)
+  double agreement{0.0};             ///< fraction of ticks both agree
+  double offline_frac_elastic{0.0};  ///< offline classifier, over ticks
+  double service_frac_elastic{0.0};  ///< service eta, over the same ticks
+  Verdict final_verdict{Verdict::kWarming};
+  double final_confidence{0.0};
+  std::uint64_t verdict_updates{0};  ///< per-sample service evaluations
+};
+
+struct ServiceSweepResult {
+  /// Phase-major, cell-minor: scenarios[phase * kPathCellCount + cell].
+  std::vector<ServiceScenarioResult> scenarios;
+  double min_agreement{1.0};
+  double mean_agreement{0.0};
+  /// One scalar row group per scenario (fixed order), then the sweep
+  /// aggregates — byte-identical at any `jobs` count.
+  telemetry::RunReport report;
+};
+
+/// Runs one scenario. Deterministic: the scenario seed derives from
+/// cfg.seed and the (phase, cell) index.
+[[nodiscard]] ServiceScenarioResult run_service_scenario(const core::ElasticityPocConfig& cfg,
+                                                         int phase, PathCell cell);
+
+/// The full 5 x 3 sweep fanned out over an ExperimentRunner (`jobs` = 0:
+/// CCC_JOBS / hardware). cfg.phase_duration is the per-scenario run length.
+[[nodiscard]] ServiceSweepResult run_service_sweep(const core::ElasticityPocConfig& cfg = {},
+                                                   unsigned jobs = 0);
+
+}  // namespace ccc::elastic

@@ -22,6 +22,14 @@ double elasticity_metric(std::span<const double> z, double sample_hz,
 
   const std::size_t fp_bin = spec.bin_for(cfg.pulse_hz);
   const std::size_t h2_bin = spec.bin_for(2.0 * cfg.pulse_hz);
+  // bin_for clamps above-Nyquist frequencies onto the last bin. For the 2*fp
+  // harmonic (sample_hz < 4*pulse_hz) that would alias its exclusion window
+  // onto the top of the spectrum and wrongly drop the highest noise bins
+  // from the RMS — skip the exclusion entirely when the harmonic is out of
+  // range.
+  const bool h2_in_range =
+      std::llround(2.0 * cfg.pulse_hz / spec.bin_hz) <
+      static_cast<long long>(spec.magnitude.size());
   const std::size_t floor_bin = std::max<std::size_t>(spec.bin_for(cfg.noise_floor_hz), 1);
   const auto hw = static_cast<std::size_t>(cfg.signal_halfwidth_bins);
 
@@ -41,7 +49,7 @@ double elasticity_metric(std::span<const double> z, double sample_hz,
   double sum_sq = 0.0;
   std::size_t n = 0;
   for (std::size_t i = floor_bin; i < spec.magnitude.size(); ++i) {
-    if (near(i, fp_bin) || near(i, h2_bin)) continue;
+    if (near(i, fp_bin) || (h2_in_range && near(i, h2_bin))) continue;
     sum_sq += spec.magnitude[i] * spec.magnitude[i];
     ++n;
   }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "cca/cca.hpp"
@@ -91,6 +92,25 @@ class NimbusCca : public cca::CongestionControl {
   /// for tests of pulse shape and mean-neutrality.
   [[nodiscard]] Rate pulsed_rate(Time now) const;
 
+  /// Length of the z(t) window elasticity() evaluates, in sample bins — the
+  /// window_len a streaming estimator must be built with to agree with the
+  /// full-FFT path.
+  [[nodiscard]] std::size_t z_window_bins() const { return max_bins_; }
+
+  /// Observation tap: called with every z sample as it enters the series
+  /// (after any hold-fill for skipped bins). Pure observation — attaching a
+  /// tap never changes the CCA's behavior. Pass nullptr to detach.
+  void set_z_tap(std::function<void(double)> tap) { z_tap_ = std::move(tap); }
+
+  /// Opt into a streaming elasticity engine: the estimator is fed every z
+  /// sample, and once it reports ready(), elasticity() asks it instead of
+  /// running the full-FFT metric. Detached (the default, or est == nullptr),
+  /// the full-FFT path runs unchanged. Mode switching is off by default, so
+  /// attaching an estimator does not alter the probe's dynamics; with mode
+  /// switching enabled the estimator's eta drives the switcher. The pointer
+  /// is non-owning and must outlive the CCA or be detached first.
+  void attach_elasticity_estimator(ElasticityEstimator* est) { estimator_ = est; }
+
   /// Registers `<prefix>.mode_transitions` (counter) and `<prefix>.mode`
   /// (timeline, values = Mode enum) in `reg`.
   void bind_metrics(telemetry::MetricRegistry& reg, const std::string& prefix) override;
@@ -140,6 +160,8 @@ class NimbusCca : public cca::CongestionControl {
   double last_z_bps_{0.0};         ///< zero-order hold for empty bins
   std::deque<double> z_series_;    ///< one entry per sample bin
   std::size_t max_bins_{0};
+  std::function<void(double)> z_tap_;           ///< observation-only z stream
+  ElasticityEstimator* estimator_{nullptr};     ///< opt-in streaming engine
   /// Spectrum scratch reused across elasticity windows (elasticity() is
   /// const; the scratch is not observable state).
   mutable SpectrumWorkspace fft_ws_;

@@ -1,6 +1,8 @@
 #include "sim/link.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "telemetry/metrics.hpp"
 
@@ -31,6 +33,25 @@ void Link::send(const Packet& pkt) {
 
 void Link::set_rate(Rate rate) {
   assert(rate.to_bps() > 0.0);
+  if (busy_ && rate.to_bps() != rate_.to_bps()) {
+    // Re-plan the serializing packet: credit the bits sent at the old rate
+    // since the last plan, then finish the remainder at the new rate. See
+    // the header comment for why the in-flight packet must not stay pinned
+    // to its dequeue-time rate.
+    const Time now = sched_.now();
+    tx_remaining_bits_ =
+        std::max(0.0, tx_remaining_bits_ - rate_.to_bps() * (now - tx_replan_at_).to_sec());
+    tx_replan_at_ = now;
+    const Time remaining = Time::ns(
+        static_cast<std::int64_t>(std::ceil(tx_remaining_bits_ / rate.to_bps() * 1e9)));
+    stats_.busy_time += (now + remaining) - tx_end_;
+    tx_end_ = now + remaining;
+    ++tx_epoch_;
+    sched_.schedule_fire_at(
+        tx_end_,
+        [](void* ctx, std::uint64_t arg) { static_cast<Link*>(ctx)->on_tx_complete(arg); },
+        this, (std::uint64_t{tx_epoch_} << 32) | tx_handle_);
+  }
   rate_ = rate;
 }
 
@@ -90,18 +111,26 @@ void Link::maybe_start_tx() {
   const Time tx_time = rate_.transmit_time(pkt->size_bytes);
   stats_.busy_time += tx_time;
   // The serializing packet lives in the scheduler's arena, not a closure
-  // capture; its 4-byte handle rides through the typed event's arg.
+  // capture; its 4-byte handle rides through the typed event's arg (packed
+  // under the plan epoch so a mid-flight set_rate can supersede the event).
   const PacketPool::Handle h = sched_.packets().acquire(*pkt);
+  tx_handle_ = h;
+  tx_remaining_bits_ = static_cast<double>(pkt->size_bytes) * 8.0;
+  tx_replan_at_ = now;
+  tx_end_ = now + tx_time;
+  ++tx_epoch_;
   sched_.schedule_fire_after(
       tx_time,
-      [](void* ctx, std::uint64_t arg) {
-        static_cast<Link*>(ctx)->on_tx_complete(static_cast<PacketPool::Handle>(arg));
-      },
-      this, h);
+      [](void* ctx, std::uint64_t arg) { static_cast<Link*>(ctx)->on_tx_complete(arg); },
+      this, (std::uint64_t{tx_epoch_} << 32) | h);
 }
 
-void Link::on_tx_complete(PacketPool::Handle h) {
+void Link::on_tx_complete(std::uint64_t packed) {
+  if (!busy_ || static_cast<std::uint32_t>(packed >> 32) != tx_epoch_) {
+    return;  // superseded by a set_rate re-plan (or by the packet after it)
+  }
   busy_ = false;
+  const auto h = static_cast<PacketPool::Handle>(packed & 0xffffffffu);
   const Packet& pkt = sched_.packets().get(h);
   ++stats_.packets_sent;
   stats_.bytes_sent += pkt.size_bytes;

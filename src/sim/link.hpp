@@ -47,9 +47,14 @@ class Link {
   /// Offers a packet to the link (enters the qdisc; may be dropped there).
   void send(const Packet& pkt);
 
-  /// Changes the transmission rate. Takes effect for the next serialization;
-  /// the packet currently on the wire finishes at the old rate. Models
-  /// variable-capacity links (cellular/satellite, paper §2.3/§5.1).
+  /// Changes the transmission rate. Models variable-capacity links
+  /// (cellular/WiFi/satellite, paper §2.3/§5.1). Bits already serialized
+  /// stay sent; the remainder of the packet currently on the wire continues
+  /// at the new rate (the completion event is re-planned). Pinning the
+  /// in-flight packet to its dequeue-time rate instead resonates with
+  /// periodic rate schedules: a frame whose low-rate serialization time is a
+  /// multiple of the schedule period finishes at the same phase it started,
+  /// locking every subsequent dequeue into the low-rate window.
   void set_rate(Rate rate);
   [[nodiscard]] Rate rate() const { return rate_; }
   [[nodiscard]] Time prop_delay() const { return prop_delay_; }
@@ -77,7 +82,8 @@ class Link {
 
  private:
   void maybe_start_tx();
-  void on_tx_complete(PacketPool::Handle h);
+  /// `packed` = (plan epoch << 32) | packet handle; see tx_epoch_.
+  void on_tx_complete(std::uint64_t packed);
 
   Scheduler& sched_;
   Rate rate_;
@@ -88,6 +94,17 @@ class Link {
   Scheduler::BatchId batch_;
   bool busy_{false};
   EventId wake_event_{0};
+  /// In-flight serialization plan. Completion events are fire-and-forget
+  /// (hot path: no cancellation slab), so a mid-flight set_rate cannot
+  /// cancel the pending completion — instead each (re)plan bumps tx_epoch_
+  /// and schedules a fresh completion carrying its epoch; a firing whose
+  /// epoch is stale was superseded and is ignored. Fixed-rate links never
+  /// re-plan and see exactly one event per packet, as before.
+  std::uint32_t tx_epoch_{0};
+  PacketPool::Handle tx_handle_{0};
+  Time tx_end_{Time::zero()};        ///< planned completion instant
+  Time tx_replan_at_{Time::zero()};  ///< when tx_remaining_bits_ was current
+  double tx_remaining_bits_{0.0};
   LinkStats stats_;
   std::function<void(const Packet&, Time)> tx_tap_;
   telemetry::MetricRegistry* metrics_{nullptr};

@@ -60,7 +60,16 @@ TEST(BenchCli, OutReportAndSerialFlags) {
   EXPECT_EQ(cli.out, "/tmp/t.txt");
   EXPECT_EQ(cli.report, "/tmp/r.jsonl");
   EXPECT_TRUE(cli.serial);
+  EXPECT_FALSE(cli.service);
   EXPECT_FALSE(cli.help);
+}
+
+TEST(BenchCli, ServiceFlagIsABoolean) {
+  EXPECT_TRUE(parse({"--service"}).service);
+  // A value-carrying spelling is not a recognized flag: it passes through.
+  const Cli cli = parse({"--service=on"});
+  EXPECT_FALSE(cli.service);
+  EXPECT_EQ(cli.rest, (std::vector<std::string>{"--service=on"}));
 }
 
 TEST(BenchCli, UnrecognizedArgsPassThroughInOrder) {
@@ -117,8 +126,8 @@ TEST(BenchCli, SeedOverflowAndNegativeAreMalformed) {
 TEST(BenchCli, UsageMentionsEveryFlag) {
   const std::string u = Cli::usage("fig0");
   for (const char* flag : {"--jobs", "--seed", "--duration", "--out", "--report", "--serial",
-                           "--input", "--scale", "--readahead", "--strict", "--grid",
-                           "--checkpoint", "--resume", "--help"}) {
+                           "--service", "--input", "--scale", "--readahead", "--strict",
+                           "--grid", "--checkpoint", "--resume", "--help"}) {
     EXPECT_NE(u.find(flag), std::string::npos) << flag;
   }
   EXPECT_NE(u.find("fig0"), std::string::npos);

@@ -1,0 +1,200 @@
+// The elasticity service: incremental-vs-offline equivalence contracts,
+// SessionTable lifecycle isolation, and the service sweep's determinism and
+// accuracy pins (DESIGN.md "Elasticity service").
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "elastic/detector.hpp"
+#include "elastic/session_table.hpp"
+#include "elastic/study.hpp"
+#include "nimbus/elasticity.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ccc::elastic {
+namespace {
+
+constexpr double kSampleHz = 100.0;
+constexpr double kPulseHz = 5.0;
+
+DetectorConfig test_detector(std::size_t window = 64) {
+  DetectorConfig dc;
+  dc.window_len = window;
+  dc.sample_hz = kSampleHz;
+  dc.metric.pulse_hz = kPulseHz;
+  return dc;
+}
+
+/// The micro-bench's pulse series: DC + in-band tone + Gaussian noise.
+std::vector<double> pulse_series(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / kSampleHz;
+    z[i] = 10.0 + 3.0 * std::sin(2.0 * 3.14159265358979323846 * kPulseHz * t) +
+           rng.normal(0.0, 1.0);
+  }
+  return z;
+}
+
+// ------------------------------------------------- equivalence contracts
+
+TEST(IncrementalDetector, WarmupIsBitExactWithOfflineMetric) {
+  const DetectorConfig dc = test_detector();
+  IncrementalDetector det{std::make_shared<DetectorGeometry>(dc)};
+  const auto z = pulse_series(dc.window_len - 1, 7);
+  // While the window is still filling, eta() runs the offline metric on the
+  // partial window — the values must be IDENTICAL, not merely close.
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    det.push(z[i]);
+    ASSERT_FALSE(det.ready());
+    const std::vector<double> prefix(z.begin(), z.begin() + static_cast<long>(i) + 1);
+    const double offline = nimbus::elasticity_metric(prefix, dc.sample_hz, dc.metric);
+    ASSERT_EQ(det.eta(), offline) << "at sample " << i;
+  }
+}
+
+TEST(IncrementalDetector, SlidingMatchesOfflineWithinTolerance) {
+  // Post-warmup the incremental path evaluates sliding recurrences; the FFT
+  // sums the same products in a different order, so the contract is 1e-9
+  // relative, checked continuously across several rebase cycles (the
+  // geometry rebases every 4 * window_len pushes).
+  const DetectorConfig dc = test_detector();
+  auto geom = std::make_shared<DetectorGeometry>(dc);
+  IncrementalDetector det{geom};
+  const std::size_t total = dc.window_len * 10;
+  const auto z = pulse_series(total, 11);
+  std::vector<double> window;
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    det.push(z[i]);
+    if (!det.ready()) continue;
+    det.copy_window(window);
+    const double offline = nimbus::elasticity_metric(window, dc.sample_hz, dc.metric);
+    const double inc = det.eta();
+    ASSERT_NEAR(inc, offline, 1e-9 * std::max(1.0, std::abs(offline)))
+        << "at sample " << i << " (rebases so far: " << det.rebases() << ")";
+    ++checked;
+  }
+  EXPECT_EQ(checked, total - dc.window_len + 1);
+  EXPECT_GE(det.rebases(), 2u);  // the loop really crossed rebase boundaries
+}
+
+TEST(IncrementalDetector, ConstantSeriesAgreesOnVerdict) {
+  // All-constant windows hit the offline metric's exact-zero noise branch;
+  // Parseval bookkeeping leaves ~1e-13 residues, so the documented contract
+  // is verdict agreement, not value equality.
+  const DetectorConfig dc = test_detector();
+  IncrementalDetector det{std::make_shared<DetectorGeometry>(dc)};
+  std::vector<double> window(dc.window_len, 42.0);
+  for (double v : window) det.push(v);
+  ASSERT_TRUE(det.ready());
+  const double offline = nimbus::elasticity_metric(window, dc.sample_hz, dc.metric);
+  EXPECT_EQ(det.eta() >= nimbus::kElasticThreshold, offline >= nimbus::kElasticThreshold);
+}
+
+TEST(IncrementalDetector, ResetMakesAFreshSession) {
+  const DetectorConfig dc = test_detector();
+  IncrementalDetector det{std::make_shared<DetectorGeometry>(dc)};
+  const auto z = pulse_series(dc.window_len * 2, 3);
+  for (double v : z) det.push(v);
+  ASSERT_TRUE(det.ready());
+  det.reset();
+  EXPECT_FALSE(det.ready());
+  EXPECT_EQ(det.pushes(), 0u);
+  // Replay from empty: the detector must behave exactly like a new one.
+  IncrementalDetector fresh{std::make_shared<DetectorGeometry>(dc)};
+  for (double v : z) {
+    det.push(v);
+    fresh.push(v);
+  }
+  EXPECT_EQ(det.eta(), fresh.eta());
+}
+
+// ------------------------------------------------- SessionTable lifecycle
+
+TEST(SessionTable, EvictionAndReAddIsolateState) {
+  SessionTableConfig tc;
+  tc.detector = test_detector();
+  SessionTable table{tc};
+  const SessionId a = table.add_session();
+  const auto z = pulse_series(tc.detector.window_len * 2, 5);
+  table.feed(a, z);
+  ASSERT_GT(table.status(a).updates, 0u);
+
+  table.remove_session(a);
+  EXPECT_EQ(table.live_sessions(), 0u);
+  EXPECT_THROW((void)table.status(a), Error);  // stale id must not alias
+
+  // The freed slot is recycled, but the new occupant starts from scratch.
+  const SessionId b = table.add_session();
+  EXPECT_NE(a, b);
+  EXPECT_THROW(table.remove_session(a), Error);
+  const SessionStatus& st = table.status(b);
+  EXPECT_EQ(st.verdict, Verdict::kWarming);
+  EXPECT_EQ(st.samples, 0u);
+  EXPECT_EQ(st.updates, 0u);
+
+  // And its verdict stream replays exactly like a never-recycled session.
+  table.feed(b, z);
+  SessionTable pristine{tc};
+  const SessionId c = pristine.add_session();
+  pristine.feed(c, z);
+  EXPECT_EQ(table.status(b).eta, pristine.status(c).eta);
+  EXPECT_EQ(table.status(b).frac_elastic, pristine.status(c).frac_elastic);
+  EXPECT_EQ(table.status(b).verdict, pristine.status(c).verdict);
+}
+
+TEST(SessionTable, VerdictCountsTrackTransitions) {
+  SessionTableConfig tc;
+  tc.detector = test_detector();
+  SessionTable table{tc};
+  const SessionId a = table.add_session();
+  (void)table.add_session();
+  EXPECT_EQ(table.verdict_counts().warming, 2u);
+  table.feed(a, pulse_series(tc.detector.window_len * 2, 9));
+  EXPECT_EQ(table.verdict_counts().warming + table.verdict_counts().elastic +
+                table.verdict_counts().inelastic + table.verdict_counts().mixed,
+            2u);
+  EXPECT_EQ(table.verdict_counts().warming, 1u);  // a graduated, b still warm
+}
+
+// ------------------------------------------------- service sweep contracts
+
+/// Fast sweep config: 257-bin windows fill in ~2.6 s of the 10 s phase, so
+/// every scenario scores real agreement ticks in a few seconds of wall time.
+core::ElasticityPocConfig sweep_config() {
+  core::ElasticityPocConfig cfg;
+  cfg.seed = 42;
+  cfg.phase_duration = Time::sec(10.0);
+  cfg.warmup = Time::sec(2.0);
+  cfg.nimbus.fft_window = Time::sec(2.5);
+  return cfg;
+}
+
+TEST(ServiceSweep, VerdictStreamIsByteIdenticalAcrossJobs) {
+  const core::ElasticityPocConfig cfg = sweep_config();
+  const ServiceSweepResult serial = run_service_sweep(cfg, 1);
+  const ServiceSweepResult parallel = run_service_sweep(cfg, 4);
+  EXPECT_EQ(serial.report.to_jsonl(), parallel.report.to_jsonl());
+  EXPECT_EQ(serial.min_agreement, parallel.min_agreement);
+}
+
+TEST(ServiceSweep, StreamingVerdictAgreesWithOfflineClassifier) {
+  // The PR's accuracy floor: across all five cross-traffic archetypes and
+  // all three path cells, the streaming verdict must agree with the offline
+  // full-FFT classifier on >= 97% of warm ticks (EXPERIMENTS.md table).
+  const ServiceSweepResult sweep = run_service_sweep(sweep_config(), 0);
+  ASSERT_EQ(sweep.scenarios.size(),
+            static_cast<std::size_t>(core::kElasticityPhaseCount * kPathCellCount));
+  for (const auto& s : sweep.scenarios) {
+    EXPECT_GT(s.ticks, 0u) << s.phase << "/" << s.cell << ": service never warmed";
+    EXPECT_GE(s.agreement, 0.97) << s.phase << "/" << s.cell;
+  }
+  EXPECT_GE(sweep.min_agreement, 0.97);
+}
+
+}  // namespace
+}  // namespace ccc::elastic

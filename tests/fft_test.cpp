@@ -8,9 +8,11 @@
 
 #include <cmath>
 #include <complex>
+#include <limits>
 #include <numbers>
 #include <vector>
 
+#include "util/error.hpp"
 #include "util/fft.hpp"
 #include "util/rng.hpp"
 
@@ -209,6 +211,54 @@ TEST(FftPlanEquivalence, CacheReturnsSamePlanAndSurvivesMixedSizes) {
     FftPlan{n}.run(b);
     for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(a[i], b[i]);
   }
+}
+
+// ---------- Hann-table cache + next_pow2 bounds (PR 10 bugfixes) ----------
+
+TEST(HannCache, AlternatingSizesBuildEachTableOnce) {
+  // A workspace multiplexed across sessions with two window lengths must
+  // build exactly two tables, ever — the old cache was keyed on "the current
+  // size" and rebuilt the cos table on every alternation.
+  SpectrumWorkspace ws;
+  Rng rng{11};
+  std::vector<double> sig512;
+  std::vector<double> sig1024;
+  for (int i = 0; i < 512; ++i) sig512.push_back(rng.uniform(-1.0, 1.0));
+  for (int i = 0; i < 1024; ++i) sig1024.push_back(rng.uniform(-1.0, 1.0));
+
+  for (int round = 0; round < 8; ++round) {
+    magnitude_spectrum(sig512, 100.0, ws);
+    magnitude_spectrum(sig1024, 100.0, ws);
+  }
+  EXPECT_EQ(ws.hann_builds, 2u);
+
+  // And the cached tables are the classic symmetric Hann values.
+  const auto& table = hann_table(ws, 512);
+  EXPECT_EQ(ws.hann_builds, 2u);  // lookup, not a rebuild
+  EXPECT_EQ(table.size(), 512u);
+  EXPECT_DOUBLE_EQ(table[0], 0.0);
+  EXPECT_DOUBLE_EQ(table[511], 0.0);
+  EXPECT_NEAR(table[255], 1.0, 1e-4);  // peak near the center
+}
+
+TEST(HannCache, SingleSampleWindowIsFiniteIdentityTaper) {
+  // n == 1 used to evaluate cos(0/0) before discarding it; the table must be
+  // the identity taper with no NaN ever computed.
+  SpectrumWorkspace ws;
+  const auto& table = hann_table(ws, 1);
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table[0], 1.0);
+  EXPECT_TRUE(std::isfinite(table[0]));
+}
+
+TEST(Fft, NextPow2ThrowsAboveLargestPowerOfTwo) {
+  constexpr std::size_t kMax = std::size_t{1} << (sizeof(std::size_t) * 8 - 1);
+  EXPECT_EQ(next_pow2(kMax), kMax);
+  EXPECT_EQ(next_pow2(kMax - 1), kMax);
+  // One past the largest power of two used to spin forever (p <<= 1 wraps
+  // to zero); now it must throw a config error.
+  EXPECT_THROW(next_pow2(kMax + 1), Error);
+  EXPECT_THROW(next_pow2(std::numeric_limits<std::size_t>::max()), Error);
 }
 
 TEST(FftPlanEquivalence, WorkspaceSpectrumIdenticalEvenWhenDirty) {

@@ -1,6 +1,7 @@
 // Unit tests for the elasticity metric and the Nimbus CCA mechanics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <vector>
@@ -64,6 +65,49 @@ TEST(ElasticityMetric, ScalesWithToneToNoiseRatio) {
   EXPECT_GT(elasticity_metric(strong, kFs), elasticity_metric(weak, kFs));
 }
 
+
+TEST(ElasticityMetric, AboveNyquistHarmonicDoesNotMaskTopNoiseBins) {
+  // With sample_hz < 4 * pulse_hz the 2*fp harmonic lies above Nyquist;
+  // bin_for clamps it to the last bin, which used to alias the harmonic's
+  // exclusion window onto the top of the spectrum and drop legitimate noise
+  // bins from the RMS. The metric must now match a reference computation
+  // that excludes only the fp window.
+  Rng rng{21};
+  const double fs = 16.0;  // pulse at 5 Hz -> 2*fp = 10 Hz > Nyquist (8 Hz)
+  std::vector<double> z(512);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    const double t = static_cast<double>(i) / fs;
+    z[i] = 10.0 + 2.0 * std::sin(2.0 * std::numbers::pi * 5.0 * t) + rng.normal(0.0, 0.8);
+  }
+
+  const ElasticityConfig cfg;
+  const double eta = elasticity_metric(z, fs, cfg);
+
+  // Reference: same signal/noise definitions, fp exclusion only.
+  const Spectrum spec = magnitude_spectrum(z, fs);
+  const std::size_t fp_bin = spec.bin_for(cfg.pulse_hz);
+  const std::size_t floor_bin = std::max<std::size_t>(spec.bin_for(cfg.noise_floor_hz), 1);
+  const auto hw = static_cast<std::size_t>(cfg.signal_halfwidth_bins);
+  double signal = 0.0;
+  for (std::size_t i = fp_bin > hw ? fp_bin - hw : 0;
+       i <= fp_bin + hw && i < spec.magnitude.size(); ++i) {
+    signal = std::max(signal, spec.magnitude[i]);
+  }
+  double sum_sq = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = floor_bin; i < spec.magnitude.size(); ++i) {
+    if (i + hw >= fp_bin && i <= fp_bin + hw) continue;
+    sum_sq += spec.magnitude[i] * spec.magnitude[i];
+    ++n;
+  }
+  ASSERT_GT(n, 0u);
+  const double expected = signal / std::sqrt(sum_sq / static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(eta, expected);
+
+  // The harmonic exclusion still applies when 2*fp is representable.
+  const std::size_t h2_bin = spec.bin_for(2.0 * cfg.pulse_hz);
+  EXPECT_EQ(h2_bin, spec.magnitude.size() - 1);  // clamped — the bug trigger
+}
 
 // Parameterized sweep: the metric's response is monotone in tone amplitude
 // and robustly below threshold for amplitude 0 across noise seeds.

@@ -273,6 +273,42 @@ TEST(Link, SetRateAffectsSubsequentPackets) {
   EXPECT_EQ(sink.arrival_times[1], Time::ms(3));
 }
 
+TEST(Link, SetRateReplansServingPacket) {
+  Scheduler sched;
+  CollectingSink sink{sched};
+  Link link{sched, Rate::mbps(12), Time::zero(), std::make_unique<queue::DropTailQueue>(1 << 20),
+            sink};
+  link.send(make_data(1, 1500));   // 1 ms at 12 Mbit/s if undisturbed
+  sched.run_until(Time::us(500));  // 750 B on the wire so far
+  link.set_rate(Rate::mbps(6));    // remaining 750 B now take 1 ms
+  sched.run_until(Time::sec(1.0));
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sink.arrival_times[0], Time::us(1500));
+}
+
+TEST(Link, PeriodicStallScheduleDoesNotPhaseLock) {
+  // Regression: a 1500 B frame at a 1 Mbit/s stall rate serializes for
+  // 12 ms — exactly three 4 ms burst/gap cycles. When the in-flight packet
+  // stayed pinned to its dequeue-time rate, a packet that started in the
+  // gap also *finished* in the gap, so every subsequent dequeue started in
+  // the gap too and the link collapsed to the stall rate (observed as the
+  // wifi-pie service cells starving). With mid-flight re-planning the link
+  // must deliver at roughly the duty-cycled rate instead.
+  Scheduler sched;
+  CollectingSink sink{sched};
+  Link link{sched, Rate::mbps(48), Time::zero(), std::make_unique<queue::DropTailQueue>(1 << 20),
+            sink};
+  for (Time t = Time::ms(3); t < Time::ms(500); t += Time::ms(4)) {
+    sched.schedule_at(t, [&link] { link.set_rate(Rate::mbps(1)); });
+    sched.schedule_at(t + Time::ms(1), [&link] { link.set_rate(Rate::mbps(48)); });
+  }
+  for (int i = 0; i < 200; ++i) link.send(make_data(1, 1500));
+  // Duty-cycled capacity is ~36 Mbit/s: 200 packets (~2.4 Mbit) take ~70 ms.
+  // The phase-locked failure mode needed ~2.3 s.
+  sched.run_until(Time::ms(500));
+  EXPECT_EQ(sink.packets.size(), 200u);
+}
+
 TEST(Link, TxTapSeesEveryPacket) {
   Scheduler sched;
   CollectingSink sink{sched};
